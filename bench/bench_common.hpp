@@ -1,0 +1,61 @@
+// Shared plumbing for the experiment benches (bench/exp_*.cpp).
+//
+// Every experiment binary:
+//   * honors RBB_BENCH_SCALE (smoke / default / paper) for its sweep sizes,
+//   * accepts --seed and --trials overrides on the command line,
+//   * prints one markdown table (the "paper table" recorded in
+//     EXPERIMENTS.md) plus the analytic prediction column,
+//   * optionally mirrors the table to RBB_CSV_DIR as CSV.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "support/cli.hpp"
+#include "support/scale.hpp"
+#include "support/table.hpp"
+
+namespace rbb::bench {
+
+/// Common CLI for an experiment bench.  Registers --seed and --trials
+/// (trials == 0 means "use the scale default").
+inline Cli make_cli(const std::string& description) {
+  Cli cli(description);
+  cli.add_u64("seed", 1, "root RNG seed");
+  cli.add_u64("trials", 0, "trials per sweep point (0 = scale default)");
+  return cli;
+}
+
+/// Chooses the trial count: CLI override wins, else by scale.
+inline std::uint32_t trials_for(const Cli& cli, BenchScale scale,
+                                std::uint32_t smoke, std::uint32_t dflt,
+                                std::uint32_t paper) {
+  const std::uint64_t cli_trials = cli.u64("trials");
+  if (cli_trials != 0) return static_cast<std::uint32_t>(cli_trials);
+  return by_scale(scale, smoke, dflt, paper);
+}
+
+/// Prints the table with a standard header and mirrors it to CSV.
+inline void emit(const Table& table, const std::string& experiment_id,
+                 const std::string& title, BenchScale scale) {
+  std::cout << "\n=== " << experiment_id << ": " << title
+            << " (scale: " << to_string(scale) << ") ===\n";
+  table.print(std::cout, experiment_id);
+  if (!csv_dir().empty()) {
+    table.write_csv(csv_dir(), experiment_id);
+  }
+}
+
+/// The n-sweep used by most experiments, by scale.
+inline std::vector<std::uint32_t> n_sweep(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kSmoke: return {128, 256};
+    case BenchScale::kPaper: return {256, 1024, 4096, 16384};
+    case BenchScale::kDefault: break;
+  }
+  return {256, 1024, 4096};
+}
+
+}  // namespace rbb::bench

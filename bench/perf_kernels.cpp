@@ -1,0 +1,204 @@
+// Kernel throughput benchmarks (google-benchmark) covering the design
+// ablations from DESIGN.md:
+//   D1 -- Tetris arrival sampling: ball-by-ball vs multinomial splitting,
+//   D2 -- load-only kernel vs identity-tracking token process,
+//   D3 -- the incremental max/empty bookkeeping vs a full rescan,
+//   D4 -- xoshiro256++ vs std::mt19937_64 raw throughput,
+// plus the absolute rounds/second of every process in the repository.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "baselines/repeated_dchoices.hpp"
+#include "core/config.hpp"
+#include "core/process.hpp"
+#include "core/token_process.hpp"
+#include "markov/rbb_chain.hpp"
+#include "support/samplers.hpp"
+#include "tetris/tetris.hpp"
+
+namespace {
+
+using namespace rbb;
+
+void BM_RepeatedBallsRound(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(1);
+  RepeatedBallsProcess proc(make_config(InitialConfig::kOnePerBin, n, n, rng),
+                            rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proc.step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_RepeatedBallsRound)->Arg(1024)->Arg(8192)->Arg(65536);
+
+// D2: the identity-tracking process pays for queue manipulation and
+// per-token bookkeeping; this quantifies the load-only kernel's edge.
+void BM_TokenProcessRound(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::vector<std::uint32_t> placement(n);
+  for (std::uint32_t i = 0; i < n; ++i) placement[i] = i;
+  TokenProcess::Options options;
+  options.track_visits = false;
+  TokenProcess proc(n, std::move(placement), options, Rng(2));
+  for (auto _ : state) {
+    proc.step();
+    benchmark::DoNotOptimize(proc.round());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_TokenProcessRound)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_TokenProcessRoundWithVisits(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::vector<std::uint32_t> placement(n);
+  for (std::uint32_t i = 0; i < n; ++i) placement[i] = i;
+  TokenProcess::Options options;
+  options.track_visits = true;
+  TokenProcess proc(n, std::move(placement), options, Rng(3));
+  for (auto _ : state) {
+    proc.step();
+    benchmark::DoNotOptimize(proc.round());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_TokenProcessRoundWithVisits)->Arg(1024)->Arg(8192);
+
+// D1: Tetris arrival sampling strategies.
+void BM_TetrisRoundBallByBall(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(4);
+  TetrisProcess proc(make_config(InitialConfig::kRandom, n, n, rng), rng, 0,
+                     ArrivalSampling::kBallByBall);
+  for (auto _ : state) benchmark::DoNotOptimize(proc.step());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_TetrisRoundBallByBall)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_TetrisRoundSplitSampling(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(5);
+  TetrisProcess proc(make_config(InitialConfig::kRandom, n, n, rng), rng, 0,
+                     ArrivalSampling::kSplit);
+  for (auto _ : state) benchmark::DoNotOptimize(proc.step());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_TetrisRoundSplitSampling)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_RepeatedDChoicesRound(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(6);
+  RepeatedDChoicesProcess proc(
+      make_config(InitialConfig::kOnePerBin, n, n, rng), 2, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(proc.step());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_RepeatedDChoicesRound)->Arg(1024)->Arg(8192);
+
+// D3: the step() already maintains max/empty incrementally; this measures
+// what a naive per-round rescan would add on top.
+void BM_FullRescanOverhead(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(7);
+  RepeatedBallsProcess proc(make_config(InitialConfig::kOnePerBin, n, n, rng),
+                            rng);
+  for (auto _ : state) {
+    proc.step();
+    // The rescan a non-incremental implementation would pay per round:
+    benchmark::DoNotOptimize(max_load(proc.loads()));
+    benchmark::DoNotOptimize(empty_bins(proc.loads()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_FullRescanOverhead)->Arg(8192)->Arg(65536);
+
+// D4: raw generator throughput.
+void BM_RngXoshiro(benchmark::State& state) {
+  Rng rng(8);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc ^= rng();
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RngXoshiro);
+
+void BM_RngMt19937(benchmark::State& state) {
+  std::mt19937_64 rng(8);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc ^= rng();
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RngMt19937);
+
+void BM_RngBounded(benchmark::State& state) {
+  Rng rng(9);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc ^= rng.below(1000003);
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RngBounded);
+
+void BM_BinomialTetrisLaw(benchmark::State& state) {
+  // The Z-chain's hot sampler: Bin(3n/4, 1/n), inversion path.
+  Rng rng(10);
+  const BinomialSampler sampler(768, 1.0 / 1024.0);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc += sampler(rng);
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BinomialTetrisLaw);
+
+void BM_BinomialBtrd(benchmark::State& state) {
+  // The splitting sampler's hot path: large-np BTRD draws.
+  Rng rng(11);
+  const BinomialSampler sampler(100000, 0.3);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc += sampler(rng);
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BinomialBtrd);
+
+// ---- exact-chain kernels (markov/): matrix construction and the two
+// stationary solvers (direct Gaussian solve vs power iteration).  Arg is
+// n (= m); the state count C(2n-1, n-1) grows ~4^n.
+void BM_ExactMatrixBuild(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const StateSpace space(n, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_rbb_transition_matrix(space));
+  }
+  state.SetLabel(std::to_string(space.size()) + " states");
+}
+BENCHMARK(BM_ExactMatrixBuild)->Arg(3)->Arg(4)->Arg(5)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StationaryDirectSolve(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const StateSpace space(n, n);
+  const DenseMatrix p = build_rbb_transition_matrix(space);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stationary_distribution(p));
+  }
+}
+BENCHMARK(BM_StationaryDirectSolve)->Arg(4)->Arg(5)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StationaryPowerIteration(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const StateSpace space(n, n);
+  const DenseMatrix p = build_rbb_transition_matrix(space);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stationary_by_power_iteration(p, 1e-12));
+  }
+}
+BENCHMARK(BM_StationaryPowerIteration)->Arg(4)->Arg(5)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Exact analysis walkthrough: solve the repeated balls-into-bins chain
+// *as a Markov chain* for a small system and interrogate the stationary
+// law directly -- no sampling anywhere.
+//
+// Demonstrates the markov/ API: state-space enumeration, exact transition
+// matrix, stationary distribution, reversibility and product-form
+// diagnostics (Sect. 1.3 of the paper), and the exact Appendix-B arrival
+// correlation.
+//
+//   ./examples/exact_chain [--n 4]
+#include <cstdlib>
+#include <iostream>
+
+#include "markov/rbb_chain.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbb;
+  Cli cli("exact_chain: closed-form analysis of a small RBB system");
+  cli.add_u64("n", 4, "number of balls and bins (2..6)");
+  if (!cli.parse(argc, argv)) return EXIT_SUCCESS;
+
+  const auto n = static_cast<std::uint32_t>(cli.u64("n"));
+  if (n < 2 || n > 6) {
+    std::cerr << "exact enumeration is feasible for n in 2..6\n";
+    return EXIT_FAILURE;
+  }
+
+  const StateSpace space(n, n);
+  std::cout << "State space: " << space.size() << " configurations of " << n
+            << " balls in " << n << " bins\n";
+
+  const DenseMatrix p = build_rbb_transition_matrix(space);
+  std::cout << "Transition matrix built; row-stochastic: "
+            << (p.is_row_stochastic(1e-10) ? "yes" : "NO") << "\n\n";
+
+  const std::vector<double> pi = stationary_distribution(p);
+  const ExactFunctionals f = exact_functionals(space, pi);
+
+  std::cout << "Stationary law (grouped by load profile):\n";
+  Table profile({"profile", "orbit size", "pi(orbit)", "max load"});
+  for (const auto& orbit : space.orbits()) {
+    const LoadConfig rep = space.orbit_representative(orbit.front());
+    double mass = 0.0;
+    for (const std::size_t id : orbit) mass += pi[id];
+    profile.row()
+        .cell(serialize_config(rep))
+        .cell(static_cast<std::uint64_t>(orbit.size()))
+        .cell(mass, 6)
+        .cell(static_cast<std::uint64_t>(max_load(rep)));
+  }
+  profile.print(std::cout, "stationary-by-profile");
+
+  std::cout << "\nExact stationary functionals:\n"
+            << "  E[max load]          = " << f.expected_max_load << "\n"
+            << "  E[empty fraction]    = " << f.expected_empty_fraction
+            << "  (paper's working bound: >= 1/4)\n"
+            << "  P(legitimate, b=4)   = " << f.p_legitimate << "\n";
+
+  std::cout << "\nStructural diagnostics (Sect. 1.3):\n"
+            << "  detailed-balance residual = "
+            << detailed_balance_residual(p, pi)
+            << (n == 2 ? "  (n = 2 is reversible)"
+                       : "  (> 0: chain is NOT reversible)")
+            << "\n"
+            << "  product-form TV distance  = "
+            << product_form_distance(space, pi)
+            << (n <= 3 ? "  (small n happens to be product-form)"
+                       : "  (> 0: stationary law is NOT product-form)")
+            << "\n"
+            << "  exact 1/4-mixing time     = "
+            << exact_mixing_time(space, p, pi, 0.25, 1000) << " rounds\n";
+
+  const auto corr = exact_arrival_correlation(space, LoadConfig(n, 1));
+  std::cout << "\nAppendix-B arrival correlation from the one-per-bin "
+               "start:\n"
+            << "  P(X1=0, X2=0)   = " << corr.p_both_zero << "\n"
+            << "  P(X1=0)*P(X2=0) = " << corr.p_first_zero * corr.p_second_zero
+            << "\n"
+            << "  excess          = " << corr.excess()
+            << "  (> 0: arrivals are positively correlated, so negative\n"
+               "                      association fails and standard "
+               "concentration tools do not apply)\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,743 @@
+#include "analysis/experiments.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+
+#include "baselines/independent_walks.hpp"
+#include "baselines/jackson.hpp"
+#include "baselines/oneshot.hpp"
+#include "baselines/repeated_dchoices.hpp"
+#include "core/process.hpp"
+#include "coupling/coupling.hpp"
+#include "support/bounds.hpp"
+#include "support/thread_pool.hpp"
+#include "tetris/tetris.hpp"
+#include "tetris/leaky.hpp"
+#include "tetris/zchain.hpp"
+#include "traversal/traversal.hpp"
+
+namespace rbb {
+namespace {
+
+/// Expands a load configuration into token positions (bin u repeated
+/// q_u times), preserving bin order.
+std::vector<std::uint32_t> config_to_positions(const LoadConfig& q) {
+  std::vector<std::uint32_t> pos;
+  pos.reserve(total_balls(q));
+  for (std::uint32_t u = 0; u < q.size(); ++u) {
+    for (std::uint32_t j = 0; j < q[u]; ++j) pos.push_back(u);
+  }
+  return pos;
+}
+
+}  // namespace
+
+void for_each_trial(std::uint32_t trials, std::uint64_t seed,
+                    const std::function<void(std::uint32_t, Rng&)>& fn) {
+  parallel_for(trials, [&](std::uint64_t trial) {
+    Rng rng(seed, trial);
+    fn(static_cast<std::uint32_t>(trial), rng);
+  });
+}
+
+StabilityResult run_stability(const StabilityParams& params) {
+  if (params.n < 2) throw std::invalid_argument("run_stability: n < 2");
+  if (params.trials == 0 || params.rounds == 0) {
+    throw std::invalid_argument("run_stability: trials/rounds == 0");
+  }
+  const std::uint64_t balls = params.balls == 0 ? params.n : params.balls;
+  std::vector<double> window_max(params.trials);
+  std::vector<double> final_max(params.trials);
+  std::vector<double> min_empty(params.trials);
+
+  for_each_trial(params.trials, params.seed, [&](std::uint32_t trial,
+                                                 Rng& rng) {
+    LoadConfig config = make_config(params.start, params.n, balls, rng);
+    double wmax = 0.0;
+    double fmax = 0.0;
+    double memp = 1.0;
+    auto observe = [&](std::uint32_t max_load, std::uint32_t empty) {
+      wmax = std::max(wmax, static_cast<double>(max_load));
+      fmax = static_cast<double>(max_load);
+      memp = std::min(memp, static_cast<double>(empty) /
+                                static_cast<double>(params.n));
+    };
+    switch (params.process) {
+      case StabilityProcess::kRepeated: {
+        RepeatedBallsProcess proc(std::move(config), params.graph, rng);
+        for (std::uint64_t t = 0; t < params.rounds; ++t) {
+          const RoundStats s = proc.step();
+          observe(s.max_load, s.empty_bins);
+        }
+        break;
+      }
+      case StabilityProcess::kTetris: {
+        if (params.graph != nullptr) {
+          throw std::invalid_argument("run_stability: Tetris is clique-only");
+        }
+        TetrisProcess proc(std::move(config), rng);
+        for (std::uint64_t t = 0; t < params.rounds; ++t) {
+          const TetrisRoundStats s = proc.step();
+          observe(s.max_load, s.empty_bins);
+        }
+        break;
+      }
+      case StabilityProcess::kRepeatedDChoice: {
+        if (params.graph != nullptr) {
+          throw std::invalid_argument(
+              "run_stability: d-choices is clique-only");
+        }
+        RepeatedDChoicesProcess proc(std::move(config), params.choices, rng);
+        for (std::uint64_t t = 0; t < params.rounds; ++t) {
+          const DChoicesRoundStats s = proc.step();
+          observe(s.max_load, s.empty_bins);
+        }
+        break;
+      }
+      case StabilityProcess::kIndependent: {
+        IndependentWalksProcess proc(params.n, config_to_positions(config),
+                                     params.graph, rng);
+        for (std::uint64_t t = 0; t < params.rounds; ++t) {
+          proc.step();
+          observe(proc.max_load(), proc.empty_bins());
+        }
+        break;
+      }
+    }
+    window_max[trial] = wmax;
+    final_max[trial] = fmax;
+    min_empty[trial] = memp;
+  });
+
+  StabilityResult result;
+  const double legit_threshold = params.beta * log2n(params.n);
+  std::uint32_t legit = 0;
+  for (std::uint32_t t = 0; t < params.trials; ++t) {
+    result.window_max.add(window_max[t]);
+    result.final_max.add(final_max[t]);
+    result.min_empty_fraction.add(min_empty[t]);
+    if (window_max[t] <= legit_threshold) ++legit;
+  }
+  result.legit_window_fraction =
+      static_cast<double>(legit) / static_cast<double>(params.trials);
+  result.overall_max = static_cast<std::uint32_t>(result.window_max.max());
+  result.per_trial_window_max = std::move(window_max);
+  return result;
+}
+
+ConvergenceResult run_convergence(const ConvergenceParams& p) {
+  if (p.n < 2) throw std::invalid_argument("run_convergence: n < 2");
+  if (p.trials == 0) throw std::invalid_argument("run_convergence: trials==0");
+  const std::uint64_t cap = p.cap == 0 ? 64ull * p.n : p.cap;
+  std::vector<double> rounds(p.trials, -1.0);
+
+  for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
+    LoadConfig config = make_config(p.start, p.n, p.n, rng);
+    RepeatedBallsProcess proc(std::move(config), rng);
+    std::uint64_t t = 0;
+    while (!proc.is_legitimate(p.beta) && t < cap) {
+      proc.step();
+      ++t;
+    }
+    if (proc.is_legitimate(p.beta)) rounds[trial] = static_cast<double>(t);
+  });
+
+  ConvergenceResult result;
+  for (std::uint32_t t = 0; t < p.trials; ++t) {
+    if (rounds[t] < 0) {
+      ++result.timeouts;
+      continue;
+    }
+    result.rounds_to_legitimate.add(rounds[t]);
+    result.normalized.add(rounds[t] / static_cast<double>(p.n));
+  }
+  return result;
+}
+
+EmptyBinsResult run_empty_bins(const EmptyBinsParams& p) {
+  if (p.n < 2) throw std::invalid_argument("run_empty_bins: n < 2");
+  if (p.trials == 0 || p.rounds == 0) {
+    throw std::invalid_argument("run_empty_bins: trials/rounds == 0");
+  }
+  std::vector<double> min_frac(p.trials);
+  std::vector<double> mean_frac(p.trials);
+
+  for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
+    LoadConfig config = make_config(p.start, p.n, p.n, rng);
+    RepeatedBallsProcess proc(std::move(config), rng);
+    double lo = 1.0;
+    double sum = 0.0;
+    for (std::uint64_t t = 0; t < p.rounds; ++t) {
+      const RoundStats s = proc.step();
+      const double frac =
+          static_cast<double>(s.empty_bins) / static_cast<double>(p.n);
+      lo = std::min(lo, frac);
+      sum += frac;
+    }
+    min_frac[trial] = lo;
+    mean_frac[trial] = sum / static_cast<double>(p.rounds);
+  });
+
+  EmptyBinsResult result;
+  for (std::uint32_t t = 0; t < p.trials; ++t) {
+    result.min_fraction.add(min_frac[t]);
+    result.mean_fraction.add(mean_frac[t]);
+    if (min_frac[t] < 0.25) ++result.below_quarter;
+  }
+  return result;
+}
+
+CouplingResult run_coupling(const CouplingParams& p) {
+  if (p.n < 4) throw std::invalid_argument("run_coupling: n < 4");
+  if (p.trials == 0 || p.rounds == 0) {
+    throw std::invalid_argument("run_coupling: trials/rounds == 0");
+  }
+  struct TrialOut {
+    double original_max = 0;
+    double tetris_max = 0;
+    std::uint64_t case_two = 0;
+    std::uint64_t violations = 0;
+  };
+  std::vector<TrialOut> out(p.trials);
+
+  for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
+    LoadConfig config = make_config(p.start, p.n, p.n, rng);
+    // Lemma 3 requires a start with >= n/4 empty bins; as in Theorem 1's
+    // proof, run one round of the original process first if needed.  The
+    // warm-up and the coupled run get split sub-streams so the coupled
+    // rounds do not replay the warm-up's randomness.
+    if (empty_bins(config) < p.n / 4) {
+      RepeatedBallsProcess warmup(std::move(config), rng.split());
+      warmup.step();
+      config = warmup.loads();
+    }
+    CoupledProcesses coupled(std::move(config), rng.split());
+    coupled.run(p.rounds);
+    out[trial] = TrialOut{
+        static_cast<double>(coupled.original_running_max()),
+        static_cast<double>(coupled.tetris_running_max()),
+        coupled.case_two_rounds(), coupled.violation_rounds()};
+  });
+
+  CouplingResult result;
+  for (const TrialOut& o : out) {
+    result.original_window_max.add(o.original_max);
+    result.tetris_window_max.add(o.tetris_max);
+    result.total_case_two_rounds += o.case_two;
+    result.total_violation_rounds += o.violations;
+    if (o.violations > 0) {
+      ++result.trials_with_violation;
+    } else {
+      ++result.trials_dominated_throughout;
+    }
+  }
+  return result;
+}
+
+TetrisDrainResult run_tetris_drain(const TetrisDrainParams& p) {
+  if (p.n < 2) throw std::invalid_argument("run_tetris_drain: n < 2");
+  if (p.trials == 0) throw std::invalid_argument("run_tetris_drain: trials==0");
+  const std::uint64_t cap = p.cap == 0 ? 64ull * p.n : p.cap;
+  std::vector<double> drain(p.trials, -1.0);
+
+  for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
+    LoadConfig config = make_config(p.start, p.n, p.n, rng);
+    TetrisProcess proc(std::move(config), rng);
+    const std::uint64_t t = proc.run_until_all_emptied(cap);
+    if (t != TetrisProcess::kNeverEmptied) {
+      drain[trial] = static_cast<double>(t);
+    }
+  });
+
+  TetrisDrainResult result;
+  for (std::uint32_t t = 0; t < p.trials; ++t) {
+    if (drain[t] < 0) {
+      ++result.timeouts;
+      continue;
+    }
+    result.max_first_empty.add(drain[t]);
+    result.normalized.add(drain[t] / static_cast<double>(p.n));
+    if (drain[t] > 5.0 * static_cast<double>(p.n)) ++result.exceeded_5n;
+  }
+  return result;
+}
+
+ZChainTailResult run_zchain_tail(const ZChainTailParams& p) {
+  if (p.trials == 0 || p.ts.empty()) {
+    throw std::invalid_argument("run_zchain_tail: trials/ts empty");
+  }
+  if (!std::is_sorted(p.ts.begin(), p.ts.end())) {
+    throw std::invalid_argument("run_zchain_tail: ts must be sorted");
+  }
+  const std::uint64_t cap = p.ts.back();
+  std::vector<double> taus(p.trials);
+
+  for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
+    const std::uint64_t tau = sample_absorption_time(p.n, p.start, cap, rng);
+    taus[trial] = tau == kZChainNotAbsorbed
+                      ? static_cast<double>(cap) + 1.0
+                      : static_cast<double>(tau);
+  });
+
+  ZChainTailResult result;
+  result.empirical_tail.assign(p.ts.size(), 0.0);
+  for (std::uint32_t trial = 0; trial < p.trials; ++trial) {
+    const double tau = taus[trial];
+    if (tau > static_cast<double>(cap)) {
+      ++result.timeouts;
+    } else {
+      result.absorption_time.add(tau);
+    }
+    for (std::size_t i = 0; i < p.ts.size(); ++i) {
+      if (tau > static_cast<double>(p.ts[i])) result.empirical_tail[i] += 1.0;
+    }
+  }
+  for (double& frac : result.empirical_tail) {
+    frac /= static_cast<double>(p.trials);
+  }
+  return result;
+}
+
+CoverTimeResult run_cover_time(const CoverTimeParams& p) {
+  if (p.n < 2) throw std::invalid_argument("run_cover_time: n < 2");
+  if (p.trials == 0) throw std::invalid_argument("run_cover_time: trials==0");
+  struct TrialOut {
+    double cover = -1.0;
+    double first = 0;
+    double max_load = 0;
+    double single = -1.0;
+  };
+  std::vector<TrialOut> out(p.trials);
+
+  for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
+    TraversalParams tp;
+    tp.n = p.n;
+    tp.policy = p.policy;
+    tp.graph = p.graph;
+    tp.max_rounds = p.max_rounds;
+    tp.placement = p.placement;
+    tp.fault_period = p.fault_period;
+    tp.fault_strategy = p.fault_strategy;
+    const TraversalResult r = run_traversal(tp, mix64(p.seed, trial));
+    TrialOut& o = out[trial];
+    if (r.cover_time.has_value()) {
+      o.cover = static_cast<double>(*r.cover_time);
+      o.first = static_cast<double>(r.first_token_covered);
+    }
+    o.max_load = static_cast<double>(r.max_load_seen);
+    const std::uint64_t single_cap =
+        p.max_rounds != 0 ? p.max_rounds
+                          : static_cast<std::uint64_t>(
+                                64.0 * parallel_cover_scale(p.n));
+    const auto single = single_walk_cover_time(p.n, p.graph, single_cap, rng);
+    if (single.has_value()) o.single = static_cast<double>(*single);
+  });
+
+  CoverTimeResult result;
+  const double scale = parallel_cover_scale(p.n);
+  for (const TrialOut& o : out) {
+    if (o.cover < 0) {
+      ++result.timeouts;
+    } else {
+      result.cover_time.add(o.cover);
+      result.normalized.add(o.cover / scale);
+      result.first_token.add(o.first);
+    }
+    result.max_load_seen.add(o.max_load);
+    if (o.single >= 0) result.single_walk.add(o.single);
+  }
+  return result;
+}
+
+NegAssocResult run_negative_association(std::uint64_t trials,
+                                        std::uint64_t seed) {
+  if (trials == 0) {
+    throw std::invalid_argument("run_negative_association: trials == 0");
+  }
+  constexpr std::uint32_t kBatches = 256;
+  struct Counts {
+    std::uint64_t x1_zero = 0;
+    std::uint64_t x2_zero = 0;
+    std::uint64_t both_zero = 0;
+    std::uint64_t trials = 0;
+  };
+  std::vector<Counts> batches(kBatches);
+
+  for_each_trial(kBatches, seed, [&](std::uint32_t batch, Rng& rng) {
+    Counts& c = batches[batch];
+    const std::uint64_t quota =
+        trials / kBatches + (batch < trials % kBatches ? 1 : 0);
+    for (std::uint64_t i = 0; i < quota; ++i) {
+      // n = 2, start (1, 1).  X_t = arrivals at bin 0 in round t,
+      // recoverable from the load update: X_t = Q0(t) - max(Q0(t-1)-1, 0).
+      // split() advances the batch rng so trials are independent.
+      RepeatedBallsProcess proc(LoadConfig{1, 1}, rng.split());
+      const std::uint32_t q0_before_1 = proc.loads()[0];
+      proc.step();
+      const std::uint32_t q0_after_1 = proc.loads()[0];
+      const std::uint32_t x1 =
+          q0_after_1 - (q0_before_1 > 0 ? q0_before_1 - 1 : 0);
+      proc.step();
+      const std::uint32_t q0_after_2 = proc.loads()[0];
+      const std::uint32_t x2 =
+          q0_after_2 - (q0_after_1 > 0 ? q0_after_1 - 1 : 0);
+      if (x1 == 0) ++c.x1_zero;
+      if (x2 == 0) ++c.x2_zero;
+      if (x1 == 0 && x2 == 0) ++c.both_zero;
+      ++c.trials;
+    }
+  });
+
+  Counts total;
+  for (const Counts& c : batches) {
+    total.x1_zero += c.x1_zero;
+    total.x2_zero += c.x2_zero;
+    total.both_zero += c.both_zero;
+    total.trials += c.trials;
+  }
+  NegAssocResult result;
+  result.trials = total.trials;
+  const double denom = static_cast<double>(total.trials);
+  result.p_x1_zero = static_cast<double>(total.x1_zero) / denom;
+  result.p_x2_zero = static_cast<double>(total.x2_zero) / denom;
+  result.p_both_zero = static_cast<double>(total.both_zero) / denom;
+  return result;
+}
+
+SqrtTResult run_sqrt_t(const SqrtTParams& p) {
+  if (p.n < 2) throw std::invalid_argument("run_sqrt_t: n < 2");
+  if (p.trials == 0 || p.checkpoints.empty()) {
+    throw std::invalid_argument("run_sqrt_t: trials/checkpoints empty");
+  }
+  if (!std::is_sorted(p.checkpoints.begin(), p.checkpoints.end())) {
+    throw std::invalid_argument("run_sqrt_t: checkpoints must be sorted");
+  }
+  const std::size_t k = p.checkpoints.size();
+  std::vector<std::vector<double>> per_trial(p.trials,
+                                             std::vector<double>(k, 0.0));
+
+  for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
+    LoadConfig config = make_config(p.start, p.n, p.n, rng);
+    RepeatedBallsProcess proc(std::move(config), rng);
+    double running = 0.0;
+    std::size_t next = 0;
+    for (std::uint64_t t = 1; t <= p.checkpoints.back(); ++t) {
+      const RoundStats s = proc.step();
+      running = std::max(running, static_cast<double>(s.max_load));
+      while (next < k && p.checkpoints[next] == t) {
+        per_trial[trial][next] = running;
+        ++next;
+      }
+    }
+  });
+
+  SqrtTResult result;
+  result.running_max_mean.assign(k, 0.0);
+  result.running_max_worst.assign(k, 0);
+  for (std::uint32_t trial = 0; trial < p.trials; ++trial) {
+    for (std::size_t i = 0; i < k; ++i) {
+      result.running_max_mean[i] += per_trial[trial][i];
+      result.running_max_worst[i] =
+          std::max(result.running_max_worst[i],
+                   static_cast<std::uint32_t>(per_trial[trial][i]));
+    }
+  }
+  for (double& m : result.running_max_mean) {
+    m /= static_cast<double>(p.trials);
+  }
+  return result;
+}
+
+OneShotResult run_oneshot(const OneShotParams& p) {
+  if (p.n < 2) throw std::invalid_argument("run_oneshot: n < 2");
+  if (p.trials == 0) throw std::invalid_argument("run_oneshot: trials == 0");
+  const std::uint64_t balls = p.balls == 0 ? p.n : p.balls;
+  std::vector<double> maxima(p.trials);
+
+  for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
+    std::uint32_t m = 0;
+    if (p.always_go_left) {
+      m = dleft_max_load(balls, p.n, p.d, rng);
+    } else if (p.d <= 1) {
+      m = oneshot_max_load(balls, p.n, rng);
+    } else {
+      m = dchoice_max_load(balls, p.n, p.d, rng);
+    }
+    maxima[trial] = static_cast<double>(m);
+  });
+
+  OneShotResult result;
+  for (const double m : maxima) result.max_load.add(m);
+  return result;
+}
+
+LeakyResult run_leaky(const LeakyParams& p) {
+  if (p.n < 2) throw std::invalid_argument("run_leaky: n < 2");
+  if (p.trials == 0 || p.rounds == 0) {
+    throw std::invalid_argument("run_leaky: trials/rounds == 0");
+  }
+  struct TrialOut {
+    double window_max = 0;
+    double mean_total = 0;
+    double mean_empty = 0;
+  };
+  std::vector<TrialOut> out(p.trials);
+
+  for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
+    LoadConfig config =
+        make_config(InitialConfig::kOnePerBin, p.n, p.n, rng);
+    LeakyBinsProcess proc(std::move(config), p.lambda, rng);
+    for (std::uint64_t t = 0; t < p.burn_in; ++t) proc.step();
+    double wmax = 0.0;
+    double total = 0.0;
+    double empty = 0.0;
+    for (std::uint64_t t = 0; t < p.rounds; ++t) {
+      const LeakyRoundStats s = proc.step();
+      wmax = std::max(wmax, static_cast<double>(s.max_load));
+      total += static_cast<double>(s.total_balls);
+      empty += static_cast<double>(s.empty_bins);
+    }
+    const double rounds = static_cast<double>(p.rounds);
+    out[trial] = TrialOut{
+        wmax, total / rounds / static_cast<double>(p.n),
+        empty / rounds / static_cast<double>(p.n)};
+  });
+
+  LeakyResult result;
+  for (const TrialOut& o : out) {
+    result.window_max.add(o.window_max);
+    result.mean_total_per_bin.add(o.mean_total);
+    result.mean_empty_fraction.add(o.mean_empty);
+  }
+  return result;
+}
+
+JacksonResult run_jackson(const JacksonParams& p) {
+  if (p.n < 2) throw std::invalid_argument("run_jackson: n < 2");
+  if (p.trials == 0) throw std::invalid_argument("run_jackson: trials == 0");
+  const std::uint64_t customers = p.customers == 0 ? p.n : p.customers;
+  const double horizon =
+      p.horizon > 0 ? p.horizon : 20.0 * static_cast<double>(p.n);
+  struct TrialOut {
+    double running_max = 0;
+    double final_max = 0;
+    double rate = 0;
+  };
+  std::vector<TrialOut> out(p.trials);
+
+  for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
+    LoadConfig config =
+        make_config(InitialConfig::kOnePerBin, p.n, customers, rng);
+    ClosedJacksonNetwork net(std::move(config), rng);
+    net.run_until(horizon);
+    out[trial] = TrialOut{static_cast<double>(net.running_max_load()),
+                          static_cast<double>(net.max_load()),
+                          static_cast<double>(net.events()) / horizon};
+  });
+
+  JacksonResult result;
+  for (const TrialOut& o : out) {
+    result.running_max.add(o.running_max);
+    result.final_max.add(o.final_max);
+    result.events_per_unit_time.add(o.rate);
+  }
+  return result;
+}
+
+ProgressResult run_progress(const ProgressParams& p) {
+  if (p.n < 2) throw std::invalid_argument("run_progress: n < 2");
+  if (p.trials == 0) throw std::invalid_argument("run_progress: trials == 0");
+  const std::uint64_t rounds = p.rounds == 0 ? 8ull * p.n : p.rounds;
+  struct TrialOut {
+    double min_progress = 0;
+    double mean_progress = 0;
+  };
+  std::vector<TrialOut> out(p.trials);
+
+  for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
+    std::vector<std::uint32_t> placement(p.n);
+    for (std::uint32_t i = 0; i < p.n; ++i) placement[i] = i;
+    TokenProcess::Options options;
+    options.policy = p.policy;
+    options.track_visits = false;
+    TokenProcess proc(p.n, std::move(placement), options, rng);
+    proc.run(rounds);
+    double sum = 0.0;
+    for (std::uint32_t i = 0; i < p.n; ++i) {
+      sum += static_cast<double>(proc.progress(i));
+    }
+    out[trial] =
+        TrialOut{static_cast<double>(proc.min_progress()),
+                 sum / static_cast<double>(p.n)};
+  });
+
+  ProgressResult result;
+  const double t = static_cast<double>(rounds);
+  for (const TrialOut& o : out) {
+    result.min_progress.add(o.min_progress);
+    result.min_progress_normalized.add(o.min_progress * log2n(p.n) / t);
+    result.mean_progress.add(o.mean_progress / t);
+  }
+  return result;
+}
+
+DelayResult run_delays(const DelayParams& p) {
+  if (p.n < 2) throw std::invalid_argument("run_delays: n < 2");
+  if (p.trials == 0) throw std::invalid_argument("run_delays: trials == 0");
+  const std::uint64_t rounds = p.rounds == 0 ? 16ull * p.n : p.rounds;
+  std::vector<Histogram> per_trial(p.trials);
+  std::vector<double> max_delay(p.trials, 0.0);
+
+  for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
+    std::vector<std::uint32_t> placement(p.n);
+    for (std::uint32_t i = 0; i < p.n; ++i) placement[i] = i;
+    TokenProcess::Options options;
+    options.policy = p.policy;
+    options.track_visits = false;
+    options.track_delays = true;
+    TokenProcess proc(p.n, std::move(placement), options, rng);
+    proc.run(rounds);
+    per_trial[trial] = proc.delay_histogram();
+    max_delay[trial] =
+        static_cast<double>(proc.delay_histogram().max_value());
+  });
+
+  DelayResult result;
+  for (std::uint32_t t = 0; t < p.trials; ++t) {
+    result.delays.merge(per_trial[t]);
+    result.max_delay.add(max_delay[t]);
+  }
+  result.mean_delay = result.delays.mean();
+  result.p50 = result.delays.quantile(0.50);
+  result.p99 = result.delays.quantile(0.99);
+  result.p999 = result.delays.quantile(0.999);
+  return result;
+}
+
+LoadProfileResult run_load_profile(const LoadProfileParams& p) {
+  if (p.n < 2) throw std::invalid_argument("run_load_profile: n < 2");
+  if (p.trials == 0) {
+    throw std::invalid_argument("run_load_profile: trials == 0");
+  }
+  const std::uint64_t burn_in = p.burn_in == 0 ? 4ull * p.n : p.burn_in;
+  const std::uint32_t samples = p.samples == 0 ? 50 : p.samples;
+  const std::uint64_t gap =
+      p.sample_gap == 0 ? std::max<std::uint64_t>(1, p.n / 4) : p.sample_gap;
+  std::vector<Histogram> per_trial(p.trials);
+
+  for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
+    LoadConfig config =
+        make_config(InitialConfig::kOnePerBin, p.n, p.n, rng);
+    Histogram& h = per_trial[trial];
+    switch (p.process) {
+      case ProfileProcess::kRepeated: {
+        RepeatedBallsProcess proc(std::move(config), rng);
+        proc.run(burn_in);
+        for (std::uint32_t s = 0; s < samples; ++s) {
+          proc.run(gap);
+          h.merge(occupancy_histogram(proc.loads()));
+        }
+        break;
+      }
+      case ProfileProcess::kIndependent: {
+        IndependentWalksProcess proc(p.n, config_to_positions(config),
+                                     nullptr, rng);
+        proc.run(burn_in);
+        for (std::uint32_t s = 0; s < samples; ++s) {
+          proc.run(gap);
+          h.merge(occupancy_histogram(proc.loads()));
+        }
+        break;
+      }
+      case ProfileProcess::kTetris: {
+        LoadConfig start = make_config(InitialConfig::kRandom, p.n, p.n, rng);
+        TetrisProcess proc(std::move(start), rng);
+        proc.run(burn_in);
+        for (std::uint32_t s = 0; s < samples; ++s) {
+          proc.run(gap);
+          h.merge(occupancy_histogram(proc.loads()));
+        }
+        break;
+      }
+      case ProfileProcess::kJackson: {
+        ClosedJacksonNetwork net(std::move(config), rng);
+        net.run_until(static_cast<double>(burn_in));
+        double now = static_cast<double>(burn_in);
+        for (std::uint32_t s = 0; s < samples; ++s) {
+          now += static_cast<double>(gap);
+          net.run_until(now);
+          h.merge(occupancy_histogram(net.loads()));
+        }
+        break;
+      }
+    }
+  });
+
+  LoadProfileResult result;
+  for (const Histogram& h : per_trial) result.profile.merge(h);
+  const std::uint64_t max_load = result.profile.max_value();
+  result.tail.reserve(max_load + 1);
+  for (std::uint64_t k = 0; k <= max_load; ++k) {
+    result.tail.push_back(result.profile.tail_fraction(k));
+  }
+  return result;
+}
+
+MixingResult run_mixing(const MixingParams& p) {
+  if (p.n < 2) throw std::invalid_argument("run_mixing: n < 2");
+  if (p.trials == 0 || p.checkpoints.empty()) {
+    throw std::invalid_argument("run_mixing: trials/checkpoints empty");
+  }
+  if (!std::is_sorted(p.checkpoints.begin(), p.checkpoints.end())) {
+    throw std::invalid_argument("run_mixing: checkpoints must be sorted");
+  }
+  // positions[c][bin]: occurrences of token 0 at `bin` at checkpoint c.
+  const std::size_t k = p.checkpoints.size();
+  std::vector<std::vector<std::uint64_t>> positions(
+      k, std::vector<std::uint64_t>(p.n, 0));
+  std::mutex merge_mutex;
+
+  // Track the worst-positioned token: queues order by id, so under FIFO
+  // (and random) the highest id sits at the back of its start queue; under
+  // LIFO the lowest id is buried deepest.
+  const std::uint32_t tracked =
+      p.policy == QueuePolicy::kLifo ? 0 : p.n - 1;
+  for_each_trial(p.trials, p.seed, [&](std::uint32_t /*trial*/, Rng& rng) {
+    std::vector<std::uint32_t> placement =
+        make_token_placement(p.placement, p.n, p.n, rng);
+    TokenProcess::Options options;
+    options.policy = p.policy;
+    options.track_visits = false;
+    TokenProcess proc(p.n, std::move(placement), options, rng.split());
+    std::vector<std::uint32_t> where(k, 0);
+    std::size_t next = 0;
+    for (std::uint64_t t = 1; t <= p.checkpoints.back(); ++t) {
+      proc.step();
+      while (next < k && p.checkpoints[next] == t) {
+        where[next] = proc.token_bin(tracked);
+        ++next;
+      }
+    }
+    const std::lock_guard<std::mutex> lock(merge_mutex);
+    for (std::size_t c = 0; c < k; ++c) ++positions[c][where[c]];
+  });
+
+  MixingResult result;
+  result.tv_from_uniform.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    result.tv_from_uniform.push_back(
+        total_variation_from_uniform(positions[c]));
+  }
+  // Noise floor: TV of an actually-uniform sampler with the same count.
+  Rng noise_rng(p.seed, 0xf100);
+  std::vector<std::uint64_t> uniform_counts(p.n, 0);
+  for (std::uint32_t t = 0; t < p.trials; ++t) {
+    ++uniform_counts[noise_rng.index(p.n)];
+  }
+  result.noise_floor = total_variation_from_uniform(uniform_counts);
+  return result;
+}
+
+}  // namespace rbb

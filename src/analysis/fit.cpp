@@ -1,0 +1,61 @@
+#include "analysis/fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace rbb {
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    throw std::invalid_argument("fit_linear: need >= 2 matched points");
+  }
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12 * n * sxx + 1e-300) {
+    throw std::invalid_argument("fit_linear: x values are all equal");
+  }
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  double ss_res = 0, ss_tot = 0;
+  const double mean_y = sy / n;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double predicted = fit.intercept + fit.slope * x[i];
+    ss_res += (y[i] - predicted) * (y[i] - predicted);
+    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  fit.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+PowerLawFit fit_power_law(std::span<const double> x,
+                          std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    throw std::invalid_argument("fit_power_law: need >= 2 matched points");
+  }
+  std::vector<double> lx(x.size());
+  std::vector<double> ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!(x[i] > 0.0) || !(y[i] > 0.0)) {
+      throw std::invalid_argument("fit_power_law: data must be positive");
+    }
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  const LinearFit linear = fit_linear(lx, ly);
+  PowerLawFit fit;
+  fit.exponent = linear.slope;
+  fit.prefactor = std::exp(linear.intercept);
+  fit.r_squared = linear.r_squared;
+  return fit;
+}
+
+}  // namespace rbb

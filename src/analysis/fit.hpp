@@ -1,0 +1,37 @@
+// Least-squares scaling-law fits for the experiment tables.
+//
+// The paper's claims are growth laws (convergence = O(n), cover time =
+// O(n log^2 n), max load = O(log n)); the benches quantify them by
+// fitting exponents over the measured sweeps.  fit_linear is ordinary
+// least squares; fit_power_law fits y = C * x^a by OLS on (log x, log y).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace rbb {
+
+/// y = intercept + slope * x, with the coefficient of determination.
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  double r_squared = 0;
+};
+
+/// Ordinary least squares over (x, y) pairs.  Requires >= 2 points and at
+/// least two distinct x values.
+[[nodiscard]] LinearFit fit_linear(std::span<const double> x,
+                                   std::span<const double> y);
+
+/// y = C * x^exponent, fitted on the log-log scale.  Requires strictly
+/// positive data.  `prefactor` is C; r_squared is measured in log space.
+struct PowerLawFit {
+  double exponent = 0;
+  double prefactor = 0;
+  double r_squared = 0;
+};
+
+[[nodiscard]] PowerLawFit fit_power_law(std::span<const double> x,
+                                        std::span<const double> y);
+
+}  // namespace rbb

@@ -1,0 +1,77 @@
+#include "baselines/independent_walks.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rbb {
+
+IndependentWalksProcess::IndependentWalksProcess(
+    std::uint32_t bins, std::vector<std::uint32_t> start_bin,
+    const Graph* graph, Rng rng)
+    : bins_(bins), graph_(graph), rng_(rng), ball_bin_(std::move(start_bin)) {
+  if (bins_ == 0) throw std::invalid_argument("IndependentWalks: bins == 0");
+  if (ball_bin_.empty()) {
+    throw std::invalid_argument("IndependentWalks: no balls");
+  }
+  if (graph_ != nullptr && graph_->node_count() != bins_) {
+    throw std::invalid_argument("IndependentWalks: graph size != bins");
+  }
+  loads_.assign(bins_, 0);
+  for (const std::uint32_t b : ball_bin_) {
+    if (b >= bins_) {
+      throw std::invalid_argument("IndependentWalks: start bin out of range");
+    }
+    ++loads_[b];
+  }
+}
+
+void IndependentWalksProcess::step() {
+  ++round_;
+  for (auto& bin : ball_bin_) {
+    --loads_[bin];
+    bin = graph_ == nullptr ? rng_.index(bins_)
+                            : graph_->sample_neighbor(bin, rng_);
+    ++loads_[bin];
+  }
+}
+
+void IndependentWalksProcess::run(std::uint64_t rounds) {
+  for (std::uint64_t t = 0; t < rounds; ++t) step();
+}
+
+std::uint32_t IndependentWalksProcess::max_load() const {
+  return *std::max_element(loads_.begin(), loads_.end());
+}
+
+std::uint32_t IndependentWalksProcess::empty_bins() const {
+  return static_cast<std::uint32_t>(
+      std::count(loads_.begin(), loads_.end(), 0u));
+}
+
+std::optional<std::uint64_t> single_walk_cover_time(std::uint32_t bins,
+                                                    const Graph* graph,
+                                                    std::uint64_t cap,
+                                                    Rng& rng) {
+  if (bins == 0) {
+    throw std::invalid_argument("single_walk_cover_time: bins == 0");
+  }
+  if (graph != nullptr && graph->node_count() != bins) {
+    throw std::invalid_argument("single_walk_cover_time: graph size != bins");
+  }
+  std::vector<char> visited(bins, 0);
+  std::uint32_t position = 0;
+  visited[0] = 1;
+  std::uint32_t seen = 1;
+  if (seen == bins) return 0;
+  for (std::uint64_t t = 1; t <= cap; ++t) {
+    position = graph == nullptr ? rng.index(bins)
+                                : graph->sample_neighbor(position, rng);
+    if (!visited[position]) {
+      visited[position] = 1;
+      if (++seen == bins) return t;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rbb

@@ -1,0 +1,63 @@
+// Independent parallel random walks -- the "no queueing" comparator.
+//
+// The repeated balls-into-bins process is exactly n parallel random walks
+// *coupled* by the one-departure-per-bin constraint (paper Sect. 1.1).
+// Removing the constraint yields n independent walks: every ball moves
+// every round regardless of congestion.  On the clique the load vector is
+// then a fresh n-ball one-shot occupancy each round, so the window maximum
+// load is Theta(log n / log log n) -- the floor against which the paper's
+// O(log n) upper bound for the constrained process is judged.  Also
+// provides the single-walker cover time (the O(n log n) baseline inside
+// Corollary 1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace rbb {
+
+/// n balls performing independent, simultaneous random walks.
+class IndependentWalksProcess {
+ public:
+  /// `start_bin[i]` is the initial bin of ball i; graph == nullptr means
+  /// the complete graph (uniform destination over all bins).
+  IndependentWalksProcess(std::uint32_t bins,
+                          std::vector<std::uint32_t> start_bin,
+                          const Graph* graph, Rng rng);
+
+  /// One round: every ball moves.
+  void step();
+  void run(std::uint64_t rounds);
+
+  [[nodiscard]] std::uint32_t bin_count() const noexcept { return bins_; }
+  [[nodiscard]] std::uint32_t ball_count() const noexcept {
+    return static_cast<std::uint32_t>(ball_bin_.size());
+  }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& loads() const noexcept {
+    return loads_;
+  }
+  [[nodiscard]] std::uint32_t max_load() const;
+  [[nodiscard]] std::uint32_t empty_bins() const;
+
+ private:
+  std::uint32_t bins_;
+  const Graph* graph_;
+  Rng rng_;
+  std::vector<std::uint32_t> ball_bin_;
+  std::vector<std::uint32_t> loads_;
+  std::uint64_t round_ = 0;
+};
+
+/// Cover time of a single random walk started at bin 0: first round by
+/// which all bins have been visited, or nullopt if `cap` rounds elapse.
+/// graph == nullptr means the complete graph (u.a.r. jumps: coupon
+/// collector, expectation n * H_n).
+[[nodiscard]] std::optional<std::uint64_t> single_walk_cover_time(
+    std::uint32_t bins, const Graph* graph, std::uint64_t cap, Rng& rng);
+
+}  // namespace rbb

@@ -1,0 +1,72 @@
+#include "baselines/jackson.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rbb {
+
+ClosedJacksonNetwork::ClosedJacksonNetwork(LoadConfig initial, Rng rng)
+    : loads_(std::move(initial)),
+      rng_(rng),
+      busy_(static_cast<std::uint32_t>(loads_.size())),
+      customers_(total_balls(loads_)) {
+  if (loads_.empty()) {
+    throw std::invalid_argument("ClosedJacksonNetwork: empty configuration");
+  }
+  for (std::uint32_t u = 0; u < loads_.size(); ++u) {
+    if (loads_[u] > 0) busy_.insert(u);
+  }
+  running_max_ = rbb::max_load(loads_);
+}
+
+double ClosedJacksonNetwork::step_event() {
+  if (busy_.empty()) return 0.0;
+  // All busy stations serve at rate 1, so the superposition has rate
+  // #busy and the completing station is uniform over the busy set.
+  const double dt = rng_.exponential(static_cast<double>(busy_.size()));
+  time_ += dt;
+  ++events_;
+  const std::uint32_t u = busy_.sample(rng_);
+  if (--loads_[u] == 0) busy_.erase(u);
+  const std::uint32_t v = rng_.index(station_count());
+  if (++loads_[v] == 1) busy_.insert(v);
+  running_max_ = std::max(running_max_, loads_[v]);
+  return dt;
+}
+
+void ClosedJacksonNetwork::run_until(double horizon) {
+  while (time_ < horizon && !busy_.empty()) {
+    // Peek the next inter-event time; discard the event if it lands past
+    // the horizon (valid by memorylessness).
+    const double dt = rng_.exponential(static_cast<double>(busy_.size()));
+    if (time_ + dt > horizon) {
+      time_ = horizon;
+      return;
+    }
+    time_ += dt;
+    ++events_;
+    const std::uint32_t u = busy_.sample(rng_);
+    if (--loads_[u] == 0) busy_.erase(u);
+    const std::uint32_t v = rng_.index(station_count());
+    if (++loads_[v] == 1) busy_.insert(v);
+    running_max_ = std::max(running_max_, loads_[v]);
+  }
+  if (time_ < horizon) time_ = horizon;
+}
+
+std::uint32_t ClosedJacksonNetwork::max_load() const {
+  return rbb::max_load(loads_);
+}
+
+void ClosedJacksonNetwork::check_invariants() const {
+  if (total_balls(loads_) != customers_) {
+    throw std::logic_error("ClosedJacksonNetwork: customer count drifted");
+  }
+  for (std::uint32_t u = 0; u < loads_.size(); ++u) {
+    if ((loads_[u] > 0) != busy_.contains(u)) {
+      throw std::logic_error("ClosedJacksonNetwork: busy set out of sync");
+    }
+  }
+}
+
+}  // namespace rbb

@@ -1,0 +1,80 @@
+#include "baselines/oneshot.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/samplers.hpp"
+
+namespace rbb {
+
+std::vector<std::uint32_t> oneshot_occupancy(std::uint64_t balls,
+                                             std::uint32_t bins, Rng& rng) {
+  return occupancy_throw(balls, bins, rng);
+}
+
+std::uint32_t oneshot_max_load(std::uint64_t balls, std::uint32_t bins,
+                               Rng& rng) {
+  const auto occ = oneshot_occupancy(balls, bins, rng);
+  return *std::max_element(occ.begin(), occ.end());
+}
+
+std::vector<std::uint32_t> dchoice_occupancy(std::uint64_t balls,
+                                             std::uint32_t bins,
+                                             std::uint32_t d, Rng& rng) {
+  if (bins == 0) throw std::invalid_argument("dchoice_occupancy: bins == 0");
+  if (d == 0) throw std::invalid_argument("dchoice_occupancy: d == 0");
+  std::vector<std::uint32_t> loads(bins, 0);
+  for (std::uint64_t i = 0; i < balls; ++i) {
+    std::uint32_t best = rng.index(bins);
+    for (std::uint32_t j = 1; j < d; ++j) {
+      const std::uint32_t candidate = rng.index(bins);
+      if (loads[candidate] < loads[best]) best = candidate;
+    }
+    ++loads[best];
+  }
+  return loads;
+}
+
+std::uint32_t dchoice_max_load(std::uint64_t balls, std::uint32_t bins,
+                               std::uint32_t d, Rng& rng) {
+  const auto occ = dchoice_occupancy(balls, bins, d, rng);
+  return *std::max_element(occ.begin(), occ.end());
+}
+
+std::vector<std::uint32_t> dleft_occupancy(std::uint64_t balls,
+                                           std::uint32_t bins, std::uint32_t d,
+                                           Rng& rng) {
+  if (d < 2) throw std::invalid_argument("dleft_occupancy: d < 2");
+  if (d > bins) throw std::invalid_argument("dleft_occupancy: d > bins");
+  std::vector<std::uint32_t> loads(bins, 0);
+  // Group g covers [g * bins / d, (g+1) * bins / d).
+  const auto group_begin = [bins, d](std::uint32_t g) {
+    return static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(g) * bins / d);
+  };
+  for (std::uint64_t i = 0; i < balls; ++i) {
+    std::uint32_t best = UINT32_MAX;
+    std::uint32_t best_load = UINT32_MAX;
+    for (std::uint32_t g = 0; g < d; ++g) {
+      const std::uint32_t lo = group_begin(g);
+      const std::uint32_t hi = group_begin(g + 1);
+      if (hi == lo) continue;
+      const std::uint32_t candidate = lo + rng.index(hi - lo);
+      // Strict < keeps the leftmost group on ties (Always-Go-Left).
+      if (loads[candidate] < best_load) {
+        best = candidate;
+        best_load = loads[candidate];
+      }
+    }
+    ++loads[best];
+  }
+  return loads;
+}
+
+std::uint32_t dleft_max_load(std::uint64_t balls, std::uint32_t bins,
+                             std::uint32_t d, Rng& rng) {
+  const auto occ = dleft_occupancy(balls, bins, d, rng);
+  return *std::max_element(occ.begin(), occ.end());
+}
+
+}  // namespace rbb

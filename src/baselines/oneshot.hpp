@@ -1,0 +1,51 @@
+// One-shot balls-into-bins baselines (paper Sect. 1.3 / Sect. 5).
+//
+// The classical single-round process: m balls thrown u.a.r. into n bins
+// has maximum load Theta(log n / log log n) w.h.p. for m = n -- the lower
+// bound that also applies to every round of the repeated process, and the
+// quantity the Sect. 5 tightness conjecture compares against.  The
+// d-choices variants (Azar et al. [19]; Voecking's Always-Go-Left [28])
+// are included as the standard allocation-strategy comparators and feed
+// the repeated-d-choices extension (E15).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace rbb {
+
+/// Occupancy of m u.a.r. balls in n bins (the one-shot configuration).
+[[nodiscard]] std::vector<std::uint32_t> oneshot_occupancy(std::uint64_t balls,
+                                                           std::uint32_t bins,
+                                                           Rng& rng);
+
+/// Maximum load of one one-shot experiment.
+[[nodiscard]] std::uint32_t oneshot_max_load(std::uint64_t balls,
+                                             std::uint32_t bins, Rng& rng);
+
+/// Greedy[d] (Azar et al.): balls arrive sequentially; each samples d bins
+/// u.a.r. (with replacement) and joins the least loaded (ties: the first
+/// sampled).  d = 1 degenerates to the one-shot process.  Returns the
+/// final occupancy.
+[[nodiscard]] std::vector<std::uint32_t> dchoice_occupancy(
+    std::uint64_t balls, std::uint32_t bins, std::uint32_t d, Rng& rng);
+
+[[nodiscard]] std::uint32_t dchoice_max_load(std::uint64_t balls,
+                                             std::uint32_t bins,
+                                             std::uint32_t d, Rng& rng);
+
+/// Voecking's Always-Go-Left: bins are split into d groups; each ball
+/// samples one bin per group and joins the least loaded, breaking ties
+/// toward the leftmost group.  Requires d >= 2 and d <= bins.
+[[nodiscard]] std::vector<std::uint32_t> dleft_occupancy(std::uint64_t balls,
+                                                         std::uint32_t bins,
+                                                         std::uint32_t d,
+                                                         Rng& rng);
+
+[[nodiscard]] std::uint32_t dleft_max_load(std::uint64_t balls,
+                                           std::uint32_t bins, std::uint32_t d,
+                                           Rng& rng);
+
+}  // namespace rbb

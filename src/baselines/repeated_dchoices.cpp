@@ -1,0 +1,74 @@
+#include "baselines/repeated_dchoices.hpp"
+
+#include <stdexcept>
+
+namespace rbb {
+
+RepeatedDChoicesProcess::RepeatedDChoicesProcess(LoadConfig initial,
+                                                 std::uint32_t d, Rng rng)
+    : loads_(std::move(initial)),
+      d_(d),
+      rng_(rng),
+      balls_(total_balls(loads_)) {
+  if (loads_.empty()) {
+    throw std::invalid_argument("RepeatedDChoicesProcess: empty config");
+  }
+  if (d_ == 0) throw std::invalid_argument("RepeatedDChoicesProcess: d == 0");
+  max_load_ = rbb::max_load(loads_);
+  empty_ = rbb::empty_bins(loads_);
+}
+
+DChoicesRoundStats RepeatedDChoicesProcess::step() {
+  const auto n = static_cast<std::uint32_t>(loads_.size());
+  ++round_;
+  // Departures.
+  std::uint32_t departures = 0;
+  std::uint32_t zeros = 0;
+  std::uint32_t max_after = 0;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    std::uint32_t& load = loads_[u];
+    if (load > 0) {
+      --load;
+      ++departures;
+    }
+    if (load == 0) {
+      ++zeros;
+    } else if (load > max_after) {
+      max_after = load;
+    }
+  }
+  max_load_ = max_after;
+  empty_ = zeros;
+  // Arrivals: Greedy[d] against current loads.
+  for (std::uint32_t i = 0; i < departures; ++i) {
+    std::uint32_t best = rng_.index(n);
+    for (std::uint32_t j = 1; j < d_; ++j) {
+      const std::uint32_t candidate = rng_.index(n);
+      if (loads_[candidate] < loads_[best]) best = candidate;
+    }
+    std::uint32_t& load = loads_[best];
+    if (load == 0) --empty_;
+    if (++load > max_load_) max_load_ = load;
+  }
+  return DChoicesRoundStats{max_load_, empty_, departures};
+}
+
+DChoicesRoundStats RepeatedDChoicesProcess::run(std::uint64_t rounds) {
+  DChoicesRoundStats stats{max_load_, empty_, 0};
+  for (std::uint64_t t = 0; t < rounds; ++t) stats = step();
+  return stats;
+}
+
+void RepeatedDChoicesProcess::check_invariants() const {
+  if (total_balls(loads_) != balls_) {
+    throw std::logic_error("RepeatedDChoicesProcess: ball count drifted");
+  }
+  if (rbb::max_load(loads_) != max_load_) {
+    throw std::logic_error("RepeatedDChoicesProcess: max load out of sync");
+  }
+  if (rbb::empty_bins(loads_) != empty_) {
+    throw std::logic_error("RepeatedDChoicesProcess: empty count out of sync");
+  }
+}
+
+}  // namespace rbb

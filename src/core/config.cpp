@@ -1,0 +1,158 @@
+#include "core/config.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "support/bounds.hpp"
+
+namespace rbb {
+
+LoadConfig make_config(InitialConfig kind, std::uint32_t bins,
+                       std::uint64_t balls, Rng& rng) {
+  if (bins == 0) throw std::invalid_argument("make_config: bins == 0");
+  LoadConfig q(bins, 0);
+  switch (kind) {
+    case InitialConfig::kOnePerBin: {
+      for (std::uint64_t i = 0; i < balls; ++i) {
+        q[static_cast<std::uint32_t>(i % bins)]++;
+      }
+      break;
+    }
+    case InitialConfig::kAllInOne: {
+      if (balls > UINT32_MAX) {
+        throw std::invalid_argument("make_config: too many balls for one bin");
+      }
+      q[0] = static_cast<std::uint32_t>(balls);
+      break;
+    }
+    case InitialConfig::kRandom: {
+      for (std::uint64_t i = 0; i < balls; ++i) q[rng.index(bins)]++;
+      break;
+    }
+    case InitialConfig::kHalfLoaded: {
+      const std::uint32_t half = std::max<std::uint32_t>(1, bins / 2);
+      for (std::uint64_t i = 0; i < balls; ++i) {
+        q[static_cast<std::uint32_t>(i % half)]++;
+      }
+      break;
+    }
+    case InitialConfig::kGeometric: {
+      // Bin k receives ceil(remaining / 2): loads m/2, m/4, ... -- an
+      // exponentially skewed but full-support-free profile.
+      std::uint64_t remaining = balls;
+      for (std::uint32_t u = 0; u < bins && remaining > 0; ++u) {
+        const std::uint64_t take =
+            (u + 1 == bins) ? remaining : (remaining + 1) / 2;
+        if (take > UINT32_MAX) {
+          throw std::invalid_argument("make_config: bin overflow");
+        }
+        q[u] = static_cast<std::uint32_t>(take);
+        remaining -= take;
+      }
+      break;
+    }
+  }
+  return q;
+}
+
+std::uint64_t total_balls(const LoadConfig& q) {
+  return std::accumulate(q.begin(), q.end(), std::uint64_t{0});
+}
+
+std::uint32_t max_load(const LoadConfig& q) {
+  return q.empty() ? 0 : *std::max_element(q.begin(), q.end());
+}
+
+std::uint32_t empty_bins(const LoadConfig& q) {
+  return static_cast<std::uint32_t>(std::count(q.begin(), q.end(), 0u));
+}
+
+bool is_legitimate(const LoadConfig& q, double beta) {
+  if (q.empty()) throw std::invalid_argument("is_legitimate: empty config");
+  return static_cast<double>(max_load(q)) <= beta * log2n(q.size());
+}
+
+void validate_config(const LoadConfig& q, std::uint64_t balls) {
+  if (q.empty()) throw std::invalid_argument("validate_config: empty config");
+  if (total_balls(q) != balls) {
+    throw std::invalid_argument("validate_config: ball count mismatch");
+  }
+}
+
+Histogram occupancy_histogram(const LoadConfig& q) {
+  Histogram h;
+  for (const std::uint32_t load : q) h.add(load);
+  return h;
+}
+
+std::string serialize_config(const LoadConfig& q) {
+  std::string out = std::to_string(q.size());
+  out += ':';
+  for (std::size_t u = 0; u < q.size(); ++u) {
+    if (u != 0) out += ',';
+    out += std::to_string(q[u]);
+  }
+  return out;
+}
+
+LoadConfig parse_config(const std::string& text) {
+  const auto colon = text.find(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument("parse_config: missing ':'");
+  }
+  std::size_t n = 0;
+  try {
+    n = std::stoul(text.substr(0, colon));
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parse_config: bad bin count");
+  }
+  if (n == 0) throw std::invalid_argument("parse_config: zero bins");
+  LoadConfig q;
+  q.reserve(n);
+  std::size_t pos = colon + 1;
+  while (pos <= text.size()) {
+    const auto comma = text.find(',', pos);
+    const std::string field =
+        text.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    if (field.empty() ||
+        field.find_first_not_of("0123456789") != std::string::npos) {
+      throw std::invalid_argument("parse_config: bad load field");
+    }
+    const unsigned long value = std::stoul(field);
+    if (value > UINT32_MAX) {
+      throw std::invalid_argument("parse_config: load overflow");
+    }
+    q.push_back(static_cast<std::uint32_t>(value));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (q.size() != n) {
+    throw std::invalid_argument("parse_config: bin count mismatch");
+  }
+  return q;
+}
+
+const char* to_string(InitialConfig kind) {
+  switch (kind) {
+    case InitialConfig::kOnePerBin: return "one-per-bin";
+    case InitialConfig::kAllInOne: return "all-in-one";
+    case InitialConfig::kRandom: return "random";
+    case InitialConfig::kHalfLoaded: return "half-loaded";
+    case InitialConfig::kGeometric: return "geometric";
+  }
+  return "unknown";
+}
+
+InitialConfig initial_config_from_string(const std::string& s) {
+  if (s == "one-per-bin") return InitialConfig::kOnePerBin;
+  if (s == "all-in-one") return InitialConfig::kAllInOne;
+  if (s == "random") return InitialConfig::kRandom;
+  if (s == "half-loaded") return InitialConfig::kHalfLoaded;
+  if (s == "geometric") return InitialConfig::kGeometric;
+  throw std::invalid_argument("initial_config_from_string: unknown: " + s);
+}
+
+}  // namespace rbb

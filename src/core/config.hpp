@@ -1,0 +1,75 @@
+// Load configurations of the repeated balls-into-bins process.
+//
+// A configuration q = (q_1, ..., q_n) gives the number of balls in each
+// bin (paper, Sect. 2).  The process starts from an *arbitrary*
+// configuration -- self-stabilization (Theorem 1) is precisely the claim
+// that the worst start still converges in O(n) rounds -- so this module
+// provides the canonical families of starting configurations the
+// experiments sweep, plus the legitimacy predicate M(q) <= beta * log n.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace rbb {
+
+/// Per-bin ball counts.  Invariant: values sum to the ball count m.
+using LoadConfig = std::vector<std::uint32_t>;
+
+/// Canonical initial-configuration families used by the experiments.
+enum class InitialConfig {
+  kOnePerBin,   // q_u = m/n spread round-robin (legitimate; 0 empty bins)
+  kAllInOne,    // all m balls in bin 0 (the worst case for convergence)
+  kRandom,      // m balls thrown u.a.r. (the one-shot occupancy)
+  kHalfLoaded,  // m balls spread over bins 0..n/2-1 (half the bins empty)
+  kGeometric,   // bin k gets ~ m * 2^-(k+1) balls (exponentially skewed)
+};
+
+/// Builds a configuration of `balls` balls in `bins` bins.  Requires
+/// bins >= 1.  Deterministic except kRandom (which consumes rng).
+[[nodiscard]] LoadConfig make_config(InitialConfig kind, std::uint32_t bins,
+                                     std::uint64_t balls, Rng& rng);
+
+/// Total number of balls in q.
+[[nodiscard]] std::uint64_t total_balls(const LoadConfig& q);
+
+/// Maximum load M(q).
+[[nodiscard]] std::uint32_t max_load(const LoadConfig& q);
+
+/// Number of empty bins in q.
+[[nodiscard]] std::uint32_t empty_bins(const LoadConfig& q);
+
+/// The paper's legitimacy predicate: M(q) <= beta * log2(n).  The paper
+/// leaves the absolute constant beta unspecified; the experiments default
+/// to beta = 4 (EXPERIMENTS.md discusses the measured constants).
+[[nodiscard]] bool is_legitimate(const LoadConfig& q, double beta = 4.0);
+
+/// Throws std::invalid_argument unless q is a valid configuration with
+/// exactly `balls` balls.
+void validate_config(const LoadConfig& q, std::uint64_t balls);
+
+/// Occupancy profile of q: histogram over load values (count of bins
+/// holding exactly k balls, for each k).  The stationary profile of the
+/// repeated process decays geometrically in k -- experiment E20 compares
+/// it against the Poisson profile of unconstrained walks and the
+/// product-form profile of the closed Jackson network.
+[[nodiscard]] Histogram occupancy_histogram(const LoadConfig& q);
+
+/// Serializes q as "n:q0,q1,...,qn-1" (newline-free, whitespace-free).
+[[nodiscard]] std::string serialize_config(const LoadConfig& q);
+
+/// Parses the serialize_config format; throws std::invalid_argument on
+/// malformed input.
+[[nodiscard]] LoadConfig parse_config(const std::string& text);
+
+/// Human-readable name for an InitialConfig (tables / CLI).
+[[nodiscard]] const char* to_string(InitialConfig kind);
+
+/// Parses the names produced by to_string; throws on unknown names.
+[[nodiscard]] InitialConfig initial_config_from_string(const std::string& s);
+
+}  // namespace rbb

@@ -1,0 +1,104 @@
+#include "core/faults.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rbb {
+
+const char* to_string(FaultStrategy strategy) {
+  switch (strategy) {
+    case FaultStrategy::kAllToOne: return "all-to-one";
+    case FaultStrategy::kRandom: return "random";
+    case FaultStrategy::kHalfBins: return "half-bins";
+    case FaultStrategy::kReverseSort: return "reverse-sort";
+  }
+  return "unknown";
+}
+
+FaultStrategy fault_strategy_from_string(const std::string& s) {
+  if (s == "all-to-one") return FaultStrategy::kAllToOne;
+  if (s == "random") return FaultStrategy::kRandom;
+  if (s == "half-bins") return FaultStrategy::kHalfBins;
+  if (s == "reverse-sort") return FaultStrategy::kReverseSort;
+  throw std::invalid_argument("fault_strategy_from_string: unknown: " + s);
+}
+
+LoadConfig apply_fault(FaultStrategy strategy, std::uint32_t bins,
+                       std::uint64_t balls, const LoadConfig& current,
+                       Rng& rng) {
+  switch (strategy) {
+    case FaultStrategy::kAllToOne:
+      return make_config(InitialConfig::kAllInOne, bins, balls, rng);
+    case FaultStrategy::kRandom:
+      return make_config(InitialConfig::kRandom, bins, balls, rng);
+    case FaultStrategy::kHalfBins:
+      return make_config(InitialConfig::kHalfLoaded, bins, balls, rng);
+    case FaultStrategy::kReverseSort: {
+      if (current.size() != bins || total_balls(current) != balls) {
+        throw std::invalid_argument("apply_fault: bad current configuration");
+      }
+      LoadConfig q = current;
+      // Concentrate the existing profile: heaviest loads first.
+      std::sort(q.begin(), q.end(), std::greater<>());
+      return q;
+    }
+  }
+  throw std::logic_error("apply_fault: bad strategy");
+}
+
+LoadConfig apply_partial_fault(const LoadConfig& current, std::uint64_t k) {
+  if (current.empty()) {
+    throw std::invalid_argument("apply_partial_fault: empty configuration");
+  }
+  LoadConfig q = current;
+  // Repeatedly take one ball from the heaviest bin (!= 0) and move it to
+  // bin 0.  A max-heap of (load, bin) would be asymptotically better, but
+  // k is at most m and this runs outside any hot loop.
+  for (std::uint64_t moved = 0; moved < k; ++moved) {
+    std::uint32_t heaviest = 0;
+    std::uint32_t best_load = 0;
+    for (std::uint32_t u = 1; u < q.size(); ++u) {
+      if (q[u] > best_load) {
+        best_load = q[u];
+        heaviest = u;
+      }
+    }
+    if (best_load == 0) break;  // everything already in bin 0
+    --q[heaviest];
+    ++q[0];
+  }
+  return q;
+}
+
+std::vector<std::uint32_t> apply_fault_tokens(FaultStrategy strategy,
+                                              std::uint32_t bins,
+                                              std::uint32_t tokens, Rng& rng) {
+  if (bins == 0) throw std::invalid_argument("apply_fault_tokens: bins == 0");
+  std::vector<std::uint32_t> pos(tokens, 0);
+  switch (strategy) {
+    case FaultStrategy::kAllToOne:
+      // all zeros already
+      break;
+    case FaultStrategy::kRandom:
+      for (auto& p : pos) p = rng.index(bins);
+      break;
+    case FaultStrategy::kHalfBins: {
+      const std::uint32_t half = std::max<std::uint32_t>(1, bins / 2);
+      for (std::uint32_t i = 0; i < tokens; ++i) pos[i] = i % half;
+      break;
+    }
+    case FaultStrategy::kReverseSort:
+      // For tokens there is no pre-existing profile to permute; pile the
+      // tokens onto a sqrt(n)-sized set of bins (strongly adversarial but
+      // distinct from all-to-one).
+      {
+        std::uint32_t spread = 1;
+        while (spread * spread < bins) ++spread;
+        for (std::uint32_t i = 0; i < tokens; ++i) pos[i] = i % spread;
+      }
+      break;
+  }
+  return pos;
+}
+
+}  // namespace rbb

@@ -1,0 +1,67 @@
+// Adversarial fault injection (paper, Sect. 4.1).
+//
+// In a faulty round the adversary re-assigns all balls/tokens to bins in
+// an arbitrary way.  Theorem 1's O(n)-round convergence implies the
+// process absorbs such a fault with at most a constant-factor slowdown of
+// the cover time, provided faults are at least ~6n rounds apart.  The
+// strategies here span the spectrum from worst-case (everything in one
+// bin) to benign (uniform re-spread).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "support/rng.hpp"
+
+namespace rbb {
+
+/// How the adversary redistributes the balls in a faulty round.
+enum class FaultStrategy {
+  kAllToOne,    // all m balls into bin 0: the worst case for convergence
+  kRandom,      // throw all balls u.a.r. (a "reset" fault)
+  kHalfBins,    // pile the balls onto bins 0..n/2-1 round-robin
+  kReverseSort, // heaviest-loaded profile re-applied to the lowest indices
+};
+
+[[nodiscard]] const char* to_string(FaultStrategy strategy);
+[[nodiscard]] FaultStrategy fault_strategy_from_string(const std::string& s);
+
+/// Produces the post-fault *load* configuration for `balls` balls in
+/// `bins` bins.  kReverseSort additionally needs the pre-fault
+/// configuration (it permutes the existing profile adversarially); pass it
+/// via `current` (ignored by the other strategies).
+[[nodiscard]] LoadConfig apply_fault(FaultStrategy strategy,
+                                     std::uint32_t bins, std::uint64_t balls,
+                                     const LoadConfig& current, Rng& rng);
+
+/// Produces post-fault *token positions* (token i -> bin) for m tokens.
+[[nodiscard]] std::vector<std::uint32_t> apply_fault_tokens(
+    FaultStrategy strategy, std::uint32_t bins, std::uint32_t tokens,
+    Rng& rng);
+
+/// Partial fault: the adversary moves only `k` balls (taken from the
+/// currently heaviest bins, one ball at a time) and piles them onto
+/// bin 0.  k >= m degenerates to kAllToOne.  Models a bounded-budget
+/// adversary; the severity sweep in the adversarial bench uses it to map
+/// recovery time as a function of fault size.
+[[nodiscard]] LoadConfig apply_partial_fault(const LoadConfig& current,
+                                             std::uint64_t k);
+
+/// Periodic fault schedule: fires at rounds period, 2*period, ...
+class FaultSchedule {
+ public:
+  /// period == 0 disables faults.
+  explicit FaultSchedule(std::uint64_t period) noexcept : period_(period) {}
+  /// True when a fault should be injected after round `round`.
+  [[nodiscard]] bool fires_at(std::uint64_t round) const noexcept {
+    return period_ != 0 && round != 0 && round % period_ == 0;
+  }
+  [[nodiscard]] std::uint64_t period() const noexcept { return period_; }
+
+ private:
+  std::uint64_t period_;
+};
+
+}  // namespace rbb

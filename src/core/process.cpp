@@ -1,0 +1,130 @@
+#include "core/process.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/bounds.hpp"
+
+namespace rbb {
+
+RepeatedBallsProcess::RepeatedBallsProcess(LoadConfig initial, Rng rng)
+    : RepeatedBallsProcess(std::move(initial), nullptr, rng) {}
+
+RepeatedBallsProcess::RepeatedBallsProcess(LoadConfig initial,
+                                           const Graph* graph, Rng rng)
+    : loads_(std::move(initial)),
+      graph_(graph),
+      rng_(rng),
+      balls_(total_balls(loads_)) {
+  if (loads_.empty()) {
+    throw std::invalid_argument("RepeatedBallsProcess: empty configuration");
+  }
+  if (graph_ != nullptr) {
+    if (graph_->node_count() != loads_.size()) {
+      throw std::invalid_argument(
+          "RepeatedBallsProcess: graph size != configuration size");
+    }
+    if (graph_->min_degree() == 0) {
+      throw std::invalid_argument(
+          "RepeatedBallsProcess: graph has an isolated node");
+    }
+  }
+  recompute_stats();
+}
+
+RoundStats RepeatedBallsProcess::step() {
+  const std::uint32_t n = bin_count();
+  std::uint32_t departures = 0;
+  std::uint32_t max_after_departures = 0;
+  std::uint32_t zeros = 0;
+
+  if (graph_ == nullptr) {
+    // Complete graph: destinations are u.a.r. over [n] independent of the
+    // releasing bin, so only the departure *count* matters.
+    for (std::uint32_t u = 0; u < n; ++u) {
+      std::uint32_t& load = loads_[u];
+      if (load > 0) {
+        --load;
+        ++departures;
+      }
+      if (load == 0) {
+        ++zeros;
+      } else if (load > max_after_departures) {
+        max_after_departures = load;
+      }
+    }
+    max_load_ = max_after_departures;
+    empty_ = zeros;
+    for (std::uint32_t i = 0; i < departures; ++i) {
+      std::uint32_t& load = loads_[rng_.index(n)];
+      if (load == 0) --empty_;
+      if (++load > max_load_) max_load_ = load;
+    }
+  } else {
+    // General graph: each released ball moves to a uniform neighbor of its
+    // releasing bin; destinations are buffered so the update stays
+    // synchronous.
+    scratch_.clear();
+    for (std::uint32_t u = 0; u < n; ++u) {
+      std::uint32_t& load = loads_[u];
+      if (load > 0) {
+        --load;
+        ++departures;
+        scratch_.push_back(graph_->sample_neighbor(u, rng_));
+      }
+      if (load == 0) {
+        ++zeros;
+      } else if (load > max_after_departures) {
+        max_after_departures = load;
+      }
+    }
+    max_load_ = max_after_departures;
+    empty_ = zeros;
+    for (const std::uint32_t v : scratch_) {
+      std::uint32_t& load = loads_[v];
+      if (load == 0) --empty_;
+      if (++load > max_load_) max_load_ = load;
+    }
+  }
+
+  ++round_;
+  return RoundStats{max_load_, empty_, departures};
+}
+
+RoundStats RepeatedBallsProcess::run(std::uint64_t rounds) {
+  RoundStats stats{max_load_, empty_, 0};
+  for (std::uint64_t t = 0; t < rounds; ++t) stats = step();
+  return stats;
+}
+
+bool RepeatedBallsProcess::is_legitimate(double beta) const {
+  return static_cast<double>(max_load_) <= beta * log2n(bin_count());
+}
+
+void RepeatedBallsProcess::reassign(const LoadConfig& q) {
+  validate_config(q, balls_);
+  if (q.size() != loads_.size()) {
+    throw std::invalid_argument("reassign: bin count mismatch");
+  }
+  loads_ = q;
+  recompute_stats();
+}
+
+void RepeatedBallsProcess::recompute_stats() {
+  max_load_ = rbb::max_load(loads_);
+  empty_ = rbb::empty_bins(loads_);
+}
+
+void RepeatedBallsProcess::check_invariants() const {
+  if (total_balls(loads_) != balls_) {
+    throw std::logic_error("RepeatedBallsProcess: ball count drifted");
+  }
+  if (rbb::max_load(loads_) != max_load_) {
+    throw std::logic_error("RepeatedBallsProcess: max load out of sync");
+  }
+  if (rbb::empty_bins(loads_) != empty_) {
+    throw std::logic_error("RepeatedBallsProcess: empty count out of sync");
+  }
+}
+
+}  // namespace rbb

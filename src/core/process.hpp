@@ -1,0 +1,89 @@
+// The repeated balls-into-bins process (paper, Sect. 2) -- load-only kernel.
+//
+// One round: simultaneously, every non-empty bin releases exactly one ball,
+// and each released ball lands in a destination chosen uniformly at random
+// (on the complete graph: any of the n bins; on a general graph: a uniform
+// neighbor of the releasing bin).  The load vector evolves as
+//
+//   Q^{t+1}_v = max(Q^t_v - 1, 0) + #{ u in W^t : X^{t+1}_u = v }
+//
+// where W^t is the set of non-empty bins.  Because Theorem 1 is oblivious
+// to the queueing strategy, this kernel tracks *loads only* and is the
+// fastest representation (ablation D2); use TokenProcess when per-ball
+// identities (progress, cover time, FIFO order) are needed.
+//
+// Per-round cost: O(n + |W^t|) with O(1) extra work to maintain the
+// maximum load and the empty-bin count incrementally (ablation D3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace rbb {
+
+/// Statistics of the configuration at the *end* of a round.
+struct RoundStats {
+  std::uint32_t max_load = 0;
+  std::uint32_t empty_bins = 0;
+  std::uint32_t departures = 0;  // |W^t| of the round just executed
+};
+
+/// Load-only repeated balls-into-bins simulator.
+class RepeatedBallsProcess {
+ public:
+  /// Starts from an explicit configuration on the complete graph K_n.
+  RepeatedBallsProcess(LoadConfig initial, Rng rng);
+
+  /// Starts from an explicit configuration on a general graph; `graph`
+  /// must outlive the process and have min degree >= 1.  Balls released by
+  /// bin u land on a uniform random neighbor of u.
+  RepeatedBallsProcess(LoadConfig initial, const Graph* graph, Rng rng);
+
+  /// Executes one synchronous round; returns end-of-round statistics.
+  RoundStats step();
+
+  /// Executes `rounds` rounds; returns the stats of the last one.
+  RoundStats run(std::uint64_t rounds);
+
+  [[nodiscard]] std::uint32_t bin_count() const noexcept {
+    return static_cast<std::uint32_t>(loads_.size());
+  }
+  [[nodiscard]] std::uint64_t ball_count() const noexcept { return balls_; }
+  /// Rounds executed since construction.
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] const LoadConfig& loads() const noexcept { return loads_; }
+
+  /// Current maximum load (O(1); maintained incrementally).
+  [[nodiscard]] std::uint32_t max_load() const noexcept { return max_load_; }
+  /// Current number of empty bins (O(1); maintained incrementally).
+  [[nodiscard]] std::uint32_t empty_bins() const noexcept { return empty_; }
+  /// True iff max_load() <= beta * log2(n).
+  [[nodiscard]] bool is_legitimate(double beta = 4.0) const;
+
+  /// Adversarial reassignment (paper, Sect. 4.1): replaces the entire
+  /// configuration.  The new configuration must contain the same number of
+  /// balls.  Counts as a faulty round, not a process round.
+  void reassign(const LoadConfig& q);
+
+  /// Testing hook: recomputes max/empty from scratch and checks them
+  /// against the incremental values; throws std::logic_error on mismatch.
+  void check_invariants() const;
+
+ private:
+  void recompute_stats();
+
+  LoadConfig loads_;
+  const Graph* graph_;  // nullptr = complete graph
+  Rng rng_;
+  std::uint64_t balls_;
+  std::uint64_t round_ = 0;
+  std::uint32_t max_load_ = 0;
+  std::uint32_t empty_ = 0;
+  std::vector<std::uint32_t> scratch_;  // departure buffer (graph mode)
+};
+
+}  // namespace rbb

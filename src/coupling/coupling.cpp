@@ -1,0 +1,76 @@
+#include "coupling/coupling.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rbb {
+
+CoupledProcesses::CoupledProcesses(LoadConfig initial, Rng rng)
+    : original_(initial), tetris_(std::move(initial)), rng_(rng) {
+  if (original_.empty()) {
+    throw std::invalid_argument("CoupledProcesses: empty configuration");
+  }
+  arrivals_ = original_.size() * 3 / 4;
+  original_running_max_ = max_load(original_);
+  tetris_running_max_ = original_running_max_;
+}
+
+CoupledRoundStats CoupledProcesses::step() {
+  const auto n = static_cast<std::uint32_t>(original_.size());
+  ++round_;
+
+  // Departure phase for both processes (simultaneous, from state t).
+  std::uint64_t released = 0;  // |W^{t-1}| of the original process
+  for (std::uint32_t u = 0; u < n; ++u) {
+    if (original_[u] > 0) {
+      --original_[u];
+      ++released;
+    }
+    if (tetris_[u] > 0) --tetris_[u];
+  }
+
+  const bool case_two = released > arrivals_;
+  if (case_two) ++case_two_rounds_;
+
+  if (!case_two) {
+    // Case (i): each of the `released` original balls shares its uniform
+    // destination draw with one Tetris arrival.
+    for (std::uint64_t i = 0; i < released; ++i) {
+      const std::uint32_t dest = rng_.index(n);
+      ++original_[dest];
+      ++tetris_[dest];
+    }
+    for (std::uint64_t i = released; i < arrivals_; ++i) {
+      ++tetris_[rng_.index(n)];
+    }
+  } else {
+    // Case (ii): independent rounds.
+    for (std::uint64_t i = 0; i < released; ++i) ++original_[rng_.index(n)];
+    for (std::uint64_t i = 0; i < arrivals_; ++i) ++tetris_[rng_.index(n)];
+  }
+
+  // End-of-round observables and the domination check.
+  std::uint32_t original_max = 0;
+  std::uint32_t tetris_max = 0;
+  bool dominated = true;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    original_max = std::max(original_max, original_[u]);
+    tetris_max = std::max(tetris_max, tetris_[u]);
+    if (tetris_[u] < original_[u]) dominated = false;
+  }
+  original_running_max_ = std::max(original_running_max_, original_max);
+  tetris_running_max_ = std::max(tetris_running_max_, tetris_max);
+  if (!dominated) {
+    ++violation_rounds_;
+    if (first_violation_round_ == 0) first_violation_round_ = round_;
+  }
+  return CoupledRoundStats{original_max, tetris_max, dominated, case_two};
+}
+
+CoupledRoundStats CoupledProcesses::run(std::uint64_t rounds) {
+  CoupledRoundStats stats;
+  for (std::uint64_t t = 0; t < rounds; ++t) stats = step();
+  return stats;
+}
+
+}  // namespace rbb

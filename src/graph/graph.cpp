@@ -1,0 +1,361 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace rbb {
+namespace {
+
+std::uint64_t edge_key(std::uint32_t u, std::uint32_t v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph::Graph(std::uint32_t node_count,
+             const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges)
+    : n_(node_count) {
+  if (n_ == 0) throw std::invalid_argument("Graph: node_count == 0");
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(edges.size() * 2);
+  std::vector<std::uint32_t> degree(n_, 0);
+  for (const auto& [u, v] : edges) {
+    if (u >= n_ || v >= n_) {
+      throw std::invalid_argument("Graph: endpoint out of range");
+    }
+    if (u == v) throw std::invalid_argument("Graph: self-loop");
+    if (!seen.insert(edge_key(u, v)).second) {
+      throw std::invalid_argument("Graph: duplicate edge");
+    }
+    ++degree[u];
+    ++degree[v];
+  }
+  offsets_.assign(n_ + 1, 0);
+  for (std::uint32_t u = 0; u < n_; ++u) {
+    offsets_[u + 1] = offsets_[u] + degree[u];
+  }
+  neighbors_.resize(offsets_[n_]);
+  std::vector<std::uint32_t> fill(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    neighbors_[fill[u]++] = v;
+    neighbors_[fill[v]++] = u;
+  }
+  // Sorted incidence lists make has_edge logarithmic and the layout
+  // deterministic for a given edge list.
+  for (std::uint32_t u = 0; u < n_; ++u) {
+    std::sort(neighbors_.begin() + offsets_[u],
+              neighbors_.begin() + offsets_[u + 1]);
+  }
+}
+
+bool Graph::has_edge(std::uint32_t u, std::uint32_t v) const {
+  if (u >= n_ || v >= n_) return false;
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::uint32_t Graph::min_degree() const {
+  std::uint32_t best = degree(0);
+  for (std::uint32_t u = 1; u < n_; ++u) best = std::min(best, degree(u));
+  return best;
+}
+
+std::uint32_t Graph::max_degree() const {
+  std::uint32_t best = degree(0);
+  for (std::uint32_t u = 1; u < n_; ++u) best = std::max(best, degree(u));
+  return best;
+}
+
+bool Graph::is_connected() const {
+  std::vector<char> visited(n_, 0);
+  std::queue<std::uint32_t> frontier;
+  frontier.push(0);
+  visited[0] = 1;
+  std::uint32_t reached = 1;
+  while (!frontier.empty()) {
+    const std::uint32_t u = frontier.front();
+    frontier.pop();
+    for (std::uint32_t v : neighbors(u)) {
+      if (!visited[v]) {
+        visited[v] = 1;
+        ++reached;
+        frontier.push(v);
+      }
+    }
+  }
+  return reached == n_;
+}
+
+std::uint32_t Graph::diameter() const {
+  std::uint32_t best = 0;
+  std::vector<std::uint32_t> dist(n_);
+  for (std::uint32_t s = 0; s < n_; ++s) {
+    std::fill(dist.begin(), dist.end(), UINT32_MAX);
+    std::queue<std::uint32_t> frontier;
+    frontier.push(s);
+    dist[s] = 0;
+    while (!frontier.empty()) {
+      const std::uint32_t u = frontier.front();
+      frontier.pop();
+      for (std::uint32_t v : neighbors(u)) {
+        if (dist[v] == UINT32_MAX) {
+          dist[v] = dist[u] + 1;
+          frontier.push(v);
+        }
+      }
+    }
+    for (std::uint32_t u = 0; u < n_; ++u) {
+      if (dist[u] == UINT32_MAX) {
+        throw std::logic_error("Graph::diameter: graph not connected");
+      }
+      best = std::max(best, dist[u]);
+    }
+  }
+  return best;
+}
+
+Graph make_cycle(std::uint32_t n) {
+  if (n < 3) throw std::invalid_argument("make_cycle: n < 3");
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(n);
+  for (std::uint32_t u = 0; u < n; ++u) edges.emplace_back(u, (u + 1) % n);
+  return Graph(n, edges);
+}
+
+Graph make_path(std::uint32_t n) {
+  if (n < 2) throw std::invalid_argument("make_path: n < 2");
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(n - 1);
+  for (std::uint32_t u = 0; u + 1 < n; ++u) edges.emplace_back(u, u + 1);
+  return Graph(n, edges);
+}
+
+Graph make_complete(std::uint32_t n) {
+  if (n < 2) throw std::invalid_argument("make_complete: n < 2");
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return Graph(n, edges);
+}
+
+Graph make_torus(std::uint32_t rows, std::uint32_t cols) {
+  if (rows < 3 || cols < 3) {
+    throw std::invalid_argument("make_torus: rows and cols must be >= 3");
+  }
+  const auto id = [cols](std::uint32_t r, std::uint32_t c) {
+    return r * cols + c;
+  };
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(static_cast<std::size_t>(rows) * cols * 2);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      edges.emplace_back(id(r, c), id(r, (c + 1) % cols));
+      edges.emplace_back(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return Graph(rows * cols, edges);
+}
+
+Graph make_hypercube(std::uint32_t dim) {
+  if (dim < 1 || dim > 24) {
+    throw std::invalid_argument("make_hypercube: dim outside [1, 24]");
+  }
+  const std::uint32_t n = 1u << dim;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(static_cast<std::size_t>(n) * dim / 2);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t b = 0; b < dim; ++b) {
+      const std::uint32_t v = u ^ (1u << b);
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return Graph(n, edges);
+}
+
+Graph make_star(std::uint32_t n) {
+  if (n < 2) throw std::invalid_argument("make_star: n < 2");
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(n - 1);
+  for (std::uint32_t u = 1; u < n; ++u) edges.emplace_back(0u, u);
+  return Graph(n, edges);
+}
+
+Graph make_lollipop(std::uint32_t n) {
+  if (n < 4) throw std::invalid_argument("make_lollipop: n < 4");
+  const std::uint32_t clique = (n + 1) / 2;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t u = 0; u < clique; ++u) {
+    for (std::uint32_t v = u + 1; v < clique; ++v) edges.emplace_back(u, v);
+  }
+  // Path hangs off node clique-1.
+  for (std::uint32_t u = clique - 1; u + 1 < n; ++u) {
+    edges.emplace_back(u, u + 1);
+  }
+  return Graph(n, edges);
+}
+
+Graph make_barbell(std::uint32_t n) {
+  if (n < 6) throw std::invalid_argument("make_barbell: n < 6");
+  const std::uint32_t clique = (n + 2) / 3;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  // Left clique: [0, clique); right clique: [n - clique, n).
+  for (std::uint32_t u = 0; u < clique; ++u) {
+    for (std::uint32_t v = u + 1; v < clique; ++v) edges.emplace_back(u, v);
+  }
+  const std::uint32_t right = n - clique;
+  for (std::uint32_t u = right; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  // Connecting path through the middle nodes (possibly length 0).
+  for (std::uint32_t u = clique - 1; u < right; ++u) {
+    edges.emplace_back(u, u + 1);
+  }
+  return Graph(n, edges);
+}
+
+Graph make_complete_bipartite(std::uint32_t a, std::uint32_t b) {
+  if (a == 0 || b == 0) {
+    throw std::invalid_argument("make_complete_bipartite: empty side");
+  }
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(static_cast<std::size_t>(a) * b);
+  for (std::uint32_t u = 0; u < a; ++u) {
+    for (std::uint32_t v = 0; v < b; ++v) edges.emplace_back(u, a + v);
+  }
+  return Graph(a + b, edges);
+}
+
+Graph make_binary_tree(std::uint32_t n) {
+  if (n < 2) throw std::invalid_argument("make_binary_tree: n < 2");
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(n - 1);
+  for (std::uint32_t u = 1; u < n; ++u) edges.emplace_back((u - 1) / 2, u);
+  return Graph(n, edges);
+}
+
+Graph make_random_regular(std::uint32_t n, std::uint32_t d, Rng& rng) {
+  if (d == 0 || d >= n) {
+    throw std::invalid_argument("make_random_regular: need 0 < d < n");
+  }
+  if ((static_cast<std::uint64_t>(n) * d) % 2 != 0) {
+    throw std::invalid_argument("make_random_regular: n*d must be even");
+  }
+  // Steger-Wormald pairing: draw stub pairs one at a time, rejecting only
+  // self-loops and duplicates.  Near-uniform for d = o(n^{1/3}) and
+  // succeeds w.h.p.; the rare stuck end-game (all remaining stub pairs
+  // invalid) triggers a full restart.
+  constexpr int kMaxAttempts = 1000;
+  constexpr int kMaxPairTries = 400;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    std::vector<std::uint32_t> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * d);
+    for (std::uint32_t u = 0; u < n; ++u) {
+      for (std::uint32_t j = 0; j < d; ++j) stubs.push_back(u);
+    }
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(stubs.size());
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    edges.reserve(stubs.size() / 2);
+    bool stuck = false;
+    while (!stubs.empty()) {
+      bool paired = false;
+      for (int tries = 0; tries < kMaxPairTries; ++tries) {
+        const auto i = static_cast<std::size_t>(rng.below(stubs.size()));
+        auto j = static_cast<std::size_t>(rng.below(stubs.size() - 1));
+        if (j >= i) ++j;
+        const std::uint32_t u = stubs[i];
+        const std::uint32_t v = stubs[j];
+        if (u == v || seen.count(edge_key(u, v)) != 0) continue;
+        seen.insert(edge_key(u, v));
+        edges.emplace_back(u, v);
+        // Remove both stubs (higher index first to keep i valid).
+        const std::size_t hi = std::max(i, j);
+        const std::size_t lo = std::min(i, j);
+        stubs[hi] = stubs.back();
+        stubs.pop_back();
+        stubs[lo] = stubs.back();
+        stubs.pop_back();
+        paired = true;
+        break;
+      }
+      if (!paired) {
+        stuck = true;
+        break;
+      }
+    }
+    if (!stuck) return Graph(n, edges);
+  }
+  throw std::runtime_error(
+      "make_random_regular: pairing failed repeatedly (d too large?)");
+}
+
+Graph make_gnp(std::uint32_t n, double p, Rng& rng) {
+  if (n < 2) throw std::invalid_argument("make_gnp: n < 2");
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("make_gnp: p outside [0, 1]");
+  }
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  if (p == 0.0) return Graph(n, edges);
+  if (p == 1.0) return make_complete(n);
+  // Geometric skipping (Batagelj & Brandes 2005): walk the lower triangle
+  // {(v, w) : w < v} and jump Geometric(p) pairs between successive edges.
+  const double log_q = std::log1p(-p);
+  std::uint64_t v = 1;
+  std::int64_t w = -1;
+  while (v < n) {
+    const double skip = std::floor(std::log1p(-rng.uniform()) / log_q);
+    w += 1 + static_cast<std::int64_t>(skip);
+    while (w >= static_cast<std::int64_t>(v) && v < n) {
+      w -= static_cast<std::int64_t>(v);
+      ++v;
+    }
+    if (v < n) {
+      edges.emplace_back(static_cast<std::uint32_t>(v),
+                         static_cast<std::uint32_t>(w));
+    }
+  }
+  return Graph(n, edges);
+}
+
+Graph make_named_graph(const std::string& name, std::uint32_t n, Rng& rng) {
+  if (name == "cycle") return make_cycle(n);
+  if (name == "path") return make_path(n);
+  if (name == "complete") return make_complete(n);
+  if (name == "star") return make_star(n);
+  if (name == "torus") {
+    auto rows = static_cast<std::uint32_t>(std::sqrt(static_cast<double>(n)));
+    while (rows > 3 && n % rows != 0) --rows;
+    if (rows < 3 || n / rows < 3) {
+      throw std::invalid_argument("make_named_graph: torus needs n = r*c, r,c >= 3");
+    }
+    return make_torus(rows, n / rows);
+  }
+  if (name == "hypercube") {
+    std::uint32_t dim = 0;
+    while ((1u << (dim + 1)) <= n) ++dim;
+    if ((1u << dim) != n) {
+      throw std::invalid_argument("make_named_graph: hypercube needs n = 2^k");
+    }
+    return make_hypercube(dim);
+  }
+  if (name == "lollipop") return make_lollipop(n);
+  if (name == "barbell") return make_barbell(n);
+  if (name == "bipartite") {
+    return make_complete_bipartite(n / 2, n - n / 2);
+  }
+  if (name == "tree") return make_binary_tree(n);
+  if (name.rfind("regular", 0) == 0) {
+    const std::uint32_t d =
+        static_cast<std::uint32_t>(std::stoul(name.substr(7)));
+    return make_random_regular(n, d, rng);
+  }
+  throw std::invalid_argument("make_named_graph: unknown graph: " + name);
+}
+
+}  // namespace rbb

@@ -1,0 +1,119 @@
+// Immutable graph substrate for the general-topology experiments.
+//
+// The paper analyses the complete graph K_n (where repeated balls-into-bins
+// equals parallel random walks with one-token-per-round queues) and poses
+// the general-graph case as an open question (Sect. 5).  This module
+// provides the topologies the open-question experiment E14 sweeps: cycles,
+// 2-D tori, hypercubes, random d-regular graphs (configuration model),
+// Erdos-Renyi G(n,p), stars and paths, all as an immutable CSR structure
+// with O(1) uniform-neighbor sampling.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace rbb {
+
+/// Immutable undirected graph in compressed-sparse-row form.  Nodes are
+/// 0..n-1; each undirected edge appears in both incidence lists.
+class Graph {
+ public:
+  /// Builds from an edge list (endpoints in [0, n)); self-loops and
+  /// duplicate edges are rejected with std::invalid_argument.
+  Graph(std::uint32_t node_count,
+        const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges);
+
+  [[nodiscard]] std::uint32_t node_count() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t edge_count() const noexcept {
+    return neighbors_.size() / 2;
+  }
+  [[nodiscard]] std::uint32_t degree(std::uint32_t u) const {
+    return offsets_[u + 1] - offsets_[u];
+  }
+  [[nodiscard]] std::span<const std::uint32_t> neighbors(
+      std::uint32_t u) const {
+    return {neighbors_.data() + offsets_[u], degree(u)};
+  }
+
+  /// Uniform random neighbor of u.  Requires degree(u) > 0.
+  [[nodiscard]] std::uint32_t sample_neighbor(std::uint32_t u,
+                                              Rng& rng) const {
+    const auto nbrs = neighbors(u);
+    return nbrs[rng.index(static_cast<std::uint32_t>(nbrs.size()))];
+  }
+
+  [[nodiscard]] bool has_edge(std::uint32_t u, std::uint32_t v) const;
+  [[nodiscard]] std::uint32_t min_degree() const;
+  [[nodiscard]] std::uint32_t max_degree() const;
+  /// True when every node has the same degree.
+  [[nodiscard]] bool is_regular() const {
+    return min_degree() == max_degree();
+  }
+  /// BFS connectivity from node 0 (false for the empty graph on n >= 2).
+  [[nodiscard]] bool is_connected() const;
+  /// BFS eccentricity maximised over sources; O(n * m) -- test-size only.
+  [[nodiscard]] std::uint32_t diameter() const;
+
+ private:
+  std::uint32_t n_;
+  std::vector<std::uint32_t> offsets_;   // size n+1
+  std::vector<std::uint32_t> neighbors_; // size 2 * edge_count
+};
+
+/// -- Generators ------------------------------------------------------------
+
+/// Cycle C_n (n >= 3).
+[[nodiscard]] Graph make_cycle(std::uint32_t n);
+
+/// Path P_n (n >= 2).
+[[nodiscard]] Graph make_path(std::uint32_t n);
+
+/// Complete graph K_n as an explicit CSR (n >= 2).  For the RBB process on
+/// K_n prefer the implicit clique topology (core module); this builder is
+/// for cross-validating the two representations at small n.
+[[nodiscard]] Graph make_complete(std::uint32_t n);
+
+/// rows x cols torus (wrap-around grid, 4-regular); rows, cols >= 3.
+[[nodiscard]] Graph make_torus(std::uint32_t rows, std::uint32_t cols);
+
+/// Hypercube Q_dim on 2^dim nodes (dim >= 1, dim-regular).
+[[nodiscard]] Graph make_hypercube(std::uint32_t dim);
+
+/// Star K_{1,n-1}: node 0 is the hub (n >= 2).
+[[nodiscard]] Graph make_star(std::uint32_t n);
+
+/// Lollipop graph: a clique on ceil(n/2) nodes with a path of the
+/// remaining nodes attached (n >= 4).  The classic worst case for random-
+/// walk cover time (Theta(n^3) single-walker).
+[[nodiscard]] Graph make_lollipop(std::uint32_t n);
+
+/// Barbell: two cliques of ceil(n/3) nodes joined by a path (n >= 6).
+[[nodiscard]] Graph make_barbell(std::uint32_t n);
+
+/// Complete bipartite K_{a,b} (a, b >= 1).
+[[nodiscard]] Graph make_complete_bipartite(std::uint32_t a, std::uint32_t b);
+
+/// Complete binary tree on n nodes, heap-indexed (n >= 2).
+[[nodiscard]] Graph make_binary_tree(std::uint32_t n);
+
+/// Random d-regular simple graph via Steger-Wormald pairing (n*d even,
+/// d < n).  Near-uniform for d = o(n^{1/3}); O(n*d) expected time.
+[[nodiscard]] Graph make_random_regular(std::uint32_t n, std::uint32_t d,
+                                        Rng& rng);
+
+/// Erdos-Renyi G(n, p) via geometric edge skipping, O(n + m).
+[[nodiscard]] Graph make_gnp(std::uint32_t n, double p, Rng& rng);
+
+/// Named lookup used by the CLI of examples/benches: "cycle", "path",
+/// "complete", "torus" (~sqrt(n) x ~sqrt(n)), "hypercube" (largest
+/// dimension with 2^dim <= n), "star", "regular<d>" e.g. "regular8".
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] Graph make_named_graph(const std::string& name, std::uint32_t n,
+                                     Rng& rng);
+
+}  // namespace rbb

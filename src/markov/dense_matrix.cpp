@@ -1,0 +1,160 @@
+#include "markov/dense_matrix.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace rbb {
+
+DenseMatrix DenseMatrix::identity(std::size_t s) {
+  DenseMatrix m(s, s);
+  for (std::size_t i = 0; i < s; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+bool DenseMatrix::is_row_stochastic(double tol) const {
+  if (rows_ == 0 || cols_ == 0) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const double v = at(r, c);
+      if (v < -tol) return false;
+      sum += v;
+    }
+    if (std::abs(sum - 1.0) > tol * static_cast<double>(cols_)) return false;
+  }
+  return true;
+}
+
+std::vector<double> DenseMatrix::left_multiply(
+    const std::vector<double>& x) const {
+  if (x.size() != rows_) {
+    throw std::invalid_argument("left_multiply: size mismatch");
+  }
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    const double* prow = row(r);
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += xr * prow[c];
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument("multiply: shape mismatch");
+  }
+  DenseMatrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double v = at(r, k);
+      if (v == 0.0) continue;
+      const double* orow = other.row(k);
+      double* out_row = out.row(r);
+      for (std::size_t c = 0; c < other.cols_; ++c) out_row[c] += v * orow[c];
+    }
+  }
+  return out;
+}
+
+std::vector<double> solve_linear(DenseMatrix a, std::vector<double> b) {
+  const std::size_t s = a.rows();
+  if (a.cols() != s || b.size() != s) {
+    throw std::invalid_argument("solve_linear: shape mismatch");
+  }
+  // Forward elimination with partial pivoting.
+  for (std::size_t col = 0; col < s; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(a.at(col, col));
+    for (std::size_t r = col + 1; r < s; ++r) {
+      const double v = std::abs(a.at(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) throw std::runtime_error("solve_linear: singular");
+    if (pivot != col) {
+      for (std::size_t c = col; c < s; ++c) {
+        std::swap(a.at(col, c), a.at(pivot, c));
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a.at(col, col);
+    for (std::size_t r = col + 1; r < s; ++r) {
+      const double factor = a.at(r, col) * inv;
+      if (factor == 0.0) continue;
+      a.at(r, col) = 0.0;
+      for (std::size_t c = col + 1; c < s; ++c) {
+        a.at(r, c) -= factor * a.at(col, c);
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(s, 0.0);
+  for (std::size_t ri = s; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < s; ++c) acc -= a.at(ri, c) * x[c];
+    x[ri] = acc / a.at(ri, ri);
+  }
+  return x;
+}
+
+std::vector<double> stationary_distribution(const DenseMatrix& p) {
+  const std::size_t s = p.rows();
+  if (p.cols() != s) {
+    throw std::invalid_argument("stationary_distribution: not square");
+  }
+  // Build (P^T - I), then overwrite the last row with the normalization
+  // constraint sum(pi) = 1.
+  DenseMatrix a(s, s);
+  for (std::size_t r = 0; r < s; ++r) {
+    for (std::size_t c = 0; c < s; ++c) a.at(r, c) = p.at(c, r);
+    a.at(r, r) -= 1.0;
+  }
+  std::vector<double> b(s, 0.0);
+  for (std::size_t c = 0; c < s; ++c) a.at(s - 1, c) = 1.0;
+  b[s - 1] = 1.0;
+  std::vector<double> pi = solve_linear(std::move(a), std::move(b));
+  // Clean tiny negative round-off and renormalize.
+  double sum = 0.0;
+  for (double& v : pi) {
+    if (v < 0.0 && v > -1e-9) v = 0.0;
+    sum += v;
+  }
+  if (sum <= 0.0) throw std::runtime_error("stationary: degenerate solution");
+  for (double& v : pi) v /= sum;
+  return pi;
+}
+
+std::vector<double> stationary_by_power_iteration(const DenseMatrix& p,
+                                                  double tol,
+                                                  std::size_t max_iters) {
+  const std::size_t s = p.rows();
+  if (p.cols() != s || s == 0) {
+    throw std::invalid_argument("power_iteration: not square");
+  }
+  std::vector<double> x(s, 1.0 / static_cast<double>(s));
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    std::vector<double> next = p.left_multiply(x);
+    double delta = 0.0;
+    for (std::size_t i = 0; i < s; ++i) delta += std::abs(next[i] - x[i]);
+    x = std::move(next);
+    if (delta < tol) break;
+  }
+  return x;
+}
+
+double total_variation(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("total_variation: size mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::abs(a[i] - b[i]);
+  return 0.5 * acc;
+}
+
+}  // namespace rbb

@@ -1,0 +1,89 @@
+// Small dense linear algebra for exact Markov-chain analysis.
+//
+// The exact analyses in this module run on tiny state spaces (the full
+// composition space of n balls in n bins, a few hundred states for
+// n <= 6), so a straightforward row-major dense matrix with O(s^3)
+// Gaussian elimination is the right tool: no sparsity bookkeeping, exact
+// control over pivoting, and trivially verifiable against hand
+// computations in the tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rbb {
+
+/// Row-major dense matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Pointer to the start of row r (contiguous, cols() entries).
+  [[nodiscard]] const double* row(std::size_t r) const noexcept {
+    return data_.data() + r * cols_;
+  }
+  [[nodiscard]] double* row(std::size_t r) noexcept {
+    return data_.data() + r * cols_;
+  }
+
+  /// Identity matrix of size s.
+  [[nodiscard]] static DenseMatrix identity(std::size_t s);
+
+  /// True iff every entry is >= -tol and every row sums to 1 within tol.
+  [[nodiscard]] bool is_row_stochastic(double tol = 1e-12) const;
+
+  /// Row-vector product x^T * M (the Markov distribution update).
+  /// Requires x.size() == rows().
+  [[nodiscard]] std::vector<double> left_multiply(
+      const std::vector<double>& x) const;
+
+  /// Matrix-matrix product (used to take powers of small chains).
+  [[nodiscard]] DenseMatrix multiply(const DenseMatrix& other) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.  A is
+/// consumed by value (it is destroyed by the elimination).  Throws
+/// std::invalid_argument on shape mismatch and std::runtime_error if the
+/// system is (numerically) singular.
+[[nodiscard]] std::vector<double> solve_linear(DenseMatrix a,
+                                               std::vector<double> b);
+
+/// Stationary distribution of the row-stochastic matrix P: the unique
+/// probability vector pi with pi P = pi.  Solved exactly as the linear
+/// system (P^T - I) pi = 0 with one equation replaced by sum(pi) = 1
+/// (valid for irreducible chains).  Throws if P is not square.
+[[nodiscard]] std::vector<double> stationary_distribution(
+    const DenseMatrix& p);
+
+/// Stationary distribution by power iteration (independent implementation,
+/// used to cross-check the direct solver in tests).  Iterates x <- x P
+/// until the L1 change is below tol or max_iters is hit.
+[[nodiscard]] std::vector<double> stationary_by_power_iteration(
+    const DenseMatrix& p, double tol = 1e-13,
+    std::size_t max_iters = 200000);
+
+/// Total variation distance between two distributions on the same finite
+/// set: (1/2) sum_i |a_i - b_i|.  Requires equal sizes.
+[[nodiscard]] double total_variation(const std::vector<double>& a,
+                                     const std::vector<double>& b);
+
+}  // namespace rbb

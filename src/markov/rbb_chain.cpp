@@ -1,0 +1,280 @@
+#include "markov/rbb_chain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "support/bounds.hpp"
+
+namespace rbb {
+
+namespace {
+
+/// Post-departure loads r_v = max(q_v - 1, 0) and the departure count h.
+struct Departures {
+  LoadConfig remaining;
+  std::uint32_t count = 0;
+};
+
+Departures apply_departures(const LoadConfig& q) {
+  Departures d;
+  d.remaining.reserve(q.size());
+  for (const std::uint32_t load : q) {
+    if (load > 0) {
+      d.remaining.push_back(load - 1);
+      ++d.count;
+    } else {
+      d.remaining.push_back(0);
+    }
+  }
+  return d;
+}
+
+/// Invokes fn(c, prob) for every arrival vector c (composition of `balls`
+/// into `bins` parts), where prob = Multinomial(balls; c) / bins^balls.
+/// Probabilities are computed in log space from exact log-factorials.
+void for_each_arrival(std::uint32_t bins, std::uint32_t balls,
+                      const std::function<void(const LoadConfig&, double)>& fn) {
+  LoadConfig c(bins, 0);
+  const double log_h_fact = log_factorial(balls);
+  const double log_n = std::log(static_cast<double>(bins));
+  // log_denominator accumulates sum_v log(c_v!) as the recursion fills c.
+  std::function<void(std::uint32_t, std::uint32_t, double)> rec =
+      [&](std::uint32_t pos, std::uint32_t left, double log_fact_sum) {
+        if (pos + 1 == bins) {
+          c[pos] = left;
+          const double log_prob = log_h_fact - log_fact_sum -
+                                  log_factorial(left) -
+                                  static_cast<double>(balls) * log_n;
+          fn(c, std::exp(log_prob));
+          c[pos] = 0;
+          return;
+        }
+        for (std::uint32_t k = 0; k <= left; ++k) {
+          c[pos] = k;
+          rec(pos + 1, left - k, log_fact_sum + log_factorial(k));
+        }
+        c[pos] = 0;
+      };
+  rec(0, balls, 0.0);
+}
+
+}  // namespace
+
+DenseMatrix build_rbb_transition_matrix(const StateSpace& space) {
+  const std::size_t s = space.size();
+  const std::uint32_t n = space.bins();
+  DenseMatrix p(s, s);
+  LoadConfig next(n, 0);
+  for (std::size_t from = 0; from < s; ++from) {
+    const Departures d = apply_departures(space.config(from));
+    for_each_arrival(n, d.count, [&](const LoadConfig& c, double prob) {
+      for (std::uint32_t v = 0; v < n; ++v) next[v] = d.remaining[v] + c[v];
+      p.at(from, space.index_of(next)) += prob;
+    });
+  }
+  return p;
+}
+
+DenseMatrix build_graph_rbb_transition_matrix(const StateSpace& space,
+                                              const Graph& graph) {
+  const std::uint32_t n = space.bins();
+  if (graph.node_count() != n) {
+    throw std::invalid_argument("graph chain: node count mismatch");
+  }
+  if (graph.min_degree() == 0) {
+    throw std::invalid_argument("graph chain: isolated node");
+  }
+  const std::size_t s = space.size();
+  DenseMatrix p(s, s);
+  std::vector<std::uint32_t> releasing;  // the non-empty bins of `from`
+  LoadConfig next(n, 0);
+  for (std::size_t from = 0; from < s; ++from) {
+    const Departures d = apply_departures(space.config(from));
+    releasing.clear();
+    for (std::uint32_t u = 0; u < n; ++u) {
+      if (space.config(from)[u] > 0) releasing.push_back(u);
+    }
+    // Depth-first product over each releasing bin's neighbor choices,
+    // carrying the running arrival vector and probability.
+    for (std::uint32_t v = 0; v < n; ++v) next[v] = d.remaining[v];
+    std::function<void(std::size_t, double)> rec = [&](std::size_t i,
+                                                       double prob) {
+      if (i == releasing.size()) {
+        p.at(from, space.index_of(next)) += prob;
+        return;
+      }
+      const std::uint32_t u = releasing[i];
+      const auto nbrs = graph.neighbors(u);
+      const double step_prob = prob / static_cast<double>(nbrs.size());
+      for (const std::uint32_t v : nbrs) {
+        ++next[v];
+        rec(i + 1, step_prob);
+        --next[v];
+      }
+    };
+    rec(0, 1.0);
+  }
+  return p;
+}
+
+std::vector<double> exact_distribution_after(const StateSpace& space,
+                                             const DenseMatrix& p,
+                                             const LoadConfig& q0,
+                                             std::uint64_t rounds) {
+  std::vector<double> dist(space.size(), 0.0);
+  dist[space.index_of(q0)] = 1.0;
+  for (std::uint64_t t = 0; t < rounds; ++t) dist = p.left_multiply(dist);
+  return dist;
+}
+
+ExactFunctionals exact_functionals(const StateSpace& space,
+                                   const std::vector<double>& dist,
+                                   double beta) {
+  if (dist.size() != space.size()) {
+    throw std::invalid_argument("exact_functionals: size mismatch");
+  }
+  ExactFunctionals out;
+  const auto n = static_cast<double>(space.bins());
+  // P(M >= k): accumulate pmf of the max first.
+  std::vector<double> max_pmf(space.balls() + 1, 0.0);
+  for (std::size_t id = 0; id < space.size(); ++id) {
+    const double w = dist[id];
+    if (w == 0.0) continue;
+    const LoadConfig& q = space.config(id);
+    const std::uint32_t m = max_load(q);
+    out.expected_max_load += w * m;
+    out.expected_empty_fraction += w * empty_bins(q) / n;
+    max_pmf[m] += w;
+    if (is_legitimate(q, beta)) out.p_legitimate += w;
+  }
+  out.max_load_tail.assign(space.balls() + 1, 0.0);
+  double tail = 0.0;
+  for (std::size_t k = max_pmf.size(); k-- > 0;) {
+    tail += max_pmf[k];
+    out.max_load_tail[k] = tail;
+  }
+  return out;
+}
+
+double detailed_balance_residual(const DenseMatrix& p,
+                                 const std::vector<double>& pi) {
+  const std::size_t s = p.rows();
+  if (pi.size() != s) {
+    throw std::invalid_argument("detailed_balance_residual: size mismatch");
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < s; ++i) {
+    for (std::size_t j = i + 1; j < s; ++j) {
+      const double flow_ij = pi[i] * p.at(i, j);
+      const double flow_ji = pi[j] * p.at(j, i);
+      worst = std::max(worst, std::abs(flow_ij - flow_ji));
+    }
+  }
+  return worst;
+}
+
+double product_form_distance(const StateSpace& space,
+                             const std::vector<double>& pi) {
+  const std::uint32_t m = space.balls();
+  // Variables: g(1..m) (g(0) = 0 gauge) followed by the constant, so
+  // m + 1 unknowns.  One least-squares equation per state with pi > 0:
+  //   sum_k count_k(q) g(k) + C = log pi(q).
+  const std::size_t vars = static_cast<std::size_t>(m) + 1;
+  DenseMatrix ata(vars, vars);
+  std::vector<double> atb(vars, 0.0);
+  std::vector<double> rowv(vars, 0.0);
+  for (std::size_t id = 0; id < space.size(); ++id) {
+    if (pi[id] <= 0.0) continue;
+    std::fill(rowv.begin(), rowv.end(), 0.0);
+    for (const std::uint32_t load : space.config(id)) {
+      if (load >= 1) rowv[load - 1] += 1.0;
+    }
+    rowv[vars - 1] = 1.0;  // the constant
+    const double b = std::log(pi[id]);
+    for (std::size_t a = 0; a < vars; ++a) {
+      if (rowv[a] == 0.0) continue;
+      atb[a] += rowv[a] * b;
+      for (std::size_t c = 0; c < vars; ++c) {
+        ata.at(a, c) += rowv[a] * rowv[c];
+      }
+    }
+  }
+  // Ridge-stabilize: load values never attained make A^T A singular.
+  for (std::size_t a = 0; a < vars; ++a) ata.at(a, a) += 1e-9;
+  const std::vector<double> g = solve_linear(std::move(ata), std::move(atb));
+  // Evaluate the fitted product measure and normalize on the state space.
+  std::vector<double> fitted(space.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t id = 0; id < space.size(); ++id) {
+    double log_mu = g[vars - 1];
+    for (const std::uint32_t load : space.config(id)) {
+      if (load >= 1) log_mu += g[load - 1];
+    }
+    fitted[id] = std::exp(log_mu);
+    total += fitted[id];
+  }
+  for (double& v : fitted) v /= total;
+  return total_variation(pi, fitted);
+}
+
+std::uint64_t exact_mixing_time(const StateSpace& space, const DenseMatrix& p,
+                                const std::vector<double>& pi, double eps,
+                                std::uint64_t t_max,
+                                std::vector<std::size_t> starts) {
+  if (starts.empty()) {
+    starts.resize(space.size());
+    for (std::size_t i = 0; i < starts.size(); ++i) starts[i] = i;
+  }
+  std::vector<std::vector<double>> dists;
+  dists.reserve(starts.size());
+  for (const std::size_t s0 : starts) {
+    std::vector<double> d(space.size(), 0.0);
+    d[s0] = 1.0;
+    dists.push_back(std::move(d));
+  }
+  for (std::uint64_t t = 0; t <= t_max; ++t) {
+    double worst = 0.0;
+    for (const auto& d : dists) {
+      worst = std::max(worst, total_variation(d, pi));
+    }
+    if (worst <= eps) return t;
+    if (t == t_max) break;
+    for (auto& d : dists) d = p.left_multiply(d);
+  }
+  return t_max + 1;
+}
+
+std::vector<std::vector<double>> exact_arrival_joint_law(
+    const StateSpace& space, const LoadConfig& q0) {
+  const std::uint32_t n = space.bins();
+  if (q0.size() != n || total_balls(q0) != space.balls()) {
+    throw std::invalid_argument("arrival law: q0 not in state space");
+  }
+  std::vector<std::vector<double>> joint(
+      n + 1, std::vector<double>(n + 1, 0.0));
+  const Departures d0 = apply_departures(q0);
+  LoadConfig q1(n, 0);
+  for_each_arrival(n, d0.count, [&](const LoadConfig& c1, double p1) {
+    for (std::uint32_t v = 0; v < n; ++v) q1[v] = d0.remaining[v] + c1[v];
+    const Departures d1 = apply_departures(q1);
+    const std::uint32_t x1 = c1[0];
+    for_each_arrival(n, d1.count, [&](const LoadConfig& c2, double p2) {
+      joint[x1][c2[0]] += p1 * p2;
+    });
+  });
+  return joint;
+}
+
+ArrivalCorrelation exact_arrival_correlation(const StateSpace& space,
+                                             const LoadConfig& q0) {
+  const auto joint = exact_arrival_joint_law(space, q0);
+  ArrivalCorrelation out;
+  out.p_both_zero = joint[0][0];
+  for (const double v : joint[0]) out.p_first_zero += v;
+  for (const auto& row : joint) out.p_second_zero += row[0];
+  return out;
+}
+
+}  // namespace rbb

@@ -1,0 +1,118 @@
+// Exact transition matrix of the repeated balls-into-bins chain on K_n.
+//
+// One round from configuration q (paper, Sect. 2): every non-empty bin
+// releases exactly one ball, and the h = |W(q)| released balls land
+// independently and uniformly at random.  Only the *count* h matters for
+// the arrival law, so the transition probability from q to q' is
+//
+//   P(q, q') = Multinomial(h; c) / n^h,   c = q' - (q - 1_{q >= 1}),
+//
+// whenever c is a valid arrival vector (all entries >= 0, summing to h),
+// and 0 otherwise.  On the composition state space (state_space.hpp) this
+// yields the full row-stochastic matrix, from which the stationary law,
+// exact mixing times, reversibility defects and the product-form distance
+// discussed in Sect. 1.3 of the paper are computed without Monte-Carlo
+// error.  Feasible for n = m up to ~6 (462 states); the tests cross-check
+// the exact law against the simulation kernels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "graph/graph.hpp"
+#include "markov/dense_matrix.hpp"
+#include "markov/state_space.hpp"
+
+namespace rbb {
+
+/// Builds the exact one-round transition matrix of the repeated
+/// balls-into-bins chain over `space` (complete graph).  Row/column ids
+/// are state ids of `space`.
+[[nodiscard]] DenseMatrix build_rbb_transition_matrix(
+    const StateSpace& space);
+
+/// Exact transition matrix of the process on a general graph: the ball
+/// released by non-empty bin u lands on a *uniform neighbor of u*, so
+/// departing balls are no longer exchangeable and the arrival law is
+/// state-dependent.  Enumerates the product of per-bin destination
+/// choices (cost prod_{u in W} deg(u) per state -- intended for sparse
+/// graphs at n <= 6, e.g. cycles, where it is 2^|W|).  This makes the
+/// Sect. 5 open question ("does the maximum load stay logarithmic on
+/// regular graphs?") exactly answerable at small scale.  `graph` must
+/// have space.bins() nodes and min degree >= 1.
+[[nodiscard]] DenseMatrix build_graph_rbb_transition_matrix(
+    const StateSpace& space, const Graph& graph);
+
+/// Exact distribution after `rounds` rounds starting from the point mass
+/// on configuration q0.  Returns a probability vector indexed by state id.
+[[nodiscard]] std::vector<double> exact_distribution_after(
+    const StateSpace& space, const DenseMatrix& p, const LoadConfig& q0,
+    std::uint64_t rounds);
+
+/// Functionals of a distribution `dist` over `space`.
+struct ExactFunctionals {
+  double expected_max_load = 0.0;
+  double expected_empty_fraction = 0.0;
+  /// P(M(q) >= k) for k = 0 .. m (index k).
+  std::vector<double> max_load_tail;
+  /// P(q legitimate) for the given beta.
+  double p_legitimate = 0.0;
+};
+
+/// Computes the exact functionals of `dist` (which must be indexed by the
+/// state ids of `space`).
+[[nodiscard]] ExactFunctionals exact_functionals(const StateSpace& space,
+                                                 const std::vector<double>& dist,
+                                                 double beta = 4.0);
+
+/// Maximum detailed-balance residual max_{i,j} |pi_i P_ij - pi_j P_ji|.
+/// Zero iff the chain is reversible w.r.t. pi; the paper (Sect. 1.3)
+/// attributes the failure of classical queueing techniques to the
+/// non-reversibility of this chain, which the exact residual quantifies.
+[[nodiscard]] double detailed_balance_residual(const DenseMatrix& p,
+                                               const std::vector<double>& pi);
+
+/// Distance of pi from the best product-form law: fits log pi(q) =
+/// sum_u g(q_u) + const by least squares over states with pi(q) > 0
+/// (gauge g(0) = 0), normalizes the fitted product measure on the state
+/// space, and returns the total-variation distance to pi.  Closed Jackson
+/// networks have residual 0 by Gordon-Newell; the parallel chain of the
+/// paper does not (Sect. 1.3).
+[[nodiscard]] double product_form_distance(const StateSpace& space,
+                                           const std::vector<double>& pi);
+
+/// Exact total-variation mixing time from the worst of the given starting
+/// states: the smallest t with max_q TV(P^t(q, .), pi) <= eps, searched up
+/// to t_max (returns t_max + 1 if not reached).  `starts` empty means all
+/// states.
+[[nodiscard]] std::uint64_t exact_mixing_time(
+    const StateSpace& space, const DenseMatrix& p,
+    const std::vector<double>& pi, double eps = 0.25,
+    std::uint64_t t_max = 10000, std::vector<std::size_t> starts = {});
+
+/// Exact joint law of (X_1, X_2), the numbers of balls arriving at bin 0
+/// in rounds 1 and 2 from initial configuration q0 (Appendix B).  Entry
+/// [i][j] is P(X_1 = i, X_2 = j); the matrix is (n+1) x (n+1) because at
+/// most one ball departs per bin, so at most n balls arrive per round.
+/// Computed by exhaustive enumeration of the two rounds' arrival vectors.
+[[nodiscard]] std::vector<std::vector<double>> exact_arrival_joint_law(
+    const StateSpace& space, const LoadConfig& q0);
+
+/// Summary of the Appendix-B negative-association counterexample computed
+/// from exact_arrival_joint_law: P(X1=0, X2=0) vs P(X1=0) * P(X2=0).
+struct ArrivalCorrelation {
+  double p_both_zero = 0.0;
+  double p_first_zero = 0.0;
+  double p_second_zero = 0.0;
+  /// p_both_zero - p_first_zero * p_second_zero (> 0 refutes negative
+  /// association; the paper computes 1/8 > 3/32 for n = 2).
+  [[nodiscard]] double excess() const {
+    return p_both_zero - p_first_zero * p_second_zero;
+  }
+};
+
+[[nodiscard]] ArrivalCorrelation exact_arrival_correlation(
+    const StateSpace& space, const LoadConfig& q0);
+
+}  // namespace rbb

@@ -1,0 +1,89 @@
+#include "markov/state_space.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace rbb {
+
+namespace {
+
+/// Appends, in lexicographic order, every way to place `balls` balls into
+/// positions [pos, n) of `current`.
+void enumerate_rec(std::uint32_t bins, std::uint32_t balls, std::uint32_t pos,
+                   LoadConfig& current, std::vector<LoadConfig>& out) {
+  if (pos + 1 == bins) {
+    current[pos] = balls;
+    out.push_back(current);
+    return;
+  }
+  for (std::uint32_t k = 0; k <= balls; ++k) {
+    current[pos] = k;
+    enumerate_rec(bins, balls - k, pos + 1, current, out);
+  }
+  current[pos] = 0;
+}
+
+}  // namespace
+
+std::uint64_t StateSpace::expected_size(std::uint32_t bins,
+                                        std::uint32_t balls) {
+  if (bins == 0) throw std::invalid_argument("state space: bins must be >= 1");
+  // C(balls + bins - 1, bins - 1) with overflow detection.
+  const std::uint64_t n = static_cast<std::uint64_t>(balls) + bins - 1;
+  const std::uint64_t k =
+      std::min<std::uint64_t>(bins - 1, static_cast<std::uint64_t>(balls));
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    // result *= (n - k + i) / i, exact at every step because the running
+    // product of i consecutive ratios is itself a binomial coefficient.
+    const std::uint64_t num = n - k + i;
+    if (result > UINT64_MAX / num) {
+      throw std::overflow_error("state space size overflows 64 bits");
+    }
+    result = result * num / i;
+  }
+  return result;
+}
+
+StateSpace::StateSpace(std::uint32_t bins, std::uint32_t balls,
+                       std::size_t max_states)
+    : bins_(bins), balls_(balls) {
+  const std::uint64_t expected = expected_size(bins, balls);
+  if (expected > max_states) {
+    throw std::invalid_argument(
+        "state space too large for exact enumeration");
+  }
+  states_.reserve(expected);
+  LoadConfig current(bins, 0);
+  enumerate_rec(bins, balls, 0, current, states_);
+}
+
+std::size_t StateSpace::index_of(const LoadConfig& q) const {
+  if (q.size() != bins_ || total_balls(q) != balls_) {
+    throw std::invalid_argument("index_of: not a member configuration");
+  }
+  const auto it = std::lower_bound(states_.begin(), states_.end(), q);
+  // Every valid (length, total) configuration is enumerated, so q is
+  // guaranteed present.
+  return static_cast<std::size_t>(it - states_.begin());
+}
+
+LoadConfig StateSpace::orbit_representative(std::size_t id) const {
+  LoadConfig rep = states_[id];
+  std::sort(rep.begin(), rep.end(), std::greater<>());
+  return rep;
+}
+
+std::vector<std::vector<std::size_t>> StateSpace::orbits() const {
+  std::map<LoadConfig, std::vector<std::size_t>> groups;
+  for (std::size_t id = 0; id < states_.size(); ++id) {
+    groups[orbit_representative(id)].push_back(id);
+  }
+  std::vector<std::vector<std::size_t>> out;
+  out.reserve(groups.size());
+  for (auto& [rep, ids] : groups) out.push_back(std::move(ids));
+  return out;
+}
+
+}  // namespace rbb

@@ -1,0 +1,61 @@
+// Enumeration of the exact state space of the repeated balls-into-bins
+// chain: all load configurations q = (q_1, ..., q_n) with sum q_u = m.
+//
+// The chain of the paper (Sect. 2) lives on this composition space; its
+// size is C(m + n - 1, n - 1), which stays in the hundreds for the
+// exactly-solvable regime n <= 6, m = n.  States are enumerated in
+// lexicographic order; an explicit index map supports O(log s) lookup of a
+// configuration's state id, and orbit helpers group states by their sorted
+// load profile (the bin-permutation symmetry classes used by the symmetry
+// tests and the compact table output).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace rbb {
+
+/// The full composition state space of m balls in n bins.
+class StateSpace {
+ public:
+  /// Enumerates all C(m+n-1, n-1) configurations.  Requires n >= 1 and a
+  /// state-space size that fits comfortably in memory (the constructor
+  /// throws std::invalid_argument if it would exceed `max_states`).
+  StateSpace(std::uint32_t bins, std::uint32_t balls,
+             std::size_t max_states = 2'000'000);
+
+  [[nodiscard]] std::uint32_t bins() const noexcept { return bins_; }
+  [[nodiscard]] std::uint32_t balls() const noexcept { return balls_; }
+  [[nodiscard]] std::size_t size() const noexcept { return states_.size(); }
+
+  /// The configuration of state `id` (lexicographic order, ascending).
+  [[nodiscard]] const LoadConfig& config(std::size_t id) const {
+    return states_[id];
+  }
+
+  /// State id of configuration q; throws std::invalid_argument if q is not
+  /// a valid member (wrong length or wrong ball total).
+  [[nodiscard]] std::size_t index_of(const LoadConfig& q) const;
+
+  /// Sorted-descending load profile of state `id` (its permutation-orbit
+  /// representative).
+  [[nodiscard]] LoadConfig orbit_representative(std::size_t id) const;
+
+  /// Groups state ids by orbit representative; each inner vector holds the
+  /// ids of one bin-permutation equivalence class.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> orbits() const;
+
+  /// Number of states, computed combinatorially: C(m+n-1, n-1).  Throws
+  /// std::overflow_error if the binomial overflows 64 bits.
+  [[nodiscard]] static std::uint64_t expected_size(std::uint32_t bins,
+                                                   std::uint32_t balls);
+
+ private:
+  std::uint32_t bins_;
+  std::uint32_t balls_;
+  std::vector<LoadConfig> states_;  // lexicographically sorted
+};
+
+}  // namespace rbb

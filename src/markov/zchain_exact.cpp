@@ -1,0 +1,127 @@
+#include "markov/zchain_exact.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/bounds.hpp"
+
+namespace rbb {
+
+ZChainExactResult exact_zchain_survival(std::uint32_t n, std::uint64_t start,
+                                        std::uint64_t t_max,
+                                        std::size_t cap) {
+  if (n < 2) throw std::invalid_argument("zchain: n must be >= 2");
+  if (start >= cap) throw std::invalid_argument("zchain: start >= cap");
+  const std::uint64_t b = 3ULL * n / 4;  // arrival trials, floor(3n/4)
+  const double p = 1.0 / static_cast<double>(n);
+
+  // Arrival pmf, truncated where the remaining upper tail is < 1e-16.
+  // The mean is b/n ~ 3/4, so the effective support is tiny.
+  std::vector<double> pmf;
+  double cumulative = 0.0;
+  for (std::uint64_t k = 0; k <= b; ++k) {
+    pmf.push_back(binomial_pmf(b, p, k));
+    cumulative += pmf.back();
+    if (1.0 - cumulative < 1e-16 && k >= 2) break;
+  }
+
+  ZChainExactResult out;
+  out.survival.reserve(t_max + 1);
+  std::vector<double> dist(cap + 1, 0.0);
+  dist[start] = 1.0;
+  std::vector<double> next(cap + 1, 0.0);
+
+  double survival = start > 0 ? 1.0 : 0.0;
+  out.survival.push_back(survival);
+  out.expected_absorption = survival;
+
+  for (std::uint64_t t = 1; t <= t_max; ++t) {
+    std::fill(next.begin(), next.end(), 0.0);
+    next[0] = dist[0];  // absorbing
+    for (std::size_t z = 1; z <= cap; ++z) {
+      const double w = dist[z];
+      if (w == 0.0) continue;
+      // z' = z - 1 + X, X ~ pmf.
+      for (std::size_t x = 0; x < pmf.size(); ++x) {
+        const std::size_t target = z - 1 + x;
+        if (target >= cap) {
+          const double lost = w * pmf[x];
+          next[cap] += lost;
+          out.saturated_mass += lost;
+        } else {
+          next[target] += w * pmf[x];
+        }
+      }
+    }
+    dist.swap(next);
+    survival = 1.0 - dist[0];
+    out.survival.push_back(survival);
+    out.expected_absorption += survival;
+    if (survival < 1e-15) {
+      // Numerically absorbed: the remaining curve is zero; fill and stop.
+      out.survival.resize(t_max + 1, 0.0);
+      break;
+    }
+  }
+  return out;
+}
+
+LeakyQueueExact exact_leaky_queue_stationary(std::uint32_t n, double lambda,
+                                             std::size_t cap) {
+  if (n < 2) throw std::invalid_argument("leaky queue: n must be >= 2");
+  if (!(lambda > 0.0) || lambda >= 1.0) {
+    throw std::invalid_argument("leaky queue: lambda must be in (0, 1)");
+  }
+  const double p = lambda / static_cast<double>(n);
+  std::vector<double> pmf_x;
+  double cumulative = 0.0;
+  for (std::uint64_t k = 0; k <= n; ++k) {
+    pmf_x.push_back(binomial_pmf(n, p, k));
+    cumulative += pmf_x.back();
+    if (1.0 - cumulative < 1e-16 && k >= 2) break;
+  }
+
+  // Power iteration on the 1-D reflecting chain; the drift -(1 - lambda)
+  // makes it geometrically ergodic, so O(tail-length / (1 - lambda))
+  // iterations suffice.  The L1 threshold must sit above the ~1e-13
+  // summation round-off floor of a few thousand states, or the loop
+  // would spin to the iteration cap doing nothing.
+  std::vector<double> dist(cap + 1, 0.0);
+  dist[0] = 1.0;
+  std::vector<double> next(cap + 1, 0.0);
+  // Near-critical relaxation needs ~1/(1 - lambda)^2 iterations (the
+  // queue equilibrates by diffusion against the weak drift).
+  const double slack = 1.0 - lambda;
+  const std::uint64_t max_iters =
+      10000 + static_cast<std::uint64_t>(100.0 / (slack * slack));
+  for (std::uint64_t iter = 0; iter < max_iters; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t z = 0; z <= cap; ++z) {
+      const double w = dist[z];
+      if (w == 0.0) continue;
+      const std::size_t base = z == 0 ? 0 : z - 1;
+      for (std::size_t x = 0; x < pmf_x.size(); ++x) {
+        const std::size_t target = base + x;
+        next[target >= cap ? cap : target] += w * pmf_x[x];
+      }
+    }
+    double delta = 0.0;
+    for (std::size_t z = 0; z <= cap; ++z) delta += std::abs(next[z] - dist[z]);
+    dist.swap(next);
+    if (delta < 1e-12) break;
+  }
+
+  LeakyQueueExact out;
+  out.pmf = dist;
+  out.p_empty = dist[0];
+  double tail = 1.0;
+  for (std::size_t k = 0; k <= cap; ++k) {
+    out.mean += static_cast<double>(k) * dist[k];
+    tail -= dist[k];
+    if (tail > 1e-9) out.q999 = k + 1;
+  }
+  return out;
+}
+
+}  // namespace rbb

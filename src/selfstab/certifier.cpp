@@ -1,0 +1,56 @@
+#include "selfstab/certifier.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rbb {
+
+double wilson_lower_bound(std::uint64_t successes, std::uint64_t trials,
+                          double z) {
+  if (trials == 0) return 0.0;
+  if (successes > trials) {
+    throw std::invalid_argument("wilson: successes > trials");
+  }
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = phat + z2 / (2.0 * n);
+  const double spread =
+      z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n));
+  const double low = (center - spread) / denom;
+  return low < 0.0 ? 0.0 : low;
+}
+
+CertifyResult certify_self_stabilization(const StabTrialFactory& factory,
+                                         const CertifySpec& spec) {
+  CertifyResult out;
+  out.trials = spec.trials;
+  for (std::uint64_t trial = 0; trial < spec.trials; ++trial) {
+    StabTrialHooks hooks = factory(trial);
+    if (!hooks.step || !hooks.legitimate) {
+      throw std::invalid_argument("certify: factory returned empty hooks");
+    }
+    // Convergence phase.
+    std::uint64_t rounds = 0;
+    bool converged = hooks.legitimate();
+    while (!converged && rounds < spec.horizon) {
+      hooks.step();
+      ++rounds;
+      converged = hooks.legitimate();
+    }
+    if (!converged) continue;
+    ++out.converged;
+    out.convergence_rounds.add(static_cast<double>(rounds));
+    // Closure phase.
+    for (std::uint64_t t = 0; t < spec.closure_window; ++t) {
+      hooks.step();
+      if (!hooks.legitimate()) ++out.closure_violations;
+    }
+    out.closure_rounds += spec.closure_window;
+  }
+  out.p_converged_lower95 = wilson_lower_bound(out.converged, out.trials);
+  return out;
+}
+
+}  // namespace rbb

@@ -1,0 +1,86 @@
+// Monte-Carlo certification of probabilistic self-stabilization.
+//
+// The paper's notion (Sect. 1.1): a process is *self-stabilizing* if
+// (convergence) from any configuration it reaches a legitimate
+// configuration w.h.p., and (stability/closure) started legitimate it
+// only visits legitimate configurations over a poly(n) window w.h.p.
+// This module turns that definition into a reusable measurement harness:
+// given step/legitimate hooks for any process, it estimates
+//
+//   * the convergence-time distribution and P(converged within horizon)
+//     with a Wilson lower confidence bound (the empirically certified
+//     "w.h.p." level), and
+//   * the closure-violation rate over a post-convergence window.
+//
+// It is applied to the repeated balls-into-bins process and to the
+// Israeli-Jalfon process in tests and in exp_israeli_jalfon, and is
+// process-agnostic by construction (type-erased hooks).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "support/stats.hpp"
+
+namespace rbb {
+
+/// Hooks driving one trial of a stabilizing process.  `step` advances one
+/// round; `legitimate` inspects the current configuration.
+struct StabTrialHooks {
+  std::function<void()> step;
+  std::function<bool()> legitimate;
+};
+
+/// Creates the process for trial `trial` (seed derivation is the
+/// factory's responsibility; use Rng(seed, trial) substreams).
+using StabTrialFactory = std::function<StabTrialHooks(std::uint64_t trial)>;
+
+/// Parameters of a certification run.
+struct CertifySpec {
+  std::uint64_t trials = 100;
+  /// Convergence horizon: a trial that is still illegitimate after this
+  /// many rounds counts as non-converged.
+  std::uint64_t horizon = 10000;
+  /// Closure window: converged trials run this many further rounds, and
+  /// every round spent in a non-legitimate configuration afterwards
+  /// counts as a closure violation.
+  std::uint64_t closure_window = 0;
+};
+
+/// Aggregate result of a certification run.
+struct CertifyResult {
+  std::uint64_t trials = 0;
+  std::uint64_t converged = 0;
+  /// Convergence rounds over converged trials.
+  OnlineMoments convergence_rounds;
+  /// 95% Wilson lower bound on P(converge within horizon).
+  double p_converged_lower95 = 0.0;
+  /// Rounds spent illegitimate inside closure windows (all trials).
+  std::uint64_t closure_violations = 0;
+  /// Total closure rounds observed (converged trials * closure_window).
+  std::uint64_t closure_rounds = 0;
+
+  [[nodiscard]] double closure_violation_rate() const {
+    return closure_rounds == 0
+               ? 0.0
+               : static_cast<double>(closure_violations) /
+                     static_cast<double>(closure_rounds);
+  }
+};
+
+/// Runs the certification: `spec.trials` independent trials from the
+/// factory.  Trials are driven sequentially (the factory may parallelize
+/// internally if desired); results are deterministic given the factory's
+/// seeding discipline.
+[[nodiscard]] CertifyResult certify_self_stabilization(
+    const StabTrialFactory& factory, const CertifySpec& spec);
+
+/// Wilson score lower confidence bound for a binomial proportion:
+/// given `successes` out of `trials`, the largest p_low such that the
+/// observed count is not significantly above p_low at confidence level
+/// z (z = 1.96 for 95%).  Safe at successes = 0 and trials = 0.
+[[nodiscard]] double wilson_lower_bound(std::uint64_t successes,
+                                        std::uint64_t trials,
+                                        double z = 1.96);
+
+}  // namespace rbb

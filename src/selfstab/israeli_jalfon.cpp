@@ -1,0 +1,171 @@
+#include "selfstab/israeli_jalfon.hpp"
+
+#include <stdexcept>
+
+namespace rbb {
+
+std::vector<std::uint8_t> make_token_placement(TokenPlacement placement,
+                                               std::uint32_t n, Rng& rng) {
+  if (n == 0) throw std::invalid_argument("placement: n must be >= 1");
+  std::vector<std::uint8_t> tokens(n, 0);
+  switch (placement) {
+    case TokenPlacement::kEveryNode:
+      for (auto& t : tokens) t = 1;
+      break;
+    case TokenPlacement::kTwoNodes:
+      tokens[0] = 1;
+      tokens[n / 2] = 1;  // coincides with node 0 when n == 1
+      break;
+    case TokenPlacement::kRandomHalf: {
+      for (auto& t : tokens) t = rng.bernoulli(0.5) ? 1 : 0;
+      // Self-stabilization needs at least one token in the system (an
+      // all-empty network is outside the protocol's state space).
+      bool any = false;
+      for (const auto t : tokens) any = any || (t != 0);
+      if (!any) tokens[rng.index(n)] = 1;
+      break;
+    }
+  }
+  return tokens;
+}
+
+const char* to_string(TokenPlacement placement) {
+  switch (placement) {
+    case TokenPlacement::kEveryNode: return "every-node";
+    case TokenPlacement::kTwoNodes: return "two-nodes";
+    case TokenPlacement::kRandomHalf: return "random-half";
+  }
+  return "?";
+}
+
+IsraeliJalfonProcess::IsraeliJalfonProcess(const Graph* graph, std::uint32_t n,
+                                           std::vector<std::uint8_t> tokens,
+                                           Rng rng, double laziness)
+    : graph_(graph),
+      tokens_(std::move(tokens)),
+      scratch_(tokens_.size(), 0),
+      rng_(rng),
+      laziness_(laziness) {
+  if (laziness < 0.0 || laziness >= 1.0) {
+    throw std::invalid_argument("israeli-jalfon: laziness must be in [0, 1)");
+  }
+  if (graph_ != nullptr && graph_->node_count() != n) {
+    throw std::invalid_argument("israeli-jalfon: graph size mismatch");
+  }
+  if (tokens_.size() != n || n == 0) {
+    throw std::invalid_argument("israeli-jalfon: bad token vector");
+  }
+  if (graph_ != nullptr && graph_->min_degree() == 0) {
+    throw std::invalid_argument("israeli-jalfon: isolated node");
+  }
+  for (const auto t : tokens_) count_ += (t != 0) ? 1u : 0u;
+  if (count_ == 0) {
+    throw std::invalid_argument("israeli-jalfon: at least one token needed");
+  }
+}
+
+IsraeliJalfonProcess::IsraeliJalfonProcess(const Graph* graph, std::uint32_t n,
+                                           TokenPlacement placement, Rng rng,
+                                           double laziness)
+    : IsraeliJalfonProcess(graph, n, make_token_placement(placement, n, rng),
+                           rng, laziness) {
+  // The delegated constructor reuses `rng` for the placement draw and for
+  // the process itself; split the stream so placement randomness does not
+  // replay into the walk.
+  rng_ = rng_.split();
+}
+
+std::uint32_t IsraeliJalfonProcess::step() {
+  const auto n = static_cast<std::uint32_t>(tokens_.size());
+  std::fill(scratch_.begin(), scratch_.end(), 0);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    if (!tokens_[u]) continue;
+    if (laziness_ > 0.0 && rng_.bernoulli(laziness_)) {
+      scratch_[u] = 1;  // lazy step: token stays put
+      continue;
+    }
+    const std::uint32_t v = graph_ == nullptr
+                                ? rng_.index(n)
+                                : graph_->sample_neighbor(u, rng_);
+    scratch_[v] = 1;  // co-located tokens merge
+  }
+  std::uint32_t new_count = 0;
+  for (const auto t : scratch_) new_count += (t != 0) ? 1u : 0u;
+  const std::uint32_t merges = count_ - new_count;
+  tokens_.swap(scratch_);
+  count_ = new_count;
+  ++round_;
+  return merges;
+}
+
+std::uint64_t IsraeliJalfonProcess::run_until_single(std::uint64_t cap) {
+  std::uint64_t rounds = 0;
+  while (count_ > 1 && rounds < cap) {
+    step();
+    ++rounds;
+  }
+  return rounds;
+}
+
+std::uint64_t IsraeliJalfonProcess::run_single_token_cover(std::uint64_t cap) {
+  if (count_ != 1) {
+    throw std::logic_error("cover: more than one token alive");
+  }
+  const auto n = static_cast<std::uint32_t>(tokens_.size());
+  std::uint32_t position = 0;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    if (tokens_[u]) position = u;
+  }
+  std::vector<std::uint8_t> visited(n, 0);
+  visited[position] = 1;
+  std::uint32_t seen = 1;
+  std::uint64_t t = 0;
+  while (seen < n && t < cap) {
+    // Same lazy dynamics as step(), so the surviving token's law is the
+    // continuation of the coalescence phase.
+    if (laziness_ > 0.0 && rng_.bernoulli(laziness_)) {
+      ++round_;
+      ++t;
+      continue;
+    }
+    position = graph_ == nullptr ? rng_.index(n)
+                                 : graph_->sample_neighbor(position, rng_);
+    if (!visited[position]) {
+      visited[position] = 1;
+      ++seen;
+    }
+    ++round_;
+    ++t;
+  }
+  // Keep the public state consistent with where the walk stopped.
+  std::fill(tokens_.begin(), tokens_.end(), 0);
+  tokens_[position] = 1;
+  return t;
+}
+
+std::uint32_t IsraeliJalfonProcess::inject_tokens(std::uint32_t count) {
+  const auto n = static_cast<std::uint32_t>(tokens_.size());
+  std::uint32_t added = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t u = rng_.index(n);
+    if (!tokens_[u]) {
+      tokens_[u] = 1;
+      ++count_;
+      ++added;
+    }
+  }
+  return added;
+}
+
+void IsraeliJalfonProcess::check_invariants() const {
+  std::uint32_t actual = 0;
+  for (const auto t : tokens_) actual += (t != 0) ? 1u : 0u;
+  if (actual != count_) {
+    throw std::logic_error("israeli-jalfon: token count drift");
+  }
+  if (count_ == 0) {
+    throw std::logic_error("israeli-jalfon: all tokens vanished");
+  }
+}
+
+}  // namespace rbb

@@ -1,0 +1,120 @@
+// Israeli-Jalfon self-stabilizing token management (paper's citation [5]).
+//
+// The repeated balls-into-bins process is motivated as a randomized
+// multi-token traversal primitive; its single-token ancestor is the
+// Israeli-Jalfon protocol, the first uniform self-stabilizing mutual
+// exclusion scheme based on random walks: every node holding a token
+// forwards it to a random neighbor, and tokens that meet on a node merge.
+// From *any* initial token placement the system converges to exactly one
+// surviving token (the legitimate configurations of mutual exclusion),
+// which then performs a plain random walk and eventually visits every
+// node.
+//
+// This module implements the synchronous randomized variant (all tokens
+// hop simultaneously each round; co-located tokens merge at the end of
+// the round), which is the natural round-based counterpart of the
+// repeated balls-into-bins rounds, and serves as the single-token
+// baseline for the multi-token traversal experiments: coalescence time
+// here plays the role the O(n)-round stabilization phase plays in
+// Theorem 1.
+//
+// Laziness.  Fully synchronous walks on a *bipartite* graph (even cycles,
+// tori, stars, hypercubes) never coalesce from placements that straddle
+// the two sides: all tokens switch sides every round, so opposite-side
+// tokens can never be co-located.  The standard remedy for this parity
+// obstruction is the lazy walk -- each token independently stays put with
+// probability 1/2 -- which restores coalescence on every connected graph
+// and is the default here (`laziness` = 0.5; pass 0 for the pure
+// synchronous dynamics, safe on non-bipartite graphs such as cliques).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace rbb {
+
+/// Canonical initial token placements.
+enum class TokenPlacement {
+  kEveryNode,  // the classical worst case: one token per node
+  kTwoNodes,   // tokens at nodes 0 and n/2 (meeting-time probe)
+  kRandomHalf, // each node holds a token independently w.p. 1/2
+};
+
+/// Synchronous Israeli-Jalfon process on a graph (nullptr = complete
+/// graph K_n, in which case `n` gives the node count).
+class IsraeliJalfonProcess {
+ public:
+  /// Starts with tokens on the nodes flagged in `tokens` (size = node
+  /// count; at least one token required).  `laziness` is each token's
+  /// per-round stay-put probability (see the header comment; must lie in
+  /// [0, 1)).
+  IsraeliJalfonProcess(const Graph* graph, std::uint32_t n,
+                       std::vector<std::uint8_t> tokens, Rng rng,
+                       double laziness = 0.5);
+
+  /// Convenience: starts from a canonical placement.
+  IsraeliJalfonProcess(const Graph* graph, std::uint32_t n,
+                       TokenPlacement placement, Rng rng,
+                       double laziness = 0.5);
+
+  /// One synchronous round: every token hops to a uniform random
+  /// neighbor; tokens landing on the same node merge.  Returns the number
+  /// of merges that happened this round (token-count decrease).
+  std::uint32_t step();
+
+  /// Runs until a single token survives or `cap` rounds elapse; returns
+  /// the number of rounds executed until coalescence, or `cap` if more
+  /// than one token remains.
+  std::uint64_t run_until_single(std::uint64_t cap);
+
+  [[nodiscard]] std::uint32_t node_count() const noexcept {
+    return static_cast<std::uint32_t>(tokens_.size());
+  }
+  [[nodiscard]] std::uint32_t token_count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  /// Mutual exclusion is legitimate iff exactly one token survives.
+  [[nodiscard]] bool is_legitimate() const noexcept { return count_ == 1; }
+  /// Token-presence flags, one per node.
+  [[nodiscard]] const std::vector<std::uint8_t>& tokens() const noexcept {
+    return tokens_;
+  }
+
+  /// After coalescence: runs the surviving token's random walk until it
+  /// has visited every node (its cover time) or `cap` additional rounds.
+  /// Returns the additional rounds taken, or `cap` if uncovered.  Throws
+  /// std::logic_error when called with more than one token alive.
+  std::uint64_t run_single_token_cover(std::uint64_t cap);
+
+  /// Transient fault (the scenario token management is built for, and
+  /// the single-token analogue of the paper's Sect. 4.1 adversary):
+  /// spuriously creates up to `count` extra tokens on distinct nodes
+  /// chosen u.a.r.  Returns the number of tokens actually added (a node
+  /// that already holds a token absorbs the duplicate).  Counts as a
+  /// faulty event, not a process round.
+  std::uint32_t inject_tokens(std::uint32_t count);
+
+  /// Testing hook: recomputes the token count from the flags and checks
+  /// it against the incremental value; throws std::logic_error on drift.
+  void check_invariants() const;
+
+ private:
+  const Graph* graph_;  // nullptr = complete graph
+  std::vector<std::uint8_t> tokens_;
+  std::vector<std::uint8_t> scratch_;
+  Rng rng_;
+  double laziness_;
+  std::uint32_t count_ = 0;
+  std::uint64_t round_ = 0;
+};
+
+/// Builds the placement flags for a canonical placement.
+[[nodiscard]] std::vector<std::uint8_t> make_token_placement(
+    TokenPlacement placement, std::uint32_t n, Rng& rng);
+
+/// Human-readable placement name (tables / CLI).
+[[nodiscard]] const char* to_string(TokenPlacement placement);
+
+}  // namespace rbb

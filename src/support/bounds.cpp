@@ -1,0 +1,96 @@
+#include "support/bounds.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rbb {
+
+double log_factorial(std::uint64_t k) {
+  return std::lgamma(static_cast<double>(k) + 1.0);
+}
+
+double log_binomial_coefficient(std::uint64_t n, std::uint64_t k) {
+  if (k > n) {
+    throw std::invalid_argument("log_binomial_coefficient: k > n");
+  }
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+double log_binomial_pmf(std::uint64_t n, double p, std::uint64_t k) {
+  if (k > n) throw std::invalid_argument("log_binomial_pmf: k > n");
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("log_binomial_pmf: p outside [0, 1]");
+  }
+  if (p == 0.0) return k == 0 ? 0.0 : -std::numeric_limits<double>::infinity();
+  if (p == 1.0) return k == n ? 0.0 : -std::numeric_limits<double>::infinity();
+  const double kd = static_cast<double>(k);
+  const double nd = static_cast<double>(n);
+  return log_binomial_coefficient(n, k) + kd * std::log(p) +
+         (nd - kd) * std::log1p(-p);
+}
+
+double binomial_pmf(std::uint64_t n, double p, std::uint64_t k) {
+  return std::exp(log_binomial_pmf(n, p, k));
+}
+
+double binomial_upper_tail(std::uint64_t n, double p, std::uint64_t k) {
+  if (k == 0) return 1.0;
+  if (k > n) return 0.0;
+  double sum = 0.0;
+  for (std::uint64_t j = k; j <= n; ++j) {
+    const double term = binomial_pmf(n, p, j);
+    sum += term;
+    // pmf is unimodal; once past the mode and below tiny, stop.
+    if (static_cast<double>(j) > p * static_cast<double>(n) && term < 1e-18) {
+      break;
+    }
+  }
+  return sum > 1.0 ? 1.0 : sum;
+}
+
+double chernoff_lower_bound(double mu_low, double delta) {
+  if (!(delta > 0.0 && delta < 1.0)) {
+    throw std::invalid_argument("chernoff_lower_bound: delta outside (0, 1)");
+  }
+  return std::exp(-delta * delta * mu_low / 2.0);
+}
+
+double chernoff_upper_bound(double mu_high, double delta) {
+  if (!(delta > 0.0 && delta < 1.0)) {
+    throw std::invalid_argument("chernoff_upper_bound: delta outside (0, 1)");
+  }
+  return std::exp(-delta * delta * mu_high / 3.0);
+}
+
+double zchain_tail_bound(double t) { return std::exp(-t / 144.0); }
+
+double sqrt_t_bound(double t, double c) { return c * std::sqrt(t); }
+
+double oneshot_max_load_asymptotic(std::uint64_t n) {
+  if (n < 3) {
+    throw std::invalid_argument("oneshot_max_load_asymptotic: n < 3");
+  }
+  const double ln = std::log(static_cast<double>(n));
+  return ln / std::log(ln);
+}
+
+double coupon_collector_mean(std::uint64_t n) {
+  double harmonic = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    harmonic += 1.0 / static_cast<double>(k);
+  }
+  return static_cast<double>(n) * harmonic;
+}
+
+double parallel_cover_scale(std::uint64_t n) {
+  const double l = log2n(n);
+  return static_cast<double>(n) * l * l;
+}
+
+double log2n(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("log2n: n == 0");
+  return std::log2(static_cast<double>(n));
+}
+
+}  // namespace rbb

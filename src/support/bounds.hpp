@@ -1,0 +1,66 @@
+// Analytic bounds and exact probabilities quoted by the paper.
+//
+// These functions reproduce the *predicted* side of every experiment
+// table: the Chernoff bounds of Appendix A (eqs. (6) and (7)), the
+// Lemma-5 absorption tail e^{-t/144}, the O(sqrt(t)) comparison bound of
+// [Becchetti et al., SODA 2015] discussed in Sect. 1.2/3.1, and the
+// classical one-shot balls-into-bins maximum-load asymptotics
+// Theta(log n / log log n) that lower-bounds the repeated process.
+#pragma once
+
+#include <cstdint>
+
+namespace rbb {
+
+/// log(k!) via lgamma; exact to double precision.
+[[nodiscard]] double log_factorial(std::uint64_t k);
+
+/// log C(n, k); requires k <= n.
+[[nodiscard]] double log_binomial_coefficient(std::uint64_t n,
+                                              std::uint64_t k);
+
+/// Exact log pmf of Binomial(n, p) at k (p in [0,1], k <= n).
+[[nodiscard]] double log_binomial_pmf(std::uint64_t n, double p,
+                                      std::uint64_t k);
+
+/// Exact pmf of Binomial(n, p) at k.
+[[nodiscard]] double binomial_pmf(std::uint64_t n, double p, std::uint64_t k);
+
+/// Exact upper tail P(X >= k) for X ~ Binomial(n, p), by pmf summation.
+/// O(n - k) time; intended for test oracles, not hot paths.
+[[nodiscard]] double binomial_upper_tail(std::uint64_t n, double p,
+                                         std::uint64_t k);
+
+/// Chernoff lower-tail bound, paper Appendix A eq. (6):
+///   P(X <= (1 - delta) muL) <= exp(-delta^2 muL / 2),  delta in (0, 1).
+[[nodiscard]] double chernoff_lower_bound(double mu_low, double delta);
+
+/// Chernoff upper-tail bound, paper Appendix A eq. (7):
+///   P(X >= (1 + delta) muH) <= exp(-delta^2 muH / 3),  delta in (0, 1).
+[[nodiscard]] double chernoff_upper_bound(double mu_high, double delta);
+
+/// Lemma 5 tail bound: P(tau > t) <= exp(-t / 144) for t >= 8k.
+[[nodiscard]] double zchain_tail_bound(double t);
+
+/// The pre-existing max-load bound of [12] (SODA 2015) after t rounds,
+/// O(sqrt(t)): returned as c * sqrt(t) with the dimensionless constant c
+/// exposed so plots can show the curve family.
+[[nodiscard]] double sqrt_t_bound(double t, double c = 1.0);
+
+/// First-order asymptotics of the one-shot balls-into-bins maximum load
+/// with n balls in n bins: log n / log log n * (1 + o(1)).  Requires
+/// n >= 3 (log log n > 0).
+[[nodiscard]] double oneshot_max_load_asymptotic(std::uint64_t n);
+
+/// Expected cover time of a single random walk on the complete graph K_n
+/// with u.a.r. jumps (coupon collector): n * H_n.
+[[nodiscard]] double coupon_collector_mean(std::uint64_t n);
+
+/// The paper's parallel cover-time scale for n tokens on K_n:
+/// n * (log2 n)^2 (Corollary 1 normalization used throughout the benches).
+[[nodiscard]] double parallel_cover_scale(std::uint64_t n);
+
+/// log2(n) as a double; requires n >= 1.
+[[nodiscard]] double log2n(std::uint64_t n);
+
+}  // namespace rbb

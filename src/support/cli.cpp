@@ -1,0 +1,132 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rbb {
+namespace {
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0: return "uint";
+    case 1: return "float";
+    case 2: return "string";
+    default: return "flag";
+  }
+}
+
+}  // namespace
+
+Cli::Cli(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void Cli::add_u64(const std::string& name, std::uint64_t default_value,
+                  const std::string& help) {
+  options_[name] = Option{Kind::kU64, help, std::to_string(default_value)};
+  order_.push_back(name);
+}
+
+void Cli::add_double(const std::string& name, double default_value,
+                     const std::string& help) {
+  std::ostringstream v;
+  v << default_value;
+  options_[name] = Option{Kind::kDouble, help, v.str()};
+  order_.push_back(name);
+}
+
+void Cli::add_string(const std::string& name, std::string default_value,
+                     const std::string& help) {
+  options_[name] = Option{Kind::kString, help, std::move(default_value)};
+  order_.push_back(name);
+}
+
+void Cli::add_flag(const std::string& name, const std::string& help) {
+  options_[name] = Option{Kind::kFlag, help, "0"};
+  order_.push_back(name);
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::cerr << "unexpected argument: " << arg << '\n' << usage(argv[0]);
+      return false;
+    }
+    arg.erase(0, 2);
+    std::string value;
+    bool have_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.erase(eq);
+      have_value = true;
+    }
+    const auto it = options_.find(arg);
+    if (it == options_.end()) {
+      std::cerr << "unknown option: --" << arg << '\n' << usage(argv[0]);
+      return false;
+    }
+    if (it->second.kind == Kind::kFlag) {
+      it->second.value = have_value ? value : "1";
+      continue;
+    }
+    if (!have_value) {
+      if (i + 1 >= argc) {
+        std::cerr << "option --" << arg << " needs a value\n";
+        return false;
+      }
+      value = argv[++i];
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+Cli::Option& Cli::find(const std::string& name, Kind kind) {
+  const auto it = options_.find(name);
+  if (it == options_.end() || it->second.kind != kind) {
+    throw std::logic_error("Cli: option not registered with this type: " +
+                           name);
+  }
+  return it->second;
+}
+
+const Cli::Option& Cli::find(const std::string& name, Kind kind) const {
+  return const_cast<Cli*>(this)->find(name, kind);
+}
+
+std::uint64_t Cli::u64(const std::string& name) const {
+  return std::strtoull(find(name, Kind::kU64).value.c_str(), nullptr, 10);
+}
+
+double Cli::f64(const std::string& name) const {
+  return std::strtod(find(name, Kind::kDouble).value.c_str(), nullptr);
+}
+
+const std::string& Cli::str(const std::string& name) const {
+  return find(name, Kind::kString).value;
+}
+
+bool Cli::flag(const std::string& name) const {
+  const std::string& v = find(name, Kind::kFlag).value;
+  return v != "0" && v != "false" && !v.empty();
+}
+
+std::string Cli::usage(const std::string& argv0) const {
+  std::ostringstream out;
+  out << description_ << "\n\nusage: " << argv0 << " [options]\n\noptions:\n";
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    out << "  --" << name << " <" << kind_name(static_cast<int>(opt.kind))
+        << ">  " << opt.help << " (default: " << opt.value << ")\n";
+  }
+  out << "  --help  print this message\n";
+  return out.str();
+}
+
+}  // namespace rbb

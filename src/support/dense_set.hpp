@@ -1,0 +1,70 @@
+// Dense integer set with O(1) insert, erase, membership and uniform
+// sampling.  Classic swap-with-last representation over a fixed universe
+// [0, capacity).  Used by the closed-Jackson-network simulator (sampling a
+// uniformly random busy station) and available to any process that needs
+// to sample from a dynamic subset of bins.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace rbb {
+
+class DenseSet {
+ public:
+  /// Empty set over the universe [0, capacity).
+  explicit DenseSet(std::uint32_t capacity)
+      : position_(capacity, kAbsent) {}
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept {
+    return static_cast<std::uint32_t>(position_.size());
+  }
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(members_.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
+  [[nodiscard]] bool contains(std::uint32_t x) const {
+    return position_.at(x) != kAbsent;
+  }
+
+  /// Inserts x; returns false if already present.
+  bool insert(std::uint32_t x) {
+    if (position_.at(x) != kAbsent) return false;
+    position_[x] = static_cast<std::uint32_t>(members_.size());
+    members_.push_back(x);
+    return true;
+  }
+
+  /// Erases x; returns false if absent.
+  bool erase(std::uint32_t x) {
+    const std::uint32_t pos = position_.at(x);
+    if (pos == kAbsent) return false;
+    const std::uint32_t last = members_.back();
+    members_[pos] = last;
+    position_[last] = pos;
+    members_.pop_back();
+    position_[x] = kAbsent;
+    return true;
+  }
+
+  /// Uniform random member.  Requires !empty().
+  [[nodiscard]] std::uint32_t sample(Rng& rng) const {
+    if (members_.empty()) throw std::logic_error("DenseSet::sample: empty");
+    return members_[rng.index(size())];
+  }
+
+  /// Unordered view of the members.
+  [[nodiscard]] const std::vector<std::uint32_t>& members() const noexcept {
+    return members_;
+  }
+
+ private:
+  static constexpr std::uint32_t kAbsent = UINT32_MAX;
+  std::vector<std::uint32_t> members_;
+  std::vector<std::uint32_t> position_;
+};
+
+}  // namespace rbb

@@ -1,0 +1,12 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace rbb {
+
+double Rng::exponential() noexcept {
+  // -log(1 - U) with U in [0,1): argument is in (0,1], result finite.
+  return -std::log1p(-uniform());
+}
+
+}  // namespace rbb

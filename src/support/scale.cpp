@@ -1,0 +1,33 @@
+#include "support/scale.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace rbb {
+
+BenchScale bench_scale() {
+  const char* env = std::getenv("RBB_BENCH_SCALE");
+  if (env == nullptr) return BenchScale::kDefault;
+  std::string v(env);
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (v == "smoke") return BenchScale::kSmoke;
+  if (v == "paper") return BenchScale::kPaper;
+  return BenchScale::kDefault;
+}
+
+std::string to_string(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kSmoke: return "smoke";
+    case BenchScale::kPaper: return "paper";
+    case BenchScale::kDefault: break;
+  }
+  return "default";
+}
+
+std::string csv_dir() {
+  const char* env = std::getenv("RBB_CSV_DIR");
+  return env == nullptr ? std::string{} : std::string(env);
+}
+
+}  // namespace rbb

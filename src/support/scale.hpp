@@ -1,0 +1,39 @@
+// Benchmark scale selection.
+//
+// The experiment benches honor the RBB_BENCH_SCALE environment variable so
+// the default `for b in build/bench/*; do $b; done` loop finishes in
+// minutes while still exercising every experiment:
+//   smoke   -- minimal sizes, seconds per bench (CI sanity),
+//   default -- the sizes recorded in EXPERIMENTS.md,
+//   paper   -- full sweeps matching the asymptotic regime of the theorems.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rbb {
+
+enum class BenchScale { kSmoke, kDefault, kPaper };
+
+/// Reads RBB_BENCH_SCALE (case-insensitive: "smoke", "default", "paper");
+/// anything else / unset yields kDefault.
+[[nodiscard]] BenchScale bench_scale();
+
+[[nodiscard]] std::string to_string(BenchScale scale);
+
+/// Picks one of three values by scale.
+template <typename T>
+[[nodiscard]] T by_scale(BenchScale scale, T smoke, T dflt, T paper) {
+  switch (scale) {
+    case BenchScale::kSmoke: return smoke;
+    case BenchScale::kPaper: return paper;
+    case BenchScale::kDefault: break;
+  }
+  return dflt;
+}
+
+/// Directory for CSV mirrors of the experiment tables (RBB_CSV_DIR), empty
+/// if unset.
+[[nodiscard]] std::string csv_dir();
+
+}  // namespace rbb

@@ -1,0 +1,140 @@
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+namespace rbb {
+
+struct ThreadPool::Batch {
+  std::uint64_t task_count = 0;
+  const std::function<void(std::uint64_t)>* fn = nullptr;
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<std::uint64_t> done{0};
+  std::exception_ptr first_error;  // guarded by the pool mutex
+};
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = default_thread_count();
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+unsigned ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("RBB_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1 && parsed <= 1024) return static_cast<unsigned>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 2 : hw;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+namespace {
+
+/// Claims and runs tasks from a batch until the index space is exhausted.
+/// Returns the number of tasks this thread completed.
+void drain_batch(ThreadPool::Batch& batch, std::mutex& mutex,
+                 std::condition_variable& batch_done) {
+  for (;;) {
+    const std::uint64_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.task_count) return;
+    try {
+      (*batch.fn)(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (!batch.first_error) batch.first_error = std::current_exception();
+    }
+    if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 >=
+        batch.task_count) {
+      // Lock/unlock before notifying: the submitter checks the completion
+      // predicate under `mutex`, so without this handshake the final
+      // increment + notify could land between its predicate check and its
+      // entry into wait(), losing the wakeup forever.
+      { const std::lock_guard<std::mutex> lock(mutex); }
+      batch_done.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::uint64_t task_count,
+                              const std::function<void(std::uint64_t)>& fn) {
+  if (task_count == 0) return;
+  auto batch = std::make_shared<Batch>();
+  batch->task_count = task_count;
+  batch->fn = &fn;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (current_ != nullptr) {
+      // Nested / concurrent parallel_for on the same pool: run inline to
+      // avoid deadlock rather than queueing.
+      lock.unlock();
+      for (std::uint64_t i = 0; i < task_count; ++i) fn(i);
+      return;
+    }
+    current_ = batch.get();
+    current_owner_ = batch;
+  }
+  work_available_.notify_all();
+
+  // The submitting thread participates in the work.
+  drain_batch(*batch, mutex_, batch_done_);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  batch_done_.wait(lock, [&batch] {
+    return batch->done.load(std::memory_order_acquire) >= batch->task_count;
+  });
+  current_ = nullptr;
+  current_owner_.reset();
+  const std::exception_ptr err = batch->first_error;
+  lock.unlock();
+  if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || current_ != nullptr; });
+      if (shutting_down_) return;
+      batch = current_owner_;  // keep the batch alive while we work on it
+    }
+    if (batch) drain_batch(*batch, mutex_, batch_done_);
+    // Wait until this batch is retired so we do not busy-spin re-claiming
+    // an exhausted index space.
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this, raw = batch.get()] {
+        return shutting_down_ || current_ != raw;
+      });
+      if (shutting_down_) return;
+    }
+  }
+}
+
+void parallel_for(std::uint64_t task_count,
+                  const std::function<void(std::uint64_t)>& fn) {
+  ThreadPool::global().parallel_for(task_count, fn);
+}
+
+}  // namespace rbb

@@ -1,0 +1,69 @@
+// Minimal task-parallel substrate for Monte-Carlo sweeps (design choice D5).
+//
+// Parallelism in this repository is *only* across independent trials and
+// sweep points, never inside a simulated round: each task owns its RNG
+// substream (derived from (seed, task_index)), writes into its own result
+// slot, and the combined output is bit-identical regardless of thread
+// count.  This matches the Core Guidelines concurrency advice (share
+// nothing mutable; communicate by transfer of ownership) and keeps every
+// scientific result reproducible.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rbb {
+
+/// Fixed-size pool of worker threads executing an indexed task function
+/// over a range [0, task_count).  Work is distributed by atomic counter
+/// (dynamic scheduling), which balances heterogeneous trial costs.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (with the
+  /// RBB_THREADS environment variable as an override, useful on CI).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn(i) for every i in [0, task_count), potentially in parallel,
+  /// and blocks until all tasks have finished.  Exceptions thrown by tasks
+  /// are rethrown (the first one captured) after the batch drains.
+  void parallel_for(std::uint64_t task_count,
+                    const std::function<void(std::uint64_t)>& fn);
+
+  [[nodiscard]] unsigned thread_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Number of threads a default-constructed pool would use.
+  [[nodiscard]] static unsigned default_thread_count();
+
+  /// A process-wide shared pool for the experiment drivers.
+  [[nodiscard]] static ThreadPool& global();
+
+  struct Batch;  // implementation detail, public only for internal linkage
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable batch_done_;
+  Batch* current_ = nullptr;                 // guarded by mutex_
+  std::shared_ptr<Batch> current_owner_;     // guarded by mutex_
+  bool shutting_down_ = false;
+};
+
+/// Convenience: run fn(i) for i in [0, task_count) on the global pool.
+void parallel_for(std::uint64_t task_count,
+                  const std::function<void(std::uint64_t)>& fn);
+
+}  // namespace rbb

@@ -1,0 +1,72 @@
+#include "tetris/leaky.hpp"
+
+#include <stdexcept>
+
+namespace rbb {
+
+LeakyBinsProcess::LeakyBinsProcess(LoadConfig initial, double lambda, Rng rng)
+    : loads_(std::move(initial)),
+      lambda_(lambda),
+      rng_(rng),
+      arrival_law_(loads_.size(), lambda),
+      balls_(rbb::total_balls(loads_)) {
+  if (loads_.empty()) {
+    throw std::invalid_argument("LeakyBinsProcess: empty configuration");
+  }
+  if (!(lambda >= 0.0 && lambda <= 1.0)) {
+    throw std::invalid_argument("LeakyBinsProcess: lambda outside [0, 1]");
+  }
+  max_load_ = rbb::max_load(loads_);
+  empty_ = rbb::empty_bins(loads_);
+}
+
+LeakyRoundStats LeakyBinsProcess::step() {
+  const auto n = static_cast<std::uint32_t>(loads_.size());
+  ++round_;
+  // Departures: every non-empty bin loses one ball (out of the system).
+  std::uint32_t zeros = 0;
+  std::uint32_t max_after = 0;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    std::uint32_t& load = loads_[u];
+    if (load > 0) {
+      --load;
+      --balls_;
+    }
+    if (load == 0) {
+      ++zeros;
+    } else if (load > max_after) {
+      max_after = load;
+    }
+  }
+  max_load_ = max_after;
+  empty_ = zeros;
+  // Arrivals: Binomial(n, lambda) fresh balls, placed u.a.r.
+  const std::uint64_t arrivals = arrival_law_(rng_);
+  for (std::uint64_t i = 0; i < arrivals; ++i) {
+    std::uint32_t& load = loads_[rng_.index(n)];
+    if (load == 0) --empty_;
+    if (++load > max_load_) max_load_ = load;
+  }
+  balls_ += arrivals;
+  return LeakyRoundStats{max_load_, empty_, balls_, arrivals};
+}
+
+LeakyRoundStats LeakyBinsProcess::run(std::uint64_t rounds) {
+  LeakyRoundStats stats{max_load_, empty_, balls_, 0};
+  for (std::uint64_t t = 0; t < rounds; ++t) stats = step();
+  return stats;
+}
+
+void LeakyBinsProcess::check_invariants() const {
+  if (rbb::total_balls(loads_) != balls_) {
+    throw std::logic_error("LeakyBinsProcess: ball count drifted");
+  }
+  if (rbb::max_load(loads_) != max_load_) {
+    throw std::logic_error("LeakyBinsProcess: max load out of sync");
+  }
+  if (rbb::empty_bins(loads_) != empty_) {
+    throw std::logic_error("LeakyBinsProcess: empty count out of sync");
+  }
+}
+
+}  // namespace rbb

@@ -1,0 +1,60 @@
+// The probabilistic Tetris / "leaky bins" process of Berenbrink et al.
+// (PODC 2016), cited by the paper (Sect. 1.3, ref. [18]) as the follow-up
+// that randomized the arrival stream: instead of exactly (3/4)n fresh
+// balls, each round brings Binomial(n, lambda) new balls, lambda in [0,1].
+//
+// For lambda < 1 the drift per non-empty bin stays negative and the system
+// is stable (logarithmic loads); at lambda = 1 the slack vanishes and the
+// queue mass grows.  Experiment E16 sweeps lambda across the transition.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "support/rng.hpp"
+#include "support/samplers.hpp"
+
+namespace rbb {
+
+/// Per-round statistics of the leaky-bins process.
+struct LeakyRoundStats {
+  std::uint32_t max_load = 0;
+  std::uint32_t empty_bins = 0;
+  std::uint64_t total_balls = 0;
+  std::uint64_t arrivals = 0;  // this round's Binomial(n, lambda) draw
+};
+
+/// Leaky-bins process: one departure per non-empty bin per round (the ball
+/// leaves the system), Binomial(n, lambda) fresh arrivals placed u.a.r.
+class LeakyBinsProcess {
+ public:
+  LeakyBinsProcess(LoadConfig initial, double lambda, Rng rng);
+
+  LeakyRoundStats step();
+  LeakyRoundStats run(std::uint64_t rounds);
+
+  [[nodiscard]] std::uint32_t bin_count() const noexcept {
+    return static_cast<std::uint32_t>(loads_.size());
+  }
+  [[nodiscard]] double lambda() const noexcept { return lambda_; }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] const LoadConfig& loads() const noexcept { return loads_; }
+  [[nodiscard]] std::uint32_t max_load() const noexcept { return max_load_; }
+  [[nodiscard]] std::uint32_t empty_bins() const noexcept { return empty_; }
+  [[nodiscard]] std::uint64_t total_balls() const noexcept { return balls_; }
+
+  /// Testing hook; throws std::logic_error if cached stats drift.
+  void check_invariants() const;
+
+ private:
+  LoadConfig loads_;
+  double lambda_;
+  Rng rng_;
+  BinomialSampler arrival_law_;
+  std::uint64_t balls_;
+  std::uint64_t round_ = 0;
+  std::uint32_t max_load_ = 0;
+  std::uint32_t empty_ = 0;
+};
+
+}  // namespace rbb

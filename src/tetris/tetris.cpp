@@ -1,0 +1,123 @@
+#include "tetris/tetris.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/samplers.hpp"
+
+namespace rbb {
+
+TetrisProcess::TetrisProcess(LoadConfig initial, Rng rng,
+                             std::uint64_t arrivals_per_round,
+                             ArrivalSampling sampling)
+    : loads_(std::move(initial)),
+      rng_(rng),
+      arrivals_(arrivals_per_round),
+      sampling_(sampling),
+      balls_(rbb::total_balls(loads_)) {
+  if (loads_.empty()) {
+    throw std::invalid_argument("TetrisProcess: empty configuration");
+  }
+  if (arrivals_ == 0) arrivals_ = loads_.size() * 3 / 4;
+  max_load_ = rbb::max_load(loads_);
+  empty_ = rbb::empty_bins(loads_);
+  first_empty_.assign(loads_.size(), kNeverEmptied);
+  for (std::uint32_t u = 0; u < loads_.size(); ++u) {
+    if (loads_[u] == 0) first_empty_[u] = 0;
+  }
+  not_yet_emptied_ = static_cast<std::uint32_t>(loads_.size()) - empty_;
+}
+
+TetrisRoundStats TetrisProcess::step() {
+  const auto n = static_cast<std::uint32_t>(loads_.size());
+  ++round_;
+  // Phase 1: every non-empty bin discards one ball.
+  std::uint32_t zeros = 0;
+  std::uint32_t max_after = 0;
+  pending_empty_.clear();
+  for (std::uint32_t u = 0; u < n; ++u) {
+    std::uint32_t& load = loads_[u];
+    if (load > 0) {
+      --load;
+      --balls_;
+      if (load == 0 && first_empty_[u] == kNeverEmptied) {
+        pending_empty_.push_back(u);
+      }
+    }
+    if (load == 0) {
+      ++zeros;
+    } else if (load > max_after) {
+      max_after = load;
+    }
+  }
+  max_load_ = max_after;
+  empty_ = zeros;
+  // Phase 2: arrivals.
+  if (sampling_ == ArrivalSampling::kBallByBall) {
+    for (std::uint64_t i = 0; i < arrivals_; ++i) {
+      apply_arrival(rng_.index(n));
+    }
+  } else {
+    const std::vector<std::uint32_t> counts =
+        occupancy_split(arrivals_, n, rng_);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      for (std::uint32_t c = 0; c < counts[v]; ++c) apply_arrival(v);
+    }
+  }
+  balls_ += arrivals_;
+  // A bin that reached zero in phase 1 was "empty at this round's end"
+  // only if no arrival refilled it.
+  for (const std::uint32_t u : pending_empty_) {
+    if (loads_[u] == 0 && first_empty_[u] == kNeverEmptied) {
+      first_empty_[u] = round_;
+      --not_yet_emptied_;
+    }
+  }
+  return TetrisRoundStats{max_load_, empty_, balls_};
+}
+
+void TetrisProcess::apply_arrival(std::uint32_t v) {
+  std::uint32_t& load = loads_[v];
+  if (load == 0) --empty_;
+  if (++load > max_load_) max_load_ = load;
+}
+
+TetrisRoundStats TetrisProcess::run(std::uint64_t rounds) {
+  TetrisRoundStats stats{max_load_, empty_, balls_};
+  for (std::uint64_t t = 0; t < rounds; ++t) stats = step();
+  return stats;
+}
+
+std::uint64_t TetrisProcess::max_first_empty_round() const {
+  if (not_yet_emptied_ != 0) return kNeverEmptied;
+  return *std::max_element(first_empty_.begin(), first_empty_.end());
+}
+
+std::uint64_t TetrisProcess::run_until_all_emptied(std::uint64_t max_rounds) {
+  while (!all_emptied_once()) {
+    if (round_ >= max_rounds) return kNeverEmptied;
+    step();
+  }
+  return max_first_empty_round();
+}
+
+void TetrisProcess::check_invariants() const {
+  if (rbb::total_balls(loads_) != balls_) {
+    throw std::logic_error("TetrisProcess: ball count drifted");
+  }
+  if (rbb::max_load(loads_) != max_load_) {
+    throw std::logic_error("TetrisProcess: max load out of sync");
+  }
+  if (rbb::empty_bins(loads_) != empty_) {
+    throw std::logic_error("TetrisProcess: empty count out of sync");
+  }
+  std::uint32_t unseen = 0;
+  for (std::uint32_t u = 0; u < loads_.size(); ++u) {
+    if (first_empty_[u] == kNeverEmptied) ++unseen;
+  }
+  if (unseen != not_yet_emptied_) {
+    throw std::logic_error("TetrisProcess: first-empty tracking out of sync");
+  }
+}
+
+}  // namespace rbb

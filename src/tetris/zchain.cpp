@@ -1,0 +1,32 @@
+#include "tetris/zchain.hpp"
+
+#include <stdexcept>
+
+namespace rbb {
+
+ZChain::ZChain(std::uint32_t n, std::uint64_t start)
+    : arrivals_(n * 3ull / 4ull, n > 0 ? 1.0 / static_cast<double>(n) : 0.0),
+      z_(start) {
+  if (n < 2) throw std::invalid_argument("ZChain: n < 2");
+}
+
+std::uint64_t ZChain::step(Rng& rng) {
+  if (z_ == 0) return 0;
+  ++steps_;
+  z_ = z_ - 1 + arrivals_(rng);
+  return z_;
+}
+
+std::uint64_t sample_absorption_time(std::uint32_t n, std::uint64_t start,
+                                     std::uint64_t cap, Rng& rng) {
+  ZChain chain(n, start);
+  std::uint64_t t = 0;
+  while (!chain.absorbed()) {
+    if (t >= cap) return kZChainNotAbsorbed;
+    chain.step(rng);
+    ++t;
+  }
+  return t;
+}
+
+}  // namespace rbb

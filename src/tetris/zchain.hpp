@@ -1,0 +1,51 @@
+// The absorbing Markov chain of paper eq. (4) (Lemma 5).
+//
+//   Z_t = 0                      if Z_{t-1} = 0          (0 is absorbing)
+//   Z_t = Z_{t-1} - 1 + X_t      if Z_{t-1} >= 1,
+//
+// with X_t i.i.d. Binomial(floor(3n/4), 1/n).  Z models a single Tetris
+// bin's load: one departure per round against mean-3/4 arrivals, i.e.
+// strictly negative drift -1/4.  Lemma 5: from state k, for t >= 8k,
+// P(tau > t) <= e^{-t/144} where tau is the absorption time.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "support/rng.hpp"
+#include "support/samplers.hpp"
+
+namespace rbb {
+
+/// One walker of the eq. (4) chain.
+class ZChain {
+ public:
+  /// Chain parameterized by the system size n (arrival law
+  /// Binomial(floor(3n/4), 1/n)) and a starting state.
+  ZChain(std::uint32_t n, std::uint64_t start);
+
+  /// Advances one step (no-op when absorbed); returns the new state.
+  std::uint64_t step(Rng& rng);
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return z_; }
+  [[nodiscard]] bool absorbed() const noexcept { return z_ == 0; }
+  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+
+ private:
+  BinomialSampler arrivals_;
+  std::uint64_t z_;
+  std::uint64_t steps_ = 0;
+};
+
+/// Sentinel for "not absorbed within the cap".
+inline constexpr std::uint64_t kZChainNotAbsorbed =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// Samples the absorption time tau of the chain started at `start`,
+/// giving up after `cap` steps (returns kZChainNotAbsorbed then).
+[[nodiscard]] std::uint64_t sample_absorption_time(std::uint32_t n,
+                                                   std::uint64_t start,
+                                                   std::uint64_t cap,
+                                                   Rng& rng);
+
+}  // namespace rbb

@@ -1,0 +1,353 @@
+// Tests for the experiment drivers: parameter validation, result-shape
+// sanity, determinism, and small-scale agreement with the paper's claims.
+#include "analysis/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "support/bounds.hpp"
+
+namespace rbb {
+namespace {
+
+TEST(ForEachTrial, RunsAllTrialsWithDistinctStreams) {
+  std::vector<std::uint64_t> first_draw(16, 0);
+  for_each_trial(16, 7, [&](std::uint32_t trial, Rng& rng) {
+    first_draw[trial] = rng();
+  });
+  std::set<std::uint64_t> unique(first_draw.begin(), first_draw.end());
+  EXPECT_EQ(unique.size(), 16u);
+}
+
+TEST(Stability, ValidatesParams) {
+  StabilityParams p;
+  p.n = 1;
+  p.rounds = 10;
+  p.trials = 1;
+  EXPECT_THROW((void)run_stability(p), std::invalid_argument);
+  p.n = 16;
+  p.trials = 0;
+  EXPECT_THROW((void)run_stability(p), std::invalid_argument);
+}
+
+TEST(Stability, RepeatedProcessStaysLegitimate) {
+  StabilityParams p;
+  p.n = 256;
+  p.rounds = 2000;
+  p.trials = 4;
+  p.seed = 3;
+  const StabilityResult r = run_stability(p);
+  EXPECT_EQ(r.window_max.count(), 4u);
+  EXPECT_GT(r.window_max.mean(), 1.0);
+  EXPECT_EQ(r.legit_window_fraction, 1.0);
+  // Empty fraction floor: Lemma 1 predicts >= 1/4 after round 1.
+  EXPECT_GT(r.min_empty_fraction.min(), 0.25);
+}
+
+TEST(Stability, DeterministicAcrossCalls) {
+  StabilityParams p;
+  p.n = 64;
+  p.rounds = 500;
+  p.trials = 3;
+  p.seed = 11;
+  const StabilityResult a = run_stability(p);
+  const StabilityResult b = run_stability(p);
+  EXPECT_EQ(a.window_max.mean(), b.window_max.mean());
+  EXPECT_EQ(a.overall_max, b.overall_max);
+}
+
+TEST(Stability, TetrisVariantRuns) {
+  StabilityParams p;
+  p.n = 128;
+  p.rounds = 1000;
+  p.trials = 2;
+  p.process = StabilityProcess::kTetris;
+  const StabilityResult r = run_stability(p);
+  EXPECT_GT(r.window_max.mean(), 0.0);
+}
+
+TEST(Stability, DChoicesBeatsSingleChoice) {
+  StabilityParams p;
+  p.n = 512;
+  p.rounds = 2000;
+  p.trials = 2;
+  const StabilityResult d1 = run_stability(p);
+  p.process = StabilityProcess::kRepeatedDChoice;
+  p.choices = 2;
+  const StabilityResult d2 = run_stability(p);
+  EXPECT_LT(d2.window_max.mean(), d1.window_max.mean());
+}
+
+TEST(Stability, IndependentWalksRun) {
+  StabilityParams p;
+  p.n = 128;
+  p.rounds = 300;
+  p.trials = 2;
+  p.process = StabilityProcess::kIndependent;
+  const StabilityResult r = run_stability(p);
+  EXPECT_GT(r.window_max.mean(), 0.0);
+  // Unconstrained walks have ~1/e empty fraction, above 1/4.
+  EXPECT_GT(r.min_empty_fraction.mean(), 0.25);
+}
+
+TEST(Stability, GraphVariantRuns) {
+  Rng rng(1);
+  const Graph g = make_cycle(64);
+  StabilityParams p;
+  p.n = 64;
+  p.rounds = 500;
+  p.trials = 2;
+  p.graph = &g;
+  const StabilityResult r = run_stability(p);
+  EXPECT_GT(r.window_max.mean(), 0.0);
+}
+
+TEST(Convergence, AllInOneConvergesLinearly) {
+  ConvergenceParams p;
+  p.n = 256;
+  p.trials = 4;
+  const ConvergenceResult r = run_convergence(p);
+  EXPECT_EQ(r.timeouts, 0u);
+  EXPECT_EQ(r.rounds_to_legitimate.count(), 4u);
+  // From all-in-one the big bin drains 1/round: convergence ~ n - beta log n.
+  EXPECT_GT(r.normalized.mean(), 0.5);
+  EXPECT_LT(r.normalized.mean(), 1.5);
+}
+
+TEST(Convergence, LegitimateStartConvergesImmediately) {
+  ConvergenceParams p;
+  p.n = 64;
+  p.trials = 2;
+  p.start = InitialConfig::kOnePerBin;
+  const ConvergenceResult r = run_convergence(p);
+  EXPECT_EQ(r.rounds_to_legitimate.max(), 0.0);
+}
+
+TEST(EmptyBins, QuarterFloorHolds) {
+  EmptyBinsParams p;
+  p.n = 256;
+  p.rounds = 2000;
+  p.trials = 4;
+  const EmptyBinsResult r = run_empty_bins(p);
+  EXPECT_EQ(r.below_quarter, 0u);
+  // Equilibrium empty fraction is ~0.33-0.37 for the constrained process.
+  EXPECT_GT(r.mean_fraction.mean(), 0.28);
+  EXPECT_LT(r.mean_fraction.mean(), 0.45);
+}
+
+TEST(Coupling, DominationAtSmallScale) {
+  CouplingParams p;
+  p.n = 128;
+  p.rounds = 1000;
+  p.trials = 4;
+  const CouplingResult r = run_coupling(p);
+  EXPECT_EQ(r.total_violation_rounds, 0u);
+  EXPECT_EQ(r.total_case_two_rounds, 0u);
+  EXPECT_EQ(r.trials_dominated_throughout, 4u);
+  EXPECT_GE(r.tetris_window_max.mean(), r.original_window_max.mean());
+}
+
+TEST(TetrisDrain, WithinFiveN) {
+  TetrisDrainParams p;
+  p.n = 256;
+  p.trials = 4;
+  const TetrisDrainResult r = run_tetris_drain(p);
+  EXPECT_EQ(r.timeouts, 0u);
+  EXPECT_EQ(r.exceeded_5n, 0u);
+  EXPECT_LT(r.normalized.mean(), 5.0);
+  EXPECT_GT(r.normalized.mean(), 0.5);
+}
+
+TEST(ZChainTail, BelowLemma5Bound) {
+  ZChainTailParams p;
+  p.n = 256;
+  p.start = 4;
+  p.ts = {32, 64, 128};
+  p.trials = 2000;
+  const ZChainTailResult r = run_zchain_tail(p);
+  ASSERT_EQ(r.empirical_tail.size(), 3u);
+  // t = 32 >= 8k: Lemma 5 applies.  Empirical tail is far below the bound.
+  EXPECT_LE(r.empirical_tail[0], std::exp(-32.0 / 144.0));
+  // Tails are monotone decreasing.
+  EXPECT_GE(r.empirical_tail[0], r.empirical_tail[1]);
+  EXPECT_GE(r.empirical_tail[1], r.empirical_tail[2]);
+}
+
+TEST(ZChainTail, ValidatesSortedTs) {
+  ZChainTailParams p;
+  p.n = 64;
+  p.start = 2;
+  p.ts = {100, 50};
+  p.trials = 10;
+  EXPECT_THROW((void)run_zchain_tail(p), std::invalid_argument);
+}
+
+TEST(CoverTime, ParallelSlowerThanSingleByLogFactor) {
+  CoverTimeParams p;
+  p.n = 128;
+  p.trials = 3;
+  const CoverTimeResult r = run_cover_time(p);
+  EXPECT_EQ(r.timeouts, 0u);
+  // n tokens need longer than one walker...
+  EXPECT_GT(r.cover_time.mean(), r.single_walk.mean());
+  // ...but only by roughly a log factor (generous band).
+  EXPECT_LT(r.cover_time.mean(), 30.0 * r.single_walk.mean());
+}
+
+TEST(NegAssoc, MatchesAppendixBExactValues) {
+  const NegAssocResult r = run_negative_association(400000, 17);
+  EXPECT_EQ(r.trials, 400000u);
+  EXPECT_NEAR(r.p_x1_zero, 0.25, 0.005);
+  EXPECT_NEAR(r.p_x2_zero, 0.375, 0.005);
+  EXPECT_NEAR(r.p_both_zero, 0.125, 0.005);
+  // The counterexample inequality: P(00) > P(0)P(0).
+  EXPECT_GT(r.p_both_zero, r.p_x1_zero * r.p_x2_zero);
+}
+
+TEST(SqrtT, RunningMaxFlattens) {
+  SqrtTParams p;
+  p.n = 256;
+  p.checkpoints = {16, 256, 4096};
+  p.trials = 3;
+  const SqrtTResult r = run_sqrt_t(p);
+  ASSERT_EQ(r.running_max_mean.size(), 3u);
+  // Monotone (running max) but far below sqrt(t) at the last checkpoint.
+  EXPECT_LE(r.running_max_mean[0], r.running_max_mean[1]);
+  EXPECT_LE(r.running_max_mean[1], r.running_max_mean[2]);
+  EXPECT_LT(r.running_max_mean[2], std::sqrt(4096.0));
+}
+
+TEST(OneShot, BaselinesRun) {
+  OneShotParams p;
+  p.n = 1024;
+  p.trials = 10;
+  const OneShotResult plain = run_oneshot(p);
+  p.d = 2;
+  const OneShotResult greedy2 = run_oneshot(p);
+  EXPECT_LT(greedy2.max_load.mean(), plain.max_load.mean());
+  p.always_go_left = true;
+  const OneShotResult dleft = run_oneshot(p);
+  EXPECT_LT(dleft.max_load.mean(), plain.max_load.mean());
+}
+
+TEST(Leaky, SubcriticalStationary) {
+  LeakyParams p;
+  p.n = 128;
+  p.lambda = 0.5;
+  p.burn_in = 300;
+  p.rounds = 500;
+  p.trials = 3;
+  const LeakyResult r = run_leaky(p);
+  EXPECT_LT(r.mean_total_per_bin.mean(), 3.0);
+  EXPECT_GT(r.mean_empty_fraction.mean(), 0.25);
+}
+
+TEST(Jackson, DriverRuns) {
+  JacksonParams p;
+  p.n = 64;
+  p.trials = 3;
+  const JacksonResult r = run_jackson(p);
+  EXPECT_GT(r.running_max.mean(), 0.0);
+  EXPECT_GE(r.running_max.mean(), r.final_max.mean());
+  EXPECT_GT(r.events_per_unit_time.mean(), 0.0);
+}
+
+TEST(Delays, FifoMaxDelayNearLogN) {
+  DelayParams p;
+  p.n = 256;
+  p.trials = 3;
+  const DelayResult r = run_delays(p);
+  EXPECT_GT(r.delays.total(), 0u);
+  // Typical release waits under a round in equilibrium...
+  EXPECT_LT(r.mean_delay, 2.0);
+  EXPECT_EQ(r.p50, 0u);
+  // ...and the worst wait is O(log n): generous envelope 4 log2 n.
+  EXPECT_LE(r.max_delay.mean(), 4.0 * log2n(p.n));
+  EXPECT_LE(r.p99, r.p999);
+}
+
+TEST(Delays, LifoTailWorseThanFifo) {
+  DelayParams p;
+  p.n = 256;
+  p.trials = 3;
+  const DelayResult fifo = run_delays(p);
+  p.policy = QueuePolicy::kLifo;
+  const DelayResult lifo = run_delays(p);
+  EXPECT_GT(lifo.max_delay.mean(), fifo.max_delay.mean());
+}
+
+TEST(LoadProfile, RepeatedProcessTailDecays) {
+  LoadProfileParams p;
+  p.n = 256;
+  p.trials = 2;
+  const LoadProfileResult r = run_load_profile(p);
+  ASSERT_GE(r.tail.size(), 3u);
+  EXPECT_NEAR(r.tail[0], 1.0, 1e-12);  // every bin has load >= 0
+  // Empty fraction ~0.41 in equilibrium => P(load >= 1) ~ 0.59.
+  EXPECT_NEAR(r.tail[1], 0.59, 0.08);
+  // Geometric-ish decay.
+  EXPECT_LT(r.tail[2], r.tail[1]);
+  if (r.tail.size() > 4) {
+    EXPECT_LT(r.tail[4], 0.1);
+  }
+}
+
+TEST(LoadProfile, AllProcessesProduceProfiles) {
+  for (const auto process :
+       {ProfileProcess::kRepeated, ProfileProcess::kIndependent,
+        ProfileProcess::kTetris, ProfileProcess::kJackson}) {
+    LoadProfileParams p;
+    p.n = 64;
+    p.process = process;
+    p.trials = 2;
+    p.samples = 10;
+    const LoadProfileResult r = run_load_profile(p);
+    EXPECT_GT(r.profile.total(), 0u);
+    EXPECT_NEAR(r.tail[0], 1.0, 1e-12);
+  }
+}
+
+TEST(Mixing, EquilibriumStartMixesFast) {
+  MixingParams p;
+  p.n = 64;
+  p.checkpoints = {1, 4, 16};
+  p.trials = 8000;
+  const MixingResult r = run_mixing(p);
+  ASSERT_EQ(r.tv_from_uniform.size(), 3u);
+  EXPECT_GT(r.noise_floor, 0.0);
+  // By t = 16 the TV sits at the sampling noise floor.
+  EXPECT_LT(r.tv_from_uniform[2], 2.0 * r.noise_floor);
+}
+
+TEST(Mixing, PileStartFreezesTheBuriedToken) {
+  MixingParams p;
+  p.n = 64;
+  p.placement = InitialConfig::kAllInOne;
+  p.checkpoints = {8, 32, 128};
+  p.trials = 3000;
+  const MixingResult r = run_mixing(p);
+  // Under FIFO the tracked token cannot move before round n-1 = 63.
+  EXPECT_GT(r.tv_from_uniform[0], 0.9);
+  EXPECT_GT(r.tv_from_uniform[1], 0.9);
+  // Well after the pile drains, back to (near) the noise floor.
+  EXPECT_LT(r.tv_from_uniform[2], 4.0 * r.noise_floor);
+}
+
+TEST(Progress, FifoTokensAllMakeProgress) {
+  ProgressParams p;
+  p.n = 128;
+  p.trials = 3;
+  const ProgressResult r = run_progress(p);
+  EXPECT_GT(r.min_progress.min(), 0.0);
+  // Mean progress per round ~ non-empty fraction ~ 0.6-0.7.
+  EXPECT_GT(r.mean_progress.mean(), 0.5);
+  EXPECT_LT(r.mean_progress.mean(), 0.8);
+  // Sect. 4: min progress * log2 n / t is bounded below by a constant.
+  EXPECT_GT(r.min_progress_normalized.mean(), 0.5);
+}
+
+}  // namespace
+}  // namespace rbb

@@ -1,0 +1,109 @@
+// Tests for the scaling-law fit utilities.
+#include "analysis/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace rbb {
+namespace {
+
+TEST(FitLinear, ExactLine) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {3, 5, 7, 9};  // y = 1 + 2x
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinear, ConstantData) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {5, 5, 5};
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);  // perfect (degenerate) fit
+}
+
+TEST(FitLinear, Validation) {
+  EXPECT_THROW((void)fit_linear(std::vector<double>{1},
+                                std::vector<double>{2}),
+               std::invalid_argument);
+  EXPECT_THROW((void)fit_linear(std::vector<double>{1, 2},
+                                std::vector<double>{2}),
+               std::invalid_argument);
+  EXPECT_THROW((void)fit_linear(std::vector<double>{3, 3},
+                                std::vector<double>{1, 2}),
+               std::invalid_argument);
+}
+
+TEST(FitLinear, NoisyDataReasonable) {
+  Rng rng(1);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 1; i <= 100; ++i) {
+    x.push_back(i);
+    y.push_back(0.5 * i + 2.0 + (rng.uniform() - 0.5));
+  }
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 0.01);
+  EXPECT_NEAR(fit.intercept, 2.0, 0.5);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(FitPowerLaw, ExactPowerLaw) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (const double v : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * v * v);  // y = 3 x^2
+  }
+  const PowerLawFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 2.0, 1e-10);
+  EXPECT_NEAR(fit.prefactor, 3.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitPowerLaw, RecognizesLinearGrowth) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (const double v : {256.0, 1024.0, 4096.0}) {
+    x.push_back(v);
+    y.push_back(1.5 * v);  // the Theorem-1 convergence shape
+  }
+  const PowerLawFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 1.0, 1e-10);
+  EXPECT_NEAR(fit.prefactor, 1.5, 1e-9);
+}
+
+TEST(FitPowerLaw, NLogSquaredNHasExponentAboveOne) {
+  // The Corollary-1 scale n log2^2 n fits as a power law with exponent
+  // between 1 and 1.5 over the bench's n range.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (const double v : {128.0, 256.0, 512.0, 1024.0}) {
+    x.push_back(v);
+    const double l = std::log2(v);
+    y.push_back(v * l * l);
+  }
+  const PowerLawFit fit = fit_power_law(x, y);
+  EXPECT_GT(fit.exponent, 1.1);
+  EXPECT_LT(fit.exponent, 1.5);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(FitPowerLaw, RejectsNonPositive) {
+  EXPECT_THROW((void)fit_power_law(std::vector<double>{1, 2},
+                                   std::vector<double>{0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)fit_power_law(std::vector<double>{-1, 2},
+                                   std::vector<double>{1, 1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rbb

@@ -1,0 +1,137 @@
+// Tests for independent parallel walks and the single-walker baseline.
+#include "baselines/independent_walks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "support/bounds.hpp"
+#include "support/stats.hpp"
+
+namespace rbb {
+namespace {
+
+std::vector<std::uint32_t> spread(std::uint32_t n) {
+  std::vector<std::uint32_t> pos(n);
+  std::iota(pos.begin(), pos.end(), 0u);
+  return pos;
+}
+
+TEST(IndependentWalks, RejectsBadConstruction) {
+  EXPECT_THROW(IndependentWalksProcess(0, {0}, nullptr, Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(IndependentWalksProcess(4, {}, nullptr, Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(IndependentWalksProcess(4, {7}, nullptr, Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(IndependentWalks, ConservesBalls) {
+  IndependentWalksProcess proc(32, spread(32), nullptr, Rng(2));
+  for (int t = 0; t < 100; ++t) {
+    proc.step();
+    const auto& loads = proc.loads();
+    ASSERT_EQ(std::accumulate(loads.begin(), loads.end(), 0u), 32u);
+  }
+}
+
+TEST(IndependentWalks, EveryBallMovesEveryRound) {
+  // Unlike the constrained process, all m balls relocate each round:
+  // after one round on the clique the loads are a fresh occupancy.
+  IndependentWalksProcess proc(64, std::vector<std::uint32_t>(64, 0),
+                               nullptr, Rng(3));
+  EXPECT_EQ(proc.loads()[0], 64u);
+  proc.step();
+  // All 64 balls left bin 0 (P[ball stays] = 1/64 each; some may return,
+  // but the pile is gone).
+  EXPECT_LT(proc.loads()[0], 16u);
+}
+
+TEST(IndependentWalks, EquilibriumEmptyFractionIsOneOverE) {
+  // Fresh n-ball occupancy each round: empty fraction ~ (1-1/n)^n ~ 1/e,
+  // notably above the constrained process's equilibrium.
+  constexpr std::uint32_t n = 1024;
+  IndependentWalksProcess proc(n, spread(n), nullptr, Rng(4));
+  double sum = 0.0;
+  constexpr int kRounds = 300;
+  for (int t = 0; t < kRounds; ++t) {
+    proc.step();
+    sum += static_cast<double>(proc.empty_bins()) / n;
+  }
+  EXPECT_NEAR(sum / kRounds, std::exp(-1.0), 0.02);
+}
+
+TEST(IndependentWalks, GraphModeStaysOnEdges) {
+  const Graph g = make_cycle(16);
+  IndependentWalksProcess proc(16, spread(16), &g, Rng(5));
+  // On a cycle, positions change by +-1 mod 16 per round; just check
+  // conservation and support.
+  proc.run(50);
+  const auto& loads = proc.loads();
+  EXPECT_EQ(std::accumulate(loads.begin(), loads.end(), 0u), 16u);
+}
+
+TEST(SingleWalk, CoverTimeNearCouponCollector) {
+  // Clique: E[cover] = n H_n; n = 256 -> ~1567.
+  constexpr std::uint32_t n = 256;
+  Rng rng(6);
+  OnlineMoments cover;
+  for (int i = 0; i < 60; ++i) {
+    const auto c = single_walk_cover_time(n, nullptr, 100000, rng);
+    ASSERT_TRUE(c.has_value());
+    cover.add(static_cast<double>(*c));
+  }
+  EXPECT_NEAR(cover.mean(), coupon_collector_mean(n), 0.25 * coupon_collector_mean(n));
+}
+
+TEST(SingleWalk, RespectsCap) {
+  Rng rng(7);
+  EXPECT_FALSE(single_walk_cover_time(1024, nullptr, 10, rng).has_value());
+}
+
+TEST(SingleWalk, CycleCoverIsQuadratic) {
+  // Cycle cover time is Theta(n^2), far above the clique's n log n.
+  constexpr std::uint32_t n = 64;
+  const Graph g = make_cycle(n);
+  Rng rng(8);
+  OnlineMoments cover;
+  for (int i = 0; i < 30; ++i) {
+    const auto c = single_walk_cover_time(n, &g, 10 * n * n, rng);
+    ASSERT_TRUE(c.has_value());
+    cover.add(static_cast<double>(*c));
+  }
+  // E[cover] = n(n-1)/2 ~ 2016 for the cycle.
+  EXPECT_NEAR(cover.mean(), n * (n - 1) / 2.0, 0.3 * n * n);
+  EXPECT_GT(cover.mean(), 2.0 * coupon_collector_mean(n));
+}
+
+TEST(SingleWalk, LollipopIsTheWorstCase) {
+  // The lollipop's single-walker cover time is Theta(n^3) -- much worse
+  // than both the clique (n log n) and the cycle (n^2).
+  constexpr std::uint32_t n = 32;
+  const Graph lollipop = make_lollipop(n);
+  Rng rng(10);
+  OnlineMoments lolli;
+  OnlineMoments clique;
+  for (int i = 0; i < 20; ++i) {
+    const auto c1 =
+        single_walk_cover_time(n, &lollipop, 100ull * n * n * n, rng);
+    ASSERT_TRUE(c1.has_value());
+    lolli.add(static_cast<double>(*c1));
+    const auto c2 = single_walk_cover_time(n, nullptr, 1u << 22, rng);
+    ASSERT_TRUE(c2.has_value());
+    clique.add(static_cast<double>(*c2));
+  }
+  EXPECT_GT(lolli.mean(), 5.0 * clique.mean());
+}
+
+TEST(SingleWalk, SingleBinCoversImmediately) {
+  Rng rng(9);
+  const auto c = single_walk_cover_time(1, nullptr, 10, rng);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, 0u);  // start position already covers the only bin
+}
+
+}  // namespace
+}  // namespace rbb

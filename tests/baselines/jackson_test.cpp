@@ -1,0 +1,103 @@
+// Tests for the closed Jackson network simulator.
+#include "baselines/jackson.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/stats.hpp"
+
+namespace rbb {
+namespace {
+
+TEST(Jackson, RejectsEmptyConfig) {
+  EXPECT_THROW(ClosedJacksonNetwork(LoadConfig{}, Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(Jackson, ConservesCustomers) {
+  Rng rng(2);
+  ClosedJacksonNetwork net(make_config(InitialConfig::kRandom, 32, 32, rng),
+                           rng);
+  for (int i = 0; i < 1000; ++i) {
+    net.step_event();
+    net.check_invariants();
+  }
+  EXPECT_EQ(total_balls(net.loads()), 32u);
+}
+
+TEST(Jackson, TimeAdvancesMonotonically) {
+  Rng rng(3);
+  ClosedJacksonNetwork net(LoadConfig(16, 1), rng);
+  double prev = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double dt = net.step_event();
+    EXPECT_GT(dt, 0.0);
+    EXPECT_GT(net.time(), prev);
+    prev = net.time();
+  }
+  EXPECT_EQ(net.events(), 200u);
+}
+
+TEST(Jackson, RunUntilStopsAtHorizon) {
+  Rng rng(4);
+  ClosedJacksonNetwork net(LoadConfig(16, 1), rng);
+  net.run_until(50.0);
+  EXPECT_DOUBLE_EQ(net.time(), 50.0);
+  net.check_invariants();
+}
+
+TEST(Jackson, EventRateMatchesBusyCount) {
+  // With all stations busy (load >= 1 everywhere initially and customers
+  // = stations), the long-run event rate per unit time is ~ #busy ~ n(1-e^{-1}).
+  constexpr std::uint32_t n = 64;
+  Rng rng(5);
+  ClosedJacksonNetwork net(LoadConfig(n, 1), rng);
+  const double horizon = 200.0;
+  net.run_until(horizon);
+  const double rate = static_cast<double>(net.events()) / horizon;
+  // Stationary busy fraction for the closed network with m = n is
+  // ~ (1 - 1/e) per the product-form marginals; envelope generously.
+  EXPECT_GT(rate, 0.4 * n);
+  EXPECT_LT(rate, 1.0 * n);
+}
+
+TEST(Jackson, RunningMaxDominatesCurrentMax) {
+  Rng rng(6);
+  ClosedJacksonNetwork net(LoadConfig(32, 1), rng);
+  net.run_until(100.0);
+  EXPECT_GE(net.running_max_load(), net.max_load());
+  EXPECT_GE(net.running_max_load(), 1u);
+}
+
+TEST(Jackson, BusySetMatchesLoads) {
+  Rng rng(7);
+  ClosedJacksonNetwork net(make_config(InitialConfig::kAllInOne, 16, 16, rng),
+                           rng);
+  EXPECT_EQ(net.busy_stations(), 1u);
+  net.run_until(20.0);
+  std::uint32_t busy = 0;
+  for (const auto load : net.loads()) busy += load > 0 ? 1u : 0u;
+  EXPECT_EQ(net.busy_stations(), busy);
+}
+
+TEST(Jackson, DeterministicForSeed) {
+  auto run = [] {
+    Rng rng(8);
+    ClosedJacksonNetwork net(LoadConfig(16, 1), rng);
+    net.run_until(50.0);
+    return net.loads();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Jackson, MaxQueueStaysModerate) {
+  // Product-form marginals are ~geometric; the max queue over n = 256
+  // stations within 20n time units stays far below n.
+  constexpr std::uint32_t n = 256;
+  Rng rng(9);
+  ClosedJacksonNetwork net(LoadConfig(n, 1), rng);
+  net.run_until(20.0 * n);
+  EXPECT_LT(net.running_max_load(), n / 4);
+}
+
+}  // namespace
+}  // namespace rbb

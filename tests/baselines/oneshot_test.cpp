@@ -1,0 +1,119 @@
+// Tests for the one-shot balls-into-bins baselines.
+#include "baselines/oneshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "support/bounds.hpp"
+#include "support/stats.hpp"
+
+namespace rbb {
+namespace {
+
+TEST(OneShot, ConservesBalls) {
+  Rng rng(1);
+  const auto occ = oneshot_occupancy(500, 64, rng);
+  EXPECT_EQ(std::accumulate(occ.begin(), occ.end(), 0u), 500u);
+}
+
+TEST(OneShot, MaxLoadNearLogOverLogLog) {
+  // n = 4096: E[max load] ~ log n / log log n * (1 + o(1)) ~ 3.9; the
+  // realized value concentrates in [3, 9] overwhelmingly.
+  constexpr std::uint32_t n = 4096;
+  Rng rng(2);
+  OnlineMoments m;
+  for (int i = 0; i < 50; ++i) {
+    m.add(static_cast<double>(oneshot_max_load(n, n, rng)));
+  }
+  EXPECT_GE(m.min(), 3.0);
+  EXPECT_LE(m.max(), 10.0);
+  const double predicted = oneshot_max_load_asymptotic(n);
+  EXPECT_NEAR(m.mean(), predicted * 1.6, 2.5);
+}
+
+TEST(DChoice, RejectsBadParameters) {
+  Rng rng(3);
+  EXPECT_THROW((void)dchoice_occupancy(10, 0, 2, rng), std::invalid_argument);
+  EXPECT_THROW((void)dchoice_occupancy(10, 4, 0, rng), std::invalid_argument);
+}
+
+TEST(DChoice, ConservesBalls) {
+  Rng rng(4);
+  const auto occ = dchoice_occupancy(300, 32, 2, rng);
+  EXPECT_EQ(std::accumulate(occ.begin(), occ.end(), 0u), 300u);
+}
+
+TEST(DChoice, DOneMatchesOneShotDistribution) {
+  Rng rng(5);
+  OnlineMoments one;
+  OnlineMoments d1;
+  for (int i = 0; i < 60; ++i) {
+    one.add(static_cast<double>(oneshot_max_load(1024, 1024, rng)));
+    d1.add(static_cast<double>(dchoice_max_load(1024, 1024, 1, rng)));
+  }
+  EXPECT_NEAR(one.mean(), d1.mean(), 1.0);
+}
+
+TEST(DChoice, TwoChoicesBeatOne) {
+  // The power of two choices: max load drops from ~log n/log log n to
+  // ~log log n.  At n = 4096 the gap is decisive in every trial batch.
+  constexpr std::uint32_t n = 4096;
+  Rng rng(6);
+  OnlineMoments one;
+  OnlineMoments two;
+  for (int i = 0; i < 30; ++i) {
+    one.add(static_cast<double>(oneshot_max_load(n, n, rng)));
+    two.add(static_cast<double>(dchoice_max_load(n, n, 2, rng)));
+  }
+  EXPECT_LT(two.mean() + 1.0, one.mean());
+  EXPECT_LE(two.max(), 5.0);  // log2 log2 4096 ~ 3.6
+}
+
+TEST(DChoice, ThreeChoicesAtLeastAsGoodAsTwo) {
+  constexpr std::uint32_t n = 4096;
+  Rng rng(7);
+  OnlineMoments two;
+  OnlineMoments three;
+  for (int i = 0; i < 30; ++i) {
+    two.add(static_cast<double>(dchoice_max_load(n, n, 2, rng)));
+    three.add(static_cast<double>(dchoice_max_load(n, n, 3, rng)));
+  }
+  EXPECT_LE(three.mean(), two.mean() + 0.2);
+}
+
+TEST(DLeft, RejectsBadParameters) {
+  Rng rng(8);
+  EXPECT_THROW((void)dleft_occupancy(10, 8, 1, rng), std::invalid_argument);
+  EXPECT_THROW((void)dleft_occupancy(10, 4, 5, rng), std::invalid_argument);
+}
+
+TEST(DLeft, ConservesBalls) {
+  Rng rng(9);
+  const auto occ = dleft_occupancy(256, 32, 2, rng);
+  EXPECT_EQ(std::accumulate(occ.begin(), occ.end(), 0u), 256u);
+}
+
+TEST(DLeft, CompetitiveWithGreedyD) {
+  // Always-Go-Left is provably at least as good asymptotically; at test
+  // scale demand it is within one ball of Greedy[2].
+  constexpr std::uint32_t n = 2048;
+  Rng rng(10);
+  OnlineMoments greedy;
+  OnlineMoments dleft;
+  for (int i = 0; i < 30; ++i) {
+    greedy.add(static_cast<double>(dchoice_max_load(n, n, 2, rng)));
+    dleft.add(static_cast<double>(dleft_max_load(n, n, 2, rng)));
+  }
+  EXPECT_LE(dleft.mean(), greedy.mean() + 1.0);
+}
+
+TEST(DLeft, HandlesUnevenGroups) {
+  Rng rng(11);
+  // bins = 10, d = 3: groups of sizes 3/3/4; must still place all balls.
+  const auto occ = dleft_occupancy(100, 10, 3, rng);
+  EXPECT_EQ(std::accumulate(occ.begin(), occ.end(), 0u), 100u);
+}
+
+}  // namespace
+}  // namespace rbb

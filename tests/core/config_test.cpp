@@ -1,0 +1,149 @@
+// Tests for load configurations and the legitimacy predicate.
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rbb {
+namespace {
+
+TEST(MakeConfig, OnePerBin) {
+  Rng rng(1);
+  const LoadConfig q = make_config(InitialConfig::kOnePerBin, 8, 8, rng);
+  for (const auto load : q) EXPECT_EQ(load, 1u);
+}
+
+TEST(MakeConfig, OnePerBinWithMoreBalls) {
+  Rng rng(1);
+  const LoadConfig q = make_config(InitialConfig::kOnePerBin, 4, 10, rng);
+  EXPECT_EQ(q[0], 3u);
+  EXPECT_EQ(q[1], 3u);
+  EXPECT_EQ(q[2], 2u);
+  EXPECT_EQ(q[3], 2u);
+}
+
+TEST(MakeConfig, AllInOne) {
+  Rng rng(2);
+  const LoadConfig q = make_config(InitialConfig::kAllInOne, 8, 8, rng);
+  EXPECT_EQ(q[0], 8u);
+  EXPECT_EQ(max_load(q), 8u);
+  EXPECT_EQ(empty_bins(q), 7u);
+}
+
+TEST(MakeConfig, RandomConservesBalls) {
+  Rng rng(3);
+  const LoadConfig q = make_config(InitialConfig::kRandom, 64, 64, rng);
+  EXPECT_EQ(total_balls(q), 64u);
+}
+
+TEST(MakeConfig, HalfLoaded) {
+  Rng rng(4);
+  const LoadConfig q = make_config(InitialConfig::kHalfLoaded, 8, 8, rng);
+  EXPECT_EQ(total_balls(q), 8u);
+  for (std::uint32_t u = 4; u < 8; ++u) EXPECT_EQ(q[u], 0u);
+  EXPECT_EQ(empty_bins(q), 4u);
+}
+
+TEST(MakeConfig, GeometricProfile) {
+  Rng rng(5);
+  const LoadConfig q = make_config(InitialConfig::kGeometric, 8, 64, rng);
+  EXPECT_EQ(total_balls(q), 64u);
+  EXPECT_EQ(q[0], 32u);
+  EXPECT_EQ(q[1], 16u);
+  EXPECT_GE(q[0], q[1]);
+}
+
+TEST(MakeConfig, AllKindsConserveBalls) {
+  Rng rng(6);
+  for (const auto kind :
+       {InitialConfig::kOnePerBin, InitialConfig::kAllInOne,
+        InitialConfig::kRandom, InitialConfig::kHalfLoaded,
+        InitialConfig::kGeometric}) {
+    const LoadConfig q = make_config(kind, 33, 77, rng);
+    EXPECT_EQ(total_balls(q), 77u) << to_string(kind);
+    EXPECT_EQ(q.size(), 33u);
+  }
+}
+
+TEST(MakeConfig, RejectsZeroBins) {
+  Rng rng(7);
+  EXPECT_THROW((void)make_config(InitialConfig::kRandom, 0, 5, rng),
+               std::invalid_argument);
+}
+
+TEST(ConfigStats, Basics) {
+  const LoadConfig q{3, 0, 1, 0, 0};
+  EXPECT_EQ(total_balls(q), 4u);
+  EXPECT_EQ(max_load(q), 3u);
+  EXPECT_EQ(empty_bins(q), 3u);
+}
+
+TEST(Legitimacy, ThresholdScalesWithLogN) {
+  // n = 1024: log2 n = 10, beta = 4 -> threshold 40.
+  LoadConfig q(1024, 0);
+  q[0] = 40;
+  EXPECT_TRUE(is_legitimate(q, 4.0));
+  q[0] = 41;
+  EXPECT_FALSE(is_legitimate(q, 4.0));
+  EXPECT_TRUE(is_legitimate(q, 5.0));
+}
+
+TEST(Legitimacy, EmptyConfigThrows) {
+  EXPECT_THROW((void)is_legitimate(LoadConfig{}), std::invalid_argument);
+}
+
+TEST(ValidateConfig, DetectsMismatch) {
+  validate_config(LoadConfig{1, 2, 3}, 6);  // ok
+  EXPECT_THROW(validate_config(LoadConfig{1, 2, 3}, 7),
+               std::invalid_argument);
+  EXPECT_THROW(validate_config(LoadConfig{}, 0), std::invalid_argument);
+}
+
+TEST(OccupancyHistogram, CountsBinsByLoad) {
+  const LoadConfig q{3, 0, 1, 0, 3};
+  const Histogram h = occupancy_histogram(q);
+  EXPECT_EQ(h.total(), 5u);      // one entry per bin
+  EXPECT_EQ(h.count_at(0), 2u);  // two empty bins
+  EXPECT_EQ(h.count_at(1), 1u);
+  EXPECT_EQ(h.count_at(3), 2u);
+  EXPECT_EQ(h.max_value(), 3u);
+}
+
+TEST(SerializeConfig, RoundTrips) {
+  for (const LoadConfig& q :
+       {LoadConfig{1, 2, 3}, LoadConfig{0}, LoadConfig{5, 0, 0, 0},
+        LoadConfig(100, 7)}) {
+    EXPECT_EQ(parse_config(serialize_config(q)), q);
+  }
+}
+
+TEST(SerializeConfig, Format) {
+  EXPECT_EQ(serialize_config(LoadConfig{4, 0, 2}), "3:4,0,2");
+  EXPECT_EQ(serialize_config(LoadConfig{9}), "1:9");
+}
+
+TEST(ParseConfig, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_config(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_config("3;1,2,3"), std::invalid_argument);
+  EXPECT_THROW((void)parse_config("abc:1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_config("2:1"), std::invalid_argument);   // short
+  EXPECT_THROW((void)parse_config("1:1,2"), std::invalid_argument); // long
+  EXPECT_THROW((void)parse_config("2:1,x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_config("0:"), std::invalid_argument);
+  EXPECT_THROW((void)parse_config("2:1,"), std::invalid_argument);
+}
+
+TEST(InitialConfigNames, RoundTrip) {
+  for (const auto kind :
+       {InitialConfig::kOnePerBin, InitialConfig::kAllInOne,
+        InitialConfig::kRandom, InitialConfig::kHalfLoaded,
+        InitialConfig::kGeometric}) {
+    EXPECT_EQ(initial_config_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW((void)initial_config_from_string("bogus"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rbb

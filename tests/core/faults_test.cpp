@@ -1,0 +1,128 @@
+// Tests for the adversarial fault injector.
+#include "core/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace rbb {
+namespace {
+
+TEST(FaultStrategyNames, RoundTrip) {
+  for (const auto s :
+       {FaultStrategy::kAllToOne, FaultStrategy::kRandom,
+        FaultStrategy::kHalfBins, FaultStrategy::kReverseSort}) {
+    EXPECT_EQ(fault_strategy_from_string(to_string(s)), s);
+  }
+  EXPECT_THROW((void)fault_strategy_from_string("??"), std::invalid_argument);
+}
+
+TEST(ApplyFault, AllToOne) {
+  Rng rng(1);
+  const LoadConfig q =
+      apply_fault(FaultStrategy::kAllToOne, 8, 8, LoadConfig{}, rng);
+  EXPECT_EQ(q[0], 8u);
+  EXPECT_EQ(total_balls(q), 8u);
+}
+
+TEST(ApplyFault, RandomConserves) {
+  Rng rng(2);
+  const LoadConfig q =
+      apply_fault(FaultStrategy::kRandom, 16, 16, LoadConfig{}, rng);
+  EXPECT_EQ(total_balls(q), 16u);
+  EXPECT_EQ(q.size(), 16u);
+}
+
+TEST(ApplyFault, HalfBinsLeavesHalfEmpty) {
+  Rng rng(3);
+  const LoadConfig q =
+      apply_fault(FaultStrategy::kHalfBins, 8, 8, LoadConfig{}, rng);
+  EXPECT_EQ(total_balls(q), 8u);
+  EXPECT_GE(empty_bins(q), 4u);
+}
+
+TEST(ApplyFault, ReverseSortPermutesProfile) {
+  Rng rng(4);
+  const LoadConfig current{0, 3, 1, 0, 2};
+  const LoadConfig q =
+      apply_fault(FaultStrategy::kReverseSort, 5, 6, current, rng);
+  EXPECT_EQ(total_balls(q), 6u);
+  EXPECT_TRUE(std::is_sorted(q.begin(), q.end(), std::greater<>()));
+  EXPECT_EQ(q[0], 3u);
+}
+
+TEST(ApplyFault, ReverseSortValidatesCurrent) {
+  Rng rng(5);
+  EXPECT_THROW(
+      (void)apply_fault(FaultStrategy::kReverseSort, 5, 6, LoadConfig{}, rng),
+      std::invalid_argument);
+}
+
+TEST(ApplyFaultTokens, AllStrategiesPlaceEveryToken) {
+  Rng rng(6);
+  for (const auto s :
+       {FaultStrategy::kAllToOne, FaultStrategy::kRandom,
+        FaultStrategy::kHalfBins, FaultStrategy::kReverseSort}) {
+    const auto pos = apply_fault_tokens(s, 16, 16, rng);
+    ASSERT_EQ(pos.size(), 16u) << to_string(s);
+    for (const auto p : pos) EXPECT_LT(p, 16u) << to_string(s);
+  }
+}
+
+TEST(ApplyFaultTokens, AllToOneConcentrates) {
+  Rng rng(7);
+  const auto pos = apply_fault_tokens(FaultStrategy::kAllToOne, 8, 8, rng);
+  for (const auto p : pos) EXPECT_EQ(p, 0u);
+}
+
+TEST(ApplyPartialFault, MovesExactlyKBalls) {
+  const LoadConfig current{1, 4, 2, 3};
+  const LoadConfig q = apply_partial_fault(current, 3);
+  EXPECT_EQ(total_balls(q), 10u);
+  EXPECT_EQ(q[0], 4u);  // 1 + 3 moved
+  // Balls were taken from the heaviest bins.
+  EXPECT_LE(q[1], current[1]);
+}
+
+TEST(ApplyPartialFault, KZeroIsIdentity) {
+  const LoadConfig current{2, 3, 1};
+  EXPECT_EQ(apply_partial_fault(current, 0), current);
+}
+
+TEST(ApplyPartialFault, LargeKDegeneratesToAllInOne) {
+  const LoadConfig current{1, 1, 1, 1};
+  const LoadConfig q = apply_partial_fault(current, 100);
+  EXPECT_EQ(q[0], 4u);
+  EXPECT_EQ(empty_bins(q), 3u);
+}
+
+TEST(ApplyPartialFault, TakesFromHeaviestFirst) {
+  const LoadConfig current{0, 10, 1, 1};
+  const LoadConfig q = apply_partial_fault(current, 2);
+  EXPECT_EQ(q[1], 8u);  // both came off the heavy bin
+  EXPECT_EQ(q[2], 1u);
+  EXPECT_EQ(q[3], 1u);
+  EXPECT_EQ(q[0], 2u);
+}
+
+TEST(ApplyPartialFault, RejectsEmpty) {
+  EXPECT_THROW((void)apply_partial_fault(LoadConfig{}, 1),
+               std::invalid_argument);
+}
+
+TEST(FaultSchedule, FiresPeriodically) {
+  const FaultSchedule sched(10);
+  EXPECT_FALSE(sched.fires_at(0));
+  EXPECT_FALSE(sched.fires_at(5));
+  EXPECT_TRUE(sched.fires_at(10));
+  EXPECT_FALSE(sched.fires_at(11));
+  EXPECT_TRUE(sched.fires_at(20));
+}
+
+TEST(FaultSchedule, ZeroPeriodNeverFires) {
+  const FaultSchedule sched(0);
+  for (std::uint64_t t = 0; t < 100; ++t) EXPECT_FALSE(sched.fires_at(t));
+}
+
+}  // namespace
+}  // namespace rbb

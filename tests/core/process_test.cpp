@@ -1,0 +1,221 @@
+// Tests for the load-only repeated balls-into-bins kernel: the load-update
+// identity, ball conservation, incremental-stat consistency, determinism,
+// and the paper's qualitative predictions at test scale.
+#include "core/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "support/bounds.hpp"
+
+namespace rbb {
+namespace {
+
+TEST(Process, RejectsEmptyConfig) {
+  EXPECT_THROW(RepeatedBallsProcess(LoadConfig{}, Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(Process, InitialStatsMatchConfig) {
+  const LoadConfig q{3, 0, 1, 0};
+  const RepeatedBallsProcess proc(q, Rng(1));
+  EXPECT_EQ(proc.bin_count(), 4u);
+  EXPECT_EQ(proc.ball_count(), 4u);
+  EXPECT_EQ(proc.max_load(), 3u);
+  EXPECT_EQ(proc.empty_bins(), 2u);
+  EXPECT_EQ(proc.round(), 0u);
+}
+
+TEST(Process, ConservesBalls) {
+  Rng rng(2);
+  LoadConfig q = make_config(InitialConfig::kRandom, 64, 64, rng);
+  RepeatedBallsProcess proc(std::move(q), rng);
+  for (int t = 0; t < 200; ++t) {
+    proc.step();
+    ASSERT_EQ(total_balls(proc.loads()), 64u);
+  }
+  proc.check_invariants();
+}
+
+TEST(Process, IncrementalStatsStayExact) {
+  Rng rng(3);
+  LoadConfig q = make_config(InitialConfig::kAllInOne, 32, 32, rng);
+  RepeatedBallsProcess proc(std::move(q), rng);
+  for (int t = 0; t < 300; ++t) {
+    const RoundStats s = proc.step();
+    ASSERT_EQ(s.max_load, max_load(proc.loads()));
+    ASSERT_EQ(s.empty_bins, empty_bins(proc.loads()));
+    proc.check_invariants();
+  }
+}
+
+TEST(Process, DeterministicForSeed) {
+  auto run = [] {
+    Rng rng(77);
+    LoadConfig q = make_config(InitialConfig::kRandom, 32, 32, rng);
+    RepeatedBallsProcess proc(std::move(q), rng);
+    proc.run(100);
+    return proc.loads();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Process, DeparturesEqualNonEmptyBins) {
+  Rng rng(4);
+  LoadConfig q{2, 0, 1, 0, 3};  // 3 non-empty bins
+  RepeatedBallsProcess proc(std::move(q), rng);
+  const RoundStats s = proc.step();
+  EXPECT_EQ(s.departures, 3u);
+}
+
+TEST(Process, SingleBallKeepsMoving) {
+  // One ball in n bins: every round the ball is re-thrown; max load 1.
+  Rng rng(5);
+  LoadConfig q(16, 0);
+  q[3] = 1;
+  RepeatedBallsProcess proc(std::move(q), rng);
+  for (int t = 0; t < 100; ++t) {
+    const RoundStats s = proc.step();
+    ASSERT_EQ(s.max_load, 1u);
+    ASSERT_EQ(s.empty_bins, 15u);
+    ASSERT_EQ(s.departures, 1u);
+  }
+}
+
+TEST(Process, AllInOneDrainsLinearly) {
+  // From all-in-one, the big bin loses exactly one ball per round, so
+  // after k rounds its load is n - k (arrivals back into it are rare).
+  Rng rng(6);
+  constexpr std::uint32_t n = 256;
+  LoadConfig q = make_config(InitialConfig::kAllInOne, n, n, rng);
+  RepeatedBallsProcess proc(std::move(q), rng);
+  proc.step();
+  // After one round: bin 0 holds n - 1 balls (+ maybe the re-thrown one).
+  EXPECT_GE(proc.loads()[0], n - 2);
+  EXPECT_LE(proc.loads()[0], n);
+}
+
+TEST(Process, LoadUpdateIdentityHolds) {
+  // Q^{t+1}_v >= max(Q^t_v - 1, 0) and the excess equals arrivals.
+  Rng rng(7);
+  LoadConfig q = make_config(InitialConfig::kRandom, 32, 32, rng);
+  RepeatedBallsProcess proc(q, rng);
+  for (int t = 0; t < 50; ++t) {
+    const LoadConfig before = proc.loads();
+    proc.step();
+    const LoadConfig& after = proc.loads();
+    std::uint64_t arrivals = 0;
+    std::uint64_t departures = 0;
+    for (std::uint32_t v = 0; v < before.size(); ++v) {
+      const std::uint32_t floor_v = before[v] > 0 ? before[v] - 1 : 0;
+      ASSERT_GE(after[v], floor_v) << "round " << t;
+      arrivals += after[v] - floor_v;
+      departures += before[v] > 0 ? 1u : 0u;
+    }
+    ASSERT_EQ(arrivals, departures) << "round " << t;
+  }
+}
+
+TEST(Process, ReassignReplacesConfiguration) {
+  Rng rng(8);
+  LoadConfig q = make_config(InitialConfig::kOnePerBin, 16, 16, rng);
+  RepeatedBallsProcess proc(std::move(q), rng);
+  proc.run(10);
+  LoadConfig adversarial(16, 0);
+  adversarial[5] = 16;
+  proc.reassign(adversarial);
+  EXPECT_EQ(proc.max_load(), 16u);
+  EXPECT_EQ(proc.empty_bins(), 15u);
+  proc.check_invariants();
+}
+
+TEST(Process, ReassignValidatesBallCount) {
+  Rng rng(9);
+  RepeatedBallsProcess proc(LoadConfig{1, 1}, rng);
+  EXPECT_THROW(proc.reassign(LoadConfig{3, 0}), std::invalid_argument);
+  EXPECT_THROW(proc.reassign(LoadConfig{1, 1, 0}), std::invalid_argument);
+}
+
+TEST(Process, LegitimacyTracksBeta) {
+  Rng rng(10);
+  LoadConfig q(1024, 0);
+  q[0] = 1024;
+  RepeatedBallsProcess proc(std::move(q), rng);
+  EXPECT_FALSE(proc.is_legitimate(4.0));
+  // beta large enough to cover n: legitimate trivially.
+  EXPECT_TRUE(proc.is_legitimate(1024.0));
+}
+
+TEST(ProcessOnGraph, RequiresMatchingSize) {
+  Rng rng(11);
+  const Graph g = make_cycle(8);
+  EXPECT_THROW(RepeatedBallsProcess(LoadConfig(4, 1), &g, Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(ProcessOnGraph, BallsStayOnGraphAndConserve) {
+  Rng rng(12);
+  const Graph g = make_cycle(16);
+  LoadConfig q = make_config(InitialConfig::kOnePerBin, 16, 16, rng);
+  RepeatedBallsProcess proc(std::move(q), &g, rng);
+  for (int t = 0; t < 200; ++t) {
+    proc.step();
+    ASSERT_EQ(total_balls(proc.loads()), 16u);
+  }
+  proc.check_invariants();
+}
+
+TEST(ProcessOnGraph, PathEndpointsOnlyFeedInward) {
+  // On a 2-path {0-1}, a ball leaving bin 0 can only arrive at bin 1.
+  Rng rng(13);
+  const Graph g = make_path(2);
+  LoadConfig q{2, 0};
+  RepeatedBallsProcess proc(std::move(q), &g, rng);
+  const RoundStats s = proc.step();
+  // Bin 0 released one ball; it must be in bin 1 now.
+  EXPECT_EQ(proc.loads()[0], 1u);
+  EXPECT_EQ(proc.loads()[1], 1u);
+  EXPECT_EQ(s.departures, 1u);
+}
+
+TEST(ProcessOnGraph, StarConcentratesOnHub) {
+  // On a star all leaf balls go to the hub every round.
+  Rng rng(14);
+  const Graph g = make_star(9);
+  LoadConfig q(9, 1);
+  RepeatedBallsProcess proc(std::move(q), &g, rng);
+  proc.step();
+  // 8 leaves sent their ball to the hub; the hub's ball went to a leaf.
+  EXPECT_EQ(proc.loads()[0], 8u);
+}
+
+// Property sweep: for several n and seeds, a window of the process from a
+// legitimate start stays well below n (the paper's O(log n) at test
+// scale) and never loses balls.
+class ProcessSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, int>> {};
+
+TEST_P(ProcessSweep, WindowStaysModestAndConserves) {
+  const auto [n, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  LoadConfig q = make_config(InitialConfig::kOnePerBin, n, n, rng);
+  RepeatedBallsProcess proc(std::move(q), rng);
+  std::uint32_t window_max = 0;
+  for (std::uint32_t t = 0; t < 20 * n; ++t) {
+    window_max = std::max(window_max, proc.step().max_load);
+  }
+  EXPECT_EQ(total_balls(proc.loads()), n);
+  // Theorem 1 at this scale: max load stays O(log n); 6 log2 n is a
+  // generous empirical envelope (measured constants are ~1.5-2.5).
+  EXPECT_LE(window_max, 6.0 * log2n(n)) << "n=" << n << " seed=" << seed;
+  proc.check_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ProcessSweep,
+    ::testing::Combine(::testing::Values(64u, 256u, 1024u),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace rbb

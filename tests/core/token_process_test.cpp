@@ -1,0 +1,317 @@
+// Tests for the identity-tracking token process: queue policies, token
+// conservation, visit/cover tracking, progress accounting, reassignment.
+#include "core/token_process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <tuple>
+
+namespace rbb {
+namespace {
+
+std::vector<std::uint32_t> one_per_bin(std::uint32_t n) {
+  std::vector<std::uint32_t> pos(n);
+  std::iota(pos.begin(), pos.end(), 0u);
+  return pos;
+}
+
+TokenProcess::Options fifo_options() {
+  TokenProcess::Options o;
+  o.policy = QueuePolicy::kFifo;
+  return o;
+}
+
+TEST(BallQueue, FifoOrder) {
+  BallQueue q;
+  Rng rng(1);
+  q.push(10);
+  q.push(20);
+  q.push(30);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop(QueuePolicy::kFifo, rng), 10u);
+  EXPECT_EQ(q.pop(QueuePolicy::kFifo, rng), 20u);
+  q.push(40);
+  EXPECT_EQ(q.pop(QueuePolicy::kFifo, rng), 30u);
+  EXPECT_EQ(q.pop(QueuePolicy::kFifo, rng), 40u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BallQueue, LifoOrder) {
+  BallQueue q;
+  Rng rng(2);
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop(QueuePolicy::kLifo, rng), 3u);
+  EXPECT_EQ(q.pop(QueuePolicy::kLifo, rng), 2u);
+  EXPECT_EQ(q.pop(QueuePolicy::kLifo, rng), 1u);
+}
+
+TEST(BallQueue, RandomPopReturnsMember) {
+  BallQueue q;
+  Rng rng(3);
+  for (std::uint32_t i = 0; i < 10; ++i) q.push(i);
+  std::set<std::uint32_t> seen;
+  while (!q.empty()) {
+    const std::uint32_t t = q.pop(QueuePolicy::kRandom, rng);
+    EXPECT_TRUE(seen.insert(t).second);  // no duplicates
+    EXPECT_LT(t, 10u);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(BallQueue, PopEmptyThrows) {
+  BallQueue q;
+  Rng rng(4);
+  EXPECT_THROW((void)q.pop(QueuePolicy::kFifo, rng), std::logic_error);
+}
+
+TEST(BallQueue, CompactionPreservesOrder) {
+  BallQueue q;
+  Rng rng(5);
+  // Interleave pushes and FIFO pops past the compaction threshold.
+  std::uint32_t next_push = 0;
+  std::uint32_t next_expect = 0;
+  for (int i = 0; i < 500; ++i) {
+    q.push(next_push++);
+    q.push(next_push++);
+    ASSERT_EQ(q.pop(QueuePolicy::kFifo, rng), next_expect++);
+  }
+  while (!q.empty()) {
+    ASSERT_EQ(q.pop(QueuePolicy::kFifo, rng), next_expect++);
+  }
+  EXPECT_EQ(next_expect, next_push);
+}
+
+TEST(QueuePolicyNames, RoundTrip) {
+  for (const auto p :
+       {QueuePolicy::kFifo, QueuePolicy::kLifo, QueuePolicy::kRandom}) {
+    EXPECT_EQ(queue_policy_from_string(to_string(p)), p);
+  }
+  EXPECT_THROW((void)queue_policy_from_string("??"), std::invalid_argument);
+}
+
+TEST(TokenProcess, RejectsBadConstruction) {
+  EXPECT_THROW(TokenProcess(0, {0}, fifo_options(), Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(TokenProcess(4, {}, fifo_options(), Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(TokenProcess(4, {4}, fifo_options(), Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(TokenProcess, InitialPlacementCountsAsVisit) {
+  TokenProcess proc(4, {0, 1, 2, 3}, fifo_options(), Rng(1));
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(proc.visited_count(i), 1u);
+    EXPECT_EQ(proc.token_bin(i), i);
+    EXPECT_EQ(proc.progress(i), 0u);
+  }
+  EXPECT_FALSE(proc.all_covered());
+}
+
+TEST(TokenProcess, TokensConservedAcrossRounds) {
+  TokenProcess proc(16, one_per_bin(16), fifo_options(), Rng(2));
+  for (int t = 0; t < 200; ++t) {
+    proc.step();
+    proc.check_invariants();
+  }
+  std::uint32_t total = 0;
+  for (std::uint32_t u = 0; u < 16; ++u) total += proc.load(u);
+  EXPECT_EQ(total, 16u);
+}
+
+TEST(TokenProcess, ProgressSumsToDepartures) {
+  // Total progress after T rounds = sum over rounds of #non-empty bins;
+  // every round moves at least 1 and at most n tokens.
+  TokenProcess proc(8, one_per_bin(8), fifo_options(), Rng(3));
+  proc.run(50);
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < 8; ++i) total += proc.progress(i);
+  EXPECT_GE(total, 50u);
+  EXPECT_LE(total, 50u * 8u);
+}
+
+TEST(TokenProcess, SingleTokenWalksEveryRound) {
+  TokenProcess proc(8, {3}, fifo_options(), Rng(4));
+  proc.run(100);
+  EXPECT_EQ(proc.progress(0), 100u);
+  EXPECT_EQ(proc.min_progress(), 100u);
+}
+
+TEST(TokenProcess, CoverageDetectedOnCompleteGraph) {
+  // n = 4, plenty of rounds: every token covers all bins quickly.
+  TokenProcess proc(4, one_per_bin(4), fifo_options(), Rng(5));
+  const auto cover = proc.run_until_covered(10000);
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_TRUE(proc.all_covered());
+  EXPECT_EQ(proc.global_cover_time(), *cover);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(proc.visited_count(i), 4u);
+    EXPECT_LE(proc.cover_round(i), *cover);
+  }
+}
+
+TEST(TokenProcess, RunUntilCoveredRespectsCap) {
+  TokenProcess proc(64, one_per_bin(64), fifo_options(), Rng(6));
+  EXPECT_FALSE(proc.run_until_covered(2).has_value());
+  EXPECT_EQ(proc.round(), 2u);
+}
+
+TEST(TokenProcess, VisitTrackingDisabledThrows) {
+  TokenProcess::Options o = fifo_options();
+  o.track_visits = false;
+  TokenProcess proc(4, one_per_bin(4), o, Rng(7));
+  proc.run(10);  // progress still works
+  EXPECT_GT(proc.progress(0), 0u);
+  EXPECT_THROW((void)proc.visited_count(0), std::logic_error);
+  EXPECT_THROW((void)proc.run_until_covered(10), std::logic_error);
+}
+
+TEST(TokenProcess, ReassignMovesEveryToken) {
+  TokenProcess proc(8, one_per_bin(8), fifo_options(), Rng(8));
+  proc.run(5);
+  std::vector<std::uint32_t> all_to_three(8, 3);
+  proc.reassign(all_to_three);
+  EXPECT_EQ(proc.load(3), 8u);
+  EXPECT_EQ(proc.max_load(), 8u);
+  EXPECT_EQ(proc.empty_bins(), 7u);
+  for (std::uint32_t i = 0; i < 8; ++i) EXPECT_EQ(proc.token_bin(i), 3u);
+  proc.check_invariants();
+}
+
+TEST(TokenProcess, ReassignValidation) {
+  TokenProcess proc(4, one_per_bin(4), fifo_options(), Rng(9));
+  EXPECT_THROW(proc.reassign({0, 1}), std::invalid_argument);
+  EXPECT_THROW(proc.reassign({0, 1, 2, 9}), std::invalid_argument);
+}
+
+TEST(TokenProcess, GraphModeKeepsTokensOnEdges) {
+  const Graph g = make_cycle(8);
+  TokenProcess::Options o = fifo_options();
+  o.graph = &g;
+  TokenProcess proc(8, one_per_bin(8), o, Rng(10));
+  for (int t = 0; t < 50; ++t) {
+    std::vector<std::uint32_t> before(8);
+    for (std::uint32_t i = 0; i < 8; ++i) before[i] = proc.token_bin(i);
+    proc.step();
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      const std::uint32_t now = proc.token_bin(i);
+      if (now != before[i]) {
+        ASSERT_TRUE(g.has_edge(before[i], now))
+            << "token " << i << " jumped " << before[i] << "->" << now;
+      }
+    }
+  }
+}
+
+TEST(TokenProcess, FifoReleasesOldestToken) {
+  // Two tokens in one bin: FIFO releases the lower id first (queue order
+  // is id order at construction).
+  TokenProcess proc(2, {0, 0}, fifo_options(), Rng(11));
+  proc.step();
+  EXPECT_EQ(proc.progress(0), 1u);
+  EXPECT_EQ(proc.progress(1), 0u);
+}
+
+TEST(TokenProcess, LifoReleasesNewestToken) {
+  TokenProcess::Options o = fifo_options();
+  o.policy = QueuePolicy::kLifo;
+  TokenProcess proc(2, {0, 0}, o, Rng(12));
+  proc.step();
+  EXPECT_EQ(proc.progress(0), 0u);
+  EXPECT_EQ(proc.progress(1), 1u);
+}
+
+TEST(TokenProcessDelays, DisabledByDefault) {
+  TokenProcess proc(4, one_per_bin(4), fifo_options(), Rng(20));
+  EXPECT_THROW((void)proc.delay_histogram(), std::logic_error);
+}
+
+TEST(TokenProcessDelays, LoneTokenNeverWaits) {
+  TokenProcess::Options o = fifo_options();
+  o.track_visits = false;
+  o.track_delays = true;
+  TokenProcess proc(16, {3}, o, Rng(21));
+  proc.run(50);
+  const Histogram& delays = proc.delay_histogram();
+  EXPECT_EQ(delays.total(), 50u);   // one release per round
+  EXPECT_EQ(delays.max_value(), 0u);  // never queued behind anyone
+}
+
+TEST(TokenProcessDelays, FifoPileDelaysAreExact) {
+  // n tokens piled in one bin, FIFO: token i waits exactly i rounds
+  // before its first release, so the first n recorded delays are
+  // 0, 1, ..., n-1 (one of each).
+  constexpr std::uint32_t n = 16;
+  TokenProcess::Options o = fifo_options();
+  o.track_visits = false;
+  o.track_delays = true;
+  TokenProcess proc(n, std::vector<std::uint32_t>(n, 0), o, Rng(22));
+  proc.run(n);  // exactly drains the initial pile (plus re-released ones)
+  const Histogram& delays = proc.delay_histogram();
+  // Every delay value 0..n-1 appears at least once (the pile drain)...
+  for (std::uint32_t d = 0; d < n; ++d) {
+    EXPECT_GE(delays.count_at(d), 1u) << "delay " << d;
+  }
+  // ...and nothing can wait longer than the initial pile.
+  EXPECT_LE(delays.max_value(), n - 1);
+}
+
+TEST(TokenProcessDelays, LifoBuriesTheOldest) {
+  // LIFO on a pile: the newest token leaves immediately every round while
+  // the bottom token starves -- max delay far above FIFO's.
+  constexpr std::uint32_t n = 16;
+  TokenProcess::Options o = fifo_options();
+  o.policy = QueuePolicy::kLifo;
+  o.track_visits = false;
+  o.track_delays = true;
+  TokenProcess proc(n, std::vector<std::uint32_t>(n, 0), o, Rng(23));
+  proc.run(10 * n);
+  EXPECT_GE(proc.delay_histogram().max_value(), n - 1);
+}
+
+TEST(TokenProcessDelays, ReassignResetsArrivalClock) {
+  TokenProcess::Options o = fifo_options();
+  o.track_visits = false;
+  o.track_delays = true;
+  TokenProcess proc(8, one_per_bin(8), o, Rng(24));
+  proc.run(100);
+  proc.reassign(std::vector<std::uint32_t>(8, 0));
+  // After reassignment at round 100, the very next releases wait at most
+  // the pile height, not 100+ rounds.
+  proc.run(8);
+  EXPECT_LE(proc.delay_histogram().max_value(), 32u);
+}
+
+// Property sweep: across policies and sizes, tokens are conserved, loads
+// match queue contents, and total progress equals the departure count.
+class TokenSweep
+    : public ::testing::TestWithParam<std::tuple<QueuePolicy, std::uint32_t>> {
+};
+
+TEST_P(TokenSweep, InvariantsHoldOverWindow) {
+  const auto [policy, n] = GetParam();
+  TokenProcess::Options o;
+  o.policy = policy;
+  o.track_visits = true;
+  TokenProcess proc(n, one_per_bin(n), o, Rng(13 + n));
+  for (std::uint32_t t = 0; t < 10 * n; ++t) proc.step();
+  proc.check_invariants();
+  std::uint32_t total = 0;
+  for (std::uint32_t u = 0; u < n; ++u) total += proc.load(u);
+  EXPECT_EQ(total, n);
+  EXPECT_GT(proc.min_progress(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndSizes, TokenSweep,
+    ::testing::Combine(::testing::Values(QueuePolicy::kFifo,
+                                         QueuePolicy::kLifo,
+                                         QueuePolicy::kRandom),
+                       ::testing::Values(8u, 64u, 256u)));
+
+}  // namespace
+}  // namespace rbb

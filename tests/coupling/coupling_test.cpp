@@ -1,0 +1,135 @@
+// Tests for the Lemma-3 coupling: construction invariants, domination of
+// the original process by Tetris, case-(ii) accounting.
+#include "coupling/coupling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/process.hpp"
+
+namespace rbb {
+namespace {
+
+/// Builds a start configuration with >= n/4 empty bins, as Lemma 3
+/// requires (one warm-up round of the original process from random).
+LoadConfig coupling_start(std::uint32_t n, Rng& rng) {
+  LoadConfig q = make_config(InitialConfig::kRandom, n, n, rng);
+  if (empty_bins(q) < n / 4) {
+    // split() so the caller's rng does not share the warm-up's stream.
+    RepeatedBallsProcess warmup(std::move(q), rng.split());
+    warmup.step();
+    q = warmup.loads();
+  }
+  return q;
+}
+
+TEST(Coupling, RejectsEmptyConfig) {
+  EXPECT_THROW(CoupledProcesses(LoadConfig{}, Rng(1)), std::invalid_argument);
+}
+
+TEST(Coupling, StartsIdentical) {
+  Rng rng(2);
+  const LoadConfig q = coupling_start(64, rng);
+  const CoupledProcesses coupled(q, rng);
+  EXPECT_EQ(coupled.original_loads(), q);
+  EXPECT_EQ(coupled.tetris_loads(), q);
+  EXPECT_EQ(coupled.round(), 0u);
+}
+
+TEST(Coupling, OriginalProcessConservesBalls) {
+  Rng rng(3);
+  const LoadConfig q = coupling_start(64, rng);
+  const std::uint64_t balls = total_balls(q);
+  CoupledProcesses coupled(q, rng);
+  for (int t = 0; t < 200; ++t) {
+    coupled.step();
+    ASSERT_EQ(total_balls(coupled.original_loads()), balls);
+  }
+}
+
+TEST(Coupling, TetrisDominatesFromGoodStart) {
+  // With >= n/4 empty bins at the start, domination should hold in every
+  // round of a long window (Lemma 3; failure prob exponentially small).
+  constexpr std::uint32_t n = 512;
+  Rng rng(4);
+  CoupledProcesses coupled(coupling_start(n, rng), rng);
+  for (std::uint32_t t = 0; t < 20 * n; ++t) {
+    const CoupledRoundStats s = coupled.step();
+    ASSERT_TRUE(s.dominated) << "round " << t;
+    ASSERT_FALSE(s.case_two) << "round " << t;
+  }
+  EXPECT_EQ(coupled.violation_rounds(), 0u);
+  EXPECT_EQ(coupled.case_two_rounds(), 0u);
+  EXPECT_EQ(coupled.first_violation_round(), 0u);
+  EXPECT_GE(coupled.tetris_running_max(), coupled.original_running_max());
+}
+
+TEST(Coupling, PerBinDominationHolds) {
+  constexpr std::uint32_t n = 128;
+  Rng rng(5);
+  CoupledProcesses coupled(coupling_start(n, rng), rng);
+  for (int t = 0; t < 500; ++t) {
+    coupled.step();
+    const LoadConfig& orig = coupled.original_loads();
+    const LoadConfig& tet = coupled.tetris_loads();
+    for (std::uint32_t u = 0; u < n; ++u) {
+      ASSERT_GE(tet[u], orig[u]) << "bin " << u << " round " << t;
+    }
+  }
+}
+
+TEST(Coupling, CaseTwoTriggeredByPathologicalStart) {
+  // Start with every bin non-empty: |W| = n > 3n/4 forces case (ii) in
+  // round 1 and the accounting must record it.
+  constexpr std::uint32_t n = 64;
+  CoupledProcesses coupled(LoadConfig(n, 1), Rng(6));
+  const CoupledRoundStats s = coupled.step();
+  EXPECT_TRUE(s.case_two);
+  EXPECT_EQ(coupled.case_two_rounds(), 1u);
+}
+
+TEST(Coupling, RunningMaxMonotone) {
+  Rng rng(7);
+  CoupledProcesses coupled(coupling_start(64, rng), rng);
+  std::uint32_t prev_orig = 0;
+  std::uint32_t prev_tet = 0;
+  for (int t = 0; t < 100; ++t) {
+    coupled.step();
+    ASSERT_GE(coupled.original_running_max(), prev_orig);
+    ASSERT_GE(coupled.tetris_running_max(), prev_tet);
+    prev_orig = coupled.original_running_max();
+    prev_tet = coupled.tetris_running_max();
+  }
+}
+
+TEST(Coupling, DeterministicForSeed) {
+  auto run = [] {
+    Rng rng(8);
+    CoupledProcesses coupled(coupling_start(32, rng), rng);
+    coupled.run(100);
+    return std::make_pair(coupled.original_loads(), coupled.tetris_loads());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// Property sweep: domination across sizes and seeds.
+class CouplingSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, int>> {};
+
+TEST_P(CouplingSweep, DominationHoldsOverWindow) {
+  const auto [n, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 1000 + n);
+  CoupledProcesses coupled(coupling_start(n, rng), rng);
+  coupled.run(10 * n);
+  EXPECT_EQ(coupled.violation_rounds(), 0u) << "n=" << n << " seed=" << seed;
+  EXPECT_EQ(coupled.case_two_rounds(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CouplingSweep,
+    ::testing::Combine(::testing::Values(64u, 256u, 1024u),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace rbb

@@ -1,0 +1,269 @@
+// Tests for the graph substrate: construction invariants, generator
+// properties (degree sequences, connectivity, handshake lemma) and
+// neighbor-sampling uniformity.
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <set>
+#include <string>
+
+namespace rbb {
+namespace {
+
+TEST(Graph, RejectsInvalidEdges) {
+  EXPECT_THROW(Graph(0, {}), std::invalid_argument);
+  EXPECT_THROW(Graph(3, {{0, 3}}), std::invalid_argument);  // out of range
+  EXPECT_THROW(Graph(3, {{1, 1}}), std::invalid_argument);  // self-loop
+  EXPECT_THROW(Graph(3, {{0, 1}, {1, 0}}), std::invalid_argument);  // dup
+}
+
+TEST(Graph, TriangleBasics) {
+  const Graph g(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  for (std::uint32_t u = 0; u < 3; ++u) EXPECT_EQ(g.degree(u), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 0));
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.diameter(), 1u);
+}
+
+TEST(Graph, NeighborsSorted) {
+  const Graph g(5, {{2, 4}, {2, 0}, {2, 3}});
+  const auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_EQ(nbrs[1], 3u);
+  EXPECT_EQ(nbrs[2], 4u);
+}
+
+TEST(Graph, DisconnectedDetected) {
+  const Graph g(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(g.is_connected());
+  EXPECT_THROW((void)g.diameter(), std::logic_error);
+}
+
+TEST(Graph, SampleNeighborIsUniform) {
+  const Graph g(4, {{0, 1}, {0, 2}, {0, 3}});
+  Rng rng(7);
+  std::map<std::uint32_t, int> counts;
+  constexpr int kDraws = 30000;
+  for (int i = 0; i < kDraws; ++i) ++counts[g.sample_neighbor(0, rng)];
+  ASSERT_EQ(counts.size(), 3u);
+  for (const auto& [v, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 1.0 / 3.0, 0.02) << v;
+  }
+}
+
+TEST(Generators, Cycle) {
+  const Graph g = make_cycle(8);
+  EXPECT_EQ(g.node_count(), 8u);
+  EXPECT_EQ(g.edge_count(), 8u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.diameter(), 4u);
+  EXPECT_THROW((void)make_cycle(2), std::invalid_argument);
+}
+
+TEST(Generators, Path) {
+  const Graph g = make_path(5);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(g.diameter(), 4u);
+  EXPECT_THROW((void)make_path(1), std::invalid_argument);
+}
+
+TEST(Generators, Complete) {
+  const Graph g = make_complete(6);
+  EXPECT_EQ(g.edge_count(), 15u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.max_degree(), 5u);
+  EXPECT_EQ(g.diameter(), 1u);
+}
+
+TEST(Generators, Torus) {
+  const Graph g = make_torus(4, 5);
+  EXPECT_EQ(g.node_count(), 20u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_TRUE(g.is_connected());
+  // Handshake lemma: 4-regular on 20 nodes -> 40 edges.
+  EXPECT_EQ(g.edge_count(), 40u);
+  EXPECT_THROW((void)make_torus(2, 5), std::invalid_argument);
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = make_hypercube(4);
+  EXPECT_EQ(g.node_count(), 16u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.diameter(), 4u);
+  // Neighbors differ in exactly one bit.
+  for (std::uint32_t u = 0; u < 16; ++u) {
+    for (const std::uint32_t v : g.neighbors(u)) {
+      EXPECT_EQ(__builtin_popcount(u ^ v), 1) << u << "-" << v;
+    }
+  }
+}
+
+TEST(Generators, Star) {
+  const Graph g = make_star(7);
+  EXPECT_EQ(g.degree(0), 6u);
+  for (std::uint32_t u = 1; u < 7; ++u) EXPECT_EQ(g.degree(u), 1u);
+  EXPECT_EQ(g.diameter(), 2u);
+}
+
+TEST(Generators, RandomRegularIsSimpleAndRegular) {
+  Rng rng(11);
+  for (const std::uint32_t d : {2u, 4u, 8u}) {
+    const Graph g = make_random_regular(64, d, rng);
+    EXPECT_EQ(g.node_count(), 64u);
+    EXPECT_TRUE(g.is_regular()) << "d=" << d;
+    EXPECT_EQ(g.max_degree(), d);
+    EXPECT_EQ(g.edge_count(), 64ull * d / 2);
+  }
+}
+
+TEST(Generators, RandomRegularRejectsBadParams) {
+  Rng rng(12);
+  EXPECT_THROW((void)make_random_regular(10, 0, rng), std::invalid_argument);
+  EXPECT_THROW((void)make_random_regular(10, 10, rng), std::invalid_argument);
+  EXPECT_THROW((void)make_random_regular(5, 3, rng),
+               std::invalid_argument);  // odd n*d
+}
+
+TEST(Generators, RandomRegularUsuallyConnected) {
+  // A random 4-regular graph is connected with probability 1 - o(1).
+  Rng rng(13);
+  int connected = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (make_random_regular(48, 4, rng).is_connected()) ++connected;
+  }
+  EXPECT_GE(connected, 9);
+}
+
+TEST(Generators, GnpEdgeCountMatchesExpectation) {
+  Rng rng(14);
+  constexpr std::uint32_t n = 200;
+  constexpr double p = 0.1;
+  double total = 0.0;
+  constexpr int kTrials = 40;
+  for (int i = 0; i < kTrials; ++i) {
+    total += static_cast<double>(make_gnp(n, p, rng).edge_count());
+  }
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(total / kTrials, expected, 0.05 * expected);
+}
+
+TEST(Generators, GnpDegenerateP) {
+  Rng rng(15);
+  EXPECT_EQ(make_gnp(10, 0.0, rng).edge_count(), 0u);
+  EXPECT_EQ(make_gnp(10, 1.0, rng).edge_count(), 45u);
+}
+
+TEST(Generators, GnpEdgesAreValid) {
+  Rng rng(16);
+  const Graph g = make_gnp(50, 0.3, rng);  // Graph ctor rejects dups/loops
+  EXPECT_GT(g.edge_count(), 0u);
+  EXPECT_LE(g.max_degree(), 49u);
+}
+
+TEST(Generators, Lollipop) {
+  const Graph g = make_lollipop(12);
+  EXPECT_EQ(g.node_count(), 12u);
+  EXPECT_TRUE(g.is_connected());
+  // Clique part: nodes 0..5 pairwise adjacent.
+  for (std::uint32_t u = 0; u < 6; ++u) {
+    for (std::uint32_t v = u + 1; v < 6; ++v) {
+      EXPECT_TRUE(g.has_edge(u, v)) << u << "," << v;
+    }
+  }
+  // Tail: path of degree-2 nodes ending in a degree-1 node.
+  EXPECT_EQ(g.degree(11), 1u);
+  EXPECT_EQ(g.degree(8), 2u);
+  EXPECT_THROW((void)make_lollipop(3), std::invalid_argument);
+}
+
+TEST(Generators, Barbell) {
+  const Graph g = make_barbell(12);
+  EXPECT_EQ(g.node_count(), 12u);
+  EXPECT_TRUE(g.is_connected());
+  // Two cliques of 4-5 nodes: both endpoints have clique-degree.
+  EXPECT_GE(g.degree(0), 3u);
+  EXPECT_GE(g.degree(11), 3u);
+  EXPECT_THROW((void)make_barbell(5), std::invalid_argument);
+}
+
+TEST(Generators, CompleteBipartite) {
+  const Graph g = make_complete_bipartite(3, 5);
+  EXPECT_EQ(g.node_count(), 8u);
+  EXPECT_EQ(g.edge_count(), 15u);
+  for (std::uint32_t u = 0; u < 3; ++u) EXPECT_EQ(g.degree(u), 5u);
+  for (std::uint32_t v = 3; v < 8; ++v) EXPECT_EQ(g.degree(v), 3u);
+  // No intra-side edges.
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(3, 4));
+  EXPECT_EQ(g.diameter(), 2u);
+  EXPECT_THROW((void)make_complete_bipartite(0, 3), std::invalid_argument);
+}
+
+TEST(Generators, BinaryTree) {
+  const Graph g = make_binary_tree(15);  // perfect tree of depth 3
+  EXPECT_EQ(g.edge_count(), 14u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.degree(0), 2u);   // root
+  EXPECT_EQ(g.degree(1), 3u);   // internal
+  EXPECT_EQ(g.degree(14), 1u);  // leaf
+  EXPECT_EQ(g.diameter(), 6u);  // leaf -> root -> other leaf
+  EXPECT_THROW((void)make_binary_tree(1), std::invalid_argument);
+}
+
+TEST(NamedGraph, LookupWorks) {
+  Rng rng(17);
+  EXPECT_EQ(make_named_graph("cycle", 10, rng).edge_count(), 10u);
+  EXPECT_EQ(make_named_graph("hypercube", 16, rng).max_degree(), 4u);
+  EXPECT_EQ(make_named_graph("torus", 16, rng).max_degree(), 4u);
+  EXPECT_TRUE(make_named_graph("regular6", 32, rng).is_regular());
+  EXPECT_EQ(make_named_graph("star", 5, rng).degree(0), 4u);
+  EXPECT_THROW((void)make_named_graph("nope", 8, rng), std::invalid_argument);
+  EXPECT_THROW((void)make_named_graph("hypercube", 10, rng),
+               std::invalid_argument);
+}
+
+// Property sweep over generators: every generated graph satisfies the
+// handshake lemma and has consistent CSR structure.
+class GeneratorProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GeneratorProperty, HandshakeAndConsistency) {
+  Rng rng(19);
+  const Graph g = make_named_graph(GetParam(), 64, rng);
+  std::uint64_t degree_sum = 0;
+  for (std::uint32_t u = 0; u < g.node_count(); ++u) {
+    degree_sum += g.degree(u);
+    for (const std::uint32_t v : g.neighbors(u)) {
+      ASSERT_LT(v, g.node_count());
+      ASSERT_NE(v, u);
+      // Symmetry: v lists u.
+      EXPECT_TRUE(g.has_edge(v, u));
+    }
+  }
+  EXPECT_EQ(degree_sum, 2 * g.edge_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, GeneratorProperty,
+                         ::testing::Values("cycle", "path", "complete",
+                                           "star", "torus", "hypercube",
+                                           "regular4", "regular8",
+                                           "lollipop", "barbell",
+                                           "bipartite", "tree"));
+
+}  // namespace
+}  // namespace rbb

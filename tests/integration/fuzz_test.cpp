@@ -1,0 +1,174 @@
+// Randomized operation-sequence tests ("fuzzing" with a fixed seed
+// sweep): drive each process through random interleavings of steps,
+// reassignments/faults and queries, validating the internal invariant
+// checkers after every operation.  Catches bookkeeping drift that
+// straight-line unit tests cannot reach.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/jackson.hpp"
+#include "baselines/repeated_dchoices.hpp"
+#include "core/faults.hpp"
+#include "core/process.hpp"
+#include "core/token_process.hpp"
+#include "graph/graph.hpp"
+#include "selfstab/israeli_jalfon.hpp"
+#include "tetris/leaky.hpp"
+#include "tetris/tetris.hpp"
+
+namespace rbb {
+namespace {
+
+class FuzzSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, int>> {};
+
+TEST_P(FuzzSweep, RepeatedBallsProcessSurvivesRandomOps) {
+  const auto [n, seed] = GetParam();
+  Rng op_rng(static_cast<std::uint64_t>(seed) * 7919 + n);
+  Rng proc_rng = op_rng.split();
+  RepeatedBallsProcess proc(
+      make_config(InitialConfig::kRandom, n, n, proc_rng), proc_rng.split());
+  for (int op = 0; op < 300; ++op) {
+    switch (op_rng.below(8)) {
+      case 0: {  // burst of rounds
+        proc.run(op_rng.below(20));
+        break;
+      }
+      case 1: {  // full adversarial fault
+        const auto strategy = static_cast<FaultStrategy>(op_rng.below(4));
+        proc.reassign(apply_fault(strategy, n, proc.ball_count(),
+                                  proc.loads(), op_rng));
+        break;
+      }
+      case 2: {  // partial fault
+        proc.reassign(
+            apply_partial_fault(proc.loads(), op_rng.below(n / 2 + 1)));
+        break;
+      }
+      default: {  // single round + queries
+        proc.step();
+        (void)proc.is_legitimate();
+        (void)proc.max_load();
+        (void)proc.empty_bins();
+        break;
+      }
+    }
+    ASSERT_NO_THROW(proc.check_invariants()) << "op " << op;
+    ASSERT_EQ(total_balls(proc.loads()), n) << "op " << op;
+  }
+}
+
+TEST_P(FuzzSweep, TokenProcessSurvivesRandomOps) {
+  const auto [n, seed] = GetParam();
+  Rng op_rng(static_cast<std::uint64_t>(seed) * 104729 + n);
+  TokenProcess::Options options;
+  options.policy = static_cast<QueuePolicy>(op_rng.below(3));
+  options.track_visits = (n <= 256);
+  options.track_delays = true;
+  std::vector<std::uint32_t> placement(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    placement[i] = op_rng.index(n);
+  }
+  TokenProcess proc(n, std::move(placement), options, op_rng.split());
+  for (int op = 0; op < 200; ++op) {
+    switch (op_rng.below(6)) {
+      case 0: {
+        proc.run(op_rng.below(10));
+        break;
+      }
+      case 1: {
+        proc.reassign(apply_fault_tokens(
+            static_cast<FaultStrategy>(op_rng.below(4)), n, n, op_rng));
+        break;
+      }
+      default: {
+        proc.step();
+        (void)proc.max_load();
+        (void)proc.min_progress();
+        break;
+      }
+    }
+    ASSERT_NO_THROW(proc.check_invariants()) << "op " << op;
+  }
+  // Delay histogram accumulated something and never exceeded the round
+  // count.
+  EXPECT_GT(proc.delay_histogram().total(), 0u);
+  EXPECT_LE(proc.delay_histogram().max_value(), proc.round());
+}
+
+TEST_P(FuzzSweep, TetrisAndLeakySurviveRandomRuns) {
+  const auto [n, seed] = GetParam();
+  Rng op_rng(static_cast<std::uint64_t>(seed) * 31337 + n);
+  TetrisProcess tetris(make_config(InitialConfig::kRandom, n, n, op_rng),
+                       op_rng.split());
+  LeakyBinsProcess leaky(make_config(InitialConfig::kOnePerBin, n, n, op_rng),
+                         0.5 + 0.5 * op_rng.uniform(), op_rng.split());
+  for (int op = 0; op < 100; ++op) {
+    tetris.run(op_rng.below(15));
+    leaky.run(op_rng.below(15));
+    ASSERT_NO_THROW(tetris.check_invariants()) << "op " << op;
+    ASSERT_NO_THROW(leaky.check_invariants()) << "op " << op;
+  }
+}
+
+TEST_P(FuzzSweep, DChoicesAndJacksonSurviveRandomRuns) {
+  const auto [n, seed] = GetParam();
+  Rng op_rng(static_cast<std::uint64_t>(seed) * 65537 + n);
+  RepeatedDChoicesProcess dchoices(
+      make_config(InitialConfig::kRandom, n, n, op_rng),
+      1 + static_cast<std::uint32_t>(op_rng.below(3)), op_rng.split());
+  ClosedJacksonNetwork jackson(
+      make_config(InitialConfig::kRandom, n, n, op_rng), op_rng.split());
+  double horizon = 0.0;
+  for (int op = 0; op < 100; ++op) {
+    dchoices.run(op_rng.below(15));
+    horizon += op_rng.uniform() * 5.0;
+    jackson.run_until(horizon);
+    ASSERT_NO_THROW(dchoices.check_invariants()) << "op " << op;
+    ASSERT_NO_THROW(jackson.check_invariants()) << "op " << op;
+  }
+  EXPECT_EQ(total_balls(dchoices.loads()), n);
+  EXPECT_EQ(total_balls(jackson.loads()), n);
+}
+
+TEST_P(FuzzSweep, IsraeliJalfonSurvivesRandomOps) {
+  const auto [n, seed] = GetParam();
+  Rng op_rng(static_cast<std::uint64_t>(seed) * 15485863 + n);
+  // Alternate between clique mode and a random 4-regular graph.
+  const bool use_graph = op_rng.bernoulli(0.5);
+  const Graph graph = use_graph ? make_random_regular(n, 4, op_rng)
+                                : make_complete(2);  // unused placeholder
+  const double laziness = op_rng.uniform() * 0.9;
+  IsraeliJalfonProcess proc(use_graph ? &graph : nullptr, n,
+                            TokenPlacement::kRandomHalf, op_rng.split(),
+                            laziness);
+  for (int op = 0; op < 200; ++op) {
+    switch (op_rng.below(4)) {
+      case 0: {
+        for (std::uint64_t r = op_rng.below(10); r > 0; --r) proc.step();
+        break;
+      }
+      case 1: {
+        (void)proc.run_until_single(op_rng.below(50));
+        break;
+      }
+      default: {
+        proc.step();
+        (void)proc.is_legitimate();
+        (void)proc.token_count();
+        break;
+      }
+    }
+    ASSERT_NO_THROW(proc.check_invariants()) << "op " << op;
+    ASSERT_GE(proc.token_count(), 1u) << "op " << op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, FuzzSweep,
+    ::testing::Combine(::testing::Values(8u, 64u, 257u),
+                       ::testing::Values(1, 2, 3, 4)));
+
+}  // namespace
+}  // namespace rbb

@@ -1,0 +1,184 @@
+// Tests for the dense linear-algebra substrate of the exact-chain module.
+#include "markov/dense_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace rbb {
+namespace {
+
+TEST(DenseMatrix, IdentityHasUnitDiagonal) {
+  const DenseMatrix id = DenseMatrix::identity(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(id.at(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+  EXPECT_TRUE(id.is_row_stochastic());
+}
+
+TEST(DenseMatrix, RowStochasticDetectsBadRows) {
+  DenseMatrix m(2, 2);
+  m.at(0, 0) = 0.5;
+  m.at(0, 1) = 0.5;
+  m.at(1, 0) = 0.7;
+  m.at(1, 1) = 0.2;  // row sums to 0.9
+  EXPECT_FALSE(m.is_row_stochastic());
+  m.at(1, 1) = 0.3;
+  EXPECT_TRUE(m.is_row_stochastic());
+  m.at(1, 0) = -0.1;
+  m.at(1, 1) = 1.1;  // sums to 1 but has a negative entry
+  EXPECT_FALSE(m.is_row_stochastic());
+}
+
+TEST(DenseMatrix, LeftMultiplyMatchesHandComputation) {
+  DenseMatrix m(2, 3);
+  m.at(0, 0) = 1.0;
+  m.at(0, 1) = 2.0;
+  m.at(0, 2) = 3.0;
+  m.at(1, 0) = 4.0;
+  m.at(1, 1) = 5.0;
+  m.at(1, 2) = 6.0;
+  const std::vector<double> x = {2.0, -1.0};
+  const std::vector<double> y = m.left_multiply(x);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+  EXPECT_DOUBLE_EQ(y[2], 0.0);
+}
+
+TEST(DenseMatrix, LeftMultiplySizeMismatchThrows) {
+  const DenseMatrix m(2, 2);
+  EXPECT_THROW((void)m.left_multiply({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(DenseMatrix, MultiplyAgreesWithAssociativity) {
+  // (x M) N == x (M N) on random data.
+  Rng rng(7);
+  DenseMatrix m(3, 4);
+  DenseMatrix n(4, 2);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) m.at(r, c) = rng.uniform() - 0.5;
+  }
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) n.at(r, c) = rng.uniform() - 0.5;
+  }
+  const std::vector<double> x = {0.3, -1.2, 2.5};
+  const std::vector<double> lhs = n.left_multiply(m.left_multiply(x));
+  const std::vector<double> rhs = m.multiply(n).left_multiply(x);
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_NEAR(lhs[i], rhs[i], 1e-12);
+  }
+}
+
+TEST(SolveLinear, RecoversKnownSolution) {
+  DenseMatrix a(3, 3);
+  // A = [[2,1,0],[1,3,1],[0,1,4]], x = [1,-2,3] => b = [0,-2,10].
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 3;
+  a.at(1, 2) = 1;
+  a.at(2, 1) = 1;
+  a.at(2, 2) = 4;
+  const std::vector<double> x = solve_linear(a, {0.0, -2.0, 10.0});
+  ASSERT_EQ(x.size(), 3u);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], -2.0, 1e-12);
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, RequiresPivoting) {
+  // Leading zero pivot: solvable only with row exchange.
+  DenseMatrix a(2, 2);
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  const std::vector<double> x = solve_linear(a, {3.0, 5.0});
+  EXPECT_NEAR(x[0], 5.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, SingularThrows) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;
+  EXPECT_THROW((void)solve_linear(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(SolveLinear, ShapeMismatchThrows) {
+  const DenseMatrix a(2, 3);
+  EXPECT_THROW((void)solve_linear(a, {1.0, 2.0}), std::invalid_argument);
+}
+
+/// A small ergodic chain whose stationary law is known in closed form:
+/// two-state chain with P(0->1) = a, P(1->0) = b has pi = (b, a)/(a+b).
+TEST(Stationary, TwoStateClosedForm) {
+  const double a = 0.3;
+  const double b = 0.1;
+  DenseMatrix p(2, 2);
+  p.at(0, 0) = 1 - a;
+  p.at(0, 1) = a;
+  p.at(1, 0) = b;
+  p.at(1, 1) = 1 - b;
+  const std::vector<double> pi = stationary_distribution(p);
+  EXPECT_NEAR(pi[0], b / (a + b), 1e-12);
+  EXPECT_NEAR(pi[1], a / (a + b), 1e-12);
+}
+
+TEST(Stationary, DirectSolveAgreesWithPowerIteration) {
+  // Random 6-state ergodic chain.
+  Rng rng(42);
+  const std::size_t s = 6;
+  DenseMatrix p(s, s);
+  for (std::size_t r = 0; r < s; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < s; ++c) {
+      p.at(r, c) = rng.uniform() + 0.01;  // strictly positive => ergodic
+      sum += p.at(r, c);
+    }
+    for (std::size_t c = 0; c < s; ++c) p.at(r, c) /= sum;
+  }
+  const std::vector<double> direct = stationary_distribution(p);
+  const std::vector<double> power = stationary_by_power_iteration(p);
+  EXPECT_LT(total_variation(direct, power), 1e-10);
+}
+
+TEST(Stationary, IsInvariantUnderTheChain) {
+  Rng rng(43);
+  const std::size_t s = 5;
+  DenseMatrix p(s, s);
+  for (std::size_t r = 0; r < s; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < s; ++c) {
+      p.at(r, c) = rng.uniform() + 0.05;
+      sum += p.at(r, c);
+    }
+    for (std::size_t c = 0; c < s; ++c) p.at(r, c) /= sum;
+  }
+  const std::vector<double> pi = stationary_distribution(p);
+  const std::vector<double> pi_next = p.left_multiply(pi);
+  EXPECT_LT(total_variation(pi, pi_next), 1e-12);
+}
+
+TEST(TotalVariation, BasicProperties) {
+  const std::vector<double> a = {0.5, 0.5, 0.0};
+  const std::vector<double> b = {0.0, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(total_variation(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(total_variation(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(total_variation(b, a), 0.5);
+  const std::vector<double> point1 = {1.0, 0.0};
+  const std::vector<double> point2 = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(total_variation(point1, point2), 1.0);
+  EXPECT_THROW((void)total_variation(a, point1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rbb

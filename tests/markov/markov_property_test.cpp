@@ -1,0 +1,162 @@
+// Property-style sweeps over the exact-chain machinery: every (bins,
+// balls) pair in the tractable range must satisfy the same structural
+// invariants, including the m != n regimes of the paper's Sect. 5 open
+// question (m > n) and the trivially-stable m < n regime.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "markov/rbb_chain.hpp"
+#include "markov/state_space.hpp"
+
+namespace rbb {
+namespace {
+
+using BinsBalls = std::tuple<std::uint32_t, std::uint32_t>;
+
+class ExactChainProperty : public ::testing::TestWithParam<BinsBalls> {};
+
+TEST_P(ExactChainProperty, TransitionMatrixIsRowStochastic) {
+  const auto [bins, balls] = GetParam();
+  const StateSpace space(bins, balls);
+  const DenseMatrix p = build_rbb_transition_matrix(space);
+  EXPECT_TRUE(p.is_row_stochastic(1e-9));
+}
+
+TEST_P(ExactChainProperty, BallCountIsConservedByEveryTransition) {
+  const auto [bins, balls] = GetParam();
+  const StateSpace space(bins, balls);
+  const DenseMatrix p = build_rbb_transition_matrix(space);
+  for (std::size_t from = 0; from < space.size(); ++from) {
+    for (std::size_t to = 0; to < space.size(); ++to) {
+      if (p.at(from, to) > 0.0) {
+        EXPECT_EQ(total_balls(space.config(to)), balls);
+      }
+    }
+  }
+}
+
+TEST_P(ExactChainProperty, StationaryIsAPermutationSymmetricDistribution) {
+  const auto [bins, balls] = GetParam();
+  const StateSpace space(bins, balls);
+  const DenseMatrix p = build_rbb_transition_matrix(space);
+  const std::vector<double> pi = stationary_distribution(p);
+  double total = 0.0;
+  for (const double v : pi) {
+    EXPECT_GE(v, -1e-12);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  for (const auto& orbit : space.orbits()) {
+    for (const std::size_t id : orbit) {
+      EXPECT_NEAR(pi[id], pi[orbit.front()], 1e-9);
+    }
+  }
+}
+
+TEST_P(ExactChainProperty, StationaryIsInvariantUnderOneRound) {
+  const auto [bins, balls] = GetParam();
+  const StateSpace space(bins, balls);
+  const DenseMatrix p = build_rbb_transition_matrix(space);
+  const std::vector<double> pi = stationary_distribution(p);
+  EXPECT_LT(total_variation(pi, p.left_multiply(pi)), 1e-10);
+}
+
+TEST_P(ExactChainProperty, MaxLoadTailIsMonotoneFromOne) {
+  const auto [bins, balls] = GetParam();
+  const StateSpace space(bins, balls);
+  const DenseMatrix p = build_rbb_transition_matrix(space);
+  const auto f = exact_functionals(space, stationary_distribution(p));
+  ASSERT_EQ(f.max_load_tail.size(), balls + 1u);
+  EXPECT_NEAR(f.max_load_tail[0], 1.0, 1e-9);
+  for (std::size_t k = 1; k < f.max_load_tail.size(); ++k) {
+    EXPECT_LE(f.max_load_tail[k], f.max_load_tail[k - 1] + 1e-12);
+    EXPECT_GE(f.max_load_tail[k], -1e-12);
+  }
+  // E[max load] equals the tail sum over k >= 1 (layer-cake identity).
+  double tail_sum = 0.0;
+  for (std::size_t k = 1; k < f.max_load_tail.size(); ++k) {
+    tail_sum += f.max_load_tail[k];
+  }
+  EXPECT_NEAR(f.expected_max_load, tail_sum, 1e-9);
+}
+
+TEST_P(ExactChainProperty, TransientLawStaysNormalizedForManyRounds) {
+  const auto [bins, balls] = GetParam();
+  const StateSpace space(bins, balls);
+  const DenseMatrix p = build_rbb_transition_matrix(space);
+  LoadConfig q0(bins, 0);
+  q0[0] = balls;  // all-in-one worst case
+  const auto dist = exact_distribution_after(space, p, q0, 50);
+  double total = 0.0;
+  for (const double v : dist) {
+    EXPECT_GE(v, -1e-12);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(ExactChainProperty, ArrivalJointLawNormalizesFromWorstStart) {
+  const auto [bins, balls] = GetParam();
+  const StateSpace space(bins, balls);
+  LoadConfig q0(bins, 0);
+  q0[0] = balls;
+  const auto joint = exact_arrival_joint_law(space, q0);
+  double total = 0.0;
+  for (const auto& row : joint) {
+    for (const double v : row) total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BinsBallsSweep, ExactChainProperty,
+    ::testing::Values(BinsBalls{2, 2}, BinsBalls{2, 4}, BinsBalls{3, 2},
+                      BinsBalls{3, 3}, BinsBalls{3, 6}, BinsBalls{4, 3},
+                      BinsBalls{4, 4}, BinsBalls{4, 6}, BinsBalls{5, 4},
+                      BinsBalls{5, 5}, BinsBalls{2, 8}, BinsBalls{6, 4}),
+    [](const ::testing::TestParamInfo<BinsBalls>& param_info) {
+      return "bins" + std::to_string(std::get<0>(param_info.param)) + "_balls" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+/// The overloaded regime (m > n, the paper's Sect. 5 open question) at
+/// exact small scale: as the load factor m/n grows, the stationary empty
+/// fraction falls (but stays positive) and E[max load] rises.
+TEST(ExactChainOverload, EmptyFractionFallsWithLoadFactor) {
+  const std::uint32_t n = 4;
+  double prev_empty = 1.0;
+  double prev_max = 0.0;
+  for (const std::uint32_t m : {2u, 4u, 8u, 12u}) {
+    const StateSpace space(n, m);
+    const DenseMatrix p = build_rbb_transition_matrix(space);
+    const auto f = exact_functionals(space, stationary_distribution(p));
+    EXPECT_LT(f.expected_empty_fraction, prev_empty) << "m=" << m;
+    EXPECT_GT(f.expected_max_load, prev_max) << "m=" << m;
+    EXPECT_GT(f.expected_empty_fraction, 0.0);
+    prev_empty = f.expected_empty_fraction;
+    prev_max = f.expected_max_load;
+  }
+}
+
+/// With m <= n the one-per-bin configuration is reachable and max load 1
+/// has positive stationary mass; with m > n every configuration has a
+/// bin with >= 2 balls (pigeonhole), exactly visible in the tail.
+TEST(ExactChainOverload, PigeonholeShowsInTheExactTail) {
+  {
+    const StateSpace space(4, 4);
+    const DenseMatrix p = build_rbb_transition_matrix(space);
+    const auto f = exact_functionals(space, stationary_distribution(p));
+    EXPECT_LT(f.max_load_tail[2], 1.0 - 1e-6);  // P(M >= 2) < 1
+  }
+  {
+    const StateSpace space(4, 5);
+    const DenseMatrix p = build_rbb_transition_matrix(space);
+    const auto f = exact_functionals(space, stationary_distribution(p));
+    EXPECT_NEAR(f.max_load_tail[2], 1.0, 1e-12);  // P(M >= 2) == 1
+  }
+}
+
+}  // namespace
+}  // namespace rbb

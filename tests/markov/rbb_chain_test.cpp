@@ -1,0 +1,253 @@
+// Tests for the exact repeated balls-into-bins transition matrix and the
+// derived stationary / mixing / correlation functionals.
+#include "markov/rbb_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/process.hpp"
+#include "support/rng.hpp"
+
+namespace rbb {
+namespace {
+
+TEST(RbbChain, RowsAreStochastic) {
+  for (std::uint32_t n = 2; n <= 5; ++n) {
+    const StateSpace space(n, n);
+    const DenseMatrix p = build_rbb_transition_matrix(space);
+    EXPECT_TRUE(p.is_row_stochastic(1e-10)) << "n=" << n;
+  }
+}
+
+/// n = 2 by hand.  States in lexicographic order: (0,2), (1,1), (2,0).
+/// From (0,2): one departure, uniform destination -> 1/2 each to (0,2)
+/// and (1,1).  From (1,1): two departures -> (2,0) w.p. 1/4, (1,1) w.p.
+/// 1/2, (0,2) w.p. 1/4.  (2,0) mirrors (0,2).
+TEST(RbbChain, TwoBinMatrixMatchesHandComputation) {
+  const StateSpace space(2, 2);
+  const DenseMatrix p = build_rbb_transition_matrix(space);
+  const std::size_t s02 = space.index_of({0, 2});
+  const std::size_t s11 = space.index_of({1, 1});
+  const std::size_t s20 = space.index_of({2, 0});
+  EXPECT_NEAR(p.at(s02, s02), 0.5, 1e-12);
+  EXPECT_NEAR(p.at(s02, s11), 0.5, 1e-12);
+  EXPECT_NEAR(p.at(s02, s20), 0.0, 1e-12);
+  EXPECT_NEAR(p.at(s11, s02), 0.25, 1e-12);
+  EXPECT_NEAR(p.at(s11, s11), 0.5, 1e-12);
+  EXPECT_NEAR(p.at(s11, s20), 0.25, 1e-12);
+  EXPECT_NEAR(p.at(s20, s11), 0.5, 1e-12);
+  EXPECT_NEAR(p.at(s20, s20), 0.5, 1e-12);
+}
+
+/// The n = 2 stationary law in closed form: pi = (1/4, 1/2, 1/4).
+TEST(RbbChain, TwoBinStationaryClosedForm) {
+  const StateSpace space(2, 2);
+  const DenseMatrix p = build_rbb_transition_matrix(space);
+  const std::vector<double> pi = stationary_distribution(p);
+  EXPECT_NEAR(pi[space.index_of({0, 2})], 0.25, 1e-12);
+  EXPECT_NEAR(pi[space.index_of({1, 1})], 0.5, 1e-12);
+  EXPECT_NEAR(pi[space.index_of({2, 0})], 0.25, 1e-12);
+}
+
+/// Bins are exchangeable, so the stationary probability must be constant
+/// on every permutation orbit.
+TEST(RbbChain, StationaryIsPermutationSymmetric) {
+  for (std::uint32_t n : {3u, 4u, 5u}) {
+    const StateSpace space(n, n);
+    const DenseMatrix p = build_rbb_transition_matrix(space);
+    const std::vector<double> pi = stationary_distribution(p);
+    for (const auto& orbit : space.orbits()) {
+      const double ref = pi[orbit.front()];
+      for (const std::size_t id : orbit) {
+        EXPECT_NEAR(pi[id], ref, 1e-10) << "n=" << n;
+      }
+    }
+  }
+}
+
+TEST(RbbChain, StationaryAgreesWithPowerIteration) {
+  const StateSpace space(4, 4);
+  const DenseMatrix p = build_rbb_transition_matrix(space);
+  EXPECT_LT(total_variation(stationary_distribution(p),
+                            stationary_by_power_iteration(p)),
+            1e-9);
+}
+
+TEST(RbbChain, ExactDistributionRoundZeroIsPointMass) {
+  const StateSpace space(3, 3);
+  const DenseMatrix p = build_rbb_transition_matrix(space);
+  const LoadConfig q0 = {3, 0, 0};
+  const auto dist = exact_distribution_after(space, p, q0, 0);
+  EXPECT_DOUBLE_EQ(dist[space.index_of(q0)], 1.0);
+}
+
+TEST(RbbChain, ExactDistributionRoundOneIsTransitionRow) {
+  const StateSpace space(3, 3);
+  const DenseMatrix p = build_rbb_transition_matrix(space);
+  const LoadConfig q0 = {1, 1, 1};
+  const std::size_t from = space.index_of(q0);
+  const auto dist = exact_distribution_after(space, p, q0, 1);
+  for (std::size_t id = 0; id < space.size(); ++id) {
+    EXPECT_NEAR(dist[id], p.at(from, id), 1e-14);
+  }
+}
+
+/// Monte-Carlo cross-check: the empirical state distribution of the
+/// simulation kernel after a few rounds must match the exact transient
+/// law.  This ties the exact matrix to the production simulator.
+TEST(RbbChain, SimulationKernelMatchesExactTransientLaw) {
+  const std::uint32_t n = 3;
+  const StateSpace space(n, n);
+  const DenseMatrix p = build_rbb_transition_matrix(space);
+  const LoadConfig q0 = {3, 0, 0};
+  const std::uint64_t rounds = 5;
+  const auto exact = exact_distribution_after(space, p, q0, rounds);
+
+  const std::uint64_t trials = 40000;
+  std::vector<double> empirical(space.size(), 0.0);
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    Rng rng(2024, trial);
+    RepeatedBallsProcess proc(q0, rng);
+    proc.run(rounds);
+    empirical[space.index_of(proc.loads())] += 1.0;
+  }
+  for (double& v : empirical) v /= static_cast<double>(trials);
+  EXPECT_LT(total_variation(exact, empirical), 0.02);
+}
+
+/// Appendix B, computed exactly: for n = 2 from (1,1),
+/// P(X1=0, X2=0) = 1/8 > P(X1=0) P(X2=0) = 1/4 * 3/8 = 3/32.
+TEST(RbbChain, AppendixBExactProbabilities) {
+  const StateSpace space(2, 2);
+  const auto corr = exact_arrival_correlation(space, {1, 1});
+  EXPECT_NEAR(corr.p_both_zero, 1.0 / 8.0, 1e-12);
+  EXPECT_NEAR(corr.p_first_zero, 1.0 / 4.0, 1e-12);
+  EXPECT_NEAR(corr.p_second_zero, 3.0 / 8.0, 1e-12);
+  EXPECT_GT(corr.excess(), 0.03);  // exactly 1/8 - 3/32 = 1/32
+  EXPECT_NEAR(corr.excess(), 1.0 / 32.0, 1e-12);
+}
+
+/// The positive arrival correlation is not a 2-bin artifact: the exact
+/// excess stays strictly positive for n = 3 and 4 from one-per-bin starts.
+TEST(RbbChain, ArrivalCorrelationPositiveForLargerN) {
+  for (std::uint32_t n : {3u, 4u}) {
+    const StateSpace space(n, n);
+    const LoadConfig q0(n, 1);
+    const auto corr = exact_arrival_correlation(space, q0);
+    EXPECT_GT(corr.excess(), 0.0) << "n=" << n;
+  }
+}
+
+TEST(RbbChain, ArrivalJointLawIsADistribution) {
+  const StateSpace space(3, 3);
+  const auto joint = exact_arrival_joint_law(space, {2, 1, 0});
+  double total = 0.0;
+  for (const auto& row : joint) {
+    for (const double v : row) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+/// n = 2 is reversible (flows between (1,1) and the corner states balance
+/// exactly), but from n = 3 on the chain violates detailed balance --
+/// the structural obstruction the paper points to in Sect. 1.3.
+TEST(RbbChain, DetailedBalanceHoldsOnlyForTwoBins) {
+  {
+    const StateSpace space(2, 2);
+    const DenseMatrix p = build_rbb_transition_matrix(space);
+    EXPECT_LT(detailed_balance_residual(p, stationary_distribution(p)),
+              1e-12);
+  }
+  for (std::uint32_t n : {3u, 4u, 5u}) {
+    const StateSpace space(n, n);
+    const DenseMatrix p = build_rbb_transition_matrix(space);
+    EXPECT_GT(detailed_balance_residual(p, stationary_distribution(p)),
+              1e-5)
+        << "n=" << n;
+  }
+}
+
+/// For n <= 3 the stationary law happens to admit a product form; from
+/// n = 4 on it provably does not (TV distance to the best product fit is
+/// bounded away from numerical noise) -- the "very likely not product
+/// form" claim of Sect. 1.3, made exact at small n.
+TEST(RbbChain, ProductFormFailsFromFourBins) {
+  for (std::uint32_t n : {2u, 3u}) {
+    const StateSpace space(n, n);
+    const DenseMatrix p = build_rbb_transition_matrix(space);
+    EXPECT_LT(product_form_distance(space, stationary_distribution(p)), 1e-8)
+        << "n=" << n;
+  }
+  for (std::uint32_t n : {4u, 5u}) {
+    const StateSpace space(n, n);
+    const DenseMatrix p = build_rbb_transition_matrix(space);
+    EXPECT_GT(product_form_distance(space, stationary_distribution(p)), 1e-4)
+        << "n=" << n;
+  }
+}
+
+TEST(RbbChain, ExactFunctionalsOfTwoBinStationary) {
+  const StateSpace space(2, 2);
+  const DenseMatrix p = build_rbb_transition_matrix(space);
+  const auto f = exact_functionals(space, stationary_distribution(p));
+  EXPECT_NEAR(f.expected_max_load, 1.5, 1e-12);
+  EXPECT_NEAR(f.expected_empty_fraction, 0.25, 1e-12);
+  EXPECT_NEAR(f.p_legitimate, 1.0, 1e-12);
+  ASSERT_EQ(f.max_load_tail.size(), 3u);
+  EXPECT_NEAR(f.max_load_tail[0], 1.0, 1e-12);
+  EXPECT_NEAR(f.max_load_tail[1], 1.0, 1e-12);
+  EXPECT_NEAR(f.max_load_tail[2], 0.5, 1e-12);
+}
+
+/// The expected stationary empty fraction grows with n toward the
+/// independent-throws equilibrium (1/e ~ 0.368) and always exceeds the
+/// paper's n/4 working bound.
+TEST(RbbChain, StationaryEmptyFractionExceedsQuarter) {
+  double prev = 0.0;
+  for (std::uint32_t n = 2; n <= 5; ++n) {
+    const StateSpace space(n, n);
+    const DenseMatrix p = build_rbb_transition_matrix(space);
+    const auto f = exact_functionals(space, stationary_distribution(p));
+    EXPECT_GE(f.expected_empty_fraction, 0.25 - 1e-12) << "n=" << n;
+    EXPECT_GT(f.expected_empty_fraction, prev) << "n=" << n;
+    prev = f.expected_empty_fraction;
+  }
+}
+
+TEST(RbbChain, ExactMixingTimeIsSmallAndMonotoneInEps) {
+  const StateSpace space(3, 3);
+  const DenseMatrix p = build_rbb_transition_matrix(space);
+  const std::vector<double> pi = stationary_distribution(p);
+  const std::uint64_t mix_loose = exact_mixing_time(space, p, pi, 0.25, 100);
+  const std::uint64_t mix_tight = exact_mixing_time(space, p, pi, 0.01, 100);
+  EXPECT_LE(mix_loose, 10u);
+  EXPECT_LE(mix_loose, mix_tight);
+  EXPECT_LE(mix_tight, 50u);
+}
+
+TEST(RbbChain, MixingTimeFromStationaryStartIsZeroish) {
+  // Starting *at* a heavy orbit only: restricting the start set can only
+  // shorten the reported mixing time.
+  const StateSpace space(3, 3);
+  const DenseMatrix p = build_rbb_transition_matrix(space);
+  const std::vector<double> pi = stationary_distribution(p);
+  const std::uint64_t all = exact_mixing_time(space, p, pi, 0.25, 100);
+  const std::uint64_t one = exact_mixing_time(space, p, pi, 0.25, 100,
+                                              {space.index_of({1, 1, 1})});
+  EXPECT_LE(one, all);
+}
+
+TEST(RbbChain, MixingTimeUnreachedReturnsSentinel) {
+  const StateSpace space(3, 3);
+  const DenseMatrix p = build_rbb_transition_matrix(space);
+  const std::vector<double> pi = stationary_distribution(p);
+  EXPECT_EQ(exact_mixing_time(space, p, pi, 1e-12, 0), 1u);
+}
+
+}  // namespace
+}  // namespace rbb

@@ -1,0 +1,111 @@
+// Tests for the composition state-space enumeration.
+#include "markov/state_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace rbb {
+namespace {
+
+TEST(StateSpace, ExpectedSizeMatchesBinomial) {
+  // C(m+n-1, n-1) spot checks.
+  EXPECT_EQ(StateSpace::expected_size(2, 2), 3u);    // C(3,1)
+  EXPECT_EQ(StateSpace::expected_size(3, 3), 10u);   // C(5,2)
+  EXPECT_EQ(StateSpace::expected_size(4, 4), 35u);   // C(7,3)
+  EXPECT_EQ(StateSpace::expected_size(5, 5), 126u);  // C(9,4)
+  EXPECT_EQ(StateSpace::expected_size(6, 6), 462u);  // C(11,5)
+  EXPECT_EQ(StateSpace::expected_size(1, 10), 1u);
+  EXPECT_EQ(StateSpace::expected_size(10, 0), 1u);
+}
+
+TEST(StateSpace, EnumerationCountMatchesFormula) {
+  for (std::uint32_t n = 1; n <= 5; ++n) {
+    for (std::uint32_t m = 0; m <= 5; ++m) {
+      const StateSpace space(n, m);
+      EXPECT_EQ(space.size(), StateSpace::expected_size(n, m))
+          << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(StateSpace, StatesAreDistinctSortedAndValid) {
+  const StateSpace space(4, 4);
+  std::set<LoadConfig> seen;
+  for (std::size_t id = 0; id < space.size(); ++id) {
+    const LoadConfig& q = space.config(id);
+    EXPECT_EQ(q.size(), 4u);
+    EXPECT_EQ(total_balls(q), 4u);
+    EXPECT_TRUE(seen.insert(q).second) << "duplicate state";
+    if (id > 0) {
+      EXPECT_LT(space.config(id - 1), q) << "not sorted";
+    }
+  }
+}
+
+TEST(StateSpace, IndexOfRoundTripsEveryState) {
+  const StateSpace space(5, 3);
+  for (std::size_t id = 0; id < space.size(); ++id) {
+    EXPECT_EQ(space.index_of(space.config(id)), id);
+  }
+}
+
+TEST(StateSpace, IndexOfRejectsInvalidConfigs) {
+  const StateSpace space(3, 3);
+  EXPECT_THROW((void)space.index_of({1, 1}), std::invalid_argument);
+  EXPECT_THROW((void)space.index_of({1, 1, 2}), std::invalid_argument);
+}
+
+TEST(StateSpace, TooLargeSpaceThrows) {
+  // C(39, 19) ~ 6.9e10 exceeds the enumeration budget.
+  EXPECT_THROW(StateSpace(20, 20), std::invalid_argument);
+  // C(127, 63) does not even fit in 64 bits.
+  EXPECT_THROW((void)StateSpace::expected_size(64, 64), std::overflow_error);
+}
+
+TEST(StateSpace, ZeroBinsThrows) {
+  EXPECT_THROW((void)StateSpace::expected_size(0, 3), std::invalid_argument);
+}
+
+TEST(StateSpace, OrbitRepresentativeIsSortedDescending) {
+  const StateSpace space(4, 4);
+  for (std::size_t id = 0; id < space.size(); ++id) {
+    const LoadConfig rep = space.orbit_representative(id);
+    EXPECT_TRUE(std::is_sorted(rep.begin(), rep.end(), std::greater<>()));
+    LoadConfig sorted_q = space.config(id);
+    std::sort(sorted_q.begin(), sorted_q.end(), std::greater<>());
+    EXPECT_EQ(rep, sorted_q);
+  }
+}
+
+TEST(StateSpace, OrbitsPartitionTheSpace) {
+  const StateSpace space(4, 4);
+  const auto orbits = space.orbits();
+  // Orbits of 4 balls in 4 bins = partitions of 4 into <= 4 parts: 5.
+  EXPECT_EQ(orbits.size(), 5u);
+  std::size_t covered = 0;
+  std::set<std::size_t> seen;
+  for (const auto& orbit : orbits) {
+    covered += orbit.size();
+    const LoadConfig rep = space.orbit_representative(orbit.front());
+    for (const std::size_t id : orbit) {
+      EXPECT_EQ(space.orbit_representative(id), rep);
+      EXPECT_TRUE(seen.insert(id).second);
+    }
+  }
+  EXPECT_EQ(covered, space.size());
+}
+
+TEST(StateSpace, OrbitSizesAreMultinomialCounts) {
+  const StateSpace space(3, 3);
+  // Partitions of 3 into <= 3 parts: (3,0,0) -> 3 states, (2,1,0) -> 6,
+  // (1,1,1) -> 1.  Total 10.
+  std::set<std::size_t> sizes;
+  for (const auto& orbit : space.orbits()) sizes.insert(orbit.size());
+  EXPECT_EQ(sizes, (std::set<std::size_t>{1, 3, 6}));
+}
+
+}  // namespace
+}  // namespace rbb

@@ -1,0 +1,190 @@
+// Tests for the exact Z-chain transient analysis (Lemma 5, eq. (4)).
+#include "markov/zchain_exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "support/bounds.hpp"
+#include "support/rng.hpp"
+#include "tetris/leaky.hpp"
+#include "tetris/zchain.hpp"
+
+namespace rbb {
+namespace {
+
+TEST(ZChainExact, StartAtZeroIsAbsorbedImmediately) {
+  const auto r = exact_zchain_survival(16, 0, 10);
+  ASSERT_EQ(r.survival.size(), 11u);
+  for (const double s : r.survival) EXPECT_DOUBLE_EQ(s, 0.0);
+  EXPECT_DOUBLE_EQ(r.expected_absorption, 0.0);
+}
+
+TEST(ZChainExact, SurvivalIsAProbabilityAndNonIncreasing) {
+  const auto r = exact_zchain_survival(32, 5, 300);
+  ASSERT_EQ(r.survival.size(), 301u);
+  for (std::size_t t = 0; t < r.survival.size(); ++t) {
+    EXPECT_GE(r.survival[t], 0.0);
+    EXPECT_LE(r.survival[t], 1.0);
+    if (t > 0) {
+      EXPECT_LE(r.survival[t], r.survival[t - 1] + 1e-15);
+    }
+  }
+  EXPECT_DOUBLE_EQ(r.survival[0], 1.0);
+}
+
+/// Survival cannot drop before t = k: the chain decreases by at most one
+/// per step, so absorption from k needs at least k rounds.
+TEST(ZChainExact, NoAbsorptionBeforeKSteps) {
+  const std::uint64_t k = 7;
+  const auto r = exact_zchain_survival(64, k, 50);
+  for (std::uint64_t t = 0; t < k; ++t) {
+    EXPECT_DOUBLE_EQ(r.survival[t], 1.0) << "t=" << t;
+  }
+  EXPECT_LT(r.survival[k], 1.0);  // immediate drain path has positive prob
+}
+
+/// Wald / optional stopping, exactly: while positive the chain moves by
+/// -1 + Bin(3n/4, 1/n), so for 4 | n the drift is exactly -1/4 and (no
+/// overshoot -- downward steps are unit) E[tau] = 4k exactly.
+TEST(ZChainExact, ExpectedAbsorptionIsFourKExactly) {
+  for (const std::uint64_t k : {1ull, 4ull, 20ull}) {
+    const auto r = exact_zchain_survival(64, k, 4000);
+    EXPECT_NEAR(r.expected_absorption, 4.0 * static_cast<double>(k), 1e-6)
+        << "k=" << k;
+    EXPECT_LT(r.saturated_mass, 1e-9);
+  }
+}
+
+/// Lemma 5: P_k(tau > t) <= e^{-t/144} for every t >= 8k, verified
+/// pointwise against the exact survival curve.
+TEST(ZChainExact, Lemma5BoundHoldsPointwise) {
+  const std::uint64_t k = 4;
+  const auto r = exact_zchain_survival(64, k, 600);
+  for (std::uint64_t t = 8 * k; t <= 600; t += 4) {
+    EXPECT_LE(r.survival[t], zchain_tail_bound(static_cast<double>(t)) + 1e-12)
+        << "t=" << t;
+  }
+}
+
+/// The exact curve decays *much* faster than the Lemma 5 bound (the
+/// paper's constant 1/144 is far from tight): the exact decay rate per
+/// round is ~0.046, more than 5x the bound's 1/144 ~ 0.0069.
+TEST(ZChainExact, ExactDecayBeatsLemma5Constant) {
+  const auto r = exact_zchain_survival(64, 2, 400);
+  // Fit rate between t = 100 and t = 300.
+  const double rate =
+      -(std::log(r.survival[300]) - std::log(r.survival[100])) / 200.0;
+  EXPECT_GT(rate, 5.0 / 144.0);
+}
+
+/// Monte-Carlo cross-check against the simulated chain in tetris/zchain.
+TEST(ZChainExact, MatchesSimulatedSurvival) {
+  const std::uint32_t n = 32;
+  const std::uint64_t k = 6;
+  const std::uint64_t probe_t = 40;
+  const auto exact = exact_zchain_survival(n, k, probe_t);
+  const std::uint64_t trials = 30000;
+  std::uint64_t survived = 0;
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    Rng rng(99, trial);
+    const std::uint64_t tau = sample_absorption_time(n, k, probe_t + 1, rng);
+    if (tau > probe_t) ++survived;
+  }
+  const double empirical =
+      static_cast<double>(survived) / static_cast<double>(trials);
+  EXPECT_NEAR(empirical, exact.survival[probe_t], 0.01);
+}
+
+TEST(ZChainExact, SaturationMassIsTrackedWithTinyCap) {
+  // With an artificially tiny cap some mass must saturate.  Saturation
+  // pushes walkers down toward absorption, so the truncated curve is a
+  // lower bound on the wide-cap one, with pointwise error bounded by the
+  // accumulated saturated mass.
+  const auto tight = exact_zchain_survival(8, 6, 100, 8);
+  const auto wide = exact_zchain_survival(8, 6, 100, 4096);
+  EXPECT_GT(tight.saturated_mass, 0.0);
+  EXPECT_LT(wide.saturated_mass, 1e-12);
+  for (std::size_t t = 0; t <= 100; ++t) {
+    EXPECT_LE(tight.survival[t], wide.survival[t] + 1e-12) << "t=" << t;
+    EXPECT_LE(wide.survival[t] - tight.survival[t],
+              tight.saturated_mass + 1e-12)
+        << "t=" << t;
+  }
+}
+
+TEST(ZChainExact, InvalidArgumentsThrow) {
+  EXPECT_THROW((void)exact_zchain_survival(1, 3, 10), std::invalid_argument);
+  EXPECT_THROW((void)exact_zchain_survival(16, 4096, 10, 4096),
+               std::invalid_argument);
+}
+
+TEST(LeakyQueueExact, RateConservationForcesPEmptyOneMinusLambda) {
+  // Rate balance in stationarity: the served rate P(Z >= 1) must equal
+  // the arrival rate lambda, so P(Z = 0) = 1 - lambda *exactly*.
+  for (const double lambda : {0.25, 0.5, 0.75, 0.9}) {
+    const auto q = exact_leaky_queue_stationary(64, lambda);
+    EXPECT_NEAR(q.p_empty, 1.0 - lambda, 1e-8) << "lambda=" << lambda;
+  }
+}
+
+TEST(LeakyQueueExact, PmfIsADistributionWithMonotoneUpperTail) {
+  const auto q = exact_leaky_queue_stationary(32, 0.75);
+  double total = 0.0;
+  for (const double v : q.pmf) {
+    EXPECT_GE(v, -1e-15);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(q.mean, 0.0);
+}
+
+TEST(LeakyQueueExact, QueueGrowsAsLambdaApproachesOne) {
+  double prev_mean = -1.0;
+  std::uint64_t prev_q999 = 0;
+  for (const double lambda : {0.5, 0.75, 0.9, 0.97}) {
+    const auto q = exact_leaky_queue_stationary(64, lambda);
+    EXPECT_GT(q.mean, prev_mean) << "lambda=" << lambda;
+    EXPECT_GE(q.q999, prev_q999) << "lambda=" << lambda;
+    prev_mean = q.mean;
+    prev_q999 = q.q999;
+  }
+}
+
+TEST(LeakyQueueExact, MatchesSimulatedLeakyBinsOccupancy) {
+  // The exact single-queue law is the marginal of the n-bin simulation:
+  // compare the stationary load histogram pooled across bins and rounds.
+  const std::uint32_t n = 64;
+  const double lambda = 0.75;
+  const auto exact = exact_leaky_queue_stationary(n, lambda);
+
+  LeakyBinsProcess proc(LoadConfig(n, 1), lambda, Rng(31337));
+  proc.run(2000);  // burn-in
+  std::vector<double> empirical(16, 0.0);
+  const int rounds = 4000;
+  for (int t = 0; t < rounds; ++t) {
+    proc.step();
+    for (const std::uint32_t load : proc.loads()) {
+      if (load < empirical.size()) empirical[load] += 1.0;
+    }
+  }
+  for (double& v : empirical) v /= static_cast<double>(rounds) * n;
+  for (std::size_t k = 0; k < 6; ++k) {
+    EXPECT_NEAR(empirical[k], exact.pmf[k], 0.02) << "k=" << k;
+  }
+}
+
+TEST(LeakyQueueExact, InvalidLambdaThrows) {
+  EXPECT_THROW((void)exact_leaky_queue_stationary(16, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)exact_leaky_queue_stationary(16, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)exact_leaky_queue_stationary(16, 1.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)exact_leaky_queue_stationary(1, 0.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rbb

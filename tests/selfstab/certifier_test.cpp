@@ -1,0 +1,147 @@
+// Tests for the self-stabilization certification harness.
+#include "selfstab/certifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/config.hpp"
+#include "core/process.hpp"
+#include "selfstab/israeli_jalfon.hpp"
+
+namespace rbb {
+namespace {
+
+/// Deterministic toy process: a countdown that becomes legitimate at 0
+/// and stays there.
+StabTrialFactory countdown_factory(std::uint64_t start) {
+  return [start](std::uint64_t) {
+    auto counter = std::make_shared<std::uint64_t>(start);
+    StabTrialHooks hooks;
+    hooks.step = [counter] {
+      if (*counter > 0) --*counter;
+    };
+    hooks.legitimate = [counter] { return *counter == 0; };
+    return hooks;
+  };
+}
+
+TEST(Certifier, CountdownConvergesAtKnownRound) {
+  const CertifyResult r = certify_self_stabilization(
+      countdown_factory(7), {.trials = 10, .horizon = 100,
+                             .closure_window = 20});
+  EXPECT_EQ(r.trials, 10u);
+  EXPECT_EQ(r.converged, 10u);
+  EXPECT_DOUBLE_EQ(r.convergence_rounds.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(r.convergence_rounds.stddev(), 0.0);
+  EXPECT_EQ(r.closure_violations, 0u);
+  EXPECT_EQ(r.closure_rounds, 200u);
+  EXPECT_DOUBLE_EQ(r.closure_violation_rate(), 0.0);
+  EXPECT_GT(r.p_converged_lower95, 0.7);
+}
+
+TEST(Certifier, HorizonCutsOffSlowTrials) {
+  const CertifyResult r = certify_self_stabilization(
+      countdown_factory(50), {.trials = 5, .horizon = 10});
+  EXPECT_EQ(r.converged, 0u);
+  EXPECT_DOUBLE_EQ(r.p_converged_lower95, 0.0);
+  EXPECT_EQ(r.closure_rounds, 0u);
+}
+
+TEST(Certifier, AlreadyLegitimateCountsAsZeroRounds) {
+  const CertifyResult r = certify_self_stabilization(
+      countdown_factory(0), {.trials = 3, .horizon = 10});
+  EXPECT_EQ(r.converged, 3u);
+  EXPECT_DOUBLE_EQ(r.convergence_rounds.mean(), 0.0);
+}
+
+TEST(Certifier, FlickeringProcessAccumulatesClosureViolations) {
+  // Legitimate on even steps only: converges immediately, then violates
+  // closure on every other round.
+  auto factory = [](std::uint64_t) {
+    auto step_count = std::make_shared<std::uint64_t>(0);
+    StabTrialHooks hooks;
+    hooks.step = [step_count] { ++*step_count; };
+    hooks.legitimate = [step_count] { return *step_count % 2 == 0; };
+    return hooks;
+  };
+  const CertifyResult r = certify_self_stabilization(
+      factory, {.trials = 4, .horizon = 10, .closure_window = 10});
+  EXPECT_EQ(r.converged, 4u);
+  EXPECT_EQ(r.closure_rounds, 40u);
+  EXPECT_EQ(r.closure_violations, 20u);
+  EXPECT_DOUBLE_EQ(r.closure_violation_rate(), 0.5);
+}
+
+TEST(Certifier, EmptyHooksThrow) {
+  auto factory = [](std::uint64_t) { return StabTrialHooks{}; };
+  EXPECT_THROW((void)certify_self_stabilization(factory, {.trials = 1}),
+               std::invalid_argument);
+}
+
+TEST(WilsonBound, BasicProperties) {
+  EXPECT_DOUBLE_EQ(wilson_lower_bound(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(wilson_lower_bound(0, 10), 0.0);
+  // Monotone in successes.
+  double prev = -1.0;
+  for (std::uint64_t s = 0; s <= 20; ++s) {
+    const double low = wilson_lower_bound(s, 20);
+    EXPECT_GE(low, prev);
+    prev = low;
+  }
+  // All successes: bound approaches 1 as trials grow.
+  EXPECT_GT(wilson_lower_bound(100, 100), wilson_lower_bound(10, 10));
+  EXPECT_GT(wilson_lower_bound(1000, 1000), 0.99);
+  EXPECT_LT(wilson_lower_bound(1000, 1000), 1.0);
+  // Never exceeds the point estimate.
+  EXPECT_LT(wilson_lower_bound(50, 100), 0.5);
+  EXPECT_THROW((void)wilson_lower_bound(11, 10), std::invalid_argument);
+}
+
+/// End-to-end: certify the repeated balls-into-bins process itself from
+/// the all-in-one worst case (Theorem 1: converge within O(n), then stay
+/// legitimate).
+TEST(Certifier, CertifiesRepeatedBallsIntoBins) {
+  const std::uint32_t n = 128;
+  auto factory = [n](std::uint64_t trial) {
+    Rng rng(555, trial);
+    auto proc = std::make_shared<RepeatedBallsProcess>(
+        make_config(InitialConfig::kAllInOne, n, n, rng), rng);
+    StabTrialHooks hooks;
+    hooks.step = [proc] { proc->step(); };
+    hooks.legitimate = [proc] { return proc->is_legitimate(4.0); };
+    return hooks;
+  };
+  const CertifyResult r = certify_self_stabilization(
+      factory, {.trials = 30, .horizon = 8 * n, .closure_window = 200});
+  EXPECT_EQ(r.converged, 30u);
+  EXPECT_GT(r.p_converged_lower95, 0.85);
+  EXPECT_LT(r.convergence_rounds.mean(), 4.0 * n);
+  // Convergence is declared the first round the load dips under the
+  // beta log n threshold, while the transient is still draining, so the
+  // next few rounds can wobble back above it; the certified closure
+  // violation rate must nonetheless be small.
+  EXPECT_LT(r.closure_violation_rate(), 0.05);
+}
+
+/// End-to-end: certify Israeli-Jalfon mutual exclusion on the clique.
+TEST(Certifier, CertifiesIsraeliJalfon) {
+  const std::uint32_t n = 24;
+  auto factory = [n](std::uint64_t trial) {
+    auto proc = std::make_shared<IsraeliJalfonProcess>(
+        nullptr, n, TokenPlacement::kEveryNode, Rng(777, trial));
+    StabTrialHooks hooks;
+    hooks.step = [proc] { proc->step(); };
+    hooks.legitimate = [proc] { return proc->is_legitimate(); };
+    return hooks;
+  };
+  const CertifyResult r = certify_self_stabilization(
+      factory, {.trials = 20, .horizon = 100000, .closure_window = 50});
+  EXPECT_EQ(r.converged, 20u);
+  // Tokens never split, so closure can never be violated.
+  EXPECT_EQ(r.closure_violations, 0u);
+}
+
+}  // namespace
+}  // namespace rbb

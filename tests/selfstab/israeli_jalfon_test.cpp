@@ -1,0 +1,240 @@
+// Tests for the synchronous Israeli-Jalfon token-management process.
+#include "selfstab/israeli_jalfon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/graph.hpp"
+
+namespace rbb {
+namespace {
+
+TEST(IsraeliJalfon, ConstructorValidatesInput) {
+  Rng rng(1);
+  // Size mismatch between graph and n.
+  const Graph cycle = make_cycle(8);
+  EXPECT_THROW(
+      IsraeliJalfonProcess(&cycle, 9, TokenPlacement::kEveryNode, rng),
+      std::invalid_argument);
+  // No tokens at all.
+  EXPECT_THROW(
+      IsraeliJalfonProcess(nullptr, 4, std::vector<std::uint8_t>(4, 0),
+                           Rng(2)),
+      std::invalid_argument);
+  // Wrong flag-vector length.
+  EXPECT_THROW(
+      IsraeliJalfonProcess(nullptr, 4, std::vector<std::uint8_t>(3, 1),
+                           Rng(2)),
+      std::invalid_argument);
+}
+
+TEST(IsraeliJalfon, PlacementsHaveExpectedCounts) {
+  Rng rng(3);
+  const auto every = make_token_placement(TokenPlacement::kEveryNode, 10, rng);
+  std::uint32_t count = 0;
+  for (const auto t : every) count += t;
+  EXPECT_EQ(count, 10u);
+
+  const auto two = make_token_placement(TokenPlacement::kTwoNodes, 10, rng);
+  count = 0;
+  for (const auto t : two) count += t;
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(two[0], 1);
+  EXPECT_EQ(two[5], 1);
+
+  // Random-half always leaves at least one token.
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng r(seed);
+    const auto half = make_token_placement(TokenPlacement::kRandomHalf, 6, r);
+    count = 0;
+    for (const auto t : half) count += t;
+    EXPECT_GE(count, 1u);
+  }
+}
+
+TEST(IsraeliJalfon, TokenCountNeverIncreases) {
+  Rng rng(7);
+  IsraeliJalfonProcess proc(nullptr, 64, TokenPlacement::kEveryNode, rng);
+  std::uint32_t prev = proc.token_count();
+  EXPECT_EQ(prev, 64u);
+  for (int t = 0; t < 200; ++t) {
+    const std::uint32_t merges = proc.step();
+    EXPECT_EQ(proc.token_count() + merges, prev);
+    EXPECT_LE(proc.token_count(), prev);
+    EXPECT_GE(proc.token_count(), 1u);
+    prev = proc.token_count();
+    proc.check_invariants();
+  }
+}
+
+TEST(IsraeliJalfon, CoalescesOnTheCompleteGraph) {
+  Rng rng(11);
+  IsraeliJalfonProcess proc(nullptr, 32, TokenPlacement::kEveryNode, rng);
+  const std::uint64_t rounds = proc.run_until_single(100000);
+  EXPECT_TRUE(proc.is_legitimate());
+  EXPECT_EQ(proc.token_count(), 1u);
+  EXPECT_GT(rounds, 0u);
+  EXPECT_LT(rounds, 100000u);
+}
+
+TEST(IsraeliJalfon, CoalescesOnCycleAndTorus) {
+  const Graph cycle = make_cycle(16);
+  IsraeliJalfonProcess on_cycle(&cycle, 16, TokenPlacement::kEveryNode,
+                                Rng(13));
+  on_cycle.run_until_single(1000000);
+  EXPECT_TRUE(on_cycle.is_legitimate());
+
+  const Graph torus = make_torus(4, 4);
+  IsraeliJalfonProcess on_torus(&torus, 16, TokenPlacement::kEveryNode,
+                                Rng(17));
+  on_torus.run_until_single(1000000);
+  EXPECT_TRUE(on_torus.is_legitimate());
+}
+
+TEST(IsraeliJalfon, SingleTokenIsAbsorbing) {
+  Rng rng(19);
+  std::vector<std::uint8_t> tokens(8, 0);
+  tokens[3] = 1;
+  IsraeliJalfonProcess proc(nullptr, 8, std::move(tokens), rng);
+  EXPECT_TRUE(proc.is_legitimate());
+  for (int t = 0; t < 100; ++t) {
+    proc.step();
+    EXPECT_EQ(proc.token_count(), 1u);  // closure: stays legitimate
+  }
+}
+
+TEST(IsraeliJalfon, RunUntilSingleRespectsCap) {
+  Rng rng(23);
+  const Graph cycle = make_cycle(64);
+  IsraeliJalfonProcess proc(&cycle, 64, TokenPlacement::kEveryNode, rng);
+  const std::uint64_t rounds = proc.run_until_single(3);
+  EXPECT_LE(rounds, 3u);
+  // 64 tokens cannot coalesce in 3 rounds on a cycle: at most half the
+  // tokens disappear per round even in the luckiest outcome.
+  EXPECT_GT(proc.token_count(), 1u);
+}
+
+TEST(IsraeliJalfon, SingleTokenCoversTheGraph) {
+  Rng rng(29);
+  std::vector<std::uint8_t> tokens(16, 0);
+  tokens[0] = 1;
+  IsraeliJalfonProcess proc(nullptr, 16, std::move(tokens), rng);
+  const std::uint64_t cover = proc.run_single_token_cover(100000);
+  EXPECT_LT(cover, 100000u);
+  // Coupon collector on K_16: needs at least n - 1 moves.
+  EXPECT_GE(cover, 15u);
+  // The surviving token flag is kept consistent.
+  std::uint32_t count = 0;
+  for (const auto t : proc.tokens()) count += t;
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(IsraeliJalfon, CoverThrowsWithManyTokens) {
+  Rng rng(31);
+  IsraeliJalfonProcess proc(nullptr, 8, TokenPlacement::kEveryNode, rng);
+  EXPECT_THROW((void)proc.run_single_token_cover(10), std::logic_error);
+}
+
+TEST(IsraeliJalfon, DeterministicGivenSeed) {
+  auto run = [] {
+    IsraeliJalfonProcess proc(nullptr, 32, TokenPlacement::kEveryNode,
+                              Rng(101));
+    return proc.run_until_single(100000);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(IsraeliJalfon, TwoTokenMeetingOnCompleteGraphIsFast) {
+  // Two tokens on K_n meet with probability ~1/n per round, so the mean
+  // meeting time is ~n; over many trials the average must be well below
+  // n^2 and above n/8 (loose sanity bands, not a statistical test).
+  const std::uint32_t n = 32;
+  double total = 0.0;
+  const int trials = 200;
+  for (int trial = 0; trial < trials; ++trial) {
+    IsraeliJalfonProcess proc(nullptr, n, TokenPlacement::kTwoNodes,
+                              Rng(300, static_cast<std::uint64_t>(trial)));
+    total += static_cast<double>(proc.run_until_single(1000000));
+  }
+  const double mean = total / trials;
+  EXPECT_GT(mean, n / 8.0);
+  EXPECT_LT(mean, n * n);
+}
+
+TEST(IsraeliJalfon, InjectedTokensAreCountedAndRecovered) {
+  Rng rng(53);
+  std::vector<std::uint8_t> tokens(32, 0);
+  tokens[0] = 1;
+  IsraeliJalfonProcess proc(nullptr, 32, std::move(tokens), rng);
+  ASSERT_TRUE(proc.is_legitimate());
+  const std::uint32_t added = proc.inject_tokens(10);
+  EXPECT_GE(added, 1u);
+  EXPECT_LE(added, 10u);
+  EXPECT_EQ(proc.token_count(), 1u + added);
+  EXPECT_FALSE(proc.is_legitimate());
+  proc.check_invariants();
+  // Recovery: the system re-coalesces on its own.
+  proc.run_until_single(1000000);
+  EXPECT_TRUE(proc.is_legitimate());
+}
+
+TEST(IsraeliJalfon, InjectingOntoOccupiedNodesAbsorbs) {
+  // With every node occupied no injection can add anything.
+  Rng rng(59);
+  IsraeliJalfonProcess proc(nullptr, 8, TokenPlacement::kEveryNode, rng);
+  EXPECT_EQ(proc.inject_tokens(20), 0u);
+  EXPECT_EQ(proc.token_count(), 8u);
+  proc.check_invariants();
+}
+
+TEST(IsraeliJalfon, StarGraphCoalesces) {
+  const Graph star = make_star(9);
+  IsraeliJalfonProcess proc(&star, 9, TokenPlacement::kEveryNode, Rng(37));
+  proc.run_until_single(100000);
+  EXPECT_TRUE(proc.is_legitimate());
+}
+
+TEST(IsraeliJalfon, LazinessOutOfRangeThrows) {
+  EXPECT_THROW(IsraeliJalfonProcess(nullptr, 4, TokenPlacement::kEveryNode,
+                                    Rng(1), 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(IsraeliJalfonProcess(nullptr, 4, TokenPlacement::kEveryNode,
+                                    Rng(1), -0.1),
+               std::invalid_argument);
+}
+
+/// The parity obstruction that motivates the lazy default: with laziness
+/// 0 on an even cycle, two tokens on opposite parity classes switch sides
+/// every round and can *never* merge.
+TEST(IsraeliJalfon, PureSynchronousWalkStuckOnBipartiteParity) {
+  const Graph cycle = make_cycle(8);
+  std::vector<std::uint8_t> tokens(8, 0);
+  tokens[0] = 1;  // even side
+  tokens[3] = 1;  // odd side
+  IsraeliJalfonProcess proc(&cycle, 8, std::move(tokens), Rng(41),
+                            /*laziness=*/0.0);
+  for (int t = 0; t < 2000; ++t) {
+    proc.step();
+    ASSERT_EQ(proc.token_count(), 2u) << "round " << t;
+  }
+  // The lazy walk breaks the parity trap from the same start.
+  std::vector<std::uint8_t> tokens2(8, 0);
+  tokens2[0] = 1;
+  tokens2[3] = 1;
+  IsraeliJalfonProcess lazy(&cycle, 8, std::move(tokens2), Rng(41), 0.5);
+  lazy.run_until_single(200000);
+  EXPECT_TRUE(lazy.is_legitimate());
+}
+
+/// On the (non-bipartite) complete graph the pure synchronous dynamics
+/// also coalesce; laziness is not needed there.
+TEST(IsraeliJalfon, PureSynchronousCoalescesOnClique) {
+  IsraeliJalfonProcess proc(nullptr, 32, TokenPlacement::kEveryNode, Rng(43),
+                            /*laziness=*/0.0);
+  proc.run_until_single(1000000);
+  EXPECT_TRUE(proc.is_legitimate());
+}
+
+}  // namespace
+}  // namespace rbb

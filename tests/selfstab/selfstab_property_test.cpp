@@ -1,0 +1,107 @@
+// Property-style sweeps over the Israeli-Jalfon process: the same
+// invariants must hold on every topology x placement x laziness
+// combination (token conservation-by-merging, eventual coalescence on
+// connected graphs with a lazy walk, seed determinism).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "graph/graph.hpp"
+#include "selfstab/israeli_jalfon.hpp"
+
+namespace rbb {
+namespace {
+
+struct IjCase {
+  std::string topology;  // "complete", "cycle", "torus", "hypercube", "star"
+  std::uint32_t n = 0;
+  TokenPlacement placement = TokenPlacement::kEveryNode;
+};
+
+Graph build(const IjCase& c) {
+  if (c.topology == "cycle") return make_cycle(c.n);
+  if (c.topology == "torus") return make_torus(4, c.n / 4);
+  if (c.topology == "hypercube") {
+    std::uint32_t dim = 0;
+    while ((1u << dim) < c.n) ++dim;
+    return make_hypercube(dim);
+  }
+  if (c.topology == "star") return make_star(c.n);
+  return make_complete(c.n);
+}
+
+class IsraeliJalfonProperty : public ::testing::TestWithParam<IjCase> {};
+
+TEST_P(IsraeliJalfonProperty, MergeAccountingIsExactEveryRound) {
+  const IjCase c = GetParam();
+  const Graph g = build(c);
+  IsraeliJalfonProcess proc(&g, c.n, c.placement, Rng(5));
+  for (int t = 0; t < 300 && !proc.is_legitimate(); ++t) {
+    const std::uint32_t before = proc.token_count();
+    const std::uint32_t merges = proc.step();
+    ASSERT_EQ(proc.token_count() + merges, before);
+    ASSERT_GE(proc.token_count(), 1u);
+    proc.check_invariants();
+  }
+}
+
+TEST_P(IsraeliJalfonProperty, LazyWalkCoalescesOnEveryConnectedTopology) {
+  const IjCase c = GetParam();
+  const Graph g = build(c);
+  IsraeliJalfonProcess proc(&g, c.n, c.placement, Rng(6));
+  proc.run_until_single(4000000ull);
+  EXPECT_TRUE(proc.is_legitimate())
+      << c.topology << " n=" << c.n << " " << to_string(c.placement);
+}
+
+TEST_P(IsraeliJalfonProperty, TrajectoriesAreSeedDeterministic) {
+  const IjCase c = GetParam();
+  const Graph g = build(c);
+  auto run = [&] {
+    IsraeliJalfonProcess proc(&g, c.n, c.placement, Rng(7));
+    for (int t = 0; t < 50; ++t) proc.step();
+    return std::make_pair(proc.token_count(), proc.tokens());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST_P(IsraeliJalfonProperty, CoverCompletesAfterCoalescence) {
+  const IjCase c = GetParam();
+  if (c.n > 32) GTEST_SKIP() << "cover sweep kept small for test runtime";
+  const Graph g = build(c);
+  IsraeliJalfonProcess proc(&g, c.n, c.placement, Rng(8));
+  proc.run_until_single(4000000ull);
+  ASSERT_TRUE(proc.is_legitimate());
+  const std::uint64_t cover = proc.run_single_token_cover(10000000ull);
+  EXPECT_LT(cover, 10000000ull) << c.topology;
+  EXPECT_GE(cover + 1, c.n - 1);  // must at least touch every other node
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TopologySweep, IsraeliJalfonProperty,
+    ::testing::Values(
+        IjCase{"complete", 16, TokenPlacement::kEveryNode},
+        IjCase{"complete", 64, TokenPlacement::kRandomHalf},
+        IjCase{"cycle", 16, TokenPlacement::kEveryNode},
+        IjCase{"cycle", 17, TokenPlacement::kTwoNodes},  // odd: non-bipartite
+        IjCase{"torus", 16, TokenPlacement::kEveryNode},
+        IjCase{"hypercube", 16, TokenPlacement::kTwoNodes},
+        IjCase{"star", 16, TokenPlacement::kEveryNode},
+        IjCase{"star", 16, TokenPlacement::kRandomHalf},
+        IjCase{"complete", 16, TokenPlacement::kTwoNodes},
+        IjCase{"cycle", 32, TokenPlacement::kRandomHalf}),
+    [](const ::testing::TestParamInfo<IjCase>& param_info) {
+      std::string placement = to_string(param_info.param.placement);
+      for (auto& ch : placement) {
+        if (ch == '-') ch = '_';
+      }
+      return param_info.param.topology + "_" + std::to_string(param_info.param.n) + "_" +
+             placement;
+    });
+
+}  // namespace
+}  // namespace rbb

@@ -1,0 +1,128 @@
+// Tests for the analytic bounds and exact probabilities.
+#include "support/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rbb {
+namespace {
+
+TEST(LogFactorial, SmallValuesExact) {
+  EXPECT_NEAR(log_factorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-10);
+  EXPECT_NEAR(log_factorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(LogBinomialCoefficient, KnownValues) {
+  EXPECT_NEAR(log_binomial_coefficient(5, 2), std::log(10.0), 1e-10);
+  EXPECT_NEAR(log_binomial_coefficient(10, 5), std::log(252.0), 1e-10);
+  EXPECT_NEAR(log_binomial_coefficient(7, 0), 0.0, 1e-12);
+  EXPECT_NEAR(log_binomial_coefficient(7, 7), 0.0, 1e-12);
+  EXPECT_THROW((void)log_binomial_coefficient(3, 4), std::invalid_argument);
+}
+
+TEST(BinomialPmf, SumsToOne) {
+  for (const double p : {0.1, 0.5, 0.9}) {
+    double sum = 0.0;
+    for (std::uint64_t k = 0; k <= 20; ++k) sum += binomial_pmf(20, p, k);
+    EXPECT_NEAR(sum, 1.0, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(BinomialPmf, DegenerateP) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 0.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 1.0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 1.0, 4), 0.0);
+}
+
+TEST(BinomialPmf, MatchesDirectComputation) {
+  // Bin(4, 0.5) pmf: 1/16, 4/16, 6/16, 4/16, 1/16.
+  EXPECT_NEAR(binomial_pmf(4, 0.5, 0), 1.0 / 16, 1e-12);
+  EXPECT_NEAR(binomial_pmf(4, 0.5, 2), 6.0 / 16, 1e-12);
+  EXPECT_NEAR(binomial_pmf(4, 0.5, 4), 1.0 / 16, 1e-12);
+}
+
+TEST(BinomialUpperTail, BasicProperties) {
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(10, 0.5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(10, 0.5, 11), 0.0);
+  // P(X >= 5) for Bin(10, 0.5) = 0.623...
+  EXPECT_NEAR(binomial_upper_tail(10, 0.5, 5), 0.623046875, 1e-9);
+  // Monotone decreasing in k.
+  double prev = 1.0;
+  for (std::uint64_t k = 0; k <= 10; ++k) {
+    const double tail = binomial_upper_tail(10, 0.3, k);
+    EXPECT_LE(tail, prev + 1e-12);
+    prev = tail;
+  }
+}
+
+TEST(ChernoffBounds, MatchAppendixFormulas) {
+  // Eq. (6): exp(-delta^2 mu / 2); eq. (7): exp(-delta^2 mu / 3).
+  EXPECT_NEAR(chernoff_lower_bound(100.0, 0.5), std::exp(-0.25 * 100.0 / 2.0),
+              1e-12);
+  EXPECT_NEAR(chernoff_upper_bound(100.0, 0.5), std::exp(-0.25 * 100.0 / 3.0),
+              1e-12);
+  EXPECT_THROW((void)chernoff_lower_bound(10.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)chernoff_upper_bound(10.0, 1.0), std::invalid_argument);
+}
+
+TEST(ChernoffBounds, UpperBoundsActualBinomialTail) {
+  // The Chernoff bound must dominate the exact tail it bounds:
+  // X ~ Bin(n, p), P(X >= (1+delta) np) <= chernoff_upper_bound(np, delta).
+  const std::uint64_t n = 200;
+  const double p = 0.25;
+  const double mu = static_cast<double>(n) * p;
+  for (const double delta : {0.2, 0.5, 0.9}) {
+    const auto k = static_cast<std::uint64_t>(std::ceil((1.0 + delta) * mu));
+    EXPECT_LE(binomial_upper_tail(n, p, k),
+              chernoff_upper_bound(mu, delta) + 1e-12)
+        << "delta=" << delta;
+  }
+}
+
+TEST(ZChainTailBound, Lemma5Values) {
+  EXPECT_DOUBLE_EQ(zchain_tail_bound(0.0), 1.0);
+  EXPECT_NEAR(zchain_tail_bound(144.0), std::exp(-1.0), 1e-12);
+  EXPECT_GT(zchain_tail_bound(100.0), zchain_tail_bound(200.0));
+}
+
+TEST(SqrtTBound, Scales) {
+  EXPECT_DOUBLE_EQ(sqrt_t_bound(100.0), 10.0);
+  EXPECT_DOUBLE_EQ(sqrt_t_bound(100.0, 2.0), 20.0);
+}
+
+TEST(OneshotAsymptotic, GrowsSlowly) {
+  const double v1024 = oneshot_max_load_asymptotic(1024);
+  const double v65536 = oneshot_max_load_asymptotic(65536);
+  EXPECT_GT(v65536, v1024);
+  // log n / log log n at n = 1024: 6.93 / 1.936 = ~3.58.
+  EXPECT_NEAR(v1024, std::log(1024.0) / std::log(std::log(1024.0)), 1e-12);
+  EXPECT_THROW((void)oneshot_max_load_asymptotic(2), std::invalid_argument);
+}
+
+TEST(CouponCollector, KnownSmallValues) {
+  // n = 1: 1.  n = 2: 2 * (1 + 1/2) = 3.
+  EXPECT_NEAR(coupon_collector_mean(1), 1.0, 1e-12);
+  EXPECT_NEAR(coupon_collector_mean(2), 3.0, 1e-12);
+  // Asymptotically n ln n + gamma n + 1/2.
+  const double n = 1000.0;
+  EXPECT_NEAR(coupon_collector_mean(1000),
+              n * std::log(n) + 0.5772156649 * n + 0.5, 1.0);
+}
+
+TEST(ParallelCoverScale, MatchesDefinition) {
+  EXPECT_NEAR(parallel_cover_scale(1024), 1024.0 * 10.0 * 10.0, 1e-9);
+}
+
+TEST(Log2n, Basics) {
+  EXPECT_DOUBLE_EQ(log2n(1), 0.0);
+  EXPECT_DOUBLE_EQ(log2n(2), 1.0);
+  EXPECT_DOUBLE_EQ(log2n(1024), 10.0);
+  EXPECT_THROW((void)log2n(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rbb

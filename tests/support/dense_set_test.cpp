@@ -1,0 +1,88 @@
+// Tests for the dense integer set.
+#include "support/dense_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace rbb {
+namespace {
+
+TEST(DenseSet, StartsEmpty) {
+  DenseSet s(10);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.capacity(), 10u);
+  EXPECT_FALSE(s.contains(3));
+}
+
+TEST(DenseSet, InsertEraseContains) {
+  DenseSet s(8);
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_FALSE(s.insert(3));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.erase(3));
+  EXPECT_FALSE(s.erase(3));
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(DenseSet, SwapWithLastKeepsConsistency) {
+  DenseSet s(16);
+  for (std::uint32_t x = 0; x < 16; ++x) s.insert(x);
+  // Erase from the middle repeatedly; membership must stay exact.
+  std::set<std::uint32_t> reference;
+  for (std::uint32_t x = 0; x < 16; ++x) reference.insert(x);
+  for (const std::uint32_t x : {5u, 0u, 15u, 8u}) {
+    s.erase(x);
+    reference.erase(x);
+    for (std::uint32_t y = 0; y < 16; ++y) {
+      EXPECT_EQ(s.contains(y), reference.count(y) == 1) << "y=" << y;
+    }
+  }
+  EXPECT_EQ(s.size(), reference.size());
+}
+
+TEST(DenseSet, SampleUniform) {
+  DenseSet s(10);
+  s.insert(2);
+  s.insert(5);
+  s.insert(7);
+  Rng rng(42);
+  std::map<std::uint32_t, int> counts;
+  constexpr int kDraws = 30000;
+  for (int i = 0; i < kDraws; ++i) ++counts[s.sample(rng)];
+  ASSERT_EQ(counts.size(), 3u);
+  for (const auto& [value, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / kDraws, 1.0 / 3.0, 0.02)
+        << "value=" << value;
+  }
+}
+
+TEST(DenseSet, SampleEmptyThrows) {
+  DenseSet s(4);
+  Rng rng(1);
+  EXPECT_THROW((void)s.sample(rng), std::logic_error);
+}
+
+TEST(DenseSet, OutOfRangeThrows) {
+  DenseSet s(4);
+  EXPECT_THROW((void)s.insert(4), std::out_of_range);
+  EXPECT_THROW((void)s.contains(100), std::out_of_range);
+}
+
+TEST(DenseSet, MembersViewMatches) {
+  DenseSet s(6);
+  s.insert(1);
+  s.insert(4);
+  const auto& members = s.members();
+  EXPECT_EQ(members.size(), 2u);
+  const std::set<std::uint32_t> as_set(members.begin(), members.end());
+  EXPECT_TRUE(as_set.count(1));
+  EXPECT_TRUE(as_set.count(4));
+}
+
+}  // namespace
+}  // namespace rbb

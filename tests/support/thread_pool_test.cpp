@@ -1,0 +1,137 @@
+// Tests for the task-parallel substrate, including the determinism
+// property (D5): parallel sweeps produce identical results regardless of
+// thread count.
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace rbb {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::uint64_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroTasksIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::uint64_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(100, [&](std::uint64_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, MoreTasksThanThreads) {
+  ThreadPool pool(2);
+  std::vector<int> results(10000, 0);
+  pool.parallel_for(10000, [&](std::uint64_t i) {
+    results[i] = static_cast<int>(i * 2);
+  });
+  for (std::size_t i = 0; i < 10000; ++i) EXPECT_EQ(results[i], static_cast<int>(i) * 2);
+}
+
+TEST(ThreadPool, FewerTasksThanThreads) {
+  ThreadPool pool(8);
+  std::vector<int> results(3, 0);
+  pool.parallel_for(3, [&](std::uint64_t i) { results[i] = 1; });
+  EXPECT_EQ(std::accumulate(results.begin(), results.end(), 0), 3);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::uint64_t i) {
+                                   if (i == 57) {
+                                     throw std::runtime_error("task failed");
+                                   }
+                                 }),
+               std::runtime_error);
+  // Pool remains usable after an exception.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::uint64_t) { ++count; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  for (int batch = 0; batch < 20; ++batch) {
+    std::atomic<int> count{0};
+    pool.parallel_for(50, [&](std::uint64_t) { ++count; });
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(4, [&](std::uint64_t) {
+    pool.parallel_for(10, [&](std::uint64_t) {
+      inner_total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 40);
+}
+
+TEST(ThreadPool, ResultsIndependentOfThreadCount) {
+  // The determinism contract: per-task RNG substreams make the collected
+  // results identical for 1 and 4 threads.
+  auto sweep = [](unsigned threads) {
+    ThreadPool pool(threads);
+    std::vector<std::uint64_t> results(64);
+    pool.parallel_for(64, [&](std::uint64_t i) {
+      Rng rng(99, i);
+      std::uint64_t acc = 0;
+      for (int k = 0; k < 1000; ++k) acc ^= rng();
+      results[i] = acc;
+    });
+    return results;
+  };
+  EXPECT_EQ(sweep(1), sweep(4));
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  std::atomic<int> count{0};
+  parallel_for(25, [&](std::uint64_t) { ++count; });
+  EXPECT_EQ(count.load(), 25);
+}
+
+TEST(ThreadPool, DefaultThreadCountPositive) {
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+// Regression for a lost-wakeup race: with near-empty tasks the final
+// worker-side completion notification could fire between the submitter's
+// predicate check and its entry into wait(), hanging parallel_for forever.
+// Tens of thousands of tiny batches reliably hit the window pre-fix.
+TEST(ThreadPool, RapidTinyBatchesDoNotHang) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> total{0};
+  for (int batch = 0; batch < 20000; ++batch) {
+    pool.parallel_for(3, [&](std::uint64_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 60000u);
+}
+
+}  // namespace
+}  // namespace rbb

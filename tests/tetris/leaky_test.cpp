@@ -1,0 +1,96 @@
+// Tests for the leaky-bins process ([18] extension).
+#include "tetris/leaky.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rbb {
+namespace {
+
+TEST(Leaky, RejectsBadParameters) {
+  EXPECT_THROW(LeakyBinsProcess(LoadConfig{}, 0.5, Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(LeakyBinsProcess(LoadConfig(4, 1), -0.1, Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(LeakyBinsProcess(LoadConfig(4, 1), 1.5, Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(Leaky, LambdaZeroDrainsCompletely) {
+  Rng rng(2);
+  LeakyBinsProcess proc(LoadConfig(16, 2), 0.0, rng);
+  proc.run(2);
+  EXPECT_EQ(proc.total_balls(), 0u);
+  EXPECT_EQ(proc.empty_bins(), 16u);
+  // Stays empty forever.
+  proc.run(10);
+  EXPECT_EQ(proc.total_balls(), 0u);
+}
+
+TEST(Leaky, BallAccountingPerRound) {
+  Rng rng(3);
+  LeakyBinsProcess proc(LoadConfig(32, 1), 0.75, rng);
+  for (int t = 0; t < 100; ++t) {
+    const std::uint64_t before = proc.total_balls();
+    const std::uint32_t nonempty = proc.bin_count() - proc.empty_bins();
+    const LeakyRoundStats s = proc.step();
+    ASSERT_EQ(s.total_balls, before - nonempty + s.arrivals);
+    ASSERT_LE(s.arrivals, 32u);
+    proc.check_invariants();
+  }
+}
+
+TEST(Leaky, SubcriticalLambdaIsStable) {
+  // lambda = 0.5: mass hovers near a stationary level well below n.
+  constexpr std::uint32_t n = 256;
+  Rng rng(4);
+  LeakyBinsProcess proc(LoadConfig(n, 1), 0.5, rng);
+  proc.run(500);  // settle
+  double mass = 0.0;
+  constexpr int kWindow = 500;
+  for (int t = 0; t < kWindow; ++t) {
+    mass += static_cast<double>(proc.step().total_balls);
+  }
+  // Stationary mass per bin for lambda = 0.5 is lambda/(1-lambda) = 1 in
+  // the M/M/1-like approximation; allow a broad envelope.
+  EXPECT_LT(mass / kWindow / n, 2.5);
+  EXPECT_GT(proc.empty_bins(), n / 4);
+}
+
+TEST(Leaky, HigherLambdaMeansFewerEmptyBins) {
+  constexpr std::uint32_t n = 256;
+  auto equilibrium_empty = [](double lambda) {
+    Rng rng(5);
+    LeakyBinsProcess proc(LoadConfig(n, 1), lambda, rng);
+    proc.run(400);
+    double sum = 0.0;
+    constexpr int kWindow = 400;
+    for (int t = 0; t < kWindow; ++t) sum += proc.step().empty_bins;
+    return sum / kWindow;
+  };
+  EXPECT_GT(equilibrium_empty(0.3), equilibrium_empty(0.9));
+}
+
+TEST(Leaky, MeanArrivalsMatchLambdaN) {
+  constexpr std::uint32_t n = 128;
+  Rng rng(6);
+  LeakyBinsProcess proc(LoadConfig(n, 1), 0.75, rng);
+  double arrivals = 0.0;
+  constexpr int kRounds = 2000;
+  for (int t = 0; t < kRounds; ++t) {
+    arrivals += static_cast<double>(proc.step().arrivals);
+  }
+  EXPECT_NEAR(arrivals / kRounds, 0.75 * n, 0.05 * n);
+}
+
+TEST(Leaky, DeterministicForSeed) {
+  auto run = [] {
+    Rng rng(7);
+    LeakyBinsProcess proc(LoadConfig(32, 1), 0.8, rng);
+    proc.run(100);
+    return proc.loads();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace rbb

@@ -1,0 +1,92 @@
+// Tests for the eq.-(4) Markov chain and Lemma 5's absorption tail.
+#include "tetris/zchain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/bounds.hpp"
+#include "support/stats.hpp"
+
+namespace rbb {
+namespace {
+
+TEST(ZChain, ZeroIsAbsorbing) {
+  ZChain chain(16, 0);
+  Rng rng(1);
+  EXPECT_TRUE(chain.absorbed());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(chain.step(rng), 0u);
+  EXPECT_EQ(chain.steps(), 0u);
+}
+
+TEST(ZChain, RejectsTinyN) {
+  EXPECT_THROW(ZChain(1, 5), std::invalid_argument);
+}
+
+TEST(ZChain, StepDecrementsByAtMostOne) {
+  ZChain chain(64, 10);
+  Rng rng(2);
+  std::uint64_t prev = 10;
+  while (!chain.absorbed()) {
+    const std::uint64_t now = chain.step(rng);
+    ASSERT_GE(now + 1, prev);  // can fall by at most 1
+    prev = now;
+  }
+}
+
+TEST(ZChain, NegativeDriftAbsorbsQuickly) {
+  // Drift is -1/4 per step, so from k the absorption time is ~4k.
+  Rng rng(3);
+  OnlineMoments tau;
+  for (int i = 0; i < 2000; ++i) {
+    tau.add(static_cast<double>(sample_absorption_time(256, 20, 100000, rng)));
+  }
+  EXPECT_NEAR(tau.mean(), 80.0, 12.0);
+}
+
+TEST(ZChain, AbsorptionFromZeroIsZero) {
+  Rng rng(4);
+  EXPECT_EQ(sample_absorption_time(64, 0, 100, rng), 0u);
+}
+
+TEST(ZChain, CapReturnsSentinel) {
+  Rng rng(5);
+  // From a huge start with a cap of 10 steps, absorption is impossible
+  // (Z decreases by at most 1 per step).
+  EXPECT_EQ(sample_absorption_time(64, 1000, 10, rng), kZChainNotAbsorbed);
+}
+
+TEST(ZChain, Lemma5TailBoundHolds) {
+  // Empirical P(tau > t) must lie below e^{-t/144} for t >= 8k (the
+  // empirical tail is in fact far smaller; the bound is loose).
+  constexpr std::uint32_t n = 512;
+  constexpr std::uint64_t k = 8;
+  Rng rng(6);
+  constexpr int kTrials = 4000;
+  const std::uint64_t t_check = 8 * k;  // = 64
+  int exceed = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    if (sample_absorption_time(n, k, t_check + 1, rng) > t_check) ++exceed;
+  }
+  const double empirical = static_cast<double>(exceed) / kTrials;
+  EXPECT_LE(empirical, zchain_tail_bound(static_cast<double>(t_check)) + 0.02);
+}
+
+TEST(ZChain, TailDecaysGeometrically) {
+  // Estimated tails at t and 2t: the ratio shows clear exponential decay.
+  constexpr std::uint32_t n = 256;
+  Rng rng(7);
+  constexpr int kTrials = 20000;
+  int beyond_20 = 0;
+  int beyond_60 = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    const std::uint64_t tau = sample_absorption_time(n, 5, 61, rng);
+    if (tau > 20) ++beyond_20;
+    if (tau > 60) ++beyond_60;
+  }
+  EXPECT_GT(beyond_20, beyond_60);
+  // From k=5, most walks die fast: P(tau > 60) is ~0.03 empirically,
+  // far below the Lemma-5 bound e^{-60/144} ~ 0.66.
+  EXPECT_LT(static_cast<double>(beyond_60) / kTrials, 0.05);
+}
+
+}  // namespace
+}  // namespace rbb
