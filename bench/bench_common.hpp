@@ -3,8 +3,8 @@
 // Every experiment binary:
 //   * honors RBB_BENCH_SCALE (smoke / default / paper) for its sweep sizes,
 //   * accepts --seed and --trials overrides on the command line,
-//   * prints one markdown table (the "paper table" recorded in
-//     EXPERIMENTS.md) plus the analytic prediction column,
+//   * prints one markdown table (the "paper table" of the experiment
+//     map, DESIGN.md Sect. 4) plus the analytic prediction column,
 //   * optionally mirrors the table to RBB_CSV_DIR as CSV.
 #pragma once
 

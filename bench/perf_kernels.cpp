@@ -1,5 +1,5 @@
 // Kernel throughput benchmarks (google-benchmark) covering the design
-// ablations from DESIGN.md:
+// ablations from DESIGN.md Sect. 3:
 //   D1 -- Tetris arrival sampling: ball-by-ball vs multinomial splitting,
 //   D2 -- load-only kernel vs identity-tracking token process,
 //   D3 -- the incremental max/empty bookkeeping vs a full rescan,
@@ -13,6 +13,7 @@
 #include "core/config.hpp"
 #include "core/process.hpp"
 #include "core/token_process.hpp"
+#include "engine/engine.hpp"
 #include "markov/rbb_chain.hpp"
 #include "support/samplers.hpp"
 #include "tetris/tetris.hpp"
@@ -31,7 +32,26 @@ void BM_RepeatedBallsRound(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
 }
-BENCHMARK(BM_RepeatedBallsRound)->Arg(1024)->Arg(8192)->Arg(65536);
+BENCHMARK(BM_RepeatedBallsRound)->Arg(1024)->Arg(8192)->Arg(65536)
+    ->Arg(1000000);
+
+// The same kernel driven through Engine<P> with two observers attached:
+// the engine's compile-time composition must add nothing measurable over
+// the raw step() loop above.
+void BM_EngineRepeatedBallsRound(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(1);
+  Engine engine(RepeatedBallsProcess(
+      make_config(InitialConfig::kOnePerBin, n, n, rng), rng));
+  WindowMaxLoad wmax;
+  MinEmptyFraction memp;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run_rounds(1, wmax, memp));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_EngineRepeatedBallsRound)->Arg(1024)->Arg(8192)->Arg(65536)
+    ->Arg(1000000);
 
 // D2: the identity-tracking process pays for queue manipulation and
 // per-token bookkeeping; this quantifies the load-only kernel's edge.

@@ -11,6 +11,7 @@
 #include "baselines/repeated_dchoices.hpp"
 #include "core/process.hpp"
 #include "coupling/coupling.hpp"
+#include "engine/engine.hpp"
 #include "support/bounds.hpp"
 #include "support/thread_pool.hpp"
 #include "tetris/tetris.hpp"
@@ -32,15 +33,14 @@ std::vector<std::uint32_t> config_to_positions(const LoadConfig& q) {
   return pos;
 }
 
-}  // namespace
-
-void for_each_trial(std::uint32_t trials, std::uint64_t seed,
-                    const std::function<void(std::uint32_t, Rng&)>& fn) {
-  parallel_for(trials, [&](std::uint64_t trial) {
-    Rng rng(seed, trial);
-    fn(static_cast<std::uint32_t>(trial), rng);
-  });
+/// One token per bin, token i starting in bin i (the E18/E19 placement).
+std::vector<std::uint32_t> identity_placement(std::uint32_t n) {
+  std::vector<std::uint32_t> placement(n);
+  for (std::uint32_t i = 0; i < n; ++i) placement[i] = i;
+  return placement;
 }
+
+}  // namespace
 
 StabilityResult run_stability(const StabilityParams& params) {
   if (params.n < 2) throw std::invalid_argument("run_stability: n < 2");
@@ -52,64 +52,45 @@ StabilityResult run_stability(const StabilityParams& params) {
   std::vector<double> final_max(params.trials);
   std::vector<double> min_empty(params.trials);
 
-  for_each_trial(params.trials, params.seed, [&](std::uint32_t trial,
-                                                 Rng& rng) {
-    LoadConfig config = make_config(params.start, params.n, balls, rng);
-    double wmax = 0.0;
-    double fmax = 0.0;
-    double memp = 1.0;
-    auto observe = [&](std::uint32_t max_load, std::uint32_t empty) {
-      wmax = std::max(wmax, static_cast<double>(max_load));
-      fmax = static_cast<double>(max_load);
-      memp = std::min(memp, static_cast<double>(empty) /
-                                static_cast<double>(params.n));
-    };
-    switch (params.process) {
-      case StabilityProcess::kRepeated: {
-        RepeatedBallsProcess proc(std::move(config), params.graph, rng);
-        for (std::uint64_t t = 0; t < params.rounds; ++t) {
-          const RoundStats s = proc.step();
-          observe(s.max_load, s.empty_bins);
+  for_each_trial(
+      params.trials, params.seed,
+      [&](std::uint32_t trial, Rng& rng) {
+        LoadConfig config = make_config(params.start, params.n, balls, rng);
+        WindowMaxLoad wmax;
+        MinEmptyFraction memp;
+        const auto window = [&](auto process) {
+          Engine engine(std::move(process));
+          engine.run_rounds(params.rounds, wmax, memp);
+        };
+        switch (params.process) {
+          case StabilityProcess::kRepeated:
+            window(RepeatedBallsProcess(std::move(config), params.graph, rng));
+            break;
+          case StabilityProcess::kTetris:
+            if (params.graph != nullptr) {
+              throw std::invalid_argument(
+                  "run_stability: Tetris is clique-only");
+            }
+            window(TetrisProcess(std::move(config), rng));
+            break;
+          case StabilityProcess::kRepeatedDChoice:
+            if (params.graph != nullptr) {
+              throw std::invalid_argument(
+                  "run_stability: d-choices is clique-only");
+            }
+            window(RepeatedDChoicesProcess(std::move(config), params.choices,
+                                           rng));
+            break;
+          case StabilityProcess::kIndependent:
+            window(IndependentWalksProcess(
+                params.n, config_to_positions(config), params.graph, rng));
+            break;
         }
-        break;
-      }
-      case StabilityProcess::kTetris: {
-        if (params.graph != nullptr) {
-          throw std::invalid_argument("run_stability: Tetris is clique-only");
-        }
-        TetrisProcess proc(std::move(config), rng);
-        for (std::uint64_t t = 0; t < params.rounds; ++t) {
-          const TetrisRoundStats s = proc.step();
-          observe(s.max_load, s.empty_bins);
-        }
-        break;
-      }
-      case StabilityProcess::kRepeatedDChoice: {
-        if (params.graph != nullptr) {
-          throw std::invalid_argument(
-              "run_stability: d-choices is clique-only");
-        }
-        RepeatedDChoicesProcess proc(std::move(config), params.choices, rng);
-        for (std::uint64_t t = 0; t < params.rounds; ++t) {
-          const DChoicesRoundStats s = proc.step();
-          observe(s.max_load, s.empty_bins);
-        }
-        break;
-      }
-      case StabilityProcess::kIndependent: {
-        IndependentWalksProcess proc(params.n, config_to_positions(config),
-                                     params.graph, rng);
-        for (std::uint64_t t = 0; t < params.rounds; ++t) {
-          proc.step();
-          observe(proc.max_load(), proc.empty_bins());
-        }
-        break;
-      }
-    }
-    window_max[trial] = wmax;
-    final_max[trial] = fmax;
-    min_empty[trial] = memp;
-  });
+        window_max[trial] = static_cast<double>(wmax.window_max);
+        final_max[trial] = static_cast<double>(wmax.final_max);
+        min_empty[trial] = memp.min_fraction;
+      },
+      params.pool);
 
   StabilityResult result;
   const double legit_threshold = params.beta * log2n(params.n);
@@ -135,13 +116,10 @@ ConvergenceResult run_convergence(const ConvergenceParams& p) {
 
   for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
     LoadConfig config = make_config(p.start, p.n, p.n, rng);
-    RepeatedBallsProcess proc(std::move(config), rng);
-    std::uint64_t t = 0;
-    while (!proc.is_legitimate(p.beta) && t < cap) {
-      proc.step();
-      ++t;
-    }
-    if (proc.is_legitimate(p.beta)) rounds[trial] = static_cast<double>(t);
+    Engine engine(RepeatedBallsProcess(std::move(config), rng));
+    const EngineResult r = engine.run(
+        cap, UntilLegitimate{p.beta * log2n(p.n)}, NoFaults{});
+    if (r.goal_reached) rounds[trial] = static_cast<double>(r.rounds);
   });
 
   ConvergenceResult result;
@@ -166,18 +144,12 @@ EmptyBinsResult run_empty_bins(const EmptyBinsParams& p) {
 
   for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
     LoadConfig config = make_config(p.start, p.n, p.n, rng);
-    RepeatedBallsProcess proc(std::move(config), rng);
-    double lo = 1.0;
-    double sum = 0.0;
-    for (std::uint64_t t = 0; t < p.rounds; ++t) {
-      const RoundStats s = proc.step();
-      const double frac =
-          static_cast<double>(s.empty_bins) / static_cast<double>(p.n);
-      lo = std::min(lo, frac);
-      sum += frac;
-    }
-    min_frac[trial] = lo;
-    mean_frac[trial] = sum / static_cast<double>(p.rounds);
+    Engine engine(RepeatedBallsProcess(std::move(config), rng));
+    MinEmptyFraction lo;
+    MeanEmptyFraction mean;
+    engine.run_rounds(p.rounds, lo, mean);
+    min_frac[trial] = lo.min_fraction;
+    mean_frac[trial] = mean.mean();
   });
 
   EmptyBinsResult result;
@@ -244,10 +216,11 @@ TetrisDrainResult run_tetris_drain(const TetrisDrainParams& p) {
 
   for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
     LoadConfig config = make_config(p.start, p.n, p.n, rng);
-    TetrisProcess proc(std::move(config), rng);
-    const std::uint64_t t = proc.run_until_all_emptied(cap);
-    if (t != TetrisProcess::kNeverEmptied) {
-      drain[trial] = static_cast<double>(t);
+    Engine engine(TetrisProcess(std::move(config), rng));
+    const EngineResult r = engine.run(cap, UntilAllEmptiedOnce{}, NoFaults{});
+    if (r.goal_reached) {
+      drain[trial] =
+          static_cast<double>(engine.process().max_first_empty_round());
     }
   });
 
@@ -420,16 +393,11 @@ SqrtTResult run_sqrt_t(const SqrtTParams& p) {
 
   for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
     LoadConfig config = make_config(p.start, p.n, p.n, rng);
-    RepeatedBallsProcess proc(std::move(config), rng);
-    double running = 0.0;
-    std::size_t next = 0;
-    for (std::uint64_t t = 1; t <= p.checkpoints.back(); ++t) {
-      const RoundStats s = proc.step();
-      running = std::max(running, static_cast<double>(s.max_load));
-      while (next < k && p.checkpoints[next] == t) {
-        per_trial[trial][next] = running;
-        ++next;
-      }
+    Engine engine(RepeatedBallsProcess(std::move(config), rng));
+    RunningMaxAtCheckpoints running(p.checkpoints);
+    engine.run_rounds(p.checkpoints.back(), running);
+    for (std::size_t i = 0; i < k; ++i) {
+      per_trial[trial][i] = static_cast<double>(running.values()[i]);
     }
   });
 
@@ -488,21 +456,14 @@ LeakyResult run_leaky(const LeakyParams& p) {
   for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
     LoadConfig config =
         make_config(InitialConfig::kOnePerBin, p.n, p.n, rng);
-    LeakyBinsProcess proc(std::move(config), p.lambda, rng);
-    for (std::uint64_t t = 0; t < p.burn_in; ++t) proc.step();
-    double wmax = 0.0;
-    double total = 0.0;
-    double empty = 0.0;
-    for (std::uint64_t t = 0; t < p.rounds; ++t) {
-      const LeakyRoundStats s = proc.step();
-      wmax = std::max(wmax, static_cast<double>(s.max_load));
-      total += static_cast<double>(s.total_balls);
-      empty += static_cast<double>(s.empty_bins);
-    }
-    const double rounds = static_cast<double>(p.rounds);
-    out[trial] = TrialOut{
-        wmax, total / rounds / static_cast<double>(p.n),
-        empty / rounds / static_cast<double>(p.n)};
+    Engine engine(LeakyBinsProcess(std::move(config), p.lambda, rng));
+    engine.run_rounds(p.burn_in);
+    WindowMaxLoad wmax;
+    MeanTotalBallsPerBin total;
+    MeanEmptyFraction empty;
+    engine.run_rounds(p.rounds, wmax, total, empty);
+    out[trial] = TrialOut{static_cast<double>(wmax.window_max), total.mean(),
+                          empty.mean()};
   });
 
   LeakyResult result;
@@ -557,13 +518,13 @@ ProgressResult run_progress(const ProgressParams& p) {
   std::vector<TrialOut> out(p.trials);
 
   for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
-    std::vector<std::uint32_t> placement(p.n);
-    for (std::uint32_t i = 0; i < p.n; ++i) placement[i] = i;
     TokenProcess::Options options;
     options.policy = p.policy;
     options.track_visits = false;
-    TokenProcess proc(p.n, std::move(placement), options, rng);
-    proc.run(rounds);
+    Engine engine(
+        TokenProcess(p.n, identity_placement(p.n), options, rng));
+    engine.run_rounds(rounds);
+    const TokenProcess& proc = engine.process();
     double sum = 0.0;
     for (std::uint32_t i = 0; i < p.n; ++i) {
       sum += static_cast<double>(proc.progress(i));
@@ -591,17 +552,15 @@ DelayResult run_delays(const DelayParams& p) {
   std::vector<double> max_delay(p.trials, 0.0);
 
   for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
-    std::vector<std::uint32_t> placement(p.n);
-    for (std::uint32_t i = 0; i < p.n; ++i) placement[i] = i;
     TokenProcess::Options options;
     options.policy = p.policy;
     options.track_visits = false;
     options.track_delays = true;
-    TokenProcess proc(p.n, std::move(placement), options, rng);
-    proc.run(rounds);
-    per_trial[trial] = proc.delay_histogram();
-    max_delay[trial] =
-        static_cast<double>(proc.delay_histogram().max_value());
+    Engine engine(
+        TokenProcess(p.n, identity_placement(p.n), options, rng));
+    engine.run_rounds(rounds);
+    per_trial[trial] = engine.process().delay_histogram();
+    max_delay[trial] = static_cast<double>(per_trial[trial].max_value());
   });
 
   DelayResult result;
@@ -631,34 +590,29 @@ LoadProfileResult run_load_profile(const LoadProfileParams& p) {
     LoadConfig config =
         make_config(InitialConfig::kOnePerBin, p.n, p.n, rng);
     Histogram& h = per_trial[trial];
+    // Round-synchronous processes share one chunked sampling loop; the
+    // continuous-time Jackson network keeps its event clock.
+    const auto sample_profile = [&](auto process) {
+      Engine engine(std::move(process));
+      engine.run_rounds(burn_in);
+      for (std::uint32_t s = 0; s < samples; ++s) {
+        engine.run_rounds(gap);
+        h.merge(occupancy_histogram(engine_loads(engine.process())));
+      }
+    };
     switch (p.process) {
-      case ProfileProcess::kRepeated: {
-        RepeatedBallsProcess proc(std::move(config), rng);
-        proc.run(burn_in);
-        for (std::uint32_t s = 0; s < samples; ++s) {
-          proc.run(gap);
-          h.merge(occupancy_histogram(proc.loads()));
-        }
+      case ProfileProcess::kRepeated:
+        sample_profile(RepeatedBallsProcess(std::move(config), rng));
         break;
-      }
-      case ProfileProcess::kIndependent: {
-        IndependentWalksProcess proc(p.n, config_to_positions(config),
-                                     nullptr, rng);
-        proc.run(burn_in);
-        for (std::uint32_t s = 0; s < samples; ++s) {
-          proc.run(gap);
-          h.merge(occupancy_histogram(proc.loads()));
-        }
+      case ProfileProcess::kIndependent:
+        sample_profile(IndependentWalksProcess(
+            p.n, config_to_positions(config), nullptr, rng));
         break;
-      }
       case ProfileProcess::kTetris: {
+        // Sequenced on purpose: make_config draws from `rng` before the
+        // process copies it.
         LoadConfig start = make_config(InitialConfig::kRandom, p.n, p.n, rng);
-        TetrisProcess proc(std::move(start), rng);
-        proc.run(burn_in);
-        for (std::uint32_t s = 0; s < samples; ++s) {
-          proc.run(gap);
-          h.merge(occupancy_histogram(proc.loads()));
-        }
+        sample_profile(TetrisProcess(std::move(start), rng));
         break;
       }
       case ProfileProcess::kJackson: {
@@ -704,24 +658,36 @@ MixingResult run_mixing(const MixingParams& p) {
   // LIFO the lowest id is buried deepest.
   const std::uint32_t tracked =
       p.policy == QueuePolicy::kLifo ? 0 : p.n - 1;
+
+  /// Ad-hoc observer: the tracked token's bin at each checkpoint.
+  struct TokenBinAtCheckpoints {
+    const std::vector<std::uint64_t>& checkpoints;
+    std::uint32_t token;
+    std::vector<std::uint32_t> where;
+    std::size_t next = 0;
+
+    void observe(const RoundContext<TokenProcess>& ctx) {
+      while (next < checkpoints.size() &&
+             checkpoints[next] == ctx.round()) {
+        where[next] = ctx.process().token_bin(token);
+        ++next;
+      }
+    }
+  };
+
   for_each_trial(p.trials, p.seed, [&](std::uint32_t /*trial*/, Rng& rng) {
     std::vector<std::uint32_t> placement =
         make_token_placement(p.placement, p.n, p.n, rng);
     TokenProcess::Options options;
     options.policy = p.policy;
     options.track_visits = false;
-    TokenProcess proc(p.n, std::move(placement), options, rng.split());
-    std::vector<std::uint32_t> where(k, 0);
-    std::size_t next = 0;
-    for (std::uint64_t t = 1; t <= p.checkpoints.back(); ++t) {
-      proc.step();
-      while (next < k && p.checkpoints[next] == t) {
-        where[next] = proc.token_bin(tracked);
-        ++next;
-      }
-    }
+    Engine engine(
+        TokenProcess(p.n, std::move(placement), options, rng.split()));
+    TokenBinAtCheckpoints tracker{
+        p.checkpoints, tracked, std::vector<std::uint32_t>(k, 0), 0};
+    engine.run_rounds(p.checkpoints.back(), tracker);
     const std::lock_guard<std::mutex> lock(merge_mutex);
-    for (std::size_t c = 0; c < k; ++c) ++positions[c][where[c]];
+    for (std::size_t c = 0; c < k; ++c) ++positions[c][tracker.where[c]];
   });
 
   MixingResult result;

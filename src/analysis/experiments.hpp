@@ -1,29 +1,26 @@
 // Experiment drivers: one function per claim-reproduction experiment.
 //
-// Each driver runs `trials` independent simulations (parallelized over
-// trials with per-trial RNG substreams -- results are independent of the
-// thread count), reduces per-trial observables into OnlineMoments, and
-// returns a small result struct the bench binaries format into the tables
-// recorded in EXPERIMENTS.md.  DESIGN.md Sect. 4 maps experiments E1..E18
-// to these drivers.
+// Each driver runs `trials` independent simulations via
+// engine/trials.hpp (per-trial RNG substreams -- results are independent
+// of the worker-thread count), composes an Engine with the observers and
+// stopping rule the experiment needs, reduces per-trial observables into
+// OnlineMoments, and returns a small result struct the bench binaries
+// format into tables.  DESIGN.md Sect. 4 maps experiments E1..E21 to
+// these drivers; DESIGN.md Sect. 2 describes the engine layer they sit
+// on.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/faults.hpp"
 #include "core/token_process.hpp"
+#include "engine/trials.hpp"
 #include "graph/graph.hpp"
 #include "support/stats.hpp"
 
 namespace rbb {
-
-/// Runs fn(trial, rng) for trial = 0..trials-1 on the global thread pool;
-/// rng is Rng(seed, trial).  The workhorse of every driver below.
-void for_each_trial(std::uint32_t trials, std::uint64_t seed,
-                    const std::function<void(std::uint32_t, Rng&)>& fn);
 
 // ---------------------------------------------------------------------------
 // E1 / E7 / E13 / E14 / E15 -- stability windows
@@ -48,6 +45,7 @@ struct StabilityParams {
   const Graph* graph = nullptr; // nullptr = complete graph
   StabilityProcess process = StabilityProcess::kRepeated;
   std::uint32_t choices = 2;    // for kRepeatedDChoice
+  ThreadPool* pool = nullptr;   // nullptr = the process-wide pool
 };
 
 struct StabilityResult {

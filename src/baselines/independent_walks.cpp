@@ -48,6 +48,34 @@ std::uint32_t IndependentWalksProcess::empty_bins() const {
       std::count(loads_.begin(), loads_.end(), 0u));
 }
 
+void IndependentWalksProcess::reassign(
+    const std::vector<std::uint32_t>& new_bin) {
+  if (new_bin.size() != ball_bin_.size()) {
+    throw std::invalid_argument("reassign: ball count mismatch");
+  }
+  for (const std::uint32_t b : new_bin) {
+    if (b >= bins_) {
+      throw std::invalid_argument("reassign: bin out of range");
+    }
+  }
+  ball_bin_ = new_bin;
+  loads_.assign(bins_, 0);
+  for (const std::uint32_t b : ball_bin_) ++loads_[b];
+}
+
+void IndependentWalksProcess::check_invariants() const {
+  std::vector<std::uint32_t> expected(bins_, 0);
+  for (const std::uint32_t b : ball_bin_) {
+    if (b >= bins_) {
+      throw std::logic_error("IndependentWalks: ball position out of range");
+    }
+    ++expected[b];
+  }
+  if (expected != loads_) {
+    throw std::logic_error("IndependentWalks: loads out of sync");
+  }
+}
+
 std::optional<std::uint64_t> single_walk_cover_time(std::uint32_t bins,
                                                     const Graph* graph,
                                                     std::uint64_t cap,

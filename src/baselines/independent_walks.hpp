@@ -44,6 +44,15 @@ class IndependentWalksProcess {
   [[nodiscard]] std::uint32_t max_load() const;
   [[nodiscard]] std::uint32_t empty_bins() const;
 
+  /// Adversarial reassignment (paper, Sect. 4.1): ball i moves to
+  /// `new_bin[i]`.  Counts as a faulty event, not a process round.
+  void reassign(const std::vector<std::uint32_t>& new_bin);
+
+  /// Testing hook: recomputes the load vector from ball positions and
+  /// checks it against the incremental one; throws std::logic_error on
+  /// drift.
+  void check_invariants() const;
+
  private:
   std::uint32_t bins_;
   const Graph* graph_;

@@ -45,7 +45,8 @@ enum class InitialConfig {
 
 /// The paper's legitimacy predicate: M(q) <= beta * log2(n).  The paper
 /// leaves the absolute constant beta unspecified; the experiments default
-/// to beta = 4 (EXPERIMENTS.md discusses the measured constants).
+/// to beta = 4 (DESIGN.md Sect. 4; exp_beta_sensitivity measures the
+/// constants).
 [[nodiscard]] bool is_legitimate(const LoadConfig& q, double beta = 4.0);
 
 /// Throws std::invalid_argument unless q is a valid configuration with

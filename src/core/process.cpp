@@ -55,8 +55,19 @@ RoundStats RepeatedBallsProcess::step() {
     }
     max_load_ = max_after_departures;
     empty_ = zeros;
+    // Destinations are sampled as one block (same stream as per-ball
+    // index(n) calls) so the generator state stays in registers and the
+    // scatter loop below can prefetch: at large n the load vector
+    // out-sizes the cache and the random writes otherwise stall on a
+    // miss per arrival.
+    scratch_.resize(departures);
+    rng_.fill_indices(scratch_.data(), departures, n);
+    constexpr std::uint32_t kPrefetchAhead = 16;
     for (std::uint32_t i = 0; i < departures; ++i) {
-      std::uint32_t& load = loads_[rng_.index(n)];
+      if (i + kPrefetchAhead < departures) {
+        __builtin_prefetch(&loads_[scratch_[i + kPrefetchAhead]], 1);
+      }
+      std::uint32_t& load = loads_[scratch_[i]];
       if (load == 0) --empty_;
       if (++load > max_load_) max_load_ = load;
     }

@@ -83,7 +83,7 @@ class RepeatedBallsProcess {
   std::uint64_t round_ = 0;
   std::uint32_t max_load_ = 0;
   std::uint32_t empty_ = 0;
-  std::vector<std::uint32_t> scratch_;  // departure buffer (graph mode)
+  std::vector<std::uint32_t> scratch_;  // per-round destination buffer
 };
 
 }  // namespace rbb

@@ -1,0 +1,86 @@
+// Fault-injection plans for the Engine (DESIGN.md Sect. 2), wrapping the
+// adversarial strategies of core/faults (paper, Sect. 4.1).
+//
+// A fault plan decides *when* a fault fires (FaultSchedule: every
+// `period` rounds) and *what* it does to the process.  The engine calls
+// plan.maybe_inject(process, rounds_done) after each executed round;
+// faulty rounds do not count as process rounds, exactly as in the paper's
+// adversary model.  The plan owns its own RNG stream so injecting faults
+// never perturbs the process's random choices -- trajectories with and
+// without faults stay comparable, and the parity tests stay exact.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "core/config.hpp"
+#include "core/faults.hpp"
+#include "engine/process.hpp"
+
+namespace rbb {
+
+/// The default: no faults ever.
+struct NoFaults {
+  template <typename P>
+  bool maybe_inject(P&, std::uint64_t) noexcept {
+    return false;
+  }
+};
+
+/// Periodic plan with an arbitrary injection action `fn(process)`.
+template <typename Fn>
+class PeriodicFaults {
+ public:
+  PeriodicFaults(FaultSchedule schedule, Fn fn)
+      : schedule_(schedule), fn_(std::move(fn)) {}
+
+  template <typename P>
+  bool maybe_inject(P& p, std::uint64_t rounds_done) {
+    if (!schedule_.fires_at(rounds_done)) return false;
+    fn_(p);
+    return true;
+  }
+
+  [[nodiscard]] const FaultSchedule& schedule() const noexcept {
+    return schedule_;
+  }
+
+ private:
+  FaultSchedule schedule_;
+  Fn fn_;
+};
+
+/// Periodic adversarial reassignment of a *load* process (anything with
+/// ball_count() and reassign(LoadConfig): the load-only kernel,
+/// d-choices).  period == 0 disables.
+[[nodiscard]] inline auto make_load_fault_plan(std::uint64_t period,
+                                               FaultStrategy strategy,
+                                               Rng rng) {
+  return PeriodicFaults(
+      FaultSchedule(period), [strategy, rng](auto& p) mutable {
+        p.reassign(apply_fault(strategy, engine_bin_count(p), p.ball_count(),
+                               p.loads(), rng));
+      });
+}
+
+/// Periodic adversarial reassignment of a *token* process (anything with
+/// reassign(vector<uint32_t>): the token process, independent walks).
+/// period == 0 disables.
+[[nodiscard]] inline auto make_token_fault_plan(std::uint64_t period,
+                                                FaultStrategy strategy,
+                                                Rng rng) {
+  return PeriodicFaults(
+      FaultSchedule(period), [strategy, rng](auto& p) mutable {
+        const std::uint32_t tokens = [&p] {
+          if constexpr (requires { p.token_count(); }) {
+            return p.token_count();
+          } else {
+            return p.ball_count();
+          }
+        }();
+        p.reassign(apply_fault_tokens(strategy, engine_bin_count(p), tokens,
+                                      rng));
+      });
+}
+
+}  // namespace rbb

@@ -1,0 +1,193 @@
+// Pluggable per-round metric observers for the Engine (DESIGN.md Sect. 2).
+//
+// Observers compose: Engine<P>::run(...) takes any number of them and
+// invokes obs.observe(ctx) after every executed round with a
+// RoundContext -- a lazy, memoized view of the end-of-round state.
+// Laziness matters: computing the maximum load is O(1) for the load-only
+// kernel but O(n) for the token process, so a run that observes nothing
+// (or only round counts) must not pay for load scans.  Every observer
+// here is a plain struct usable on the stack of one Monte-Carlo trial;
+// experiment drivers read the accumulated values after the run.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "engine/process.hpp"
+
+namespace rbb {
+
+/// Lazy, memoized view of the process state at the end of a round.
+/// `round()` is 1-based and counts rounds executed by the current
+/// Engine::run call (checkpoint observers index off it).
+template <typename P>
+class RoundContext {
+ public:
+  RoundContext(const P& process, std::uint64_t round)
+      : process_(process), round_(round) {}
+
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] const P& process() const noexcept { return process_; }
+  [[nodiscard]] std::uint32_t bins() const {
+    return engine_bin_count(process_);
+  }
+  [[nodiscard]] std::uint32_t max_load() const {
+    if (!have_max_) {
+      max_ = engine_max_load(process_);
+      have_max_ = true;
+    }
+    return max_;
+  }
+  [[nodiscard]] std::uint32_t empty_bins() const {
+    if (!have_empty_) {
+      empty_ = engine_empty_bins(process_);
+      have_empty_ = true;
+    }
+    return empty_;
+  }
+  [[nodiscard]] double empty_fraction() const {
+    return static_cast<double>(empty_bins()) / static_cast<double>(bins());
+  }
+
+ private:
+  const P& process_;
+  std::uint64_t round_;
+  mutable std::uint32_t max_ = 0;
+  mutable std::uint32_t empty_ = 0;
+  mutable bool have_max_ = false;
+  mutable bool have_empty_ = false;
+};
+
+/// Window maximum and final value of the maximum load.
+struct WindowMaxLoad {
+  std::uint32_t window_max = 0;
+  std::uint32_t final_max = 0;
+
+  template <typename P>
+  void observe(const RoundContext<P>& ctx) {
+    final_max = ctx.max_load();
+    window_max = std::max(window_max, final_max);
+  }
+};
+
+/// Minimum over the window of the empty-bin fraction (Lemma 1 floor).
+struct MinEmptyFraction {
+  double min_fraction = 1.0;
+
+  template <typename P>
+  void observe(const RoundContext<P>& ctx) {
+    min_fraction = std::min(min_fraction, ctx.empty_fraction());
+  }
+};
+
+/// Mean over the window of the empty-bin fraction.
+struct MeanEmptyFraction {
+  double sum = 0.0;
+  std::uint64_t rounds = 0;
+
+  template <typename P>
+  void observe(const RoundContext<P>& ctx) {
+    sum += ctx.empty_fraction();
+    ++rounds;
+  }
+
+  [[nodiscard]] double mean() const {
+    return rounds == 0 ? 0.0 : sum / static_cast<double>(rounds);
+  }
+};
+
+/// Legitimacy over the window: whether every observed round satisfied
+/// M(q) <= threshold, and how many did (threshold = beta * log2 n).
+struct LegitimacyWindow {
+  double threshold = 0.0;
+  std::uint64_t legitimate_rounds = 0;
+  std::uint64_t total_rounds = 0;
+
+  explicit LegitimacyWindow(double threshold_) : threshold(threshold_) {}
+
+  template <typename P>
+  void observe(const RoundContext<P>& ctx) {
+    ++total_rounds;
+    if (static_cast<double>(ctx.max_load()) <= threshold) {
+      ++legitimate_rounds;
+    }
+  }
+
+  [[nodiscard]] bool whole_window_legitimate() const {
+    return legitimate_rounds == total_rounds;
+  }
+};
+
+/// Running maximum of the max load, sampled at a sorted list of 1-based
+/// round checkpoints (experiment E11's observable).
+class RunningMaxAtCheckpoints {
+ public:
+  explicit RunningMaxAtCheckpoints(std::vector<std::uint64_t> checkpoints)
+      : checkpoints_(std::move(checkpoints)),
+        values_(checkpoints_.size(), 0) {}
+
+  template <typename P>
+  void observe(const RoundContext<P>& ctx) {
+    if (next_ >= checkpoints_.size()) return;  // past the last checkpoint
+    running_ = std::max(running_, ctx.max_load());
+    while (next_ < checkpoints_.size() &&
+           checkpoints_[next_] == ctx.round()) {
+      values_[next_] = running_;
+      ++next_;
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& values() const noexcept {
+    return values_;
+  }
+
+ private:
+  std::vector<std::uint64_t> checkpoints_;
+  std::vector<std::uint32_t> values_;
+  std::uint32_t running_ = 0;
+  std::size_t next_ = 0;
+};
+
+/// Mean over the window of the total ball count per bin (leaky bins do
+/// not conserve mass; E16 tracks the stationary level).
+struct MeanTotalBallsPerBin {
+  double sum = 0.0;
+  std::uint64_t rounds = 0;
+
+  template <typename P>
+    requires requires(const P& p) {
+      { p.total_balls() } -> std::convertible_to<std::uint64_t>;
+    }
+  void observe(const RoundContext<P>& ctx) {
+    sum += static_cast<double>(ctx.process().total_balls()) /
+           static_cast<double>(ctx.bins());
+    ++rounds;
+  }
+
+  [[nodiscard]] double mean() const {
+    return rounds == 0 ? 0.0 : sum / static_cast<double>(rounds);
+  }
+};
+
+/// Records the full max-load trajectory, one entry per round.  Testing /
+/// plotting aid -- memory grows linearly with the window.
+struct MaxLoadTrajectory {
+  std::vector<std::uint32_t> values;
+
+  template <typename P>
+  void observe(const RoundContext<P>& ctx) {
+    values.push_back(ctx.max_load());
+  }
+};
+
+/// Revalidates process invariants every round (fuzzing aid; throws
+/// std::logic_error on bookkeeping drift).
+struct InvariantCheck {
+  template <typename P>
+  void observe(const RoundContext<P>& ctx) {
+    engine_check_invariants(ctx.process());
+  }
+};
+
+}  // namespace rbb

@@ -1,0 +1,138 @@
+// The Process interface of the simulation engine (DESIGN.md Sect. 2).
+//
+// Every process variant in this repository -- the load-only kernel, the
+// identity-tracking token process, Tetris, leaky bins, d-choices,
+// independent walks and Israeli-Jalfon -- advances in synchronous rounds
+// and exposes a load-shaped view of its state.  The engine drives them
+// through a small set of free-function customization points instead of a
+// virtual base class, so that Engine<P>::run() compiles down to the same
+// loop the hand-rolled per-process drivers used to contain (the parity
+// regression test in tests/engine/ pins this down bit-for-bit).
+//
+// Generic overloads cover any type with the conventional member surface
+// (step / round / bin_count / max_load / empty_bins / loads /
+// check_invariants); the token-carrying variants that lack a LoadConfig
+// (TokenProcess, IsraeliJalfonProcess) get explicit overloads below.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "core/token_process.hpp"
+#include "selfstab/israeli_jalfon.hpp"
+
+namespace rbb {
+
+// --- step -------------------------------------------------------------------
+
+/// Executes one synchronous round.  Return values (per-process round
+/// stats) are intentionally discarded: observers read end-of-round state
+/// through the customization points below, which is equivalent and keeps
+/// the interface uniform.
+template <typename P>
+  requires requires(P& p) { p.step(); }
+void engine_step(P& p) {
+  p.step();
+}
+
+// --- identity ---------------------------------------------------------------
+
+template <typename P>
+  requires requires(const P& p) {
+    { p.bin_count() } -> std::convertible_to<std::uint32_t>;
+  }
+[[nodiscard]] std::uint32_t engine_bin_count(const P& p) {
+  return p.bin_count();
+}
+
+[[nodiscard]] inline std::uint32_t engine_bin_count(
+    const IsraeliJalfonProcess& p) {
+  return p.node_count();
+}
+
+template <typename P>
+  requires requires(const P& p) {
+    { p.round() } -> std::convertible_to<std::uint64_t>;
+  }
+[[nodiscard]] std::uint64_t engine_round(const P& p) {
+  return p.round();
+}
+
+// --- load-shaped state ------------------------------------------------------
+
+template <typename P>
+  requires requires(const P& p) {
+    { p.max_load() } -> std::convertible_to<std::uint32_t>;
+  }
+[[nodiscard]] std::uint32_t engine_max_load(const P& p) {
+  return p.max_load();
+}
+
+/// Israeli-Jalfon state is a token-presence indicator per node (merging
+/// caps every "load" at 1), so the maximum load is 1 whenever any token
+/// survives -- which the constructor guarantees.
+[[nodiscard]] inline std::uint32_t engine_max_load(
+    const IsraeliJalfonProcess& p) {
+  return p.token_count() > 0 ? 1u : 0u;
+}
+
+template <typename P>
+  requires requires(const P& p) {
+    { p.empty_bins() } -> std::convertible_to<std::uint32_t>;
+  }
+[[nodiscard]] std::uint32_t engine_empty_bins(const P& p) {
+  return p.empty_bins();
+}
+
+[[nodiscard]] inline std::uint32_t engine_empty_bins(
+    const IsraeliJalfonProcess& p) {
+  return p.node_count() - p.token_count();
+}
+
+/// Snapshot of the per-bin load vector.  Returns by value: the engine
+/// only calls this off the hot path (sampling observers, parity checks).
+template <typename P>
+  requires requires(const P& p) {
+    { p.loads() } -> std::convertible_to<LoadConfig>;
+  }
+[[nodiscard]] LoadConfig engine_loads(const P& p) {
+  return p.loads();
+}
+
+[[nodiscard]] inline LoadConfig engine_loads(const TokenProcess& p) {
+  LoadConfig loads(p.bin_count(), 0);
+  for (std::uint32_t u = 0; u < p.bin_count(); ++u) loads[u] = p.load(u);
+  return loads;
+}
+
+[[nodiscard]] inline LoadConfig engine_loads(const IsraeliJalfonProcess& p) {
+  const auto& tokens = p.tokens();
+  return {tokens.begin(), tokens.end()};
+}
+
+// --- invariants -------------------------------------------------------------
+
+/// Revalidates the process's incremental bookkeeping (throws
+/// std::logic_error on drift); a no-op for processes without a checker.
+template <typename P>
+void engine_check_invariants(const P& p) {
+  if constexpr (requires { p.check_invariants(); }) {
+    p.check_invariants();
+  }
+}
+
+// --- the concept ------------------------------------------------------------
+
+/// A simulatable process: anything the Engine's round loop can drive.
+template <typename P>
+concept SimProcess = requires(P& p, const P& cp) {
+  engine_step(p);
+  { engine_bin_count(cp) } -> std::convertible_to<std::uint32_t>;
+  { engine_round(cp) } -> std::convertible_to<std::uint64_t>;
+  { engine_max_load(cp) } -> std::convertible_to<std::uint32_t>;
+  { engine_empty_bins(cp) } -> std::convertible_to<std::uint32_t>;
+  { engine_loads(cp) } -> std::convertible_to<LoadConfig>;
+};
+
+}  // namespace rbb

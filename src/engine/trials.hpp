@@ -1,0 +1,37 @@
+// Parallel Monte-Carlo trial runner (DESIGN.md Sect. 2).
+//
+// Every experiment driver is "run T independent trials, reduce": this
+// header owns that pattern.  Trial `i` gets the substream Rng(seed, i),
+// so results are reproducible from one 64-bit seed and bit-identical for
+// any worker-thread count (each trial writes only its own result slot;
+// the reduction happens sequentially afterwards -- design choice D5,
+// pinned by the determinism test in tests/engine/).
+//
+// `fn` is a template parameter all the way down to the thread pool's
+// batch dispatch, so the per-trial hot loop is inlinable -- no
+// std::function indirection (this absorbed and replaced the old
+// analysis/experiments for_each_trial).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace rbb {
+
+/// Runs fn(trial, rng) for trial = 0..trials-1, with rng = Rng(seed,
+/// trial), on `pool` (nullptr = the process-wide pool).  Blocks until all
+/// trials finish; rethrows the first trial exception.
+template <typename Fn>
+void for_each_trial(std::uint32_t trials, std::uint64_t seed, Fn&& fn,
+                    ThreadPool* pool = nullptr) {
+  ThreadPool& chosen = pool != nullptr ? *pool : ThreadPool::global();
+  chosen.for_each(trials, [seed, &fn](std::uint64_t trial) {
+    Rng rng(seed, trial);
+    fn(static_cast<std::uint32_t>(trial), rng);
+  });
+}
+
+}  // namespace rbb

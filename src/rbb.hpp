@@ -7,6 +7,7 @@
 //             table, cli, scale
 //   graph/    graph
 //   core/     config, process, token_process, faults
+//   engine/   process, engine, observers, stop, faults, trials
 //   tetris/   tetris, zchain, leaky
 //   coupling/ coupling
 //   baselines/ oneshot, independent_walks, repeated_dchoices, jackson
@@ -17,6 +18,12 @@
 #pragma once
 
 #include "analysis/experiments.hpp"
+#include "engine/engine.hpp"
+#include "engine/faults.hpp"
+#include "engine/observers.hpp"
+#include "engine/process.hpp"
+#include "engine/stop.hpp"
+#include "engine/trials.hpp"
 #include "baselines/independent_walks.hpp"
 #include "baselines/jackson.hpp"
 #include "baselines/oneshot.hpp"

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 
@@ -167,6 +168,17 @@ class Rng {
   /// Uniform integer in [0, n) as a 32-bit index (n must fit in 32 bits).
   [[nodiscard]] std::uint32_t index(std::uint32_t n) noexcept {
     return static_cast<std::uint32_t>(below(n));
+  }
+
+  /// Fills out[0..count) with i.i.d. uniform indices in [0, n), drawing
+  /// the *same stream* as `count` successive index(n) calls by
+  /// construction.  Batching keeps the generator state in registers
+  /// across the block and decouples sampling from consumption, which
+  /// lets the complete-graph kernel prefetch its arrival scatter (see
+  /// RepeatedBallsProcess::step).
+  void fill_indices(std::uint32_t* out, std::size_t count,
+                    std::uint32_t n) noexcept {
+    for (std::size_t i = 0; i < count; ++i) out[i] = index(n);
   }
 
   /// Uniform double in [0, 1) with 53 random bits.

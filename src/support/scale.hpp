@@ -4,7 +4,7 @@
 // the default `for b in build/bench/*; do $b; done` loop finishes in
 // minutes while still exercising every experiment:
 //   smoke   -- minimal sizes, seconds per bench (CI sanity),
-//   default -- the sizes recorded in EXPERIMENTS.md,
+//   default -- the sizes of the experiment map (DESIGN.md Sect. 4),
 //   paper   -- full sweeps matching the asymptotic regime of the theorems.
 #pragma once
 

@@ -1,19 +1,8 @@
 #include "support/thread_pool.hpp"
 
-#include <atomic>
 #include <cstdlib>
-#include <exception>
-#include <memory>
 
 namespace rbb {
-
-struct ThreadPool::Batch {
-  std::uint64_t task_count = 0;
-  const std::function<void(std::uint64_t)>* fn = nullptr;
-  std::atomic<std::uint64_t> next{0};
-  std::atomic<std::uint64_t> done{0};
-  std::exception_ptr first_error;  // guarded by the pool mutex
-};
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = default_thread_count();
@@ -56,7 +45,7 @@ void drain_batch(ThreadPool::Batch& batch, std::mutex& mutex,
     const std::uint64_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= batch.task_count) return;
     try {
-      (*batch.fn)(i);
+      batch.invoke(batch.context, i);
     } catch (...) {
       const std::lock_guard<std::mutex> lock(mutex);
       if (!batch.first_error) batch.first_error = std::current_exception();
@@ -77,17 +66,19 @@ void drain_batch(ThreadPool::Batch& batch, std::mutex& mutex,
 
 void ThreadPool::parallel_for(std::uint64_t task_count,
                               const std::function<void(std::uint64_t)>& fn) {
-  if (task_count == 0) return;
-  auto batch = std::make_shared<Batch>();
-  batch->task_count = task_count;
-  batch->fn = &fn;
+  for_each(task_count, [&fn](std::uint64_t i) { fn(i); });
+}
+
+void ThreadPool::run_batch(std::shared_ptr<Batch> batch) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (current_ != nullptr) {
-      // Nested / concurrent parallel_for on the same pool: run inline to
+      // Nested / concurrent submission on the same pool: run inline to
       // avoid deadlock rather than queueing.
       lock.unlock();
-      for (std::uint64_t i = 0; i < task_count; ++i) fn(i);
+      for (std::uint64_t i = 0; i < batch->task_count; ++i) {
+        batch->invoke(batch->context, i);
+      }
       return;
     }
     current_ = batch.get();
@@ -106,6 +97,7 @@ void ThreadPool::parallel_for(std::uint64_t task_count,
   current_owner_.reset();
   const std::exception_ptr err = batch->first_error;
   lock.unlock();
+  work_available_.notify_all();  // release workers parked on batch retire
   if (err) std::rethrow_exception(err);
 }
 

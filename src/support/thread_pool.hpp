@@ -9,12 +9,15 @@
 // scientific result reproducible.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace rbb {
@@ -34,7 +37,23 @@ class ThreadPool {
 
   /// Runs fn(i) for every i in [0, task_count), potentially in parallel,
   /// and blocks until all tasks have finished.  Exceptions thrown by tasks
-  /// are rethrown (the first one captured) after the batch drains.
+  /// are rethrown (the first one captured) after the batch drains.  The
+  /// callable is a template parameter: workers dispatch through one
+  /// per-batch function pointer, so fn's body stays inlinable (no
+  /// per-task std::function indirection).
+  template <typename Fn>
+  void for_each(std::uint64_t task_count, Fn&& fn) {
+    if (task_count == 0) return;
+    auto batch = std::make_shared<Batch>();
+    batch->task_count = task_count;
+    batch->context = std::addressof(fn);
+    batch->invoke = [](void* context, std::uint64_t i) {
+      (*static_cast<std::remove_reference_t<Fn>*>(context))(i);
+    };
+    run_batch(std::move(batch));
+  }
+
+  /// Type-erased convenience wrapper over for_each.
   void parallel_for(std::uint64_t task_count,
                     const std::function<void(std::uint64_t)>& fn);
 
@@ -48,9 +67,23 @@ class ThreadPool {
   /// A process-wide shared pool for the experiment drivers.
   [[nodiscard]] static ThreadPool& global();
 
-  struct Batch;  // implementation detail, public only for internal linkage
+  /// One submitted for_each call: an index space plus a context/function-
+  /// pointer pair erased once per batch (public only for internal
+  /// linkage; not part of the API).
+  struct Batch {
+    std::uint64_t task_count = 0;
+    void* context = nullptr;
+    void (*invoke)(void*, std::uint64_t) = nullptr;
+    std::atomic<std::uint64_t> next{0};
+    std::atomic<std::uint64_t> done{0};
+    std::exception_ptr first_error;  // guarded by the pool mutex
+  };
 
  private:
+  /// Submits the batch, participates in draining it, waits for
+  /// completion, and rethrows the first captured task exception.
+  void run_batch(std::shared_ptr<Batch> batch);
+
   void worker_loop();
 
   std::vector<std::thread> workers_;

@@ -1,0 +1,149 @@
+// Engine parity regression: for fixed seeds, driving a process through
+// Engine<P> produces *bit-identical* load trajectories to the legacy
+// per-process run() path -- for every variant, on the complete graph and
+// (where supported) on a ring.  This pins down the tentpole refactor's
+// core promise: the engine adds behavior (observers, stopping rules,
+// faults) without perturbing a single random draw.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/independent_walks.hpp"
+#include "baselines/repeated_dchoices.hpp"
+#include "core/process.hpp"
+#include "core/token_process.hpp"
+#include "engine/engine.hpp"
+#include "graph/graph.hpp"
+#include "selfstab/israeli_jalfon.hpp"
+#include "tetris/leaky.hpp"
+#include "tetris/tetris.hpp"
+
+namespace rbb {
+namespace {
+
+constexpr std::uint32_t kBins = 64;
+constexpr std::uint64_t kSegment = 17;  // odd on purpose: no round-y sizes
+constexpr int kSegments = 5;
+
+/// Runs `legacy` via its own run()/step() loop and a copy via the Engine
+/// (with observers attached, so stat computation is exercised), comparing
+/// the full load vector after every segment.
+template <typename P>
+void expect_parity(P legacy) {
+  Engine<P> engine(legacy);  // copy: identical state + RNG
+  WindowMaxLoad wmax;
+  MinEmptyFraction memp;
+  for (int segment = 0; segment < kSegments; ++segment) {
+    legacy.run(kSegment);
+    engine.run_rounds(kSegment, wmax, memp);
+    ASSERT_EQ(engine_loads(legacy), engine_loads(engine.process()))
+        << "diverged after segment " << segment;
+  }
+  EXPECT_EQ(engine_round(legacy), engine_round(engine.process()));
+  EXPECT_EQ(engine_max_load(legacy), engine_max_load(engine.process()));
+  EXPECT_EQ(engine_empty_bins(legacy), engine_empty_bins(engine.process()));
+}
+
+TEST(EngineParity, RepeatedBallsCompleteGraph) {
+  Rng rng(101);
+  LoadConfig start = make_config(InitialConfig::kAllInOne, kBins, kBins, rng);
+  expect_parity(RepeatedBallsProcess(std::move(start), rng.split()));
+}
+
+TEST(EngineParity, RepeatedBallsRing) {
+  const Graph ring = make_cycle(kBins);
+  Rng rng(102);
+  LoadConfig start = make_config(InitialConfig::kRandom, kBins, kBins, rng);
+  expect_parity(
+      RepeatedBallsProcess(std::move(start), &ring, rng.split()));
+}
+
+TEST(EngineParity, TokenProcessCompleteGraph) {
+  Rng rng(103);
+  std::vector<std::uint32_t> placement(kBins);
+  for (std::uint32_t i = 0; i < kBins; ++i) placement[i] = rng.index(kBins);
+  TokenProcess::Options options;
+  options.policy = QueuePolicy::kFifo;
+  expect_parity(TokenProcess(kBins, placement, options, rng.split()));
+}
+
+TEST(EngineParity, TokenProcessRing) {
+  const Graph ring = make_cycle(kBins);
+  Rng rng(104);
+  std::vector<std::uint32_t> placement(kBins);
+  for (std::uint32_t i = 0; i < kBins; ++i) placement[i] = i;
+  TokenProcess::Options options;
+  options.policy = QueuePolicy::kRandom;  // pops consume process RNG too
+  options.graph = &ring;
+  expect_parity(TokenProcess(kBins, placement, options, rng.split()));
+}
+
+TEST(EngineParity, TetrisCliqueOnly) {
+  Rng rng(105);
+  LoadConfig start = make_config(InitialConfig::kRandom, kBins, kBins, rng);
+  expect_parity(TetrisProcess(std::move(start), rng.split()));
+}
+
+TEST(EngineParity, LeakyBinsCliqueOnly) {
+  Rng rng(106);
+  LoadConfig start = make_config(InitialConfig::kOnePerBin, kBins, kBins, rng);
+  expect_parity(LeakyBinsProcess(std::move(start), 0.75, rng.split()));
+}
+
+TEST(EngineParity, RepeatedDChoicesCliqueOnly) {
+  Rng rng(107);
+  LoadConfig start =
+      make_config(InitialConfig::kHalfLoaded, kBins, kBins, rng);
+  expect_parity(RepeatedDChoicesProcess(std::move(start), 2, rng.split()));
+}
+
+TEST(EngineParity, IndependentWalksCompleteGraph) {
+  Rng rng(108);
+  std::vector<std::uint32_t> placement(kBins);
+  for (std::uint32_t i = 0; i < kBins; ++i) placement[i] = rng.index(kBins);
+  expect_parity(
+      IndependentWalksProcess(kBins, placement, nullptr, rng.split()));
+}
+
+TEST(EngineParity, IndependentWalksRing) {
+  const Graph ring = make_cycle(kBins);
+  Rng rng(109);
+  std::vector<std::uint32_t> placement(kBins);
+  for (std::uint32_t i = 0; i < kBins; ++i) placement[i] = i;
+  expect_parity(
+      IndependentWalksProcess(kBins, placement, &ring, rng.split()));
+}
+
+// Israeli-Jalfon has no run(rounds); drive the legacy copy step by step.
+TEST(EngineParity, IsraeliJalfonRing) {
+  const Graph ring = make_cycle(kBins);
+  Rng rng(110);
+  IsraeliJalfonProcess legacy(&ring, kBins, TokenPlacement::kEveryNode,
+                              rng.split());
+  Engine<IsraeliJalfonProcess> engine(legacy);
+  WindowMaxLoad wmax;
+  for (int segment = 0; segment < kSegments; ++segment) {
+    for (std::uint64_t t = 0; t < kSegment; ++t) legacy.step();
+    engine.run_rounds(kSegment, wmax);
+    ASSERT_EQ(engine_loads(legacy), engine_loads(engine.process()))
+        << "diverged after segment " << segment;
+    ASSERT_EQ(legacy.token_count(), engine.process().token_count());
+  }
+}
+
+TEST(EngineParity, IsraeliJalfonCompleteGraph) {
+  Rng rng(111);
+  IsraeliJalfonProcess legacy(nullptr, kBins, TokenPlacement::kRandomHalf,
+                              rng.split(), 0.0);
+  Engine<IsraeliJalfonProcess> engine(legacy);
+  for (int segment = 0; segment < kSegments; ++segment) {
+    for (std::uint64_t t = 0; t < kSegment; ++t) legacy.step();
+    engine.run_rounds(kSegment);
+    ASSERT_EQ(engine_loads(legacy), engine_loads(engine.process()))
+        << "diverged after segment " << segment;
+  }
+}
+
+}  // namespace
+}  // namespace rbb

@@ -12,6 +12,7 @@
 #include "core/faults.hpp"
 #include "core/process.hpp"
 #include "core/token_process.hpp"
+#include "engine/engine.hpp"
 #include "graph/graph.hpp"
 #include "selfstab/israeli_jalfon.hpp"
 #include "tetris/leaky.hpp"
@@ -162,6 +163,53 @@ TEST_P(FuzzSweep, IsraeliJalfonSurvivesRandomOps) {
     }
     ASSERT_NO_THROW(proc.check_invariants()) << "op " << op;
     ASSERT_GE(proc.token_count(), 1u) << "op " << op;
+  }
+}
+
+// Engine-driven fuzz: random run-lengths with a periodic adversarial
+// fault plan, revalidating the incremental max-load / empty-bin
+// bookkeeping after *every* round via the InvariantCheck observer.  This
+// exercises check_invariants() in exactly the state a production engine
+// run sees (fault immediately after observation), which the per-op loops
+// above cannot reach.
+TEST_P(FuzzSweep, EngineSurvivesRandomRunsUnderFaultInjection) {
+  const auto [n, seed] = GetParam();
+  Rng op_rng(static_cast<std::uint64_t>(seed) * 2654435761ULL + n);
+  // Sequenced so the config draw precedes the process-stream split
+  // (function-argument order is unspecified) -- seeds reproduce across
+  // compilers.
+  LoadConfig start = make_config(InitialConfig::kRandom, n, n, op_rng);
+  Engine engine(RepeatedBallsProcess(std::move(start), op_rng.split()));
+  const auto strategy = static_cast<FaultStrategy>(op_rng.below(4));
+  auto plan = make_load_fault_plan(1 + op_rng.below(7), strategy,
+                                   op_rng.split());
+  InvariantCheck check;
+  std::uint64_t faults = 0;
+  for (int op = 0; op < 40; ++op) {
+    faults += engine.run(op_rng.below(20), RunForRounds{}, plan, check)
+                  .faults_injected;
+    ASSERT_NO_THROW(engine.check_invariants()) << "op " << op;
+    ASSERT_EQ(total_balls(engine.process().loads()), n) << "op " << op;
+  }
+  EXPECT_GT(faults, 0u);
+}
+
+TEST_P(FuzzSweep, EngineTokenProcessSurvivesFaultInjection) {
+  const auto [n, seed] = GetParam();
+  Rng op_rng(static_cast<std::uint64_t>(seed) * 40503 + n);
+  std::vector<std::uint32_t> placement(n);
+  for (std::uint32_t i = 0; i < n; ++i) placement[i] = op_rng.index(n);
+  TokenProcess::Options options;
+  options.policy = static_cast<QueuePolicy>(op_rng.below(3));
+  Engine engine(TokenProcess(n, std::move(placement), options,
+                             op_rng.split()));
+  const auto strategy = static_cast<FaultStrategy>(op_rng.below(4));
+  auto plan = make_token_fault_plan(1 + op_rng.below(5), strategy,
+                                    op_rng.split());
+  InvariantCheck check;
+  for (int op = 0; op < 30; ++op) {
+    engine.run(op_rng.below(15), RunForRounds{}, plan, check);
+    ASSERT_NO_THROW(engine.check_invariants()) << "op " << op;
   }
 }
 
