@@ -1,102 +1,9 @@
-// E9 -- Sect. 4.1: an adversary that arbitrarily reassigns all tokens
-// once every gamma*n rounds (gamma >= 6) inflates the cover time by at
-// most a constant factor.
-//
-// Table: per fault period and strategy, the cover time vs the fault-free
-// baseline and the inflation factor (predicted O(1); faults more frequent
-// than ~6n start to hurt).
-#include "analysis/experiments.hpp"
-#include "core/process.hpp"
-#include "bench/bench_common.hpp"
+// E9 -- Sect. 4.1 adversarial cover.  Back-compat shim: the experiment now lives in the
+// registry (src/runner/experiments/adversarial.cpp); this binary behaves like
+// `rbb run adversarial` with table output, honoring RBB_BENCH_SCALE and
+// RBB_CSV_DIR as it always did.
+#include "runner/legacy.hpp"
 
 int main(int argc, char** argv) {
-  using namespace rbb;
-  Cli cli = bench::make_cli(
-      "E9: adversarial reassignment every gamma*n rounds costs only a "
-      "constant factor (Sect. 4.1)");
-  cli.add_u64("n", 0, "nodes/tokens (0 = scale default)");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const BenchScale scale = bench_scale();
-  const std::uint32_t trials = bench::trials_for(cli, scale, 2, 4, 10);
-  const std::uint32_t n =
-      cli.u64("n") != 0 ? static_cast<std::uint32_t>(cli.u64("n"))
-                        : by_scale<std::uint32_t>(scale, 128, 512, 1024);
-
-  // Fault-free baseline.
-  CoverTimeParams base;
-  base.n = n;
-  base.trials = trials;
-  base.seed = cli.u64("seed");
-  const CoverTimeResult clean = run_cover_time(base);
-
-  Table table({"gamma (period/n)", "strategy", "cover (mean)",
-               "inflation vs clean", "max load seen", "timeouts"});
-  table.row()
-      .cell(std::string("no faults"))
-      .cell(std::string("-"))
-      .cell(clean.cover_time.mean(), 0)
-      .cell(1.0, 2)
-      .cell(clean.max_load_seen.mean(), 1)
-      .cell(std::uint64_t{clean.timeouts});
-  for (const std::uint64_t gamma : {6ull, 10ull, 20ull}) {
-    for (const FaultStrategy strategy :
-         {FaultStrategy::kAllToOne, FaultStrategy::kRandom}) {
-      CoverTimeParams p = base;
-      p.fault_period = gamma * n;
-      p.fault_strategy = strategy;
-      const CoverTimeResult r = run_cover_time(p);
-      const double inflation = clean.cover_time.mean() > 0
-                                   ? r.cover_time.mean() /
-                                         clean.cover_time.mean()
-                                   : 0.0;
-      table.row()
-          .cell(gamma)
-          .cell(std::string(to_string(strategy)))
-          .cell(r.cover_time.mean(), 0)
-          .cell(inflation, 2)
-          .cell(r.max_load_seen.mean(), 1)
-          .cell(std::uint64_t{r.timeouts});
-    }
-  }
-  bench::emit(table, "E9_adversarial",
-              "cover time under periodic adversarial reassignment "
-              "(Sect. 4.1)",
-              scale);
-
-  // Severity ablation: a bounded-budget adversary moves only k balls onto
-  // one bin.  Recovery (rounds back to legitimacy) should scale with the
-  // fault size, saturating at the full Theorem-1 O(n) for k = n.
-  Table severity({"fault size k", "k / n", "spike max load",
-                  "recovery rounds (mean)", "recovery / n"});
-  for (const double frac : {0.125, 0.25, 0.5, 1.0}) {
-    const auto k = static_cast<std::uint64_t>(
-        frac * static_cast<double>(n));
-    OnlineMoments recovery;
-    OnlineMoments spike;
-    for (std::uint32_t trial = 0; trial < trials; ++trial) {
-      Rng rng(cli.u64("seed") + 31, trial);
-      RepeatedBallsProcess proc(
-          make_config(InitialConfig::kOnePerBin, n, n, rng), rng);
-      proc.run(4ull * n);  // reach equilibrium
-      proc.reassign(apply_partial_fault(proc.loads(), k));
-      spike.add(static_cast<double>(proc.max_load()));
-      std::uint64_t t = 0;
-      while (!proc.is_legitimate(4.0) && t < 64ull * n) {
-        proc.step();
-        ++t;
-      }
-      recovery.add(static_cast<double>(t));
-    }
-    severity.row()
-        .cell(k)
-        .cell(frac, 3)
-        .cell(spike.mean(), 1)
-        .cell(recovery.mean(), 1)
-        .cell(recovery.mean() / n, 3);
-  }
-  bench::emit(severity, "E9b_fault_severity",
-              "bounded-budget adversary: recovery scales with fault size",
-              scale);
-  return 0;
+  return rbb::runner::legacy_bench_main("adversarial", argc, argv);
 }

@@ -1,60 +1,9 @@
-// Ablation -- the legitimacy constant beta (paper, Sect. 2: "M(q) <= beta
-// log n for some absolute constant beta > 0"; the theorems never pin it).
-//
-// Table: per n, the fraction of trial windows that stay legitimate as a
-// function of beta, plus the empirical "critical beta" (the window max
-// divided by log2 n).  Shows where the unspecified constant actually
-// lives: windows of c*n rounds are legitimate for beta >~ 2, and beta = 4
-// (the repository default) has comfortable margin.
-#include "analysis/experiments.hpp"
-#include "bench/bench_common.hpp"
-#include "support/bounds.hpp"
+// E13 -- beta sensitivity.  Back-compat shim: the experiment now lives in the
+// registry (src/runner/experiments/beta_sensitivity.cpp); this binary behaves like
+// `rbb run beta_sensitivity` with table output, honoring RBB_BENCH_SCALE and
+// RBB_CSV_DIR as it always did.
+#include "runner/legacy.hpp"
 
 int main(int argc, char** argv) {
-  using namespace rbb;
-  Cli cli = bench::make_cli(
-      "beta ablation: where does the legitimacy constant sit?");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const BenchScale scale = bench_scale();
-  const std::uint32_t trials = bench::trials_for(cli, scale, 3, 8, 16);
-  const std::uint64_t wf = by_scale<std::uint64_t>(scale, 5, 20, 50);
-
-  Table table({"n", "window", "trials", "critical beta (mean)",
-               "critical beta (worst)", "legit@beta=1.5", "legit@beta=2",
-               "legit@beta=3", "legit@beta=4"});
-  for (const std::uint32_t n : bench::n_sweep(scale)) {
-    // One stability run per n; evaluate every beta against the same
-    // trial windows (the drivers are deterministic given the seed).
-    StabilityParams p;
-    p.n = n;
-    p.rounds = wf * n;
-    p.trials = trials;
-    p.seed = cli.u64("seed");
-    const StabilityResult r = run_stability(p);
-    const double logn = log2n(n);
-    auto legit_fraction = [&](double beta) {
-      std::uint32_t legit = 0;
-      for (const double wmax : r.per_trial_window_max) {
-        if (wmax <= beta * logn) ++legit;
-      }
-      return static_cast<double>(legit) /
-             static_cast<double>(r.per_trial_window_max.size());
-    };
-    table.row()
-        .cell(std::uint64_t{n})
-        .cell(p.rounds)
-        .cell(std::uint64_t{trials})
-        .cell(r.window_max.mean() / logn, 3)
-        .cell(r.window_max.max() / logn, 3)
-        .cell(legit_fraction(1.5), 2)
-        .cell(legit_fraction(2.0), 2)
-        .cell(legit_fraction(3.0), 2)
-        .cell(legit_fraction(4.0), 2);
-  }
-  bench::emit(table, "Eb_beta_sensitivity",
-              "the legitimacy constant: critical beta ~ 1.5-2, default 4 "
-              "has margin",
-              scale);
-  return 0;
+  return rbb::runner::legacy_bench_main("beta_sensitivity", argc, argv);
 }

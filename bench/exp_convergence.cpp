@@ -1,65 +1,9 @@
-// E2 -- Theorem 1 (self-stabilization): from ANY configuration the system
-// reaches a legitimate configuration within O(n) rounds.
-//
-// Table: for each n and worst-case start, the rounds until M(t) <= beta
-// log2 n, normalized by n.  The paper predicts a linear law; from
-// all-in-one the heavy bin drains one ball per round, so the normalized
-// value approaches 1 from below.
-#include <iostream>
-#include <vector>
-
-#include "analysis/experiments.hpp"
-#include "analysis/fit.hpp"
-#include "bench/bench_common.hpp"
+// E2 -- Theorem 1 O(n) convergence.  Back-compat shim: the experiment now lives in the
+// registry (src/runner/experiments/convergence.cpp); this binary behaves like
+// `rbb run convergence` with table output, honoring RBB_BENCH_SCALE and
+// RBB_CSV_DIR as it always did.
+#include "runner/legacy.hpp"
 
 int main(int argc, char** argv) {
-  using namespace rbb;
-  Cli cli = bench::make_cli(
-      "E2: convergence to a legitimate configuration from arbitrary starts "
-      "(Theorem 1, second part)");
-  cli.add_double("beta", 4.0, "legitimacy constant");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const BenchScale scale = bench_scale();
-  const std::uint32_t trials = bench::trials_for(cli, scale, 3, 8, 20);
-
-  Table table({"n", "start", "trials", "rounds (mean)", "rounds (max)",
-               "rounds / n (mean)", "timeouts"});
-  std::vector<double> xs;
-  std::vector<double> worst_rounds;
-  for (const std::uint32_t n : bench::n_sweep(scale)) {
-    for (const InitialConfig start :
-         {InitialConfig::kAllInOne, InitialConfig::kGeometric,
-          InitialConfig::kHalfLoaded}) {
-      ConvergenceParams p;
-      p.n = n;
-      p.trials = trials;
-      p.seed = cli.u64("seed");
-      p.start = start;
-      p.beta = cli.f64("beta");
-      const ConvergenceResult r = run_convergence(p);
-      table.row()
-          .cell(std::uint64_t{n})
-          .cell(std::string(to_string(start)))
-          .cell(std::uint64_t{trials})
-          .cell(r.rounds_to_legitimate.mean(), 1)
-          .cell(r.rounds_to_legitimate.max(), 0)
-          .cell(r.normalized.mean(), 3)
-          .cell(std::uint64_t{r.timeouts});
-      if (start == InitialConfig::kAllInOne) {
-        xs.push_back(static_cast<double>(n));
-        worst_rounds.push_back(r.rounds_to_legitimate.mean());
-      }
-    }
-  }
-  const PowerLawFit fit = fit_power_law(xs, worst_rounds);
-  std::cout << "fitted growth law (all-in-one start): convergence ~ n^"
-            << format_double(fit.exponent, 3)
-            << " (R^2 = " << format_double(fit.r_squared, 4)
-            << ")   [Theorem 1 predicts exponent 1; small sweeps read "
-               "high because the stopping threshold beta*log2(n) is an "
-               "additive offset]\n";
-  bench::emit(table, "E2_convergence",
-              "convergence time is linear in n (Theorem 1)", scale);
-  return 0;
+  return rbb::runner::legacy_bench_main("convergence", argc, argv);
 }

@@ -1,47 +1,9 @@
-// E4 -- Lemma 3: under the coupling, the Tetris process dominates the
-// original process (per-bin, every round), and case (ii) -- more than
-// 3n/4 non-empty bins -- never fires inside the window.
-//
-// Table: per n, M_T vs M-hat_T (window maxima of the two coupled
-// processes), the number of case-(ii) rounds (predicted 0), the number of
-// domination violations (predicted 0), and how many trials stayed
-// dominated throughout (predicted all).
-#include "analysis/experiments.hpp"
-#include "bench/bench_common.hpp"
+// E4 -- Lemma 3 coupling/domination.  Back-compat shim: the experiment now lives in the
+// registry (src/runner/experiments/coupling.cpp); this binary behaves like
+// `rbb run coupling` with table output, honoring RBB_BENCH_SCALE and
+// RBB_CSV_DIR as it always did.
+#include "runner/legacy.hpp"
 
 int main(int argc, char** argv) {
-  using namespace rbb;
-  Cli cli = bench::make_cli(
-      "E4: Lemma-3 coupling -- Tetris dominates the original process");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const BenchScale scale = bench_scale();
-  const std::uint32_t trials = bench::trials_for(cli, scale, 2, 4, 10);
-  const std::uint64_t wf = by_scale<std::uint64_t>(scale, 5, 20, 40);
-
-  Table table({"n", "window", "trials", "M_T orig (mean)",
-               "M_T tetris (mean)", "case-(ii) rounds", "violations",
-               "dominated trials"});
-  for (const std::uint32_t n : bench::n_sweep(scale)) {
-    CouplingParams p;
-    p.n = n;
-    p.rounds = wf * n;
-    p.trials = trials;
-    p.seed = cli.u64("seed");
-    const CouplingResult r = run_coupling(p);
-    table.row()
-        .cell(std::uint64_t{n})
-        .cell(p.rounds)
-        .cell(std::uint64_t{trials})
-        .cell(r.original_window_max.mean(), 2)
-        .cell(r.tetris_window_max.mean(), 2)
-        .cell(r.total_case_two_rounds)
-        .cell(r.total_violation_rounds)
-        .cell(std::uint64_t{r.trials_dominated_throughout});
-  }
-  bench::emit(table, "E4_coupling",
-              "Tetris stochastically dominates the original process "
-              "(Lemma 3)",
-              scale);
-  return 0;
+  return rbb::runner::legacy_bench_main("coupling", argc, argv);
 }

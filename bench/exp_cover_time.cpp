@@ -1,72 +1,9 @@
-// E8 -- Corollary 1: the multi-token traversal on the clique has cover
-// time O(n log^2 n), a log-factor above the single-walker coupon
-// collector O(n log n).
-//
-// Table: per n, the global cover time, its normalization by n log2^2 n,
-// the single-token baseline, the measured slowdown factor, and log2 n
-// (the predicted slowdown shape).
-#include <iostream>
-#include <vector>
-
-#include "analysis/experiments.hpp"
-#include "analysis/fit.hpp"
-#include "bench/bench_common.hpp"
-#include "support/bounds.hpp"
+// E8 -- Corollary 1 cover time.  Back-compat shim: the experiment now lives in the
+// registry (src/runner/experiments/cover_time.cpp); this binary behaves like
+// `rbb run cover_time` with table output, honoring RBB_BENCH_SCALE and
+// RBB_CSV_DIR as it always did.
+#include "runner/legacy.hpp"
 
 int main(int argc, char** argv) {
-  using namespace rbb;
-  Cli cli = bench::make_cli(
-      "E8: parallel cover time O(n log^2 n) vs single walker (Corollary 1)");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const BenchScale scale = bench_scale();
-  const std::uint32_t trials = bench::trials_for(cli, scale, 2, 4, 10);
-  const std::vector<std::uint32_t> ns =
-      scale == BenchScale::kSmoke
-          ? std::vector<std::uint32_t>{64, 128}
-          : (scale == BenchScale::kPaper
-                 ? std::vector<std::uint32_t>{256, 512, 1024, 2048}
-                 : std::vector<std::uint32_t>{128, 256, 512, 1024});
-
-  Table table({"n", "trials", "cover (mean)", "cover / (n log2^2 n)",
-               "single walk (mean)", "slowdown", "log2 n", "timeouts"});
-  std::vector<double> xs;
-  std::vector<double> covers;
-  std::vector<double> singles;
-  for (const std::uint32_t n : ns) {
-    CoverTimeParams p;
-    p.n = n;
-    p.trials = trials;
-    p.seed = cli.u64("seed");
-    const CoverTimeResult r = run_cover_time(p);
-    const double slowdown =
-        r.single_walk.mean() > 0 ? r.cover_time.mean() / r.single_walk.mean()
-                                 : 0.0;
-    table.row()
-        .cell(std::uint64_t{n})
-        .cell(std::uint64_t{trials})
-        .cell(r.cover_time.mean(), 0)
-        .cell(r.normalized.mean(), 3)
-        .cell(r.single_walk.mean(), 0)
-        .cell(slowdown, 2)
-        .cell(log2n(n), 2)
-        .cell(std::uint64_t{r.timeouts});
-    xs.push_back(static_cast<double>(n));
-    covers.push_back(r.cover_time.mean());
-    singles.push_back(r.single_walk.mean());
-  }
-  const PowerLawFit cover_fit = fit_power_law(xs, covers);
-  const PowerLawFit single_fit = fit_power_law(xs, singles);
-  std::cout << "fitted growth laws: parallel cover ~ n^"
-            << format_double(cover_fit.exponent, 3)
-            << " (R^2 = " << format_double(cover_fit.r_squared, 4)
-            << "), single walk ~ n^"
-            << format_double(single_fit.exponent, 3)
-            << "   [n log^2 n ~ n^{1+2 log log n / log n}: expect "
-               "parallel exponent ~1.2-1.4 on this range, single ~1.1]\n";
-  bench::emit(table, "E8_cover_time",
-              "parallel cover time is ~log n slower than one walker "
-              "(Corollary 1)",
-              scale);
-  return 0;
+  return rbb::runner::legacy_bench_main("cover_time", argc, argv);
 }

@@ -1,48 +1,9 @@
-// E15 -- extension [36]: repeated balls-into-bins where each re-launched
-// ball picks d bins and joins the least loaded.
-//
-// Table: per n and d, the window max load.  d = 1 is the paper's process
-// (~2 log2 n); d >= 2 collapses the maximum into the log log n regime --
-// the "power of two choices" persists under repetition.
-#include <cmath>
-
-#include "analysis/experiments.hpp"
-#include "bench/bench_common.hpp"
-#include "support/bounds.hpp"
+// E15 -- repeated d-choices.  Back-compat shim: the experiment now lives in the
+// registry (src/runner/experiments/dchoices.cpp); this binary behaves like
+// `rbb run dchoices` with table output, honoring RBB_BENCH_SCALE and
+// RBB_CSV_DIR as it always did.
+#include "runner/legacy.hpp"
 
 int main(int argc, char** argv) {
-  using namespace rbb;
-  Cli cli = bench::make_cli(
-      "E15: repeated d-choices -- the [36] extension");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const BenchScale scale = bench_scale();
-  const std::uint32_t trials = bench::trials_for(cli, scale, 2, 4, 8);
-  const std::uint64_t wf = by_scale<std::uint64_t>(scale, 5, 15, 40);
-
-  Table table({"n", "d", "window max (mean)", "window max (worst)",
-               "max / log2 n", "log2 log2 n"});
-  for (const std::uint32_t n : bench::n_sweep(scale)) {
-    for (const std::uint32_t d : {1u, 2u, 3u}) {
-      StabilityParams p;
-      p.n = n;
-      p.rounds = wf * n;
-      p.trials = trials;
-      p.seed = cli.u64("seed");
-      p.process = d == 1 ? StabilityProcess::kRepeated
-                         : StabilityProcess::kRepeatedDChoice;
-      p.choices = d;
-      const StabilityResult r = run_stability(p);
-      table.row()
-          .cell(std::uint64_t{n})
-          .cell(std::uint64_t{d})
-          .cell(r.window_max.mean(), 2)
-          .cell(std::uint64_t{r.overall_max})
-          .cell(r.window_max.mean() / log2n(n), 3)
-          .cell(std::log2(log2n(n)), 2);
-    }
-  }
-  bench::emit(table, "E15_dchoices",
-              "repeated d-choices flattens the maximum load ([36])", scale);
-  return 0;
+  return rbb::runner::legacy_bench_main("dchoices", argc, argv);
 }

@@ -1,50 +1,9 @@
-// E19 -- Sect. 1.1: "if the process is stable, every ball can be delayed
-// for at most O(log n) rounds before leaving a node."
-//
-// Table: per n and queue policy, the pooled waiting-time distribution of
-// every token release (p50 / p99 / p99.9 / per-trial max), against the
-// O(log n) scale.  Under FIFO the maximum delay is bounded by the window
-// maximum load; LIFO has no such per-token guarantee (a buried token can
-// starve while the bin stays busy) and its tail visibly fattens.
-#include "analysis/experiments.hpp"
-#include "bench/bench_common.hpp"
-#include "support/bounds.hpp"
+// E19 -- token waiting times.  Back-compat shim: the experiment now lives in the
+// registry (src/runner/experiments/delays.cpp); this binary behaves like
+// `rbb run delays` with table output, honoring RBB_BENCH_SCALE and
+// RBB_CSV_DIR as it always did.
+#include "runner/legacy.hpp"
 
 int main(int argc, char** argv) {
-  using namespace rbb;
-  Cli cli = bench::make_cli(
-      "E19: token waiting times are O(log n) under FIFO (Sect. 1.1)");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const BenchScale scale = bench_scale();
-  const std::uint32_t trials = bench::trials_for(cli, scale, 2, 4, 8);
-  const std::uint64_t wf = by_scale<std::uint64_t>(scale, 8, 16, 48);
-
-  Table table({"n", "policy", "releases", "mean delay", "p50", "p99",
-               "p99.9", "max (mean over trials)", "max / log2 n"});
-  for (const std::uint32_t n : bench::n_sweep(scale)) {
-    for (const QueuePolicy policy :
-         {QueuePolicy::kFifo, QueuePolicy::kRandom, QueuePolicy::kLifo}) {
-      DelayParams p;
-      p.n = n;
-      p.rounds = wf * n;
-      p.trials = trials;
-      p.seed = cli.u64("seed");
-      p.policy = policy;
-      const DelayResult r = run_delays(p);
-      table.row()
-          .cell(std::uint64_t{n})
-          .cell(std::string(to_string(policy)))
-          .cell(r.delays.total())
-          .cell(r.mean_delay, 3)
-          .cell(r.p50)
-          .cell(r.p99)
-          .cell(r.p999)
-          .cell(r.max_delay.mean(), 1)
-          .cell(r.max_delay.mean() / log2n(n), 3);
-    }
-  }
-  bench::emit(table, "E19_delays",
-              "per-release waiting times: O(log n) max under FIFO", scale);
-  return 0;
+  return rbb::runner::legacy_bench_main("delays", argc, argv);
 }

@@ -1,55 +1,9 @@
-// E14 -- Sect. 5 open question / conjecture: on regular graphs the
-// maximum load should remain logarithmic (the previous bound was
-// O(sqrt(t)) [12]).
-//
-// Table: per topology, the window max load vs log2 n and vs sqrt(window),
-// plus the minimum empty fraction (whose *distribution across the
-// network* is the technical obstacle the paper describes).  Regular
-// graphs (cycle, torus, hypercube, random 8-regular) flatten near a small
-// multiple of log n; the star (non-regular) is the contrast case.
-#include <cmath>
-
-#include "analysis/experiments.hpp"
-#include "bench/bench_common.hpp"
-#include "support/bounds.hpp"
+// E14 -- general graphs (open question).  Back-compat shim: the experiment now lives in the
+// registry (src/runner/experiments/graphs.cpp); this binary behaves like
+// `rbb run graphs` with table output, honoring RBB_BENCH_SCALE and
+// RBB_CSV_DIR as it always did.
+#include "runner/legacy.hpp"
 
 int main(int argc, char** argv) {
-  using namespace rbb;
-  Cli cli = bench::make_cli(
-      "E14: general graphs -- the Sect. 5 logarithmic-load conjecture");
-  cli.add_u64("n", 0, "nodes (0 = scale default; must be a power of 4)");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const BenchScale scale = bench_scale();
-  const std::uint32_t trials = bench::trials_for(cli, scale, 2, 3, 8);
-  const std::uint32_t n =
-      cli.u64("n") != 0 ? static_cast<std::uint32_t>(cli.u64("n"))
-                        : by_scale<std::uint32_t>(scale, 256, 1024, 4096);
-  const std::uint64_t wf = by_scale<std::uint64_t>(scale, 5, 15, 40);
-
-  Table table({"graph", "regular", "window max (mean)", "max / log2 n",
-               "sqrt(window)", "min empty frac"});
-  Rng graph_rng(cli.u64("seed") + 99);
-  for (const std::string name :
-       {"complete", "cycle", "torus", "hypercube", "regular8", "star"}) {
-    const Graph g = make_named_graph(name, n, graph_rng);
-    StabilityParams p;
-    p.n = n;
-    p.rounds = wf * n;
-    p.trials = trials;
-    p.seed = cli.u64("seed");
-    p.graph = &g;
-    const StabilityResult r = run_stability(p);
-    table.row()
-        .cell(name)
-        .cell(std::string(g.is_regular() ? "yes" : "no"))
-        .cell(r.window_max.mean(), 2)
-        .cell(r.window_max.mean() / log2n(n), 3)
-        .cell(std::sqrt(static_cast<double>(p.rounds)), 1)
-        .cell(r.min_empty_fraction.min(), 3);
-  }
-  bench::emit(table, "E14_graphs",
-              "window max load on general topologies (Sect. 5 conjecture)",
-              scale);
-  return 0;
+  return rbb::runner::legacy_bench_main("graphs", argc, argv);
 }

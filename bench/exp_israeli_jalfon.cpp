@@ -1,192 +1,9 @@
-// E23 -- the single-token ancestor of the paper's protocol: Israeli-
-// Jalfon self-stabilizing token management ([5] in the paper), in its
-// synchronous lazy variant (selfstab/).
-//
-// Table 1: coalescence time from the every-node worst case across
-// topologies.  Coalescing lazy walks take ~Theta(n) rounds on the clique
-// and ~Theta(n^2) on the cycle; the power-law fits over the sweep report
-// the measured growth exponents.
-//
-// Table 2: the self-stabilization certifier applied to both processes --
-// Israeli-Jalfon mutual exclusion (legitimate = one token) and repeated
-// balls-into-bins (legitimate = max load <= 4 log2 n, from the all-in-one
-// worst case) -- reporting the Wilson-certified convergence probability,
-// mean convergence rounds, and the closure-violation rate over a
-// post-convergence window (Theorem 1's two halves, measured).
-#include <memory>
-#include <vector>
-
-#include "analysis/fit.hpp"
-#include "bench/bench_common.hpp"
-#include "core/config.hpp"
-#include "core/process.hpp"
-#include "graph/graph.hpp"
-#include "selfstab/certifier.hpp"
-#include "selfstab/israeli_jalfon.hpp"
-#include "support/stats.hpp"
-
-namespace {
-
-using namespace rbb;
-
-/// Mean coalescence time over `trials` from the every-node placement.
-OnlineMoments coalescence_rounds(const Graph* graph, std::uint32_t n,
-                                 std::uint32_t trials, std::uint64_t seed,
-                                 std::uint64_t cap) {
-  OnlineMoments moments;
-  for (std::uint32_t trial = 0; trial < trials; ++trial) {
-    IsraeliJalfonProcess proc(graph, n, TokenPlacement::kEveryNode,
-                              Rng(seed, trial));
-    moments.add(static_cast<double>(proc.run_until_single(cap)));
-  }
-  return moments;
-}
-
-}  // namespace
+// extra -- Israeli-Jalfon coalescence.  Back-compat shim: the experiment now lives in the
+// registry (src/runner/experiments/israeli_jalfon.cpp); this binary behaves like
+// `rbb run israeli_jalfon` with table output, honoring RBB_BENCH_SCALE and
+// RBB_CSV_DIR as it always did.
+#include "runner/legacy.hpp"
 
 int main(int argc, char** argv) {
-  Cli cli = bench::make_cli(
-      "E23: Israeli-Jalfon coalescence and the certifier harness");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const BenchScale scale = bench_scale();
-  const std::uint64_t seed = cli.u64("seed");
-  const std::uint32_t trials = bench::trials_for(cli, scale, 8, 24, 100);
-
-  // ---- Table 1: coalescence time by topology ----
-  const std::vector<std::uint32_t> ns =
-      scale == BenchScale::kSmoke
-          ? std::vector<std::uint32_t>{32, 64}
-          : std::vector<std::uint32_t>{64, 128, 256, 512};
-  Table t1({"topology", "n", "mean rounds", "ci95", "rounds/n",
-            "rounds/n^2"});
-  std::vector<double> xs;
-  std::vector<double> clique_ys;
-  std::vector<double> cycle_ys;
-  for (const std::uint32_t n : ns) {
-    const auto clique =
-        coalescence_rounds(nullptr, n, trials, seed,
-                           1000ull * n);  // clique coalesces in ~n
-    const Graph cyc = make_cycle(n);
-    const auto cycle =
-        coalescence_rounds(&cyc, n, trials, seed + 1,
-                           100ull * n * n);  // cycle needs ~n^2
-    xs.push_back(n);
-    clique_ys.push_back(clique.mean());
-    cycle_ys.push_back(cycle.mean());
-    const double dn = n;
-    t1.row()
-        .cell(std::string("complete"))
-        .cell(static_cast<std::uint64_t>(n))
-        .cell(clique.mean(), 1)
-        .cell(clique.ci95_halfwidth(), 1)
-        .cell(clique.mean() / dn, 3)
-        .cell(clique.mean() / (dn * dn), 5);
-    t1.row()
-        .cell(std::string("cycle"))
-        .cell(static_cast<std::uint64_t>(n))
-        .cell(cycle.mean(), 1)
-        .cell(cycle.ci95_halfwidth(), 1)
-        .cell(cycle.mean() / dn, 3)
-        .cell(cycle.mean() / (dn * dn), 5);
-  }
-  const PowerLawFit clique_fit = fit_power_law(xs, clique_ys);
-  const PowerLawFit cycle_fit = fit_power_law(xs, cycle_ys);
-  t1.row()
-      .cell(std::string("fit: complete ~ n^a"))
-      .cell(std::string("-"))
-      .cell(clique_fit.exponent, 3)
-      .cell(std::string("r2"))
-      .cell(clique_fit.r_squared, 4)
-      .cell(std::string("expect a ~ 1"));
-  t1.row()
-      .cell(std::string("fit: cycle ~ n^a"))
-      .cell(std::string("-"))
-      .cell(cycle_fit.exponent, 3)
-      .cell(std::string("r2"))
-      .cell(cycle_fit.r_squared, 4)
-      .cell(std::string("expect a ~ 2"));
-  bench::emit(t1, "E23_israeli_jalfon",
-              "coalescence time of lazy Israeli-Jalfon walks", scale);
-
-  // ---- Table 2: the certifier on both processes ----
-  Table t2({"process", "n", "P(conv) wilson95", "mean conv rounds",
-            "conv rounds/n", "closure viol rate"});
-  const std::uint32_t cert_trials = by_scale<std::uint32_t>(scale, 10, 40, 200);
-  for (const std::uint32_t n : ns) {
-    auto ij_factory = [n](std::uint64_t trial) {
-      auto proc = std::make_shared<IsraeliJalfonProcess>(
-          nullptr, n, TokenPlacement::kEveryNode, Rng(90, trial));
-      StabTrialHooks hooks;
-      hooks.step = [proc] { proc->step(); };
-      hooks.legitimate = [proc] { return proc->is_legitimate(); };
-      return hooks;
-    };
-    const CertifyResult ij = certify_self_stabilization(
-        ij_factory, {.trials = cert_trials,
-                     .horizon = 1000ull * n,
-                     .closure_window = 100});
-    t2.row()
-        .cell(std::string("israeli-jalfon"))
-        .cell(static_cast<std::uint64_t>(n))
-        .cell(ij.p_converged_lower95, 4)
-        .cell(ij.convergence_rounds.mean(), 1)
-        .cell(ij.convergence_rounds.mean() / n, 3)
-        .cell(ij.closure_violation_rate(), 5);
-
-    auto rbb_factory = [n](std::uint64_t trial) {
-      Rng rng(91, trial);
-      auto proc = std::make_shared<RepeatedBallsProcess>(
-          make_config(InitialConfig::kAllInOne, n, n, rng), rng);
-      StabTrialHooks hooks;
-      hooks.step = [proc] { proc->step(); };
-      hooks.legitimate = [proc] { return proc->is_legitimate(4.0); };
-      return hooks;
-    };
-    const CertifyResult rb = certify_self_stabilization(
-        rbb_factory, {.trials = cert_trials,
-                      .horizon = 16ull * n,
-                      .closure_window = 100});
-    t2.row()
-        .cell(std::string("repeated-bb"))
-        .cell(static_cast<std::uint64_t>(n))
-        .cell(rb.p_converged_lower95, 4)
-        .cell(rb.convergence_rounds.mean(), 1)
-        .cell(rb.convergence_rounds.mean() / n, 3)
-        .cell(rb.closure_violation_rate(), 5);
-  }
-  bench::emit(t2, "E23_certifier",
-              "certified convergence + closure (Theorem 1, measured)",
-              scale);
-
-  // ---- Table 3: transient-fault recovery (the Sect. 4.1 analogue) ----
-  // From the legitimate single-token state, an adversary spuriously
-  // creates k extra tokens; recovery = rounds until one token again.
-  // Coalescence of k+1 walks on the clique takes ~Theta(n) regardless of
-  // k (pairwise meeting dominates), so recovery/n should stay ~flat.
-  const std::uint32_t fault_n = by_scale<std::uint32_t>(scale, 64, 256, 1024);
-  Table t3({"n", "injected k", "mean recovery", "ci95", "recovery/n"});
-  for (const double frac : {0.125, 0.25, 0.5, 1.0}) {
-    const auto inject =
-        static_cast<std::uint32_t>(frac * fault_n);
-    OnlineMoments recovery;
-    for (std::uint32_t trial = 0; trial < trials; ++trial) {
-      std::vector<std::uint8_t> tokens(fault_n, 0);
-      tokens[0] = 1;
-      IsraeliJalfonProcess proc(nullptr, fault_n, std::move(tokens),
-                                Rng(seed + 7, trial));
-      proc.inject_tokens(inject);
-      recovery.add(
-          static_cast<double>(proc.run_until_single(100000ull * fault_n)));
-    }
-    t3.row()
-        .cell(static_cast<std::uint64_t>(fault_n))
-        .cell(static_cast<std::uint64_t>(inject))
-        .cell(recovery.mean(), 1)
-        .cell(recovery.ci95_halfwidth(), 1)
-        .cell(recovery.mean() / fault_n, 3);
-  }
-  bench::emit(t3, "E23_fault_recovery",
-              "recovery from spurious token injection", scale);
-  return 0;
+  return rbb::runner::legacy_bench_main("israeli_jalfon", argc, argv);
 }

@@ -1,54 +1,9 @@
-// E17 -- Sect. 1.3: the closed Jackson network is the classical-queueing
-// relative of the repeated process (sequential events, product-form
-// stationary distribution) -- how do its queue lengths compare?
-//
-// Table: per n, the Jackson running max queue over a horizon of 20n time
-// units vs the repeated process's window max over 20n rounds (one round
-// ~ one time unit: every busy station completes ~one service per unit).
-// Both stay logarithmic; the Jackson maximum runs higher because its
-// geometric-tailed marginals are heavier than the parallel process's.
-#include "analysis/experiments.hpp"
-#include "bench/bench_common.hpp"
-#include "support/bounds.hpp"
+// E17 -- closed Jackson network.  Back-compat shim: the experiment now lives in the
+// registry (src/runner/experiments/jackson.cpp); this binary behaves like
+// `rbb run jackson` with table output, honoring RBB_BENCH_SCALE and
+// RBB_CSV_DIR as it always did.
+#include "runner/legacy.hpp"
 
 int main(int argc, char** argv) {
-  using namespace rbb;
-  Cli cli = bench::make_cli(
-      "E17: closed Jackson network vs the repeated process (Sect. 1.3)");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const BenchScale scale = bench_scale();
-  const std::uint32_t trials = bench::trials_for(cli, scale, 2, 4, 10);
-  const std::uint64_t wf = by_scale<std::uint64_t>(scale, 5, 20, 40);
-
-  Table table({"n", "jackson running max", "jackson / log2 n",
-               "repeated window max", "repeated / log2 n",
-               "jackson events / unit time"});
-  for (const std::uint32_t n : bench::n_sweep(scale)) {
-    JacksonParams jp;
-    jp.n = n;
-    jp.horizon = static_cast<double>(wf * n);
-    jp.trials = trials;
-    jp.seed = cli.u64("seed");
-    const JacksonResult jr = run_jackson(jp);
-
-    StabilityParams sp;
-    sp.n = n;
-    sp.rounds = wf * n;
-    sp.trials = trials;
-    sp.seed = cli.u64("seed") + 1;
-    const StabilityResult sr = run_stability(sp);
-
-    table.row()
-        .cell(std::uint64_t{n})
-        .cell(jr.running_max.mean(), 2)
-        .cell(jr.running_max.mean() / log2n(n), 3)
-        .cell(sr.window_max.mean(), 2)
-        .cell(sr.window_max.mean() / log2n(n), 3)
-        .cell(jr.events_per_unit_time.mean(), 1);
-  }
-  bench::emit(table, "E17_jackson",
-              "sequential product-form relative vs the parallel process",
-              scale);
-  return 0;
+  return rbb::runner::legacy_bench_main("jackson", argc, argv);
 }

@@ -1,48 +1,9 @@
-// E16 -- follow-up work [18] (Berenbrink et al., PODC 2016): leaky bins
-// with Binomial(n, lambda) arrivals per round.
-//
-// Table: per lambda, the stationary window max load, mean queue mass per
-// bin, and mean empty fraction.  Subcritical lambda < 1 is stable with
-// O(log n)-ish loads; lambda = 1 loses the drift and the mass wanders.
-#include "analysis/experiments.hpp"
-#include "bench/bench_common.hpp"
-#include "support/bounds.hpp"
+// E16 -- leaky bins lambda sweep.  Back-compat shim: the experiment now lives in the
+// registry (src/runner/experiments/leaky_bins.cpp); this binary behaves like
+// `rbb run leaky_bins` with table output, honoring RBB_BENCH_SCALE and
+// RBB_CSV_DIR as it always did.
+#include "runner/legacy.hpp"
 
 int main(int argc, char** argv) {
-  using namespace rbb;
-  Cli cli = bench::make_cli(
-      "E16: leaky bins (probabilistic Tetris of [18]) -- lambda sweep");
-  cli.add_u64("n", 0, "bins (0 = scale default)");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const BenchScale scale = bench_scale();
-  const std::uint32_t trials = bench::trials_for(cli, scale, 2, 4, 8);
-  const std::uint32_t n =
-      cli.u64("n") != 0 ? static_cast<std::uint32_t>(cli.u64("n"))
-                        : by_scale<std::uint32_t>(scale, 512, 2048, 8192);
-  const std::uint64_t wf = by_scale<std::uint64_t>(scale, 5, 15, 40);
-
-  Table table({"lambda", "window max (mean)", "max / log2 n",
-               "mean mass / bin", "mean empty frac"});
-  for (const double lambda : {0.5, 0.75, 0.9, 0.95, 1.0}) {
-    LeakyParams p;
-    p.n = n;
-    p.lambda = lambda;
-    p.burn_in = 2ull * n;
-    p.rounds = wf * n;
-    p.trials = trials;
-    p.seed = cli.u64("seed");
-    const LeakyResult r = run_leaky(p);
-    table.row()
-        .cell(lambda, 2)
-        .cell(r.window_max.mean(), 2)
-        .cell(r.window_max.mean() / log2n(n), 3)
-        .cell(r.mean_total_per_bin.mean(), 3)
-        .cell(r.mean_empty_fraction.mean(), 3);
-  }
-  bench::emit(table, "E16_leaky_bins",
-              "leaky bins: stability below the critical arrival rate "
-              "([18])",
-              scale);
-  return 0;
+  return rbb::runner::legacy_bench_main("leaky_bins", argc, argv);
 }

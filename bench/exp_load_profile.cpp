@@ -1,64 +1,9 @@
-// E20 -- stationary load profile: the occupancy distribution P(load >= k)
-// of the repeated process against its three relatives.
-//
-// Table: for fixed n, the fraction of bins with load >= k for
-// k = 0..kmax, for: the repeated process (correlated walks), independent
-// walks (fresh Poisson(1)-like occupancy: e^{-1}/k! tail), Tetris (more
-// arrivals: heavier head, same geometric tail), and the closed Jackson
-// network (product-form ~ geometric marginals -- the heaviest tail).
-// This is the distributional view behind the max-load theorems: the
-// repeated process's tail decays geometrically with ratio well below 1,
-// which is why its maximum stays at O(log n).
-#include "analysis/experiments.hpp"
-#include "bench/bench_common.hpp"
+// E20 -- stationary load profile.  Back-compat shim: the experiment now lives in the
+// registry (src/runner/experiments/load_profile.cpp); this binary behaves like
+// `rbb run load_profile` with table output, honoring RBB_BENCH_SCALE and
+// RBB_CSV_DIR as it always did.
+#include "runner/legacy.hpp"
 
 int main(int argc, char** argv) {
-  using namespace rbb;
-  Cli cli = bench::make_cli(
-      "E20: stationary occupancy profiles of the four processes");
-  cli.add_u64("n", 0, "bins (0 = scale default)");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const BenchScale scale = bench_scale();
-  const std::uint32_t trials = bench::trials_for(cli, scale, 2, 3, 6);
-  const std::uint32_t n =
-      cli.u64("n") != 0 ? static_cast<std::uint32_t>(cli.u64("n"))
-                        : by_scale<std::uint32_t>(scale, 512, 2048, 8192);
-
-  const std::vector<std::pair<ProfileProcess, std::string>> processes = {
-      {ProfileProcess::kRepeated, "repeated"},
-      {ProfileProcess::kIndependent, "indep walks"},
-      {ProfileProcess::kTetris, "tetris"},
-      {ProfileProcess::kJackson, "jackson"},
-  };
-  std::vector<LoadProfileResult> results;
-  std::uint64_t kmax = 0;
-  for (const auto& [process, name] : processes) {
-    LoadProfileParams p;
-    p.n = n;
-    p.process = process;
-    p.trials = trials;
-    p.seed = cli.u64("seed");
-    results.push_back(run_load_profile(p));
-    kmax = std::max<std::uint64_t>(kmax, results.back().tail.size());
-  }
-  kmax = std::min<std::uint64_t>(kmax, 14);
-
-  Table table({"k", "P(load>=k) repeated", "indep walks", "tetris",
-               "jackson"});
-  for (std::uint64_t k = 0; k < kmax; ++k) {
-    auto tail_at = [&](std::size_t idx) {
-      return k < results[idx].tail.size() ? results[idx].tail[k] : 0.0;
-    };
-    table.row()
-        .cell(k)
-        .cell(tail_at(0), 6)
-        .cell(tail_at(1), 6)
-        .cell(tail_at(2), 6)
-        .cell(tail_at(3), 6);
-  }
-  bench::emit(table, "E20_load_profile",
-              "occupancy tails: geometric decay across all four processes",
-              scale);
-  return 0;
+  return rbb::runner::legacy_bench_main("load_profile", argc, argv);
 }

@@ -1,84 +1,9 @@
-// E21 -- tagged-token mixing: how fast does a token's position law
-// approach uniform despite the queueing correlation?
-//
-// Background (Sect. 1.3): the repeated process IS parallel random walks
-// in the one-token-per-message gossip model, where [13] sought fast
-// mixing.  An unconstrained clique walker mixes in ONE step; a token at
-// the back of a queue is frozen until the queue drains, so mixing is
-// delayed by exactly the waiting times Theorem 1 bounds.
-//
-// Two tables, both tracking the worst-positioned token:
-//   (a) random legitimate placement -- the token's law hits uniform
-//       within a handful of rounds (delays are O(1)-ish in equilibrium);
-//   (b) all-in-one placement -- the token is buried under n-1 others and
-//       its law stays a point mass for Theta(n) rounds (TV ~ 1), the
-//       starkest display of the correlation the paper had to tame.
-#include "analysis/experiments.hpp"
-#include "bench/bench_common.hpp"
+// E21 -- tagged-token mixing.  Back-compat shim: the experiment now lives in the
+// registry (src/runner/experiments/mixing.cpp); this binary behaves like
+// `rbb run mixing` with table output, honoring RBB_BENCH_SCALE and
+// RBB_CSV_DIR as it always did.
+#include "runner/legacy.hpp"
 
 int main(int argc, char** argv) {
-  using namespace rbb;
-  Cli cli = bench::make_cli(
-      "E21: tagged-token position mixing under the queueing constraint");
-  cli.add_u64("n", 0, "bins (0 = scale default)");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const BenchScale scale = bench_scale();
-  const std::uint32_t trials =
-      bench::trials_for(cli, scale, 4000, 20000, 100000);
-  const std::uint32_t n =
-      cli.u64("n") != 0 ? static_cast<std::uint32_t>(cli.u64("n"))
-                        : by_scale<std::uint32_t>(scale, 64, 128, 256);
-
-  // (a) equilibrium placement: fast decay to the noise floor.
-  MixingParams p;
-  p.n = n;
-  p.checkpoints = {1, 2, 3, 4, 6, 8, 12, 16};
-  p.trials = trials;
-  p.seed = cli.u64("seed");
-  p.placement = InitialConfig::kRandom;
-  const MixingResult fifo = run_mixing(p);
-  p.policy = QueuePolicy::kLifo;
-  const MixingResult lifo = run_mixing(p);
-
-  Table fast({"round t", "TV from uniform (fifo)", "TV (lifo)",
-              "noise floor"});
-  for (std::size_t i = 0; i < p.checkpoints.size(); ++i) {
-    fast.row()
-        .cell(p.checkpoints[i])
-        .cell(fifo.tv_from_uniform[i], 4)
-        .cell(lifo.tv_from_uniform[i], 4)
-        .cell(fifo.noise_floor, 4);
-  }
-  bench::emit(fast, "E21_mixing",
-              "equilibrium start: back-of-queue token mixes in O(1) rounds",
-              scale);
-
-  // (b) worst-case pile: frozen for ~n rounds under FIFO.
-  MixingParams wp;
-  wp.n = n;
-  wp.trials = std::max<std::uint32_t>(trials / 4, 1000);
-  wp.seed = cli.u64("seed") + 7;
-  wp.placement = InitialConfig::kAllInOne;
-  for (const std::uint64_t t :
-       {std::uint64_t{1}, static_cast<std::uint64_t>(n) / 4,
-        static_cast<std::uint64_t>(n) / 2,
-        static_cast<std::uint64_t>(n) - 1,
-        static_cast<std::uint64_t>(n) + 8,
-        2 * static_cast<std::uint64_t>(n)}) {
-    wp.checkpoints.push_back(t);
-  }
-  const MixingResult pile = run_mixing(wp);
-  Table frozen({"round t", "t / n", "TV from uniform", "noise floor"});
-  for (std::size_t i = 0; i < wp.checkpoints.size(); ++i) {
-    frozen.row()
-        .cell(wp.checkpoints[i])
-        .cell(static_cast<double>(wp.checkpoints[i]) / n, 2)
-        .cell(pile.tv_from_uniform[i], 4)
-        .cell(pile.noise_floor, 4);
-  }
-  bench::emit(frozen, "E21b_mixing_pile",
-              "all-in-one start: the buried token is frozen for ~n rounds",
-              scale);
-  return 0;
+  return rbb::runner::legacy_bench_main("mixing", argc, argv);
 }

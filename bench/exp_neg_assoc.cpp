@@ -1,49 +1,9 @@
-// E10 -- Appendix B: the arrival counts X_1, X_2 at a fixed bin are NOT
-// negatively associated.  For n = 2 started from (1, 1):
-//   P(X1 = 0) = 1/4,  P(X2 = 0) = 3/8,  P(X1 = 0, X2 = 0) = 1/8 > 3/32.
-//
-// Table: Monte-Carlo estimates vs the exact values, and the inequality
-// that defeats negative association.
-#include <cmath>
-
-#include "analysis/experiments.hpp"
-#include "bench/bench_common.hpp"
+// E10 -- Appendix B negative association.  Back-compat shim: the experiment now lives in the
+// registry (src/runner/experiments/neg_assoc.cpp); this binary behaves like
+// `rbb run neg_assoc` with table output, honoring RBB_BENCH_SCALE and
+// RBB_CSV_DIR as it always did.
+#include "runner/legacy.hpp"
 
 int main(int argc, char** argv) {
-  using namespace rbb;
-  Cli cli = bench::make_cli(
-      "E10: Appendix-B counterexample to negative association (n = 2)");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const BenchScale scale = bench_scale();
-  const std::uint64_t trials =
-      by_scale<std::uint64_t>(scale, 200000, 4000000, 40000000);
-  const NegAssocResult r = run_negative_association(trials, cli.u64("seed"));
-
-  Table table({"quantity", "exact", "estimate", "abs error"});
-  table.row()
-      .cell(std::string("P(X1 = 0)"))
-      .cell(0.25, 6)
-      .cell(r.p_x1_zero, 6)
-      .cell(std::abs(r.p_x1_zero - 0.25), 6);
-  table.row()
-      .cell(std::string("P(X2 = 0)"))
-      .cell(0.375, 6)
-      .cell(r.p_x2_zero, 6)
-      .cell(std::abs(r.p_x2_zero - 0.375), 6);
-  table.row()
-      .cell(std::string("P(X1 = 0, X2 = 0)"))
-      .cell(0.125, 6)
-      .cell(r.p_both_zero, 6)
-      .cell(std::abs(r.p_both_zero - 0.125), 6);
-  table.row()
-      .cell(std::string("P(X1=0) * P(X2=0)"))
-      .cell(0.09375, 6)
-      .cell(r.p_x1_zero * r.p_x2_zero, 6)
-      .cell(std::string(r.p_both_zero > r.p_x1_zero * r.p_x2_zero
-                            ? "joint > product: NOT neg. assoc."
-                            : "UNEXPECTED"));
-  bench::emit(table, "E10_neg_assoc",
-              "arrivals are positively correlated (Appendix B)", scale);
-  return 0;
+  return rbb::runner::legacy_bench_main("neg_assoc", argc, argv);
 }

@@ -1,59 +1,9 @@
-// E12 -- Sect. 5 tightness question: the one-shot lower bound
-// Theta(log n / log log n) applies to every round of the repeated
-// process; the paper's upper bound is O(log n).  Where does the repeated
-// process actually sit?
-//
-// Table: per n, the one-shot max load, the repeated process's window max,
-// the unconstrained independent-walks window max, and both normalizations
-// (by log n / log log n and by log2 n).  The repeated window max grows
-// like log n (normalization by log2 n flattens; the other diverges),
-// consistent with the paper's conjecture that the log n bound is tight.
-#include "analysis/experiments.hpp"
-#include "bench/bench_common.hpp"
-#include "support/bounds.hpp"
+// E12 -- one-shot baselines.  Back-compat shim: the experiment now lives in the
+// registry (src/runner/experiments/oneshot_vs_repeated.cpp); this binary behaves like
+// `rbb run oneshot_vs_repeated` with table output, honoring RBB_BENCH_SCALE and
+// RBB_CSV_DIR as it always did.
+#include "runner/legacy.hpp"
 
 int main(int argc, char** argv) {
-  using namespace rbb;
-  Cli cli = bench::make_cli(
-      "E12: one-shot lower bound vs repeated-process window max (Sect. 5)");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const BenchScale scale = bench_scale();
-  const std::uint32_t trials = bench::trials_for(cli, scale, 3, 6, 12);
-  const std::uint64_t wf = by_scale<std::uint64_t>(scale, 5, 20, 50);
-
-  Table table({"n", "one-shot max", "repeated window max",
-               "indep walks window max", "repeated / (ln n/ln ln n)",
-               "repeated / log2 n"});
-  for (const std::uint32_t n : bench::n_sweep(scale)) {
-    OneShotParams op;
-    op.n = n;
-    op.trials = trials * 4;  // cheap; sharpen the baseline
-    op.seed = cli.u64("seed");
-    const OneShotResult oneshot = run_oneshot(op);
-
-    StabilityParams sp;
-    sp.n = n;
-    sp.rounds = wf * n;
-    sp.trials = trials;
-    sp.seed = cli.u64("seed") + 1;
-    const StabilityResult repeated = run_stability(sp);
-
-    sp.process = StabilityProcess::kIndependent;
-    sp.rounds = std::min<std::uint64_t>(sp.rounds, 5ull * n);  // O(m) rounds
-    const StabilityResult indep = run_stability(sp);
-
-    table.row()
-        .cell(std::uint64_t{n})
-        .cell(oneshot.max_load.mean(), 2)
-        .cell(repeated.window_max.mean(), 2)
-        .cell(indep.window_max.mean(), 2)
-        .cell(repeated.window_max.mean() / oneshot_max_load_asymptotic(n), 3)
-        .cell(repeated.window_max.mean() / log2n(n), 3);
-  }
-  bench::emit(table, "E12_oneshot_vs_repeated",
-              "repeated-process max load sits between the one-shot floor "
-              "and O(log n)",
-              scale);
-  return 0;
+  return rbb::runner::legacy_bench_main("oneshot_vs_repeated", argc, argv);
 }

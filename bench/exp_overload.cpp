@@ -1,51 +1,9 @@
-// E13 -- Sect. 5 open question: does self-stabilization survive m > n
-// balls (up to m = O(n log n))?
-//
-// Table: per m/n ratio, the window max load, its ratio to (m/n + log2 n)
-// (the natural guess for the overloaded regime), and the minimum empty
-// fraction (which drops below 1/4 once m/n is large -- the Lemma-1
-// argument visibly breaks while loads may stay moderate).
-#include "analysis/experiments.hpp"
-#include "bench/bench_common.hpp"
-#include "support/bounds.hpp"
+// extra -- overloaded regime m > n.  Back-compat shim: the experiment now lives in the
+// registry (src/runner/experiments/overload.cpp); this binary behaves like
+// `rbb run overload` with table output, honoring RBB_BENCH_SCALE and
+// RBB_CSV_DIR as it always did.
+#include "runner/legacy.hpp"
 
 int main(int argc, char** argv) {
-  using namespace rbb;
-  Cli cli = bench::make_cli(
-      "E13: overloaded regime m > n (Sect. 5 open question)");
-  cli.add_u64("n", 0, "bins (0 = scale default)");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const BenchScale scale = bench_scale();
-  const std::uint32_t trials = bench::trials_for(cli, scale, 2, 4, 8);
-  const std::uint32_t n =
-      cli.u64("n") != 0 ? static_cast<std::uint32_t>(cli.u64("n"))
-                        : by_scale<std::uint32_t>(scale, 512, 2048, 8192);
-  const std::uint64_t wf = by_scale<std::uint64_t>(scale, 5, 15, 40);
-
-  const double logn = log2n(n);
-  Table table({"m / n", "m", "window max (mean)", "max / (m/n + log2 n)",
-               "min empty frac", "mean final max"});
-  for (const double ratio : {0.5, 1.0, 2.0, 4.0, logn}) {
-    const auto m = static_cast<std::uint64_t>(
-        ratio * static_cast<double>(n));
-    StabilityParams p;
-    p.n = n;
-    p.balls = m;
-    p.rounds = wf * n;
-    p.trials = trials;
-    p.seed = cli.u64("seed");
-    const StabilityResult r = run_stability(p);
-    table.row()
-        .cell(ratio, 2)
-        .cell(m)
-        .cell(r.window_max.mean(), 2)
-        .cell(r.window_max.mean() / (ratio + logn), 3)
-        .cell(r.min_empty_fraction.min(), 3)
-        .cell(r.final_max.mean(), 2);
-  }
-  bench::emit(table, "E13_overload",
-              "m > n: loads grow additively with m/n (open question)",
-              scale);
-  return 0;
+  return rbb::runner::legacy_bench_main("overload", argc, argv);
 }

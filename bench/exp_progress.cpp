@@ -1,51 +1,9 @@
-// E18 -- Sect. 4 / Sect. 1.2: under FIFO, every ball performs
-// Omega(t / log n) steps of its random walk within any t = poly(n)
-// rounds (no token starves).
-//
-// Table: per n, the minimum per-token progress after T rounds, the
-// normalization min_progress * log2(n) / T (predicted bounded below by a
-// constant; measured ~log-factor above it because the typical delay is
-// O(1), not O(log n)), and the mean per-round progress (~ the non-empty
-// bin fraction ~ 0.63).  LIFO and RANDOM policies are included: Theorem 1
-// is policy-oblivious for loads, but per-token progress under LIFO has no
-// such guarantee -- the measured minimum visibly degrades.
-#include "analysis/experiments.hpp"
-#include "bench/bench_common.hpp"
-#include "support/bounds.hpp"
+// E18 -- FIFO token progress.  Back-compat shim: the experiment now lives in the
+// registry (src/runner/experiments/progress.cpp); this binary behaves like
+// `rbb run progress` with table output, honoring RBB_BENCH_SCALE and
+// RBB_CSV_DIR as it always did.
+#include "runner/legacy.hpp"
 
 int main(int argc, char** argv) {
-  using namespace rbb;
-  Cli cli = bench::make_cli(
-      "E18: per-token progress Omega(t / log n) under FIFO (Sect. 4)");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const BenchScale scale = bench_scale();
-  const std::uint32_t trials = bench::trials_for(cli, scale, 2, 4, 10);
-  const std::uint64_t wf = by_scale<std::uint64_t>(scale, 8, 16, 64);
-
-  Table table({"n", "policy", "T (rounds)", "min progress (mean)",
-               "min prog * log2 n / T", "mean progress / T"});
-  for (const std::uint32_t n : bench::n_sweep(scale)) {
-    for (const QueuePolicy policy :
-         {QueuePolicy::kFifo, QueuePolicy::kRandom, QueuePolicy::kLifo}) {
-      ProgressParams p;
-      p.n = n;
-      p.rounds = wf * n;
-      p.trials = trials;
-      p.seed = cli.u64("seed");
-      p.policy = policy;
-      const ProgressResult r = run_progress(p);
-      table.row()
-          .cell(std::uint64_t{n})
-          .cell(std::string(to_string(policy)))
-          .cell(p.rounds)
-          .cell(r.min_progress.mean(), 1)
-          .cell(r.min_progress_normalized.mean(), 3)
-          .cell(r.mean_progress.mean(), 3);
-    }
-  }
-  bench::emit(table, "E18_progress",
-              "every FIFO token advances Omega(t / log n) (Sect. 4)",
-              scale);
-  return 0;
+  return rbb::runner::legacy_bench_main("progress", argc, argv);
 }

@@ -1,52 +1,9 @@
-// E11 -- Sect. 1.2 / 3.1: the best previous bound [12] on the maximum
-// load after t rounds was O(sqrt(t)); Theorem 1 replaces it with a flat
-// O(log n).
-//
-// Table: the running maximum load max_{s<=t} M(s) at geometric
-// checkpoints, against sqrt(t) and log2 n.  The measured series flattens
-// around ~2 log2 n while sqrt(t) diverges -- the paper's headline
-// improvement made visible.
-#include <cmath>
-
-#include "analysis/experiments.hpp"
-#include "bench/bench_common.hpp"
-#include "support/bounds.hpp"
+// E11 -- O(sqrt t) comparison.  Back-compat shim: the experiment now lives in the
+// registry (src/runner/experiments/sqrt_t.cpp); this binary behaves like
+// `rbb run sqrt_t` with table output, honoring RBB_BENCH_SCALE and
+// RBB_CSV_DIR as it always did.
+#include "runner/legacy.hpp"
 
 int main(int argc, char** argv) {
-  using namespace rbb;
-  Cli cli = bench::make_cli(
-      "E11: running max load vs the old O(sqrt(t)) bound of [12]");
-  cli.add_u64("n", 0, "bins (0 = scale default)");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const BenchScale scale = bench_scale();
-  const std::uint32_t trials = bench::trials_for(cli, scale, 2, 4, 10);
-  const std::uint32_t n =
-      cli.u64("n") != 0 ? static_cast<std::uint32_t>(cli.u64("n"))
-                        : by_scale<std::uint32_t>(scale, 512, 2048, 8192);
-
-  SqrtTParams p;
-  p.n = n;
-  p.trials = trials;
-  p.seed = cli.u64("seed");
-  const std::uint64_t horizon = by_scale<std::uint64_t>(
-      scale, 1u << 12, 1u << 16, 1u << 19);
-  for (std::uint64_t t = 16; t <= horizon; t *= 4) p.checkpoints.push_back(t);
-  const SqrtTResult r = run_sqrt_t(p);
-
-  Table table({"t (rounds)", "running max (mean)", "running max (worst)",
-               "sqrt(t)", "log2 n", "max / log2 n"});
-  for (std::size_t i = 0; i < p.checkpoints.size(); ++i) {
-    table.row()
-        .cell(p.checkpoints[i])
-        .cell(r.running_max_mean[i], 2)
-        .cell(std::uint64_t{r.running_max_worst[i]})
-        .cell(std::sqrt(static_cast<double>(p.checkpoints[i])), 1)
-        .cell(log2n(n), 1)
-        .cell(r.running_max_mean[i] / log2n(n), 3);
-  }
-  bench::emit(table, "E11_sqrt_t",
-              "max load flat in t: O(log n) beats the old O(sqrt t)",
-              scale);
-  return 0;
+  return rbb::runner::legacy_bench_main("sqrt_t", argc, argv);
 }

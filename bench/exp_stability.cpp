@@ -1,59 +1,9 @@
-// E1 -- Theorem 1 (stability): from a legitimate configuration the
-// repeated balls-into-bins process visits only legitimate configurations
-// over a long window.
-//
-// Table: for each n, the per-trial maximum load over a window of c*n
-// rounds, its ratio to log2(n) (the paper's O(log n) constant made
-// visible), the minimum empty-bin fraction (Lemma 1 floor: 1/4), and the
-// fraction of trials whose whole window stayed legitimate (beta = 4).
-#include <vector>
-
-#include "analysis/experiments.hpp"
-#include "bench/bench_common.hpp"
-#include "support/bounds.hpp"
+// E1 -- Theorem 1 stability window.  Back-compat shim: the experiment now lives in the
+// registry (src/runner/experiments/stability.cpp); this binary behaves like
+// `rbb run stability` with table output, honoring RBB_BENCH_SCALE and
+// RBB_CSV_DIR as it always did.
+#include "runner/legacy.hpp"
 
 int main(int argc, char** argv) {
-  using namespace rbb;
-  Cli cli = bench::make_cli(
-      "E1: stability window of the repeated balls-into-bins process "
-      "(Theorem 1, first part)");
-  cli.add_u64("window-factor", 0, "window = factor * n rounds (0 = scale)");
-  cli.add_u64("n", 0, "run a single n instead of the scale sweep");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const BenchScale scale = bench_scale();
-  const std::uint32_t trials = bench::trials_for(cli, scale, 2, 4, 8);
-  const std::uint64_t wf = cli.u64("window-factor") != 0
-                               ? cli.u64("window-factor")
-                               : by_scale<std::uint64_t>(scale, 5, 20, 50);
-  const std::vector<std::uint32_t> ns =
-      cli.u64("n") != 0
-          ? std::vector<std::uint32_t>{static_cast<std::uint32_t>(
-                cli.u64("n"))}
-          : bench::n_sweep(scale);
-
-  Table table({"n", "window (rounds)", "trials", "max load (mean)",
-               "max load (worst)", "max / log2 n", "min empty frac",
-               "legit frac (beta=4)"});
-  for (const std::uint32_t n : ns) {
-    StabilityParams p;
-    p.n = n;
-    p.rounds = wf * n;
-    p.trials = trials;
-    p.seed = cli.u64("seed");
-    p.start = InitialConfig::kOnePerBin;
-    const StabilityResult r = run_stability(p);
-    table.row()
-        .cell(std::uint64_t{n})
-        .cell(p.rounds)
-        .cell(std::uint64_t{trials})
-        .cell(r.window_max.mean(), 2)
-        .cell(std::uint64_t{r.overall_max})
-        .cell(r.window_max.mean() / log2n(n), 3)
-        .cell(r.min_empty_fraction.min(), 3)
-        .cell(r.legit_window_fraction, 2);
-  }
-  bench::emit(table, "E1_stability",
-              "window max load stays O(log n) (Theorem 1)", scale);
-  return 0;
+  return rbb::runner::legacy_bench_main("stability", argc, argv);
 }

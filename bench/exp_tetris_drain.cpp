@@ -1,45 +1,9 @@
-// E5 -- Lemma 4: in the Tetris process, every bin is empty at least once
-// within 5n rounds, from any initial configuration, w.h.p.
-//
-// Table: per n and adversarial start, the max-over-bins first-empty round
-// normalized by n (prediction: <= 5, measured ~1 from all-in-one) and the
-// count of trials exceeding 5n (predicted 0).
-#include "analysis/experiments.hpp"
-#include "bench/bench_common.hpp"
+// E5 -- Lemma 4 Tetris drain <= 5n.  Back-compat shim: the experiment now lives in the
+// registry (src/runner/experiments/tetris_drain.cpp); this binary behaves like
+// `rbb run tetris_drain` with table output, honoring RBB_BENCH_SCALE and
+// RBB_CSV_DIR as it always did.
+#include "runner/legacy.hpp"
 
 int main(int argc, char** argv) {
-  using namespace rbb;
-  Cli cli = bench::make_cli(
-      "E5: Tetris drains every bin within 5n rounds (Lemma 4)");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const BenchScale scale = bench_scale();
-  const std::uint32_t trials = bench::trials_for(cli, scale, 3, 8, 20);
-
-  Table table({"n", "start", "trials", "drain (mean rounds)",
-               "drain / n (mean)", "drain / n (max)", "> 5n", "timeouts"});
-  for (const std::uint32_t n : bench::n_sweep(scale)) {
-    for (const InitialConfig start :
-         {InitialConfig::kAllInOne, InitialConfig::kGeometric,
-          InitialConfig::kHalfLoaded}) {
-      TetrisDrainParams p;
-      p.n = n;
-      p.trials = trials;
-      p.seed = cli.u64("seed");
-      p.start = start;
-      const TetrisDrainResult r = run_tetris_drain(p);
-      table.row()
-          .cell(std::uint64_t{n})
-          .cell(std::string(to_string(start)))
-          .cell(std::uint64_t{trials})
-          .cell(r.max_first_empty.mean(), 1)
-          .cell(r.normalized.mean(), 3)
-          .cell(r.normalized.max(), 3)
-          .cell(std::uint64_t{r.exceeded_5n})
-          .cell(std::uint64_t{r.timeouts});
-    }
-  }
-  bench::emit(table, "E5_tetris_drain",
-              "every Tetris bin empties within 5n rounds (Lemma 4)", scale);
-  return 0;
+  return rbb::runner::legacy_bench_main("tetris_drain", argc, argv);
 }

@@ -1,91 +1,9 @@
-// E7 -- Lemma 6: the Tetris process started from a legitimate
-// configuration keeps maximum load O(log n) over any polynomial window.
-//
-// Table: mirror of E1 for Tetris.  Includes the critical-drift ablation:
-// raising the arrival rate from 3n/4 toward n erodes the negative drift
-// and the window max load grows -- showing why the 3/4 constant works.
-#include "bench/bench_common.hpp"
-#include "core/config.hpp"
-#include "support/bounds.hpp"
-#include "support/stats.hpp"
-#include "tetris/tetris.hpp"
+// E7 -- Tetris stability window.  Back-compat shim: the experiment now lives in the
+// registry (src/runner/experiments/tetris_stability.cpp); this binary behaves like
+// `rbb run tetris_stability` with table output, honoring RBB_BENCH_SCALE and
+// RBB_CSV_DIR as it always did.
+#include "runner/legacy.hpp"
 
 int main(int argc, char** argv) {
-  using namespace rbb;
-  Cli cli = bench::make_cli(
-      "E7: Tetris stability window (Lemma 6) + arrival-rate ablation");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const BenchScale scale = bench_scale();
-  const std::uint32_t trials = bench::trials_for(cli, scale, 2, 4, 8);
-  const std::uint64_t wf = by_scale<std::uint64_t>(scale, 5, 20, 50);
-
-  Table table({"n", "window", "max load (mean)", "max / log2 n",
-               "min empty frac"});
-  for (const std::uint32_t n : bench::n_sweep(scale)) {
-    OnlineMoments wmax;
-    OnlineMoments memp;
-    for (std::uint32_t trial = 0; trial < trials; ++trial) {
-      Rng rng(cli.u64("seed"), trial);
-      TetrisProcess proc(make_config(InitialConfig::kRandom, n, n, rng),
-                         rng);
-      double trial_max = 0.0;
-      double trial_min_empty = 1.0;
-      for (std::uint64_t t = 0; t < wf * n; ++t) {
-        const TetrisRoundStats s = proc.step();
-        trial_max = std::max(trial_max, static_cast<double>(s.max_load));
-        trial_min_empty =
-            std::min(trial_min_empty,
-                     static_cast<double>(s.empty_bins) / n);
-      }
-      wmax.add(trial_max);
-      memp.add(trial_min_empty);
-    }
-    table.row()
-        .cell(std::uint64_t{n})
-        .cell(wf * n)
-        .cell(wmax.mean(), 2)
-        .cell(wmax.mean() / log2n(n), 3)
-        .cell(memp.min(), 3);
-  }
-  bench::emit(table, "E7_tetris_stability",
-              "Tetris window max load is O(log n) (Lemma 6)", scale);
-
-  // Ablation: arrival rate mu * n for mu -> 1 (the drift -(1 - mu)
-  // vanishing).  Fixed n, same window.
-  const std::uint32_t n = by_scale<std::uint32_t>(scale, 256, 1024, 4096);
-  Table ablation({"arrival fraction mu", "drift per bin", "max load (mean)",
-                  "mean empty frac", "final total balls / n"});
-  for (const double mu : {0.5, 0.75, 0.9, 0.95, 1.0}) {
-    OnlineMoments wmax;
-    OnlineMoments memp;
-    OnlineMoments mass;
-    const auto arrivals =
-        static_cast<std::uint64_t>(mu * static_cast<double>(n));
-    for (std::uint32_t trial = 0; trial < trials; ++trial) {
-      Rng rng(cli.u64("seed") + 17, trial);
-      TetrisProcess proc(make_config(InitialConfig::kRandom, n, n, rng),
-                         rng, arrivals);
-      double trial_max = 0.0;
-      double empty_sum = 0.0;
-      const std::uint64_t window = 10ull * n;
-      for (std::uint64_t t = 0; t < window; ++t) {
-        const TetrisRoundStats s = proc.step();
-        trial_max = std::max(trial_max, static_cast<double>(s.max_load));
-        empty_sum += static_cast<double>(s.empty_bins) / n;
-      }
-      wmax.add(trial_max);
-      memp.add(empty_sum / static_cast<double>(window));
-      mass.add(static_cast<double>(proc.total_balls()) / n);
-    }
-    ablation.row()
-        .cell(mu, 2)
-        .cell(mu - 1.0, 2)
-        .cell(wmax.mean(), 2)
-        .cell(memp.mean(), 3)
-        .cell(mass.mean(), 3);
-  }
-  bench::emit(ablation, "E7b_tetris_critical",
-              "ablation: why 3/4 -- max load explodes as mu -> 1", scale);
-  return 0;
+  return rbb::runner::legacy_bench_main("tetris_stability", argc, argv);
 }

@@ -1,51 +1,9 @@
-// E6 -- Lemma 5: for the eq.-(4) chain started at k, for t >= 8k,
-// P(tau > t) <= e^{-t/144}.
-//
-// Table: per start k, the empirical tail P(tau > t) at a grid of t values
-// vs the Lemma-5 bound.  The bound's rate constant 1/144 is loose by
-// design; the empirical decay rate is much faster (the drift is -1/4, so
-// the true rate is Theta(1)).
-#include <cmath>
-
-#include "analysis/experiments.hpp"
-#include "bench/bench_common.hpp"
-#include "support/bounds.hpp"
+// E6 -- Lemma 5 Z-chain tail.  Back-compat shim: the experiment now lives in the
+// registry (src/runner/experiments/zchain.cpp); this binary behaves like
+// `rbb run zchain` with table output, honoring RBB_BENCH_SCALE and
+// RBB_CSV_DIR as it always did.
+#include "runner/legacy.hpp"
 
 int main(int argc, char** argv) {
-  using namespace rbb;
-  Cli cli = bench::make_cli(
-      "E6: Z-chain absorption tail vs the Lemma-5 bound e^{-t/144}");
-  cli.add_u64("n", 4096, "system size parameterizing the arrival law");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const BenchScale scale = bench_scale();
-  const std::uint32_t trials =
-      bench::trials_for(cli, scale, 20000, 200000, 1000000);
-  const auto n = static_cast<std::uint32_t>(cli.u64("n"));
-
-  Table table({"start k", "t", "P(tau > t) empirical", "e^{-t/144} bound",
-               "bound holds", "E[tau] (mean)"});
-  for (const std::uint64_t k : {2ull, 8ull, 32ull}) {
-    ZChainTailParams p;
-    p.n = n;
-    p.start = k;
-    p.ts = {8 * k, 16 * k, 32 * k, 64 * k};
-    p.trials = trials;
-    p.seed = cli.u64("seed");
-    const ZChainTailResult r = run_zchain_tail(p);
-    for (std::size_t i = 0; i < p.ts.size(); ++i) {
-      const double bound = zchain_tail_bound(static_cast<double>(p.ts[i]));
-      table.row()
-          .cell(k)
-          .cell(p.ts[i])
-          .cell(r.empirical_tail[i], 6)
-          .cell(bound, 6)
-          .cell(std::string(r.empirical_tail[i] <= bound + 1e-9 ? "yes"
-                                                                : "NO"))
-          .cell(r.absorption_time.mean(), 2);
-    }
-  }
-  bench::emit(table, "E6_zchain",
-              "absorption-time tail obeys Lemma 5's e^{-t/144}", scale);
-  return 0;
+  return rbb::runner::legacy_bench_main("zchain", argc, argv);
 }

@@ -41,10 +41,24 @@ class Engine {
  public:
   explicit Engine(P process) : process_(std::move(process)) {}
 
-  /// Runs until `until(process, rounds_done)` returns true (goal) or
-  /// `max_rounds` process rounds have executed (budget), whichever comes
-  /// first.  The rule sees the state *before* each round, so a run from
-  /// an already-satisfying state executes zero rounds.
+  /// \brief Runs until the stopping rule fires or the round budget is
+  /// exhausted, whichever comes first.
+  ///
+  /// The rule sees the state *before* each round, so a run from an
+  /// already-satisfying state executes zero rounds.  Per executed round:
+  /// step, observers (in argument order, over one shared lazy
+  /// RoundContext), then the fault plan.
+  ///
+  /// \tparam Stop      predicate `(const P&, rounds_done) -> bool`
+  ///                   (engine/stop.hpp); true ends the run as a goal
+  /// \tparam Faults    fault plan with `maybe_inject(P&, round) -> bool`
+  ///                   (engine/faults.hpp); NoFaults{} for none
+  /// \tparam Observers any number of types with
+  ///                   `observe(const RoundContext<P>&)`
+  ///                   (engine/observers.hpp)
+  /// \param max_rounds hard budget of process rounds for this call
+  /// \return rounds executed, faults injected, and whether the goal
+  ///         (vs the budget) ended the run
   template <typename Stop, typename Faults, typename... Observers>
   EngineResult run(std::uint64_t max_rounds, Stop&& until, Faults&& faults,
                    Observers&&... observers) {

@@ -18,9 +18,17 @@
 
 namespace rbb {
 
-/// Lazy, memoized view of the process state at the end of a round.
+/// \brief Lazy, memoized view of the process state at the end of a
+/// round -- the single argument every observer's `observe()` receives.
+///
 /// `round()` is 1-based and counts rounds executed by the current
-/// Engine::run call (checkpoint observers index off it).
+/// Engine::run call (checkpoint observers index off it).  `max_load()`
+/// and `empty_bins()` evaluate their customization point at most once
+/// per round no matter how many observers ask: all observers of one run
+/// share one context, so a token process's O(n) load scan happens once,
+/// or never if nobody asks.  An observer is any type with a
+/// `void observe(const RoundContext<P>&)` member (template or not);
+/// it lives on the trial's stack and is read after the run.
 template <typename P>
 class RoundContext {
  public:

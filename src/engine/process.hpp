@@ -26,10 +26,16 @@ namespace rbb {
 
 // --- step -------------------------------------------------------------------
 
-/// Executes one synchronous round.  Return values (per-process round
-/// stats) are intentionally discarded: observers read end-of-round state
-/// through the customization points below, which is equivalent and keeps
-/// the interface uniform.
+/// \brief Executes one synchronous round of the process.
+///
+/// Customization point: the generic overload forwards to a `step()`
+/// member; a process without that member provides its own overload
+/// (found by ADL) instead.  Return values (per-process round stats) are
+/// intentionally discarded: observers read end-of-round state through
+/// the customization points below, which is equivalent and keeps the
+/// interface uniform.
+///
+/// \tparam P any type with a `step()` member (or an overload of its own)
 template <typename P>
   requires requires(P& p) { p.step(); }
 void engine_step(P& p) {
@@ -38,6 +44,10 @@ void engine_step(P& p) {
 
 // --- identity ---------------------------------------------------------------
 
+/// \brief Number of bins (equivalently: nodes, stations, queues).
+///
+/// Constant over a run; observers use it to normalize per-bin metrics
+/// (e.g. the empty-bin *fraction*).
 template <typename P>
   requires requires(const P& p) {
     { p.bin_count() } -> std::convertible_to<std::uint32_t>;
@@ -46,11 +56,16 @@ template <typename P>
   return p.bin_count();
 }
 
+/// Israeli-Jalfon has nodes rather than bins.
 [[nodiscard]] inline std::uint32_t engine_bin_count(
     const IsraeliJalfonProcess& p) {
   return p.node_count();
 }
 
+/// \brief Rounds executed since the process was constructed.
+///
+/// Monotone; the engine tracks its own per-run round count, so this is
+/// only consulted by observers that want absolute process time.
 template <typename P>
   requires requires(const P& p) {
     { p.round() } -> std::convertible_to<std::uint64_t>;
@@ -61,6 +76,13 @@ template <typename P>
 
 // --- load-shaped state ------------------------------------------------------
 
+/// \brief Maximum load M(q) of the current configuration.
+///
+/// The paper's central observable (legitimacy is M(q) <= beta log2 n).
+/// Expected O(1) for processes with incremental bookkeeping (the
+/// load-only kernel, Tetris); may be O(n) for token-carrying variants --
+/// which is why observers reach it through the lazy, memoized
+/// RoundContext rather than calling it unconditionally.
 template <typename P>
   requires requires(const P& p) {
     { p.max_load() } -> std::convertible_to<std::uint32_t>;
@@ -77,6 +99,10 @@ template <typename P>
   return p.token_count() > 0 ? 1u : 0u;
 }
 
+/// \brief Number of empty bins in the current configuration.
+///
+/// Drives the Lemma-1 floor observable (empty fraction >= 1/4).  Same
+/// cost caveat as engine_max_load.
 template <typename P>
   requires requires(const P& p) {
     { p.empty_bins() } -> std::convertible_to<std::uint32_t>;
@@ -124,7 +150,30 @@ void engine_check_invariants(const P& p) {
 
 // --- the concept ------------------------------------------------------------
 
-/// A simulatable process: anything the Engine's round loop can drive.
+/// \brief A simulatable process: anything the Engine's round loop can
+/// drive.
+///
+/// This names the full contract that was previously only prose in
+/// DESIGN.md Sect. 2.  To plug a new process variant (a sharded
+/// backend, an async queue, a new arrival law) into every driver,
+/// observer, and fault schedule in the repository, provide:
+///
+///   * `engine_step(p)`        -- advance one synchronous round,
+///   * `engine_bin_count(cp)`  -- number of bins/nodes (constant),
+///   * `engine_round(cp)`      -- rounds since construction,
+///   * `engine_max_load(cp)`   -- M(q) of the current configuration,
+///   * `engine_empty_bins(cp)` -- empty-bin count,
+///   * `engine_loads(cp)`      -- per-bin load snapshot (off hot path),
+///
+/// either via the conventional member surface (the generic overloads
+/// above pick it up automatically) or as free-function overloads found
+/// by ADL.  Optionally add `check_invariants()` (revalidated by
+/// engine_check_invariants under fuzzing) and the members specific
+/// stopping rules probe (`all_emptied_once()`, `all_covered()`, ...).
+/// Randomness must come from the process's own Rng stream so that fault
+/// plans (which draw from a separate stream) never perturb
+/// trajectories -- the determinism contract design choice D5 and the
+/// parity tests rely on.
 template <typename P>
 concept SimProcess = requires(P& p, const P& cp) {
   engine_step(p);

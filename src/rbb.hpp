@@ -15,6 +15,7 @@
 //   markov/   dense_matrix, state_space, rbb_chain, zchain_exact
 //   selfstab/ israeli_jalfon, certifier
 //   analysis/ experiments
+//   runner/   params, result, registry, docgen, legacy, runner
 #pragma once
 
 #include "analysis/experiments.hpp"
@@ -38,6 +39,12 @@
 #include "markov/rbb_chain.hpp"
 #include "markov/state_space.hpp"
 #include "markov/zchain_exact.hpp"
+#include "runner/docgen.hpp"
+#include "runner/legacy.hpp"
+#include "runner/params.hpp"
+#include "runner/registry.hpp"
+#include "runner/result.hpp"
+#include "runner/runner.hpp"
 #include "selfstab/certifier.hpp"
 #include "selfstab/israeli_jalfon.hpp"
 #include "support/bounds.hpp"

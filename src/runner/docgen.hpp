@@ -1,0 +1,19 @@
+// Generator for docs/experiments.md: the experiment catalog rendered
+// from the registry, so the prose can never drift from the code.
+//
+// The output is a pure function of the registered experiments -- no
+// timestamps, no environment -- which is what lets CI regenerate it and
+// fail on any diff against the committed copy (the docs-drift gate).
+#pragma once
+
+#include <string>
+
+#include "runner/registry.hpp"
+
+namespace rbb::runner {
+
+/// Renders the full experiments.md document (catalog table + one section
+/// per experiment with its parameters) in Registry::catalog order.
+[[nodiscard]] std::string render_experiment_docs(const Registry& registry);
+
+}  // namespace rbb::runner

@@ -1,0 +1,73 @@
+// E2 -- Theorem 1 (self-stabilization): from ANY configuration the system
+// reaches a legitimate configuration within O(n) rounds.
+#include <vector>
+
+#include "analysis/experiments.hpp"
+#include "analysis/fit.hpp"
+#include "runner/registry.hpp"
+
+namespace rbb::runner {
+
+void register_convergence(Registry& registry) {
+  Experiment e;
+  e.name = "convergence";
+  e.claim = "E2";
+  e.title = "convergence time is linear in n (Theorem 1)";
+  e.description =
+      "For each n and worst-case start (all-in-one, geometric, "
+      "half-loaded), measures the rounds until M(t) <= beta log2 n, "
+      "normalized by n.  The paper predicts a linear law; from all-in-one "
+      "the heavy bin drains one ball per round, so the normalized value "
+      "approaches 1 from below.  A power-law fit over the all-in-one "
+      "sweep reports the measured growth exponent.";
+  e.params = {
+      {"beta", ParamSpec::Type::kF64, "4.0", "legitimacy constant"},
+  };
+  e.run = [](const RunContext& ctx) {
+    const std::uint32_t trials = ctx.trials_or(3, 8, 20);
+
+    ResultSet rs;
+    Table& table = rs.add_table(
+        "E2_convergence", "convergence time is linear in n (Theorem 1)",
+        {"n", "start", "trials", "rounds (mean)", "rounds (max)",
+         "rounds / n (mean)", "timeouts"});
+    std::vector<double> xs;
+    std::vector<double> worst_rounds;
+    for (const std::uint32_t n : default_n_sweep(ctx.scale)) {
+      for (const InitialConfig start :
+           {InitialConfig::kAllInOne, InitialConfig::kGeometric,
+            InitialConfig::kHalfLoaded}) {
+        ConvergenceParams p;
+        p.n = n;
+        p.trials = trials;
+        p.seed = ctx.seed();
+        p.start = start;
+        p.beta = ctx.params.f64("beta");
+        const ConvergenceResult r = run_convergence(p);
+        table.row()
+            .cell(std::uint64_t{n})
+            .cell(std::string(to_string(start)))
+            .cell(std::uint64_t{trials})
+            .cell(r.rounds_to_legitimate.mean(), 1)
+            .cell(r.rounds_to_legitimate.max(), 0)
+            .cell(r.normalized.mean(), 3)
+            .cell(std::uint64_t{r.timeouts});
+        if (start == InitialConfig::kAllInOne) {
+          xs.push_back(static_cast<double>(n));
+          worst_rounds.push_back(r.rounds_to_legitimate.mean());
+        }
+      }
+    }
+    const PowerLawFit fit = fit_power_law(xs, worst_rounds);
+    rs.note("fitted growth law (all-in-one start): convergence ~ n^" +
+            format_double(fit.exponent, 3) +
+            " (R^2 = " + format_double(fit.r_squared, 4) +
+            ")   [Theorem 1 predicts exponent 1; small sweeps read high "
+            "because the stopping threshold beta*log2(n) is an additive "
+            "offset]");
+    return rs;
+  };
+  registry.add(std::move(e));
+}
+
+}  // namespace rbb::runner

@@ -1,0 +1,82 @@
+#include "runner/legacy.hpp"
+
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runner/optparse.hpp"
+#include "runner/registry.hpp"
+#include "runner/result.hpp"
+#include "support/scale.hpp"
+
+namespace rbb::runner {
+
+namespace {
+
+void print_usage(const Experiment& experiment, const char* argv0,
+                 std::ostream& os) {
+  os << argv0 << " -- " << experiment.title << "\n\n"
+     << experiment.description << "\n\noptions:\n";
+  for (const ParamSpec& spec : experiment.params) {
+    os << "  --" << spec.name << " (" << to_string(spec.type)
+       << ", default " << (spec.default_value.empty()
+                               ? std::string("\"\"")
+                               : spec.default_value)
+       << ")  " << spec.help << "\n";
+  }
+  os << "  --help  this text\n\nequivalent: rbb run " << experiment.name
+     << " [--<option>=<value> ...]\n";
+}
+
+}  // namespace
+
+int legacy_bench_main(const char* name, int argc, const char* const* argv) {
+  const Experiment* experiment = default_registry().find(name);
+  if (experiment == nullptr) {
+    std::cerr << "internal error: experiment \"" << name
+              << "\" is not registered\n";
+    return 2;
+  }
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+
+  ParamValues values(experiment->params);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--help" || args[i] == "-h") {
+      print_usage(*experiment, argv[0], std::cout);
+      return 0;
+    }
+    std::string option;
+    std::string value;
+    bool has_value = false;
+    if (!split_option(args, &i, &option, &value, &has_value)) {
+      std::cerr << "unexpected argument \"" << args[i] << "\"\n";
+      print_usage(*experiment, argv[0], std::cerr);
+      return 2;
+    }
+    std::string error;
+    if (!values.set(option, value, &error)) {
+      std::cerr << error << "\n";
+      print_usage(*experiment, argv[0], std::cerr);
+      return 2;
+    }
+  }
+
+  try {
+    const CompletedRun run =
+        run_experiment(*experiment, values, bench_scale());
+    std::cout << to_text(run.meta, run.results);
+    if (!csv_dir().empty()) {
+      for (const ResultSet::Entry& entry : run.results.tables()) {
+        entry.data.write_csv(csv_dir(), entry.id);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << argv[0] << ": " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace rbb::runner

@@ -1,0 +1,20 @@
+// Back-compat entry point for the bench/exp_* binaries.
+//
+// Every former hand-rolled bench main is now a one-line shim over the
+// experiment registry: `exp_stability --trials 2` behaves like
+// `rbb run stability --trials=2` with table output, honoring the
+// historical environment contract (RBB_BENCH_SCALE for sweep sizes,
+// RBB_CSV_DIR for per-table CSV mirrors) so existing scripts and the CI
+// smoke loop keep working unchanged.
+#pragma once
+
+namespace rbb::runner {
+
+/// Runs the registered experiment `name` the way its legacy bench binary
+/// did: parses --param[=| ]value options against the experiment's specs
+/// (--help prints usage), runs at the RBB_BENCH_SCALE scale, prints the
+/// table rendering to stdout, and mirrors each table to RBB_CSV_DIR as
+/// CSV when set.  Returns the process exit code.
+int legacy_bench_main(const char* name, int argc, const char* const* argv);
+
+}  // namespace rbb::runner

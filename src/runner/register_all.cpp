@@ -1,0 +1,65 @@
+// Explicit registration roster for every experiment in
+// src/runner/experiments/ (one register_* function per file).
+//
+// Registration is an explicit call chain rather than static-initializer
+// magic: a static library happily dead-strips translation units nobody
+// references, and a silently missing experiment is exactly the failure
+// mode the registry exists to prevent (the completeness test in
+// tests/runner/ counts the roster against DESIGN.md's map).
+#include "runner/registry.hpp"
+
+namespace rbb::runner {
+
+void register_stability(Registry&);            // E1
+void register_convergence(Registry&);          // E2
+void register_empty_bins(Registry&);           // E3
+void register_coupling(Registry&);             // E4
+void register_tetris_drain(Registry&);         // E5
+void register_zchain(Registry&);               // E6
+void register_exact_chain(Registry&);          // E6 (exact companion)
+void register_tetris_stability(Registry&);     // E7
+void register_cover_time(Registry&);           // E8
+void register_adversarial(Registry&);          // E9
+void register_neg_assoc(Registry&);            // E10
+void register_sqrt_t(Registry&);               // E11
+void register_oneshot_vs_repeated(Registry&);  // E12
+void register_beta_sensitivity(Registry&);     // E13
+void register_graphs(Registry&);               // E14
+void register_dchoices(Registry&);             // E15
+void register_leaky_bins(Registry&);           // E16
+void register_jackson(Registry&);              // E17
+void register_progress(Registry&);             // E18
+void register_delays(Registry&);               // E19
+void register_load_profile(Registry&);         // E20
+void register_mixing(Registry&);               // E21
+void register_overload(Registry&);             // extra (Sect. 5 open qn)
+void register_israeli_jalfon(Registry&);       // extra (ancestor protocol)
+
+void register_all_experiments(Registry& registry) {
+  register_stability(registry);
+  register_convergence(registry);
+  register_empty_bins(registry);
+  register_coupling(registry);
+  register_tetris_drain(registry);
+  register_zchain(registry);
+  register_exact_chain(registry);
+  register_tetris_stability(registry);
+  register_cover_time(registry);
+  register_adversarial(registry);
+  register_neg_assoc(registry);
+  register_sqrt_t(registry);
+  register_oneshot_vs_repeated(registry);
+  register_beta_sensitivity(registry);
+  register_graphs(registry);
+  register_dchoices(registry);
+  register_leaky_bins(registry);
+  register_jackson(registry);
+  register_progress(registry);
+  register_delays(registry);
+  register_load_profile(registry);
+  register_mixing(registry);
+  register_overload(registry);
+  register_israeli_jalfon(registry);
+}
+
+}  // namespace rbb::runner

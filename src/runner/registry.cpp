@@ -1,0 +1,129 @@
+#include "runner/registry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace rbb::runner {
+
+void Registry::add(Experiment experiment) {
+  if (experiment.name.empty()) {
+    throw std::invalid_argument("Registry::add: empty experiment name");
+  }
+  if (!experiment.run) {
+    throw std::invalid_argument("Registry::add: " + experiment.name +
+                                " has no run function");
+  }
+  if (find(experiment.name) != nullptr) {
+    throw std::invalid_argument("Registry::add: duplicate experiment " +
+                                experiment.name);
+  }
+  for (const ParamSpec& spec : experiment.params) {
+    // seed/trials are prepended below; scale/format/out/check/help are
+    // intercepted by the CLI frontends before parameter assignment, so a
+    // parameter with one of these names would be silently unsettable via
+    // `rbb run` (while the legacy shim *would* set it) -- exactly the
+    // frontend drift the registry exists to prevent.
+    for (const char* reserved :
+         {"seed", "trials", "scale", "format", "out", "check", "help"}) {
+      if (spec.name == reserved) {
+        throw std::invalid_argument(
+            "Registry::add: " + experiment.name +
+            " declares the reserved parameter name --" + spec.name);
+      }
+    }
+  }
+  // Every experiment shares the two Monte-Carlo knobs; prepending them
+  // here keeps the declarations thin and the CLI surface uniform.
+  std::vector<ParamSpec> params = {
+      {"seed", ParamSpec::Type::kU64, "1", "root RNG seed"},
+      {"trials", ParamSpec::Type::kU64, "0",
+       "trials per sweep point (0 = scale default)"},
+  };
+  params.insert(params.end(),
+                std::make_move_iterator(experiment.params.begin()),
+                std::make_move_iterator(experiment.params.end()));
+  experiment.params = std::move(params);
+  experiments_.push_back(std::move(experiment));
+}
+
+const Experiment* Registry::find(const std::string& name) const {
+  for (const Experiment& experiment : experiments_) {
+    if (experiment.name == name) return &experiment;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Numeric part of an E-claim ("E12" -> 12); claimless extras sort last.
+unsigned long claim_rank(const std::string& claim) {
+  if (claim.size() < 2 || claim[0] != 'E') return ~0ul;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(claim.c_str() + 1, &end, 10);
+  if (end != claim.c_str() + claim.size()) return ~0ul;
+  return v;
+}
+
+}  // namespace
+
+std::vector<const Experiment*> Registry::catalog() const {
+  std::vector<const Experiment*> sorted;
+  sorted.reserve(experiments_.size());
+  for (const Experiment& experiment : experiments_) {
+    sorted.push_back(&experiment);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Experiment* a, const Experiment* b) {
+              const unsigned long ra = claim_rank(a->claim);
+              const unsigned long rb = claim_rank(b->claim);
+              if (ra != rb) return ra < rb;
+              return a->name < b->name;
+            });
+  return sorted;
+}
+
+CompletedRun run_experiment(const Experiment& experiment,
+                            const ParamValues& values, BenchScale scale) {
+  CompletedRun run;
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunContext ctx{values, scale};
+  run.results = experiment.run(ctx);
+  run.meta.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  run.meta.experiment = experiment.name;
+  run.meta.claim = experiment.claim;
+  run.meta.title = experiment.title;
+  run.meta.scale = to_string(scale);
+  run.meta.git_rev = git_revision();
+  fill_meta_params(run.meta, values);
+  return run;
+}
+
+const Registry& default_registry() {
+  static const Registry* const registry = [] {
+    auto* r = new Registry();
+    register_all_experiments(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+std::vector<std::uint32_t> default_n_sweep(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kSmoke: return {128, 256};
+    case BenchScale::kPaper: return {256, 1024, 4096, 16384};
+    case BenchScale::kDefault: break;
+  }
+  return {256, 1024, 4096};
+}
+
+#ifndef RBB_GIT_REV
+#define RBB_GIT_REV "unknown"
+#endif
+
+const char* git_revision() { return RBB_GIT_REV; }
+
+}  // namespace rbb::runner

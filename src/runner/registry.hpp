@@ -1,0 +1,114 @@
+// The experiment registry behind the `rbb` CLI (DESIGN.md Sect. 1).
+//
+// Each of the repository's experiments registers exactly once: a CLI
+// name, the DESIGN.md claim it reproduces (E1..E21, empty for the extras
+// that ride outside the numbered map), a one-line title, prose
+// description, typed parameter specs, and a run function returning a
+// structured ResultSet.  Everything downstream is derived from this
+// single declaration:
+//
+//   rbb list / describe / run / sweep   (runner/runner.cpp)
+//   the generated docs/experiments.md   (runner/docgen.cpp)
+//   the back-compat bench/exp_* mains   (runner/legacy.cpp)
+//   the registry completeness test      (tests/runner/)
+//
+// so the catalog, the CLI surface, and the code can never drift apart.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runner/params.hpp"
+#include "runner/result.hpp"
+#include "support/scale.hpp"
+#include "support/thread_pool.hpp"
+
+namespace rbb::runner {
+
+/// What an experiment's run function sees: its parsed parameters plus
+/// the bench scale the runner resolved (CLI --scale or RBB_BENCH_SCALE).
+struct RunContext {
+  const ParamValues& params;
+  BenchScale scale = BenchScale::kDefault;
+
+  [[nodiscard]] std::uint64_t seed() const { return params.u64("seed"); }
+
+  /// The trial count: the --trials override wins (range-checked), else
+  /// the scale picks.
+  [[nodiscard]] std::uint32_t trials_or(std::uint32_t smoke,
+                                        std::uint32_t dflt,
+                                        std::uint32_t paper) const {
+    const std::uint32_t cli_trials = params.u32("trials");
+    if (cli_trials != 0) return cli_trials;
+    return by_scale(scale, smoke, dflt, paper);
+  }
+};
+
+/// One registered experiment.
+struct Experiment {
+  std::string name;         // CLI name, e.g. "convergence"
+  std::string claim;        // DESIGN.md Sect. 4 E-number, "" for extras
+  std::string title;        // one-line claim summary (list / docs)
+  std::string description;  // prose for describe / docs
+  std::vector<ParamSpec> params;  // registry prepends seed + trials
+  std::function<ResultSet(const RunContext&)> run;
+};
+
+/// Name-keyed experiment collection.  add() validates the declaration
+/// and prepends the common seed/trials specs every experiment shares.
+class Registry {
+ public:
+  /// Registers an experiment; throws std::invalid_argument on an empty
+  /// name, a duplicate name, or a missing run function.
+  void add(Experiment experiment);
+
+  [[nodiscard]] const Experiment* find(const std::string& name) const;
+
+  /// Registration order.
+  [[nodiscard]] const std::vector<Experiment>& experiments() const {
+    return experiments_;
+  }
+
+  /// Catalog order: by numeric claim (E1, E2, ...), then the claimless
+  /// extras, alphabetically within ties.
+  [[nodiscard]] std::vector<const Experiment*> catalog() const;
+
+ private:
+  std::vector<Experiment> experiments_;
+};
+
+/// One finished experiment run: the structured results plus the
+/// provenance metadata (params, seed, scale, git rev, wall time) every
+/// serialization format embeds.
+struct CompletedRun {
+  ResultSet results;
+  RunMeta meta;
+};
+
+/// Runs `experiment` with `values` at `scale` under a wall-time clock
+/// and assembles the metadata -- the one execution path shared by
+/// `rbb run`, `rbb sweep`, and the back-compat bench mains.  Propagates
+/// whatever the run function throws (callers own the error boundary).
+[[nodiscard]] CompletedRun run_experiment(const Experiment& experiment,
+                                          const ParamValues& values,
+                                          BenchScale scale);
+
+/// The process-wide registry holding all experiments (built on first
+/// use via register_all_experiments).
+[[nodiscard]] const Registry& default_registry();
+
+/// Registers every experiment in src/runner/experiments/ (one
+/// register_* function per file; see register_all.cpp).
+void register_all_experiments(Registry& registry);
+
+/// The n-sweep most experiments share, by scale (the old
+/// bench_common.hpp helper, now owned by the runner layer).
+[[nodiscard]] std::vector<std::uint32_t> default_n_sweep(BenchScale scale);
+
+/// Compile-time git revision baked in by CMake ("unknown" outside a
+/// configured checkout); stamped into every run's metadata.
+[[nodiscard]] const char* git_revision();
+
+}  // namespace rbb::runner

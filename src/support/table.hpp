@@ -31,6 +31,12 @@ class Table {
   [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
     return headers_;
   }
+  /// Raw cell text, row-major (consumed by the runner's JSON/CSV
+  /// serialization, runner/result.hpp).
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
 
   /// Renders a GitHub-markdown table (pipes, header separator, padded
   /// columns).

@@ -1,0 +1,351 @@
+// CLI surface tests: subcommand dispatch, option parsing and rejection,
+// and well-formedness of the machine-readable outputs (validated with a
+// minimal recursive-descent JSON parser -- no third-party dependency).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/docgen.hpp"
+#include "runner/registry.hpp"
+#include "runner/runner.hpp"
+
+namespace rbb::runner {
+namespace {
+
+// --- a minimal JSON syntax checker -----------------------------------------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    const std::string w(word);
+    if (text_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// --- harness ----------------------------------------------------------------
+
+struct CliResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliResult rbb(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  CliResult result;
+  result.code = runner_main(args, out, err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+// --- dispatch ---------------------------------------------------------------
+
+TEST(Cli, NoArgsPrintsUsageAndFails) {
+  const CliResult r = rbb({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, HelpSucceeds) {
+  const CliResult r = rbb({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("rbb run <experiment>"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandRejected) {
+  const CliResult r = rbb({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, ListShowsAllExperiments) {
+  const CliResult r = rbb({"list"});
+  EXPECT_EQ(r.code, 0);
+  for (const Experiment& e : default_registry().experiments()) {
+    EXPECT_NE(r.out.find(e.name), std::string::npos)
+        << e.name << " missing from `rbb list`";
+  }
+}
+
+TEST(Cli, DescribeShowsParams) {
+  const CliResult r = rbb({"describe", "stability"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("--window-factor"), std::string::npos);
+  EXPECT_NE(r.out.find("[E1]"), std::string::npos);
+}
+
+TEST(Cli, DescribeUnknownExperimentRejected) {
+  const CliResult r = rbb({"describe", "nope"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown experiment"), std::string::npos);
+}
+
+// --- run: parse/reject ------------------------------------------------------
+
+TEST(Cli, RunRequiresExperiment) {
+  EXPECT_EQ(rbb({"run"}).code, 2);
+  EXPECT_EQ(rbb({"run", "--scale=smoke"}).code, 2);
+}
+
+TEST(Cli, RunRejectsUnknownExperiment) {
+  const CliResult r = rbb({"run", "nope"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown experiment"), std::string::npos);
+}
+
+TEST(Cli, RunRejectsUnknownParam) {
+  const CliResult r =
+      rbb({"run", "stability", "--scale=smoke", "--bogus=1"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown option --bogus"), std::string::npos);
+}
+
+TEST(Cli, RunRejectsTypeMismatch) {
+  const CliResult r =
+      rbb({"run", "stability", "--scale=smoke", "--trials=lots"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("expects a u64"), std::string::npos);
+}
+
+TEST(Cli, RunRejectsBadScaleAndFormat) {
+  EXPECT_EQ(rbb({"run", "stability", "--scale=huge"}).code, 2);
+  EXPECT_EQ(rbb({"run", "stability", "--format=xml"}).code, 2);
+}
+
+TEST(Cli, RunReportsOversizedU32CleanlyInsteadOfTruncating) {
+  // 2^32 passes u64 validation but exceeds what the drivers accept;
+  // must fail with a message and exit 1, not truncate to trials=0 or
+  // terminate on an uncaught exception.
+  const CliResult r =
+      rbb({"run", "stability", "--scale=smoke", "--trials=4294967296"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("exceeds the 32-bit range"), std::string::npos);
+}
+
+TEST(Cli, RunReportsDriverRejectionsCleanly) {
+  // n = 1 is rejected inside run_stability ("n < 2"); the CLI must turn
+  // that into exit 1 + message, not std::terminate.
+  const CliResult r =
+      rbb({"run", "stability", "--scale=smoke", "--trials=1", "--n=1"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("stability failed"), std::string::npos);
+  EXPECT_NE(r.err.find("n < 2"), std::string::npos);
+}
+
+TEST(Cli, RunAcceptsSpaceSeparatedOptionValues) {
+  const CliResult r = rbb({"run", "stability", "--scale", "smoke",
+                           "--trials", "1", "--n", "32",
+                           "--window-factor", "2", "--format", "json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(JsonChecker(r.out).valid());
+}
+
+TEST(Cli, RunJsonIsValidAndSchemaTagged) {
+  const CliResult r = rbb({"run", "stability", "--scale=smoke",
+                           "--trials=1", "--n=32", "--window-factor=2",
+                           "--format=json"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(JsonChecker(r.out).valid());
+  EXPECT_NE(r.out.find("\"schema\": \"rbb.result.v1\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"claim\": \"E1\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"scale\": \"smoke\""), std::string::npos);
+}
+
+TEST(Cli, RunCsvCarriesMetadata) {
+  const CliResult r = rbb({"run", "stability", "--scale=smoke",
+                           "--trials=1", "--n=32", "--window-factor=2",
+                           "--format=csv"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("# rbb.result.v1"), std::string::npos);
+  EXPECT_NE(r.out.find("# param n=32"), std::string::npos);
+  EXPECT_NE(r.out.find("# table E1_stability"), std::string::npos);
+}
+
+TEST(Cli, RunWritesToOutFile) {
+  const std::string path = ::testing::TempDir() + "rbb_out_test.json";
+  const CliResult r = rbb({"run", "stability", "--scale=smoke",
+                           "--trials=1", "--n=32", "--window-factor=2",
+                           "--format=json", "--out=" + path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(r.out.empty());
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  EXPECT_TRUE(JsonChecker(contents.str()).valid());
+  std::remove(path.c_str());
+}
+
+// --- sweep ------------------------------------------------------------------
+
+TEST(Cli, SweepGridIsCartesianAndValidJson) {
+  const CliResult r = rbb({"sweep", "stability", "--scale=smoke",
+                           "--trials=1", "--window-factor=2",
+                           "--n=16,32", "--seed=1,2", "--format=json"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(JsonChecker(r.out).valid());
+  EXPECT_NE(r.out.find("\"schema\": \"rbb.sweep.v1\""), std::string::npos);
+  // 2 x 2 grid -> four embedded result documents.
+  std::size_t count = 0;
+  for (std::size_t at = r.out.find("rbb.result.v1");
+       at != std::string::npos; at = r.out.find("rbb.result.v1", at + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(Cli, SweepRejectsBadGridValue) {
+  const CliResult r =
+      rbb({"sweep", "stability", "--scale=smoke", "--n=16,banana"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("expects a u64"), std::string::npos);
+}
+
+TEST(Cli, SweepRejectsDuplicateParam) {
+  // A later --n would silently shadow the axis; must be an error.
+  const CliResult r = rbb(
+      {"sweep", "stability", "--scale=smoke", "--n=16,32", "--n=64"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("given more than once"), std::string::npos);
+}
+
+// --- docs -------------------------------------------------------------------
+
+TEST(Cli, DocsStdoutMatchesRenderer) {
+  const CliResult r = rbb({"docs"});
+  ASSERT_EQ(r.code, 0);
+  EXPECT_EQ(r.out, render_experiment_docs(default_registry()));
+}
+
+TEST(Cli, DocsCheckPassesOnFreshFileAndFailsOnDrift) {
+  const std::string path = ::testing::TempDir() + "rbb_docs_test.md";
+  ASSERT_EQ(rbb({"docs", "--out=" + path}).code, 0);
+  EXPECT_EQ(rbb({"docs", "--check", "--out=" + path}).code, 0);
+  std::ofstream(path, std::ios::app) << "manual edit\n";
+  const CliResult drift = rbb({"docs", "--check", "--out=" + path});
+  EXPECT_EQ(drift.code, 1);
+  EXPECT_NE(drift.err.find("docs drift"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, DocsCheckFailsWithoutFile) {
+  const CliResult r =
+      rbb({"docs", "--check", "--out=/nonexistent/rbb_docs.md"});
+  EXPECT_EQ(r.code, 1);
+}
+
+TEST(Cli, DocsCheckTakesNoValue) {
+  const CliResult r = rbb({"docs", "--check=false"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--check takes no value"), std::string::npos);
+}
+
+TEST(Cli, DocsCatalogIsDeterministicAndComplete) {
+  const std::string a = render_experiment_docs(default_registry());
+  const std::string b = render_experiment_docs(default_registry());
+  EXPECT_EQ(a, b);
+  for (const Experiment& e : default_registry().experiments()) {
+    EXPECT_NE(a.find("## " + e.name), std::string::npos)
+        << e.name << " missing from the generated catalog";
+  }
+}
+
+}  // namespace
+}  // namespace rbb::runner

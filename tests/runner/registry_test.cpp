@@ -1,0 +1,145 @@
+// Registry completeness: the experiment map of DESIGN.md Sect. 4 and
+// the registered catalog can never drift apart.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "runner/registry.hpp"
+
+namespace rbb::runner {
+namespace {
+
+TEST(Registry, EveryDesignClaimHasARegisteredExperiment) {
+  // E1..E21 is the numbered experiment map of DESIGN.md Sect. 4.
+  std::set<std::string> claimed;
+  for (const Experiment& e : default_registry().experiments()) {
+    if (!e.claim.empty()) claimed.insert(e.claim);
+  }
+  for (int i = 1; i <= 21; ++i) {
+    const std::string claim = "E" + std::to_string(i);
+    EXPECT_TRUE(claimed.count(claim) == 1)
+        << claim << " from DESIGN.md Sect. 4 has no registered experiment";
+  }
+}
+
+TEST(Registry, HoldsAllTwentyFourExperiments) {
+  EXPECT_EQ(default_registry().experiments().size(), 24u);
+}
+
+TEST(Registry, NamesAreUniqueAndDeclarationsComplete) {
+  std::set<std::string> names;
+  for (const Experiment& e : default_registry().experiments()) {
+    EXPECT_TRUE(names.insert(e.name).second) << "duplicate name " << e.name;
+    EXPECT_FALSE(e.title.empty()) << e.name << " has no title";
+    EXPECT_FALSE(e.description.empty()) << e.name << " has no description";
+    EXPECT_TRUE(static_cast<bool>(e.run)) << e.name << " has no run fn";
+    // The registry prepends the common Monte-Carlo knobs.
+    ASSERT_GE(e.params.size(), 2u) << e.name;
+    EXPECT_EQ(e.params[0].name, "seed") << e.name;
+    EXPECT_EQ(e.params[1].name, "trials") << e.name;
+    for (const ParamSpec& spec : e.params) {
+      EXPECT_FALSE(spec.help.empty())
+          << e.name << " --" << spec.name << " has no help text";
+      EXPECT_TRUE(spec.type == ParamSpec::Type::kFlag ||
+                  parses_as(spec.default_value, spec.type))
+          << e.name << " --" << spec.name << " default \""
+          << spec.default_value << "\" does not parse as its own type";
+    }
+  }
+}
+
+TEST(Registry, CatalogSortsByClaimWithExtrasLast) {
+  const auto catalog = default_registry().catalog();
+  ASSERT_EQ(catalog.size(), 24u);
+  EXPECT_EQ(catalog.front()->claim, "E1");
+  EXPECT_TRUE(catalog[catalog.size() - 1]->claim.empty());
+  EXPECT_TRUE(catalog[catalog.size() - 2]->claim.empty());
+  // Numbered claims are non-decreasing across the catalog prefix.
+  unsigned long last = 0;
+  for (const Experiment* e : catalog) {
+    if (e->claim.empty()) break;
+    const unsigned long rank = std::stoul(e->claim.substr(1));
+    EXPECT_GE(rank, last);
+    last = rank;
+  }
+}
+
+TEST(Registry, FindIsExactMatch) {
+  EXPECT_NE(default_registry().find("stability"), nullptr);
+  EXPECT_EQ(default_registry().find("stabilit"), nullptr);
+  EXPECT_EQ(default_registry().find(""), nullptr);
+}
+
+TEST(Registry, AddRejectsBadDeclarations) {
+  Registry registry;
+  Experiment nameless;
+  nameless.run = [](const RunContext&) { return ResultSet{}; };
+  EXPECT_THROW(registry.add(nameless), std::invalid_argument);
+
+  Experiment runless;
+  runless.name = "x";
+  EXPECT_THROW(registry.add(runless), std::invalid_argument);
+
+  Experiment ok;
+  ok.name = "x";
+  ok.title = "t";
+  ok.run = [](const RunContext&) { return ResultSet{}; };
+  registry.add(ok);
+  Experiment dup = ok;
+  EXPECT_THROW(registry.add(dup), std::invalid_argument);
+
+  Experiment redeclares;
+  redeclares.name = "y";
+  redeclares.params = {{"seed", ParamSpec::Type::kU64, "1", "clash"}};
+  redeclares.run = [](const RunContext&) { return ResultSet{}; };
+  EXPECT_THROW(registry.add(redeclares), std::invalid_argument);
+
+  // CLI-reserved option names would be intercepted by `rbb run` before
+  // parameter assignment and silently unsettable.
+  for (const char* reserved : {"scale", "format", "out", "check", "help"}) {
+    Experiment clash;
+    clash.name = std::string("clash_") + reserved;
+    clash.params = {{reserved, ParamSpec::Type::kString, "", "clash"}};
+    clash.run = [](const RunContext&) { return ResultSet{}; };
+    EXPECT_THROW(registry.add(clash), std::invalid_argument) << reserved;
+  }
+}
+
+TEST(Registry, RunProducesTablesAtTinyScale) {
+  // End-to-end through a real registration: one tiny stability run.
+  const Experiment* e = default_registry().find("stability");
+  ASSERT_NE(e, nullptr);
+  ParamValues values(e->params);
+  ASSERT_TRUE(values.set("trials", "1"));
+  ASSERT_TRUE(values.set("n", "32"));
+  ASSERT_TRUE(values.set("window-factor", "2"));
+  const RunContext ctx{values, BenchScale::kSmoke};
+  const ResultSet rs = e->run(ctx);
+  ASSERT_EQ(rs.tables().size(), 1u);
+  EXPECT_EQ(rs.tables().front().id, "E1_stability");
+  EXPECT_EQ(rs.tables().front().data.row_count(), 1u);
+}
+
+TEST(Registry, SeedChangesResults) {
+  const Experiment* e = default_registry().find("neg_assoc");
+  ASSERT_NE(e, nullptr);
+  auto estimate = [&](const char* seed) {
+    ParamValues values(e->params);
+    EXPECT_TRUE(values.set("trials", "2000"));
+    EXPECT_TRUE(values.set("seed", seed));
+    const RunContext ctx{values, BenchScale::kSmoke};
+    const ResultSet rs = e->run(ctx);
+    std::string estimates;  // all three probability estimates
+    for (const auto& row : rs.tables().front().data.rows()) {
+      estimates += row[2] + ";";
+    }
+    return estimates;
+  };
+  const std::string a = estimate("1");
+  EXPECT_EQ(a, estimate("1")) << "same seed must reproduce bit-identically";
+  EXPECT_NE(a, estimate("2"));
+}
+
+}  // namespace
+}  // namespace rbb::runner

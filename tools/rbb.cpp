@@ -1,0 +1,6 @@
+// The `rbb` experiment CLI (see src/runner/runner.hpp for the surface).
+#include "runner/runner.hpp"
+
+int main(int argc, char** argv) {
+  return rbb::runner::runner_main(argc, argv);
+}
