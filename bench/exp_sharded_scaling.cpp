@@ -1,0 +1,10 @@
+// Extra -- sharded round-kernel scaling (src/par/).  Back-compat shim:
+// the experiment lives in the registry
+// (src/runner/experiments/sharded_scaling.cpp); this binary behaves like
+// `rbb run sharded_scaling` with table output, honoring RBB_BENCH_SCALE
+// and RBB_CSV_DIR like every other exp_* shim.
+#include "runner/legacy.hpp"
+
+int main(int argc, char** argv) {
+  return rbb::runner::legacy_bench_main("sharded_scaling", argc, argv);
+}

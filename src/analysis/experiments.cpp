@@ -12,6 +12,7 @@
 #include "core/process.hpp"
 #include "coupling/coupling.hpp"
 #include "engine/engine.hpp"
+#include "par/sharded_process.hpp"
 #include "support/bounds.hpp"
 #include "support/thread_pool.hpp"
 #include "tetris/tetris.hpp"
@@ -114,13 +115,33 @@ ConvergenceResult run_convergence(const ConvergenceParams& p) {
   const std::uint64_t cap = p.cap == 0 ? 64ull * p.n : p.cap;
   std::vector<double> rounds(p.trials, -1.0);
 
-  for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
-    LoadConfig config = make_config(p.start, p.n, p.n, rng);
-    Engine engine(RepeatedBallsProcess(std::move(config), rng));
-    const EngineResult r = engine.run(
-        cap, UntilLegitimate{p.beta * log2n(p.n)}, NoFaults{});
-    if (r.goal_reached) rounds[trial] = static_cast<double>(r.rounds);
-  });
+  // Both backends share the measurement; only the process differs.  The
+  // initial configuration comes from the trial's xoshiro substream in
+  // both cases, so the two backends start from identical configurations
+  // and differ only in the in-round randomness.
+  auto measure = [&](auto&& make_process) {
+    for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
+      LoadConfig config = make_config(p.start, p.n, p.n, rng);
+      Engine engine(make_process(std::move(config), trial, rng));
+      const EngineResult r = engine.run(
+          cap, UntilLegitimate{p.beta * log2n(p.n)}, NoFaults{});
+      if (r.goal_reached) rounds[trial] = static_cast<double>(r.rounds);
+    });
+  };
+  if (p.backend == ConvergenceBackend::kSharded) {
+    measure([&](LoadConfig config, std::uint32_t trial, Rng&) {
+      // Counter key derived exactly like CounterRng(seed, stream).
+      // threads = 1: under the trial fan-out the round is inline
+      // anyway; see ConvergenceParams::backend.
+      return par::ShardedRepeatedBallsProcess(
+          std::move(config), mix64(p.seed, trial),
+          par::ShardedOptions{1, p.shard_size});
+    });
+  } else {
+    measure([&](LoadConfig config, std::uint32_t, Rng& rng) {
+      return RepeatedBallsProcess(std::move(config), rng);
+    });
+  }
 
   ConvergenceResult result;
   for (std::uint32_t t = 0; t < p.trials; ++t) {

@@ -65,6 +65,12 @@ struct StabilityResult {
 // E2 -- convergence time from arbitrary configurations (Theorem 1, part 2)
 // ---------------------------------------------------------------------------
 
+/// Which round kernel run_convergence drives (complete graph only).
+enum class ConvergenceBackend {
+  kSequential,  // core/process.hpp, xoshiro draws
+  kSharded,     // par/sharded_process.hpp, counter-RNG draws
+};
+
 struct ConvergenceParams {
   std::uint32_t n = 0;
   std::uint32_t trials = 0;
@@ -72,6 +78,16 @@ struct ConvergenceParams {
   InitialConfig start = InitialConfig::kAllInOne;
   double beta = 4.0;
   std::uint64_t cap = 0;  // 0 = 64 n
+  /// Backend selection.  The two kernels draw from different generator
+  /// families, so their trajectories (not their statistics) differ.
+  /// Under kSharded the trial fan-out keeps the cores and every inner
+  /// round runs sequentially (the thread_pool.hpp nesting rule: any
+  /// submission from inside a pool task is inline), so the processes
+  /// are built with threads = 1 -- a worker knob here would only spawn
+  /// idle pools.  Per-round thread scaling belongs to single-instance
+  /// measurements (the sharded_scaling experiment).
+  ConvergenceBackend backend = ConvergenceBackend::kSequential;
+  std::uint32_t shard_size = 0; // 0 = par::kDefaultShardSize
 };
 
 struct ConvergenceResult {

@@ -1,0 +1,178 @@
+// Sequential reference kernels for the sharded backend (testing / perf
+// comparators).
+//
+// The sharded processes draw every destination from the counter-based
+// RNG, so a plain single-threaded loop making the SAME draws must
+// reproduce their trajectories bit-for-bit -- that is the oracle the
+// parity tests in tests/par/ check against, with no sharding machinery
+// on the reference side at all.  The perf bench and the sharded_scaling
+// experiment also time these loops as the "what one thread does" floor.
+//
+// Note these are deliberately NOT the production sequential kernels:
+// core/process.hpp and core/token_process.hpp remain the fast xoshiro
+// implementations.  The reference kernels differ only in where the
+// randomness comes from (counter draws keyed by (round, releasing bin))
+// and in applying arrivals in ascending releasing-bin order -- the
+// canonical order the sharded commit phase realizes.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/process.hpp"  // RoundStats
+#include "core/token_process.hpp"
+#include "support/bounds.hpp"
+#include "support/counter_rng.hpp"
+
+namespace rbb::par {
+
+/// Single-threaded load-only kernel under the counter-based RNG; the
+/// parity oracle for ShardedRepeatedBallsProcess.
+class SequentialCounterProcess {
+ public:
+  explicit SequentialCounterProcess(LoadConfig initial, std::uint64_t seed)
+      : loads_(std::move(initial)), rng_(seed), balls_(total_balls(loads_)) {
+    if (loads_.empty()) {
+      throw std::invalid_argument(
+          "SequentialCounterProcess: empty configuration");
+    }
+    max_load_ = rbb::max_load(loads_);
+    empty_ = rbb::empty_bins(loads_);
+  }
+
+  RoundStats step() {
+    const auto n = static_cast<std::uint32_t>(loads_.size());
+    std::uint32_t departures = 0;
+    std::uint32_t max_after = 0;
+    std::uint32_t zeros = 0;
+    scratch_.clear();
+    for (std::uint32_t u = 0; u < n; ++u) {
+      std::uint32_t& load = loads_[u];
+      if (load > 0) {
+        --load;
+        ++departures;
+        scratch_.push_back(rng_.index(round_, u, n));
+      }
+      if (load == 0) {
+        ++zeros;
+      } else if (load > max_after) {
+        max_after = load;
+      }
+    }
+    max_load_ = max_after;
+    empty_ = zeros;
+    for (const std::uint32_t dest : scratch_) {
+      std::uint32_t& load = loads_[dest];
+      if (load == 0) --empty_;
+      if (++load > max_load_) max_load_ = load;
+    }
+    ++round_;
+    return RoundStats{max_load_, empty_, departures};
+  }
+
+  RoundStats run(std::uint64_t rounds) {
+    RoundStats stats{max_load_, empty_, 0};
+    for (std::uint64_t t = 0; t < rounds; ++t) stats = step();
+    return stats;
+  }
+
+  [[nodiscard]] std::uint32_t bin_count() const noexcept {
+    return static_cast<std::uint32_t>(loads_.size());
+  }
+  [[nodiscard]] std::uint64_t ball_count() const noexcept { return balls_; }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] const LoadConfig& loads() const noexcept { return loads_; }
+  [[nodiscard]] std::uint32_t max_load() const noexcept { return max_load_; }
+  [[nodiscard]] std::uint32_t empty_bins() const noexcept { return empty_; }
+  [[nodiscard]] bool is_legitimate(double beta = 4.0) const {
+    return static_cast<double>(max_load_) <= beta * log2n(bin_count());
+  }
+
+ private:
+  LoadConfig loads_;
+  CounterRng rng_;
+  std::uint64_t balls_;
+  std::uint64_t round_ = 0;
+  std::uint32_t max_load_ = 0;
+  std::uint32_t empty_ = 0;
+  std::vector<std::uint32_t> scratch_;
+};
+
+/// Single-threaded FIFO token kernel under the counter-based RNG; the
+/// parity oracle for ShardedTokenProcess.  Arrivals are applied in
+/// ascending releasing-bin order (the canonical order), so queue states
+/// match the sharded port exactly.
+class SequentialCounterTokenProcess {
+ public:
+  SequentialCounterTokenProcess(std::uint32_t bins,
+                                std::vector<std::uint32_t> start_bin,
+                                std::uint64_t seed)
+      : bins_(bins), rng_(seed), token_bin_(std::move(start_bin)) {
+    if (bins == 0) {
+      throw std::invalid_argument("SequentialCounterTokenProcess: 0 bins");
+    }
+    queues_.resize(bins);
+    progress_.assign(token_bin_.size(), 0);
+    for (std::uint32_t token = 0;
+         token < static_cast<std::uint32_t>(token_bin_.size()); ++token) {
+      if (token_bin_[token] >= bins) {
+        throw std::invalid_argument(
+            "SequentialCounterTokenProcess: start bin out of range");
+      }
+      queues_[token_bin_[token]].push(token);
+    }
+  }
+
+  void step() {
+    moves_.clear();
+    for (std::uint32_t u = 0; u < bins_; ++u) {
+      if (queues_[u].empty()) continue;
+      const std::uint32_t token = queues_[u].pop(QueuePolicy::kFifo, dummy_);
+      ++progress_[token];
+      moves_.emplace_back(rng_.index(round_, u, bins_), token);
+    }
+    for (const auto& [dest, token] : moves_) {
+      queues_[dest].push(token);
+      token_bin_[token] = dest;
+    }
+    ++round_;
+  }
+
+  void run(std::uint64_t rounds) {
+    for (std::uint64_t t = 0; t < rounds; ++t) step();
+  }
+
+  [[nodiscard]] std::uint32_t bin_count() const noexcept { return bins_; }
+  [[nodiscard]] std::uint32_t token_count() const noexcept {
+    return static_cast<std::uint32_t>(token_bin_.size());
+  }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] std::uint32_t token_bin(std::uint32_t token) const {
+    return token_bin_[token];
+  }
+  [[nodiscard]] std::uint64_t progress(std::uint32_t token) const {
+    return progress_[token];
+  }
+  [[nodiscard]] LoadConfig loads() const {
+    LoadConfig loads(bins_, 0);
+    for (std::uint32_t u = 0; u < bins_; ++u) {
+      loads[u] = static_cast<std::uint32_t>(queues_[u].size());
+    }
+    return loads;
+  }
+
+ private:
+  std::uint32_t bins_;
+  CounterRng rng_;
+  Rng dummy_{0};  // BallQueue::pop needs an Rng&; unused under FIFO
+  std::vector<BallQueue> queues_;
+  std::vector<std::uint32_t> token_bin_;
+  std::vector<std::uint64_t> progress_;
+  std::uint64_t round_ = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> moves_;
+};
+
+}  // namespace rbb::par

@@ -1,0 +1,89 @@
+// Bin partitioning for the sharded round kernel (DESIGN.md Sect. 5).
+//
+// A ShardPlan cuts the bin range [0, n) into cache-aligned shards --
+// contiguous, equally sized blocks whose load sub-vector fits in L1/L2
+// -- and groups the shards into a fixed number of contiguous *stripes*,
+// the unit of work handed to pool tasks.  Two properties matter:
+//
+//  * shard boundaries are multiples of 16 bins (16 x 4-byte loads = one
+//    64-byte cache line), so two workers never write the same line when
+//    each owns whole shards;
+//  * the stripe count is fixed by the plan, NOT by the thread count.
+//    Work is distributed stripe-by-stripe via the pool's dynamic
+//    scheduler, so any number of threads drains the same stripe list --
+//    and because every per-stripe output is either commutative (load
+//    sums) or canonically ordered (arrivals sorted by releasing bin),
+//    the result is bit-identical for every thread count and shard size.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+namespace rbb::par {
+
+/// Default bins per shard: 16384 x 4 bytes = 64 KiB, comfortably inside
+/// a per-core L2 while amortizing per-shard buffer bookkeeping.
+inline constexpr std::uint32_t kDefaultShardSize = 16384;
+
+/// Upper bound on stripes (pool tasks per phase).  Small enough that
+/// per-stripe accumulators stay cheap, large enough to load-balance any
+/// realistic worker count with dynamic scheduling.
+inline constexpr std::uint32_t kMaxStripes = 32;
+
+/// The partition of [0, n) into shards and stripes.
+class ShardPlan {
+ public:
+  /// `shard_size` = 0 picks the default; other values are rounded up to
+  /// a multiple of 16 bins (cache-line alignment; see header comment).
+  explicit ShardPlan(std::uint32_t n, std::uint32_t shard_size = 0) : n_(n) {
+    if (n == 0) throw std::invalid_argument("ShardPlan: n == 0");
+    shard_size_ = shard_size == 0 ? kDefaultShardSize : shard_size;
+    shard_size_ = ((shard_size_ + 15u) / 16u) * 16u;
+    shard_count_ = (n_ + shard_size_ - 1) / shard_size_;
+    stripe_count_ = std::min(shard_count_, kMaxStripes);
+  }
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
+  [[nodiscard]] std::uint32_t shard_size() const noexcept {
+    return shard_size_;
+  }
+  [[nodiscard]] std::uint32_t shard_count() const noexcept {
+    return shard_count_;
+  }
+  [[nodiscard]] std::uint32_t stripe_count() const noexcept {
+    return stripe_count_;
+  }
+
+  [[nodiscard]] std::uint32_t shard_of(std::uint32_t bin) const noexcept {
+    return bin / shard_size_;
+  }
+  [[nodiscard]] std::uint32_t shard_begin(std::uint32_t shard) const noexcept {
+    return shard * shard_size_;
+  }
+  [[nodiscard]] std::uint32_t shard_end(std::uint32_t shard) const noexcept {
+    return std::min(n_, (shard + 1) * shard_size_);
+  }
+
+  /// Stripe `g` owns shards [stripe_begin_shard(g), stripe_end_shard(g)),
+  /// in increasing order; stripes tile [0, shard_count) contiguously.
+  [[nodiscard]] std::uint32_t stripe_begin_shard(
+      std::uint32_t stripe) const noexcept {
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(stripe) * shard_count_) / stripe_count_);
+  }
+  [[nodiscard]] std::uint32_t stripe_end_shard(
+      std::uint32_t stripe) const noexcept {
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(stripe + 1) * shard_count_) /
+        stripe_count_);
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t shard_size_;
+  std::uint32_t shard_count_;
+  std::uint32_t stripe_count_;
+};
+
+}  // namespace rbb::par

@@ -1,0 +1,140 @@
+#include "par/sharded_process.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/bounds.hpp"
+
+namespace rbb::par {
+
+ShardedRepeatedBallsProcess::ShardedRepeatedBallsProcess(
+    LoadConfig initial, std::uint64_t seed, ShardedOptions options)
+    : loads_(std::move(initial)),
+      plan_(loads_.empty() ? 1 : static_cast<std::uint32_t>(loads_.size()),
+            options.shard_size),
+      rng_(seed),
+      exec_(options.threads),
+      balls_(total_balls(loads_)) {
+  if (loads_.empty()) {
+    throw std::invalid_argument(
+        "ShardedRepeatedBallsProcess: empty configuration");
+  }
+  buffers_.resize(static_cast<std::size_t>(plan_.stripe_count()) *
+                  plan_.shard_count());
+  acc_.resize(plan_.stripe_count());
+  recompute_stats();
+}
+
+RoundStats ShardedRepeatedBallsProcess::step() {
+  const std::uint32_t n = bin_count();
+  const std::uint32_t shard_count = plan_.shard_count();
+
+  // Phase 1 (throw): departures + destination draws into stripe-owned
+  // buffers.  The counter RNG keys every draw by (round, releasing bin),
+  // so the round's randomness is independent of the schedule.
+  exec_.for_stripes(plan_.stripe_count(), [&](std::uint32_t g) {
+    StripeAcc& acc = acc_[g];
+    acc.departures = 0;
+    std::vector<std::uint32_t>* row =
+        &buffers_[static_cast<std::size_t>(g) * shard_count];
+    const std::uint32_t begin = plan_.shard_begin(plan_.stripe_begin_shard(g));
+    const std::uint32_t end =
+        plan_.stripe_end_shard(g) == shard_count
+            ? n
+            : plan_.shard_begin(plan_.stripe_end_shard(g));
+    for (std::uint32_t u = begin; u < end; ++u) {
+      std::uint32_t& load = loads_[u];
+      if (load > 0) {
+        --load;
+        ++acc.departures;
+        const std::uint32_t dest = rng_.index(round_, u, n);
+        row[plan_.shard_of(dest)].push_back(dest);
+      }
+    }
+  });
+
+  // Phase 2 (commit): each stripe drains all buffers addressed to its
+  // shards and rescans them for the round statistics.  The shard's
+  // loads are cache-hot, so the random within-shard scatter is cheap.
+  exec_.for_stripes(plan_.stripe_count(), [&](std::uint32_t g) {
+    StripeAcc& acc = acc_[g];
+    acc.max = 0;
+    acc.zeros = 0;
+    for (std::uint32_t s = plan_.stripe_begin_shard(g);
+         s < plan_.stripe_end_shard(g); ++s) {
+      for (std::uint32_t src = 0; src < plan_.stripe_count(); ++src) {
+        std::vector<std::uint32_t>& buf =
+            buffers_[static_cast<std::size_t>(src) * shard_count + s];
+        for (const std::uint32_t dest : buf) ++loads_[dest];
+        buf.clear();
+      }
+      for (std::uint32_t u = plan_.shard_begin(s); u < plan_.shard_end(s);
+           ++u) {
+        const std::uint32_t load = loads_[u];
+        if (load == 0) {
+          ++acc.zeros;
+        } else if (load > acc.max) {
+          acc.max = load;
+        }
+      }
+    }
+  });
+
+  // Fixed-order reduction over stripes.
+  std::uint32_t departures = 0;
+  max_load_ = 0;
+  empty_ = 0;
+  for (const StripeAcc& acc : acc_) {
+    departures += acc.departures;
+    max_load_ = std::max(max_load_, acc.max);
+    empty_ += acc.zeros;
+  }
+  ++round_;
+  return RoundStats{max_load_, empty_, departures};
+}
+
+RoundStats ShardedRepeatedBallsProcess::run(std::uint64_t rounds) {
+  RoundStats stats{max_load_, empty_, 0};
+  for (std::uint64_t t = 0; t < rounds; ++t) stats = step();
+  return stats;
+}
+
+bool ShardedRepeatedBallsProcess::is_legitimate(double beta) const {
+  return static_cast<double>(max_load_) <= beta * log2n(bin_count());
+}
+
+void ShardedRepeatedBallsProcess::reassign(const LoadConfig& q) {
+  validate_config(q, balls_);
+  if (q.size() != loads_.size()) {
+    throw std::invalid_argument("reassign: bin count mismatch");
+  }
+  loads_ = q;
+  recompute_stats();
+}
+
+void ShardedRepeatedBallsProcess::recompute_stats() {
+  max_load_ = rbb::max_load(loads_);
+  empty_ = rbb::empty_bins(loads_);
+}
+
+void ShardedRepeatedBallsProcess::check_invariants() const {
+  if (total_balls(loads_) != balls_) {
+    throw std::logic_error("ShardedRepeatedBallsProcess: balls drifted");
+  }
+  if (rbb::max_load(loads_) != max_load_) {
+    throw std::logic_error(
+        "ShardedRepeatedBallsProcess: max load out of sync");
+  }
+  if (rbb::empty_bins(loads_) != empty_) {
+    throw std::logic_error(
+        "ShardedRepeatedBallsProcess: empty count out of sync");
+  }
+  for (const auto& buf : buffers_) {
+    if (!buf.empty()) {
+      throw std::logic_error(
+          "ShardedRepeatedBallsProcess: scatter buffer not drained");
+    }
+  }
+}
+
+}  // namespace rbb::par

@@ -1,0 +1,177 @@
+#include "par/sharded_token_process.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rbb::par {
+
+ShardedTokenProcess::ShardedTokenProcess(std::uint32_t bins,
+                                         std::vector<std::uint32_t> start_bin,
+                                         std::uint64_t seed,
+                                         ShardedOptions options)
+    : bins_(bins),
+      plan_(bins == 0 ? 1 : bins, options.shard_size),
+      rng_(seed),
+      exec_(options.threads),
+      token_bin_(std::move(start_bin)),
+      progress_(token_bin_.size(), 0) {
+  if (bins_ == 0) {
+    throw std::invalid_argument("ShardedTokenProcess: bins == 0");
+  }
+  if (token_bin_.empty()) {
+    throw std::invalid_argument("ShardedTokenProcess: no tokens");
+  }
+  for (const std::uint32_t bin : token_bin_) {
+    if (bin >= bins_) {
+      throw std::invalid_argument(
+          "ShardedTokenProcess: start bin out of range");
+    }
+  }
+  queues_.resize(bins_);
+  buffers_.resize(static_cast<std::size_t>(plan_.stripe_count()) *
+                  plan_.shard_count());
+  acc_.resize(plan_.stripe_count());
+  rebuild_queues();
+}
+
+void ShardedTokenProcess::step() {
+  const std::uint32_t n = bins_;
+  const std::uint32_t shard_count = plan_.shard_count();
+
+  // Phase 1 (throw): each stripe releases its FIFO heads in ascending
+  // bin order, so every buffer is filled sorted by releasing bin.  A
+  // token sits in exactly one queue, so the progress_ writes are
+  // stripe-exclusive too.
+  exec_.for_stripes(plan_.stripe_count(), [&](std::uint32_t g) {
+    std::vector<Arrival>* row =
+        &buffers_[static_cast<std::size_t>(g) * shard_count];
+    const std::uint32_t begin = plan_.shard_begin(plan_.stripe_begin_shard(g));
+    const std::uint32_t end =
+        plan_.stripe_end_shard(g) == shard_count
+            ? n
+            : plan_.shard_begin(plan_.stripe_end_shard(g));
+    for (std::uint32_t u = begin; u < end; ++u) {
+      if (queues_[u].empty()) continue;
+      const std::uint32_t token = queues_[u].pop(QueuePolicy::kFifo, dummy_);
+      ++progress_[token];
+      const std::uint32_t dest = rng_.index(round_, u, n);
+      row[plan_.shard_of(dest)].push_back(Arrival{dest, token});
+    }
+  });
+
+  // Phase 2 (commit): drain buffers in ascending source-stripe order so
+  // every bin enqueues its arrivals sorted by releasing bin -- the
+  // canonical order the sequential reference realizes by construction.
+  // A token arrives in exactly one buffer, so the token_bin_ writes are
+  // stripe-exclusive.
+  exec_.for_stripes(plan_.stripe_count(), [&](std::uint32_t g) {
+    StripeAcc& acc = acc_[g];
+    acc.max = 0;
+    acc.zeros = 0;
+    for (std::uint32_t s = plan_.stripe_begin_shard(g);
+         s < plan_.stripe_end_shard(g); ++s) {
+      for (std::uint32_t src = 0; src < plan_.stripe_count(); ++src) {
+        std::vector<Arrival>& buf =
+            buffers_[static_cast<std::size_t>(src) * shard_count + s];
+        for (const Arrival& arrival : buf) {
+          queues_[arrival.dest].push(arrival.token);
+          token_bin_[arrival.token] = arrival.dest;
+        }
+        buf.clear();
+      }
+      for (std::uint32_t u = plan_.shard_begin(s); u < plan_.shard_end(s);
+           ++u) {
+        const auto load = static_cast<std::uint32_t>(queues_[u].size());
+        if (load == 0) {
+          ++acc.zeros;
+        } else if (load > acc.max) {
+          acc.max = load;
+        }
+      }
+    }
+  });
+
+  max_load_ = 0;
+  empty_ = 0;
+  for (const StripeAcc& acc : acc_) {
+    max_load_ = std::max(max_load_, acc.max);
+    empty_ += acc.zeros;
+  }
+  ++round_;
+}
+
+void ShardedTokenProcess::run(std::uint64_t rounds) {
+  for (std::uint64_t t = 0; t < rounds; ++t) step();
+}
+
+LoadConfig ShardedTokenProcess::loads() const {
+  LoadConfig loads(bins_, 0);
+  for (std::uint32_t u = 0; u < bins_; ++u) {
+    loads[u] = static_cast<std::uint32_t>(queues_[u].size());
+  }
+  return loads;
+}
+
+std::uint64_t ShardedTokenProcess::min_progress() const {
+  std::uint64_t lo = progress_.empty() ? 0 : progress_[0];
+  for (const std::uint64_t p : progress_) lo = std::min(lo, p);
+  return lo;
+}
+
+void ShardedTokenProcess::reassign(const std::vector<std::uint32_t>& new_bin) {
+  if (new_bin.size() != token_bin_.size()) {
+    throw std::invalid_argument("reassign: token count mismatch");
+  }
+  for (const std::uint32_t bin : new_bin) {
+    if (bin >= bins_) {
+      throw std::invalid_argument("reassign: bin out of range");
+    }
+  }
+  token_bin_ = new_bin;
+  rebuild_queues();
+}
+
+void ShardedTokenProcess::rebuild_queues() {
+  for (BallQueue& queue : queues_) queue.clear();
+  for (std::uint32_t token = 0; token < token_count(); ++token) {
+    queues_[token_bin_[token]].push(token);
+  }
+  rescan_stats();
+}
+
+void ShardedTokenProcess::rescan_stats() {
+  max_load_ = 0;
+  empty_ = 0;
+  for (std::uint32_t u = 0; u < bins_; ++u) {
+    const auto load = static_cast<std::uint32_t>(queues_[u].size());
+    if (load == 0) {
+      ++empty_;
+    } else if (load > max_load_) {
+      max_load_ = load;
+    }
+  }
+}
+
+void ShardedTokenProcess::check_invariants() const {
+  std::uint64_t queued = 0;
+  for (std::uint32_t u = 0; u < bins_; ++u) {
+    for (const std::uint32_t token : queues_[u].snapshot()) {
+      if (token_bin_[token] != u) {
+        throw std::logic_error(
+            "ShardedTokenProcess: queue/token position mismatch");
+      }
+      ++queued;
+    }
+  }
+  if (queued != token_bin_.size()) {
+    throw std::logic_error("ShardedTokenProcess: token count drifted");
+  }
+  for (const auto& buf : buffers_) {
+    if (!buf.empty()) {
+      throw std::logic_error(
+          "ShardedTokenProcess: scatter buffer not drained");
+    }
+  }
+}
+
+}  // namespace rbb::par

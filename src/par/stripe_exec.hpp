@@ -1,0 +1,53 @@
+// Stripe-task dispatch shared by the sharded processes: pool selection
+// (ShardedOptions::threads) plus the per-phase parallel-for.  One place
+// owns the rule, so the load-only and token kernels cannot diverge.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "support/thread_pool.hpp"
+
+namespace rbb::par {
+
+/// Runs phase bodies over [0, stripe_count) per the `threads` knob:
+///   0  -- the process-wide ThreadPool::global(),
+///   1  -- strictly inline on the calling thread (no pool),
+///   k  -- a private pool sized k-1 workers: the submitting thread
+///         drains its own batches (ThreadPool::run_batch), so k-1
+///         workers + the submitter = exactly k runnable threads.  This
+///         keeps the `threads` label of perf tables honest and the
+///         k = hardware row from oversubscribing by one.
+/// Note a private pool only helps at the TOP of the nesting hierarchy:
+/// inside another pool's task every submission runs inline
+/// (thread_pool.hpp nesting rule), so processes driven under
+/// for_each_trial should use threads <= 1 and let the trial sweep own
+/// the cores.
+class StripeExecutor {
+ public:
+  explicit StripeExecutor(unsigned threads) {
+    if (threads == 0) {
+      pool_ = &ThreadPool::global();
+    } else if (threads > 1) {
+      owned_pool_ = std::make_unique<ThreadPool>(threads - 1);
+      pool_ = owned_pool_.get();
+    }
+  }
+
+  template <typename Fn>
+  void for_stripes(std::uint32_t stripe_count, Fn&& fn) {
+    if (pool_ == nullptr || stripe_count == 1) {
+      for (std::uint32_t g = 0; g < stripe_count; ++g) fn(g);
+      return;
+    }
+    pool_->for_each(stripe_count, [&fn](std::uint64_t g) {
+      fn(static_cast<std::uint32_t>(g));
+    });
+  }
+
+ private:
+  ThreadPool* pool_ = nullptr;  // nullptr = inline execution
+  std::unique_ptr<ThreadPool> owned_pool_;
+};
+
+}  // namespace rbb::par

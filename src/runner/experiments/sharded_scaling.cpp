@@ -1,0 +1,152 @@
+// Extra -- scaling of the sharded round kernel (src/par/): rounds/sec
+// and ns/ball for one mega-n instance, versus the sequential kernels.
+//
+// This is the experiment behind BENCH_sharded.json, the repository's
+// tracked perf baseline: run it with --format=json and compare the
+// rounds_per_sec column across commits.  Three kernels are timed per n:
+//
+//   seq          the production sequential kernel (xoshiro draws),
+//   seq-counter  the sequential reference making counter-RNG draws
+//                (isolates the RNG-swap cost from the sharding win),
+//   sharded xT   the two-phase kernel at each requested thread count.
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/process.hpp"
+#include "par/reference.hpp"
+#include "par/sharded_process.hpp"
+#include "runner/registry.hpp"
+#include "support/thread_pool.hpp"
+
+namespace rbb::runner {
+
+namespace {
+
+/// Wall seconds for `rounds` rounds of `proc` after one untimed warm-up
+/// round (faults in the arrays and sizes the scatter buffers).
+template <typename Process>
+double time_rounds(Process& proc, std::uint64_t rounds) {
+  proc.step();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t r = 0; r < rounds; ++r) proc.step();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+void register_sharded_scaling(Registry& registry) {
+  Experiment e;
+  e.name = "sharded_scaling";
+  e.claim = "";
+  e.title = "sharded round kernel: rounds/sec and ns/ball vs n x threads";
+  e.description =
+      "Times one instance of the load-only complete-graph process on "
+      "three kernels: the sequential xoshiro kernel (core/), the "
+      "sequential counter-RNG reference (par/reference.hpp, isolating "
+      "the RNG swap), and the sharded two-phase kernel (par/) at "
+      "several worker counts.  One round of one instance runs across "
+      "all cores; the trajectory is bit-identical for every thread "
+      "count and shard size.  n sweeps by scale up to 10^8 at "
+      "--scale=mega; --threads fixes a single worker count, otherwise "
+      "{1, 4, max} are measured.  The JSON output of this experiment "
+      "is the tracked perf baseline BENCH_sharded.json.  Single-"
+      "instance measurement: --trials is ignored.";
+  e.sharded_capable = true;
+  e.params = {
+      {"rounds", ParamSpec::Type::kU64, "0",
+       "measured rounds per point (0 = auto, ~6.4e7 bin-visits per "
+       "point, clamped to [2, 32])"},
+      {"shard-size", ParamSpec::Type::kU64, "0",
+       "bins per shard for the sharded kernel (0 = 16384)"},
+  };
+  e.run = [](const RunContext& ctx) {
+    const std::vector<std::uint64_t> ns = by_scale<std::vector<std::uint64_t>>(
+        ctx.scale, {100000}, {1000000, 10000000}, {1000000, 10000000},
+        {1000000, 10000000, 100000000});
+    const auto shard_size =
+        static_cast<std::uint32_t>(ctx.params.u32("shard-size"));
+
+    // Worker counts: an explicit --threads measures exactly that;
+    // otherwise 1, 4, and the machine maximum (deduplicated).
+    std::vector<unsigned> thread_grid;
+    const unsigned hw = ThreadPool::default_thread_count();
+    if (ctx.threads() != 0) {
+      thread_grid.push_back(ctx.threads());
+    } else {
+      for (const unsigned t : {1u, 4u, hw}) {
+        if (std::find(thread_grid.begin(), thread_grid.end(), t) ==
+            thread_grid.end()) {
+          thread_grid.push_back(t);
+        }
+      }
+    }
+
+    ResultSet rs;
+    Table& table = rs.add_table(
+        "sharded_scaling",
+        "rounds/sec and ns/ball: sequential vs sharded kernels",
+        {"n", "backend", "threads", "rounds", "wall_s", "rounds_per_sec",
+         "ns_per_ball", "speedup_vs_seq"});
+
+    for (const std::uint64_t n64 : ns) {
+      const auto n = static_cast<std::uint32_t>(n64);
+      const std::uint64_t rounds =
+          ctx.params.u64("rounds") != 0
+              ? ctx.params.u64("rounds")
+              : std::clamp<std::uint64_t>(64000000 / n64, 2, 32);
+      const double balls = static_cast<double>(n64) *
+                           static_cast<double>(rounds);
+
+      auto emit = [&](const std::string& backend, unsigned threads,
+                      double wall, double seq_wall) {
+        table.row()
+            .cell(n64)
+            .cell(backend)
+            .cell(std::uint64_t{threads})
+            .cell(rounds)
+            .cell(wall, 4)
+            .cell(static_cast<double>(rounds) / wall, 2)
+            .cell(wall / balls * 1e9, 2)
+            .cell(seq_wall / wall, 2);
+      };
+
+      Rng cfg_rng(ctx.seed());
+      double seq_wall = 0;
+      {
+        RepeatedBallsProcess proc(
+            make_config(InitialConfig::kOnePerBin, n, n, cfg_rng),
+            Rng(ctx.seed(), 1));
+        seq_wall = time_rounds(proc, rounds);
+        emit("seq", 1, seq_wall, seq_wall);
+      }
+      {
+        par::SequentialCounterProcess proc(
+            make_config(InitialConfig::kOnePerBin, n, n, cfg_rng),
+            ctx.seed());
+        emit("seq-counter", 1, time_rounds(proc, rounds), seq_wall);
+      }
+      for (const unsigned threads : thread_grid) {
+        par::ShardedRepeatedBallsProcess proc(
+            make_config(InitialConfig::kOnePerBin, n, n, cfg_rng),
+            ctx.seed(), par::ShardedOptions{threads, shard_size});
+        emit("sharded", threads, time_rounds(proc, rounds), seq_wall);
+      }
+    }
+
+    rs.note("hardware threads: " + std::to_string(hw) +
+            " (ThreadPool::default_thread_count; RBB_THREADS overrides)");
+    rs.note("one-per-bin start: every bin releases each round, the "
+            "max-throughput regime; ns_per_ball = wall / (rounds * n)");
+    rs.note("sharded trajectories are bit-identical across the threads "
+            "column by construction (tests/par/); timings, not results, "
+            "vary with the worker count");
+    return rs;
+  };
+  registry.add(std::move(e));
+}
+
+}  // namespace rbb::runner

@@ -34,6 +34,7 @@ void register_load_profile(Registry&);         // E20
 void register_mixing(Registry&);               // E21
 void register_overload(Registry&);             // extra (Sect. 5 open qn)
 void register_israeli_jalfon(Registry&);       // extra (ancestor protocol)
+void register_sharded_scaling(Registry&);      // extra (src/par/ baseline)
 
 void register_all_experiments(Registry& registry) {
   register_stability(registry);
@@ -60,6 +61,7 @@ void register_all_experiments(Registry& registry) {
   register_mixing(registry);
   register_overload(registry);
   register_israeli_jalfon(registry);
+  register_sharded_scaling(registry);
 }
 
 }  // namespace rbb::runner

@@ -26,7 +26,8 @@ void Registry::add(Experiment experiment) {
     // `rbb run` (while the legacy shim *would* set it) -- exactly the
     // frontend drift the registry exists to prevent.
     for (const char* reserved :
-         {"seed", "trials", "scale", "format", "out", "check", "help"}) {
+         {"seed", "trials", "backend", "threads", "scale", "format", "out",
+          "check", "help"}) {
       if (spec.name == reserved) {
         throw std::invalid_argument(
             "Registry::add: " + experiment.name +
@@ -34,12 +35,20 @@ void Registry::add(Experiment experiment) {
       }
     }
   }
-  // Every experiment shares the two Monte-Carlo knobs; prepending them
-  // here keeps the declarations thin and the CLI surface uniform.
+  // Every experiment shares the Monte-Carlo knobs and the round-kernel
+  // selector; prepending them here keeps the declarations thin and the
+  // CLI surface uniform.  --backend=sharded is validated against the
+  // experiment's opt-in in run_experiment.
   std::vector<ParamSpec> params = {
       {"seed", ParamSpec::Type::kU64, "1", "root RNG seed"},
       {"trials", ParamSpec::Type::kU64, "0",
        "trials per sweep point (0 = scale default)"},
+      {"backend", ParamSpec::Type::kString, "seq",
+       "round kernel: seq (single-thread xoshiro) or sharded "
+       "(src/par/ counter-RNG kernel; sharded-capable experiments only)"},
+      {"threads", ParamSpec::Type::kU64, "0",
+       "sharded-backend workers (0 = the shared pool, i.e. all hardware "
+       "threads; ignored under --backend=seq)"},
   };
   params.insert(params.end(),
                 std::make_move_iterator(experiment.params.begin()),
@@ -86,6 +95,18 @@ std::vector<const Experiment*> Registry::catalog() const {
 
 CompletedRun run_experiment(const Experiment& experiment,
                             const ParamValues& values, BenchScale scale) {
+  const std::string& backend = values.str("backend");
+  if (backend != "seq" && backend != "sharded") {
+    throw std::invalid_argument("--backend expects seq or sharded, got \"" +
+                                backend + "\"");
+  }
+  if (backend == "sharded" && !experiment.sharded_capable) {
+    throw std::invalid_argument(
+        experiment.name +
+        " does not support --backend=sharded: only experiments whose "
+        "process has a src/par/ port accept it (run with --backend=seq, "
+        "or pick a sharded-capable experiment such as sharded_scaling)");
+  }
   CompletedRun run;
   const auto t0 = std::chrono::steady_clock::now();
   const RunContext ctx{values, scale};
@@ -115,6 +136,9 @@ std::vector<std::uint32_t> default_n_sweep(BenchScale scale) {
   switch (scale) {
     case BenchScale::kSmoke: return {128, 256};
     case BenchScale::kPaper: return {256, 1024, 4096, 16384};
+    // mega is meaningful only for the sharded single-instance
+    // experiments; the Monte-Carlo sweeps fall back to paper sizes.
+    case BenchScale::kMega: return {256, 1024, 4096, 16384};
     case BenchScale::kDefault: break;
   }
   return {256, 1024, 4096};

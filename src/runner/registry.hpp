@@ -35,6 +35,19 @@ struct RunContext {
 
   [[nodiscard]] std::uint64_t seed() const { return params.u64("seed"); }
 
+  /// True when the run asked for the sharded round kernel (src/par/)
+  /// via --backend=sharded.  Only reachable inside experiments that
+  /// declared `sharded_capable`; run_experiment rejects it elsewhere.
+  [[nodiscard]] bool sharded() const {
+    return params.str("backend") == "sharded";
+  }
+
+  /// The --threads request for the sharded backend: 0 = the shared
+  /// global pool (all hardware threads), k = a private pool of k.
+  [[nodiscard]] unsigned threads() const {
+    return static_cast<unsigned>(params.u32("threads"));
+  }
+
   /// The trial count: the --trials override wins (range-checked), else
   /// the scale picks.
   [[nodiscard]] std::uint32_t trials_or(std::uint32_t smoke,
@@ -52,7 +65,11 @@ struct Experiment {
   std::string claim;        // DESIGN.md Sect. 4 E-number, "" for extras
   std::string title;        // one-line claim summary (list / docs)
   std::string description;  // prose for describe / docs
-  std::vector<ParamSpec> params;  // registry prepends seed + trials
+  /// Opt-in for --backend=sharded: true only when the run function
+  /// honors RunContext::sharded() by driving a src/par/ process.
+  /// run_experiment rejects the flag on every other experiment.
+  bool sharded_capable = false;
+  std::vector<ParamSpec> params;  // registry prepends seed/trials/backend/...
   std::function<ResultSet(const RunContext&)> run;
 };
 

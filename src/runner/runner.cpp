@@ -28,10 +28,15 @@ usage:
   rbb help                          this text
 
 options for run / sweep:
-  --scale=smoke|default|paper   sweep sizes (default: $RBB_BENCH_SCALE,
-                                else "default")
+  --scale=smoke|default|paper|mega
+                                sweep sizes (default: $RBB_BENCH_SCALE,
+                                else "default"; mega = n >= 1e8 for the
+                                sharded single-instance experiments)
   --format=table|json|csv       output rendering (default: table)
   --out=PATH                    write to PATH instead of stdout
+  --backend=seq|sharded         round kernel (sharded-capable
+                                experiments only; default: seq)
+  --threads=N                   sharded-backend workers (0 = all)
   --<param>=value               any parameter of the experiment
                                 (see `rbb describe <experiment>`);
                                 under `sweep`, comma-separated values
@@ -53,6 +58,7 @@ bool parse_scale(const std::string& text, BenchScale* scale) {
   if (text == "smoke") { *scale = BenchScale::kSmoke; return true; }
   if (text == "default") { *scale = BenchScale::kDefault; return true; }
   if (text == "paper") { *scale = BenchScale::kPaper; return true; }
+  if (text == "mega") { *scale = BenchScale::kMega; return true; }
   return false;
 }
 
@@ -122,7 +128,7 @@ int cmd_describe(const std::vector<std::string>& args, std::ostream& out,
       << e->title << "\n\n";
   out << e->description << "\n\n";
   out << "run: rbb run " << e->name
-      << " [--scale=smoke|default|paper] [--format=table|json|csv]\n\n";
+      << " [--scale=smoke|default|paper|mega] [--format=table|json|csv]\n\n";
   Table params({"parameter", "type", "default", "description"});
   for (const ParamSpec& spec : e->params) {
     params.row()
@@ -166,7 +172,7 @@ int parse_invocation(const char* verb, const std::vector<std::string>& args,
     }
     if (name == "scale") {
       if (!has_value || !parse_scale(value, &inv->common.scale)) {
-        err << "rbb: --scale expects smoke|default|paper\n";
+        err << "rbb: --scale expects smoke|default|paper|mega\n";
         return 2;
       }
     } else if (name == "format") {

@@ -1,0 +1,147 @@
+// Counter-based pseudo-random number generation (Philox4x32-10).
+//
+// The xoshiro Rng in rng.hpp is *sequential*: the t-th draw depends on
+// having produced the t-1 draws before it, which pins every consumer to
+// one serial stream.  The sharded round kernel in src/par/ needs the
+// opposite contract: the destination of the ball leaving bin u in round
+// r must be computable by ANY worker, in ANY order, without
+// synchronization -- and must come out bit-identical no matter how the
+// bins are partitioned across threads.
+//
+// A counter-based generator (Salmon, Moraes, Dror, Shaw -- "Parallel
+// Random Numbers: As Easy as 1, 2, 3", SC'11) delivers exactly that:
+// output = bijection(key, counter), no state.  We use Philox4x32 with
+// the authors' recommended 10 rounds, whose outputs pass BigCrush.
+//
+// Stream-splitting contract (relied on by src/par/ and its tests):
+//
+//   key     = two 32-bit words derived from the 64-bit root seed
+//             (SplitMix64-mixed, so nearby seeds give unrelated keys),
+//   counter = (round, slot): the 128-bit counter is the concatenation
+//             of the 64-bit round index and a 64-bit "ball slot".
+//
+// The slot identifies the logical draw within the round; the sharded
+// kernels use the index of the *releasing bin* (each bin releases at
+// most one ball per round, so the slot is unique).  Distinct
+// (seed, round, slot) triples therefore yield independent draws, and a
+// round's randomness is fully determined before any worker starts --
+// which is what makes the two-phase scatter deterministic for every
+// thread count and shard size.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/rng.hpp"  // SplitMix64, mix64
+
+namespace rbb {
+
+/// One Philox4x32 block: encrypts a 128-bit counter under a 64-bit key
+/// with `kPhiloxRounds` rounds.  Constants are the ones from the SC'11
+/// paper; the known-answer tests in tests/support/ pin the output
+/// against the Random123 reference vectors.
+inline constexpr int kPhiloxRounds = 10;
+
+[[nodiscard]] constexpr std::array<std::uint32_t, 4> philox4x32(
+    std::array<std::uint32_t, 4> counter,
+    std::array<std::uint32_t, 2> key) noexcept {
+  constexpr std::uint32_t kMul0 = 0xD2511F53u;
+  constexpr std::uint32_t kMul1 = 0xCD9E8D57u;
+  constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+  constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+  for (int r = 0; r < kPhiloxRounds; ++r) {
+    const std::uint64_t p0 =
+        static_cast<std::uint64_t>(kMul0) * counter[0];
+    const std::uint64_t p1 =
+        static_cast<std::uint64_t>(kMul1) * counter[2];
+    counter = {
+        static_cast<std::uint32_t>(p1 >> 32) ^ counter[1] ^ key[0],
+        static_cast<std::uint32_t>(p1),
+        static_cast<std::uint32_t>(p0 >> 32) ^ counter[3] ^ key[1],
+        static_cast<std::uint32_t>(p0),
+    };
+    key[0] += kWeyl0;
+    key[1] += kWeyl1;
+  }
+  return counter;
+}
+
+/// The stateless RNG facade over philox4x32: a key (from the root seed)
+/// plus per-call (round, slot) counters.  Copying is free; there is no
+/// sequence position to share or corrupt, so one instance can be read
+/// from any number of threads concurrently.
+class CounterRng {
+ public:
+  /// Derives the Philox key from a 64-bit root seed.  Two SplitMix64
+  /// outputs feed the two key words so that seeds differing in one bit
+  /// produce unrelated keys (same construction rng.hpp uses for state).
+  constexpr explicit CounterRng(std::uint64_t seed) noexcept : key_{0, 0} {
+    SplitMix64 sm(seed);
+    const std::uint64_t k = sm();
+    key_ = {static_cast<std::uint32_t>(k),
+            static_cast<std::uint32_t>(k >> 32)};
+  }
+
+  /// Derives the key for logical stream `stream` of root seed `seed`
+  /// (e.g. one stream per Monte-Carlo trial), mirroring Rng(seed,
+  /// stream).
+  constexpr CounterRng(std::uint64_t seed, std::uint64_t stream) noexcept
+      : CounterRng(mix64(seed, stream)) {}
+
+  /// The 128-bit block for (round, slot).
+  [[nodiscard]] constexpr std::array<std::uint32_t, 4> block(
+      std::uint64_t round, std::uint64_t slot) const noexcept {
+    return philox4x32({static_cast<std::uint32_t>(slot),
+                       static_cast<std::uint32_t>(slot >> 32),
+                       static_cast<std::uint32_t>(round),
+                       static_cast<std::uint32_t>(round >> 32)},
+                      key_);
+  }
+
+  /// The block as two 64-bit words.
+  [[nodiscard]] constexpr std::array<std::uint64_t, 2> words(
+      std::uint64_t round, std::uint64_t slot) const noexcept {
+    const std::array<std::uint32_t, 4> b = block(round, slot);
+    return {b[0] | (static_cast<std::uint64_t>(b[1]) << 32),
+            b[2] | (static_cast<std::uint64_t>(b[3]) << 32)};
+  }
+
+  /// Uniform index in [0, n) for draw (round, slot); n in [1, 2^32).
+  ///
+  /// Lemire multiply-shift on the block's first 64-bit word, with one
+  /// rejection retry on the second word.  A counter-based draw cannot
+  /// loop indefinitely the way Rng::below can, so after the retry the
+  /// second word is accepted unconditionally: the residual bias is
+  /// below 2^-64 per draw (both words landing in the rejection zone of
+  /// width < n <= 2^32 out of 2^64), far under any observable effect.
+  [[nodiscard]] constexpr std::uint32_t index(std::uint64_t round,
+                                              std::uint64_t slot,
+                                              std::uint32_t n) const noexcept {
+    const std::array<std::uint64_t, 2> w = words(round, slot);
+    __uint128_t m = static_cast<__uint128_t>(w[0]) * n;
+    if (static_cast<std::uint64_t>(m) < n) {
+      const std::uint64_t threshold = (0 - std::uint64_t{n}) % n;
+      if (static_cast<std::uint64_t>(m) < threshold) {
+        m = static_cast<__uint128_t>(w[1]) * n;
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits for draw (round, slot).
+  [[nodiscard]] constexpr double uniform(std::uint64_t round,
+                                         std::uint64_t slot) const noexcept {
+    return static_cast<double>(words(round, slot)[0] >> 11) * 0x1.0p-53;
+  }
+
+  /// The derived key (testing only).
+  [[nodiscard]] constexpr const std::array<std::uint32_t, 2>& key()
+      const noexcept {
+    return key_;
+  }
+
+ private:
+  std::array<std::uint32_t, 2> key_;
+};
+
+}  // namespace rbb

@@ -13,6 +13,7 @@ BenchScale bench_scale() {
                  [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
   if (v == "smoke") return BenchScale::kSmoke;
   if (v == "paper") return BenchScale::kPaper;
+  if (v == "mega") return BenchScale::kMega;
   return BenchScale::kDefault;
 }
 
@@ -20,6 +21,7 @@ std::string to_string(BenchScale scale) {
   switch (scale) {
     case BenchScale::kSmoke: return "smoke";
     case BenchScale::kPaper: return "paper";
+    case BenchScale::kMega: return "mega";
     case BenchScale::kDefault: break;
   }
   return "default";

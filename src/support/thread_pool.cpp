@@ -31,9 +31,34 @@ unsigned ThreadPool::default_thread_count() {
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  // The submitter drains its own batches, so size the worker set one
+  // below the target (floor 1) to keep runnable threads == hardware.
+  // An explicit RBB_THREADS override is taken literally.
+  static ThreadPool pool([] {
+    const unsigned target = default_thread_count();
+    if (std::getenv("RBB_THREADS") != nullptr) return target;
+    return target > 1 ? target - 1 : 1u;
+  }());
   return pool;
 }
+
+namespace {
+
+/// Depth of pool-task nesting on this thread: nonzero while the thread
+/// is inside any pool's task callback.  Guards the inline-degradation
+/// rule for nested for_each (see thread_pool.hpp).
+thread_local unsigned g_task_depth = 0;
+
+struct TaskDepthGuard {
+  TaskDepthGuard() noexcept { ++g_task_depth; }
+  ~TaskDepthGuard() { --g_task_depth; }
+  TaskDepthGuard(const TaskDepthGuard&) = delete;
+  TaskDepthGuard& operator=(const TaskDepthGuard&) = delete;
+};
+
+}  // namespace
+
+bool ThreadPool::inside_task() noexcept { return g_task_depth > 0; }
 
 namespace {
 
@@ -45,6 +70,7 @@ void drain_batch(ThreadPool::Batch& batch, std::mutex& mutex,
     const std::uint64_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= batch.task_count) return;
     try {
+      const TaskDepthGuard depth;
       batch.invoke(batch.context, i);
     } catch (...) {
       const std::lock_guard<std::mutex> lock(mutex);
@@ -70,11 +96,21 @@ void ThreadPool::parallel_for(std::uint64_t task_count,
 }
 
 void ThreadPool::run_batch(std::shared_ptr<Batch> batch) {
+  if (inside_task()) {
+    // Submission from inside a pool task (this pool's or another's):
+    // run inline, sequentially.  Parallelizing here would oversubscribe
+    // (outer tasks x inner workers runnable threads) or, on the same
+    // pool, deadlock -- the nesting rule in the header.
+    for (std::uint64_t i = 0; i < batch->task_count; ++i) {
+      batch->invoke(batch->context, i);
+    }
+    return;
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (current_ != nullptr) {
-      // Nested / concurrent submission on the same pool: run inline to
-      // avoid deadlock rather than queueing.
+      // Concurrent submission from a non-task thread while another
+      // batch is in flight: run inline rather than queueing.
       lock.unlock();
       for (std::uint64_t i = 0; i < batch->task_count; ++i) {
         batch->invoke(batch->context, i);

@@ -1,12 +1,28 @@
-// Minimal task-parallel substrate for Monte-Carlo sweeps (design choice D5).
+// Minimal task-parallel substrate for Monte-Carlo sweeps (design choice D5)
+// and for the sharded intra-round kernel (src/par/).
 //
-// Parallelism in this repository is *only* across independent trials and
-// sweep points, never inside a simulated round: each task owns its RNG
-// substream (derived from (seed, task_index)), writes into its own result
-// slot, and the combined output is bit-identical regardless of thread
-// count.  This matches the Core Guidelines concurrency advice (share
-// nothing mutable; communicate by transfer of ownership) and keeps every
-// scientific result reproducible.
+// Parallelism in this repository is across independent trials and sweep
+// points, and -- since the src/par/ backend -- across bin shards inside
+// one round: each task owns its RNG substream (derived from (seed,
+// task_index) for trials, from counter-based draws for shards), writes
+// into its own result slot, and the combined output is bit-identical
+// regardless of thread count.  This matches the Core Guidelines
+// concurrency advice (share nothing mutable; communicate by transfer of
+// ownership) and keeps every scientific result reproducible.
+//
+// Nesting rule (how trial-level fan-out composes with a sharded round):
+// a for_each issued from *inside* any pool task runs inline on the
+// calling thread, sequentially -- whether it targets the same pool or a
+// different one.  One level of the hierarchy gets the hardware; inner
+// levels degrade to sequential instead of oversubscribing (T trial
+// workers x N shard workers threads).  Consequently a sharded process
+// driven under for_each_trial simply becomes a sequential kernel per
+// trial, with the trial sweep owning all cores -- and the results are
+// identical either way, because both layers are deterministic by
+// construction.  The same rule is why ThreadPool::global() reserves one
+// slot for the submitting thread: run_batch participates in draining its
+// own batch, so a pool of hardware_concurrency workers plus the
+// submitter would leave hardware_concurrency + 1 runnable threads.
 #pragma once
 
 #include <atomic>
@@ -64,8 +80,16 @@ class ThreadPool {
   /// Number of threads a default-constructed pool would use.
   [[nodiscard]] static unsigned default_thread_count();
 
-  /// A process-wide shared pool for the experiment drivers.
+  /// A process-wide shared pool for the experiment drivers.  Sized one
+  /// below default_thread_count() (floor 1) because the submitting
+  /// thread participates in every batch it runs; an explicit
+  /// RBB_THREADS override is honored exactly.
   [[nodiscard]] static ThreadPool& global();
+
+  /// True while the calling thread is executing a pool task (any pool).
+  /// for_each consults this to run nested submissions inline -- see the
+  /// nesting rule in the header comment.
+  [[nodiscard]] static bool inside_task() noexcept;
 
   /// One submitted for_each call: an index space plus a context/function-
   /// pointer pair erased once per batch (public only for internal

@@ -1,0 +1,59 @@
+// Tests for the bin-partitioning arithmetic behind the sharded kernels.
+#include "par/shard.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rbb::par {
+namespace {
+
+TEST(ShardPlan, CoversEveryBinExactlyOnce) {
+  for (const std::uint32_t n : {1u, 15u, 16u, 100u, 4096u, 100003u}) {
+    for (const std::uint32_t shard_size : {0u, 64u, 100u, 1024u}) {
+      const ShardPlan plan(n, shard_size);
+      std::uint32_t covered = 0;
+      for (std::uint32_t s = 0; s < plan.shard_count(); ++s) {
+        EXPECT_EQ(plan.shard_begin(s), covered);
+        EXPECT_GT(plan.shard_end(s), plan.shard_begin(s));
+        for (std::uint32_t u = plan.shard_begin(s); u < plan.shard_end(s);
+             ++u) {
+          EXPECT_EQ(plan.shard_of(u), s);
+        }
+        covered = plan.shard_end(s);
+      }
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(ShardPlan, StripesTileTheShardsInOrder) {
+  for (const std::uint32_t n : {16u, 4096u, 1000000u}) {
+    for (const std::uint32_t shard_size : {64u, 1024u, 16384u}) {
+      const ShardPlan plan(n, shard_size);
+      EXPECT_GE(plan.stripe_count(), 1u);
+      EXPECT_LE(plan.stripe_count(), kMaxStripes);
+      EXPECT_LE(plan.stripe_count(), plan.shard_count());
+      std::uint32_t next = 0;
+      for (std::uint32_t g = 0; g < plan.stripe_count(); ++g) {
+        EXPECT_EQ(plan.stripe_begin_shard(g), next);
+        EXPECT_GT(plan.stripe_end_shard(g), plan.stripe_begin_shard(g))
+            << "empty stripe " << g;
+        next = plan.stripe_end_shard(g);
+      }
+      EXPECT_EQ(next, plan.shard_count());
+    }
+  }
+}
+
+TEST(ShardPlan, ShardSizeIsCacheLineAligned) {
+  EXPECT_EQ(ShardPlan(1000, 1).shard_size(), 16u);
+  EXPECT_EQ(ShardPlan(1000, 17).shard_size(), 32u);
+  EXPECT_EQ(ShardPlan(1000, 64).shard_size(), 64u);
+  EXPECT_EQ(ShardPlan(1000, 0).shard_size(), kDefaultShardSize);
+}
+
+TEST(ShardPlan, RejectsZeroBins) {
+  EXPECT_THROW(ShardPlan(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rbb::par

@@ -171,6 +171,18 @@ TEST(Cli, DescribeShowsParams) {
   EXPECT_NE(r.out.find("[E1]"), std::string::npos);
 }
 
+TEST(Cli, DescribeShowsBackendAndThreadsWithDefaults) {
+  // The common kernel-selection knobs are part of every experiment's
+  // described surface, defaults included.
+  for (const char* name : {"stability", "convergence", "sharded_scaling"}) {
+    const CliResult r = rbb({"describe", name});
+    ASSERT_EQ(r.code, 0) << name;
+    EXPECT_NE(r.out.find("--backend"), std::string::npos) << name;
+    EXPECT_NE(r.out.find("--threads"), std::string::npos) << name;
+    EXPECT_NE(r.out.find("seq"), std::string::npos) << name;
+  }
+}
+
 TEST(Cli, DescribeUnknownExperimentRejected) {
   const CliResult r = rbb({"describe", "nope"});
   EXPECT_EQ(r.code, 2);
@@ -207,6 +219,59 @@ TEST(Cli, RunRejectsTypeMismatch) {
 TEST(Cli, RunRejectsBadScaleAndFormat) {
   EXPECT_EQ(rbb({"run", "stability", "--scale=huge"}).code, 2);
   EXPECT_EQ(rbb({"run", "stability", "--format=xml"}).code, 2);
+}
+
+TEST(Cli, RunAcceptsMegaScale) {
+  // mega must parse and land in the run metadata; neg_assoc with an
+  // explicit trial override keeps the run instant.
+  const CliResult r = rbb({"run", "neg_assoc", "--scale=mega",
+                           "--trials=100", "--format=json"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"scale\": \"mega\""), std::string::npos);
+}
+
+// --- the sharded backend surface --------------------------------------------
+
+TEST(Cli, RunRejectsShardedBackendWithoutOptIn) {
+  // stability has no src/par/ port; the rejection must name the flag
+  // and exit 1 (a clean run-layer error, not std::terminate).
+  const CliResult r = rbb({"run", "stability", "--scale=smoke",
+                           "--trials=1", "--n=32", "--window-factor=2",
+                           "--backend=sharded"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("does not support --backend=sharded"),
+            std::string::npos);
+}
+
+TEST(Cli, RunRejectsUnknownBackendValue) {
+  const CliResult r = rbb({"run", "convergence", "--scale=smoke",
+                           "--trials=1", "--backend=gpu"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("expects seq or sharded"), std::string::npos);
+}
+
+TEST(Cli, RunAcceptsShardedBackendOnCapableExperiment) {
+  const CliResult r = rbb({"run", "convergence", "--scale=smoke",
+                           "--trials=1", "--backend=sharded", "--threads=2",
+                           "--format=json"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(JsonChecker(r.out).valid());
+  EXPECT_NE(r.out.find("\"backend\": \"sharded\""), std::string::npos);
+}
+
+TEST(Cli, ShardedRunsAreSeedReproducible) {
+  auto run_json = [&] {
+    return rbb({"run", "convergence", "--scale=smoke", "--trials=2",
+                "--backend=sharded", "--format=csv"});
+  };
+  const CliResult a = run_json();
+  const CliResult b = run_json();
+  ASSERT_EQ(a.code, 0) << a.err;
+  // CSV carries wall time in the metadata header; compare table bodies.
+  const auto body = [](const std::string& text) {
+    return text.substr(text.find("\n\n"));
+  };
+  EXPECT_EQ(body(a.out), body(b.out));
 }
 
 TEST(Cli, RunReportsOversizedU32CleanlyInsteadOfTruncating) {

@@ -23,8 +23,18 @@ TEST(Registry, EveryDesignClaimHasARegisteredExperiment) {
   }
 }
 
-TEST(Registry, HoldsAllTwentyFourExperiments) {
-  EXPECT_EQ(default_registry().experiments().size(), 24u);
+TEST(Registry, HoldsAllTwentyFiveExperiments) {
+  EXPECT_EQ(default_registry().experiments().size(), 25u);
+}
+
+TEST(Registry, ShardedOptInIsExplicit) {
+  // --backend=sharded is accepted exactly where a src/par/ port exists.
+  std::set<std::string> capable;
+  for (const Experiment& e : default_registry().experiments()) {
+    if (e.sharded_capable) capable.insert(e.name);
+  }
+  EXPECT_EQ(capable, (std::set<std::string>{"convergence",
+                                            "sharded_scaling"}));
 }
 
 TEST(Registry, NamesAreUniqueAndDeclarationsComplete) {
@@ -34,10 +44,13 @@ TEST(Registry, NamesAreUniqueAndDeclarationsComplete) {
     EXPECT_FALSE(e.title.empty()) << e.name << " has no title";
     EXPECT_FALSE(e.description.empty()) << e.name << " has no description";
     EXPECT_TRUE(static_cast<bool>(e.run)) << e.name << " has no run fn";
-    // The registry prepends the common Monte-Carlo knobs.
-    ASSERT_GE(e.params.size(), 2u) << e.name;
+    // The registry prepends the common Monte-Carlo and backend knobs.
+    ASSERT_GE(e.params.size(), 4u) << e.name;
     EXPECT_EQ(e.params[0].name, "seed") << e.name;
     EXPECT_EQ(e.params[1].name, "trials") << e.name;
+    EXPECT_EQ(e.params[2].name, "backend") << e.name;
+    EXPECT_EQ(e.params[2].default_value, "seq") << e.name;
+    EXPECT_EQ(e.params[3].name, "threads") << e.name;
     for (const ParamSpec& spec : e.params) {
       EXPECT_FALSE(spec.help.empty())
           << e.name << " --" << spec.name << " has no help text";
@@ -51,7 +64,7 @@ TEST(Registry, NamesAreUniqueAndDeclarationsComplete) {
 
 TEST(Registry, CatalogSortsByClaimWithExtrasLast) {
   const auto catalog = default_registry().catalog();
-  ASSERT_EQ(catalog.size(), 24u);
+  ASSERT_EQ(catalog.size(), 25u);
   EXPECT_EQ(catalog.front()->claim, "E1");
   EXPECT_TRUE(catalog[catalog.size() - 1]->claim.empty());
   EXPECT_TRUE(catalog[catalog.size() - 2]->claim.empty());
@@ -96,8 +109,10 @@ TEST(Registry, AddRejectsBadDeclarations) {
   EXPECT_THROW(registry.add(redeclares), std::invalid_argument);
 
   // CLI-reserved option names would be intercepted by `rbb run` before
-  // parameter assignment and silently unsettable.
-  for (const char* reserved : {"scale", "format", "out", "check", "help"}) {
+  // parameter assignment (or shadow a prepended common spec) and be
+  // silently unsettable.
+  for (const char* reserved :
+       {"backend", "threads", "scale", "format", "out", "check", "help"}) {
     Experiment clash;
     clash.name = std::string("clash_") + reserved;
     clash.params = {{reserved, ParamSpec::Type::kString, "", "clash"}};

@@ -54,6 +54,10 @@ TEST(Scale, RecognizesValuesCaseInsensitive) {
     EXPECT_EQ(bench_scale(), BenchScale::kDefault);
   }
   {
+    const ScopedEnv env("RBB_BENCH_SCALE", "MeGa");
+    EXPECT_EQ(bench_scale(), BenchScale::kMega);
+  }
+  {
     const ScopedEnv env("RBB_BENCH_SCALE", "bogus");
     EXPECT_EQ(bench_scale(), BenchScale::kDefault);
   }
@@ -65,10 +69,23 @@ TEST(Scale, BySkaleSelectsCorrectValue) {
   EXPECT_EQ(by_scale(BenchScale::kPaper, 1, 2, 3), 3);
 }
 
+TEST(Scale, MegaFallsBackToPaperInThreeArgForm) {
+  // Experiments without mega-specific sizes run their paper sweeps.
+  EXPECT_EQ(by_scale(BenchScale::kMega, 1, 2, 3), 3);
+}
+
+TEST(Scale, FourArgFormGivesMegaItsOwnValue) {
+  EXPECT_EQ(by_scale(BenchScale::kSmoke, 1, 2, 3, 4), 1);
+  EXPECT_EQ(by_scale(BenchScale::kDefault, 1, 2, 3, 4), 2);
+  EXPECT_EQ(by_scale(BenchScale::kPaper, 1, 2, 3, 4), 3);
+  EXPECT_EQ(by_scale(BenchScale::kMega, 1, 2, 3, 4), 4);
+}
+
 TEST(Scale, ToStringRoundTrip) {
   EXPECT_EQ(to_string(BenchScale::kSmoke), "smoke");
   EXPECT_EQ(to_string(BenchScale::kDefault), "default");
   EXPECT_EQ(to_string(BenchScale::kPaper), "paper");
+  EXPECT_EQ(to_string(BenchScale::kMega), "mega");
 }
 
 TEST(Scale, CsvDirReflectsEnv) {

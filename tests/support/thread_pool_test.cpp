@@ -91,6 +91,50 @@ TEST(ThreadPool, NestedParallelForRunsInline) {
   EXPECT_EQ(inner_total.load(), 40);
 }
 
+TEST(ThreadPool, NestedSubmissionToAnotherPoolRunsInlineToo) {
+  // The anti-oversubscription rule: a for_each issued from inside any
+  // pool task runs sequentially on the calling thread, even when it
+  // targets a different, idle pool (trial-level fan-out around a
+  // sharded round must not multiply thread counts).
+  ThreadPool outer(2);
+  ThreadPool inner(4);
+  std::atomic<int> inner_total{0};
+  std::atomic<int> off_thread{0};
+  outer.parallel_for(4, [&](std::uint64_t) {
+    const std::thread::id submitter = std::this_thread::get_id();
+    inner.parallel_for(10, [&](std::uint64_t) {
+      inner_total.fetch_add(1, std::memory_order_relaxed);
+      if (std::this_thread::get_id() != submitter) {
+        off_thread.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 40);
+  EXPECT_EQ(off_thread.load(), 0)
+      << "nested batch escaped the submitting thread";
+}
+
+TEST(ThreadPool, InsideTaskReflectsNesting) {
+  EXPECT_FALSE(ThreadPool::inside_task());
+  ThreadPool pool(2);
+  std::atomic<int> inside{0};
+  pool.parallel_for(8, [&](std::uint64_t) {
+    if (ThreadPool::inside_task()) {
+      inside.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(inside.load(), 8);
+  EXPECT_FALSE(ThreadPool::inside_task());
+}
+
+TEST(ThreadPool, GlobalPoolHasAtLeastOneWorker) {
+  EXPECT_GE(ThreadPool::global().thread_count(), 1u);
+  // The submitter participates in batches, so the worker set stays at
+  // or below the default target.
+  EXPECT_LE(ThreadPool::global().thread_count(),
+            ThreadPool::default_thread_count());
+}
+
 TEST(ThreadPool, ResultsIndependentOfThreadCount) {
   // The determinism contract: per-task RNG substreams make the collected
   // results identical for 1 and 4 threads.
