@@ -13,6 +13,8 @@
 #include "coupling/coupling.hpp"
 #include "engine/engine.hpp"
 #include "par/sharded_process.hpp"
+#include "par/sharded_token_process.hpp"
+#include "par/sharded_variants.hpp"
 #include "support/bounds.hpp"
 #include "support/thread_pool.hpp"
 #include "tetris/tetris.hpp"
@@ -34,11 +36,42 @@ std::vector<std::uint32_t> config_to_positions(const LoadConfig& q) {
   return pos;
 }
 
-/// One token per bin, token i starting in bin i (the E18/E19 placement).
-std::vector<std::uint32_t> identity_placement(std::uint32_t n) {
-  std::vector<std::uint32_t> placement(n);
-  for (std::uint32_t i = 0; i < n; ++i) placement[i] = i;
-  return placement;
+/// The one place that seeds a sharded load kernel for trial-level
+/// Monte-Carlo: threads = 1 (under the trial fan-out the round is
+/// inline anyway; see the Backend doc comment) and a counter key
+/// mirroring CounterRng(seed, trial).  run_stability's per-process
+/// switch and with_load_kernel below both route through this, so the
+/// convention cannot diverge between experiments.
+par::ShardedRepeatedBallsProcess make_sharded_load(LoadConfig config,
+                                                   std::uint64_t seed,
+                                                   std::uint32_t trial,
+                                                   std::uint32_t shard_size) {
+  return par::ShardedRepeatedBallsProcess(std::move(config),
+                                          mix64(seed, trial),
+                                          par::ShardedOptions{1, shard_size});
+}
+
+/// Calls `fn` with a load-kernel process factory for the requested
+/// backend -- the seq/sharded dispatch shared by the drivers whose
+/// only process is the load kernel (convergence, empty bins;
+/// run_stability routes its kRepeated case through make_sharded_load
+/// directly because it also switches over other processes).  The
+/// factory signature is factory(config, trial, rng) -> SimProcess; the
+/// initial configuration always comes from the trial's xoshiro
+/// substream, so the two backends start from identical configurations
+/// and differ only in the in-round randomness.
+template <typename Fn>
+void with_load_kernel(Backend backend, std::uint64_t seed,
+                      std::uint32_t shard_size, Fn&& fn) {
+  if (backend == Backend::kSharded) {
+    fn([seed, shard_size](LoadConfig config, std::uint32_t trial, Rng&) {
+      return make_sharded_load(std::move(config), seed, trial, shard_size);
+    });
+  } else {
+    fn([](LoadConfig config, std::uint32_t, Rng& rng) {
+      return RepeatedBallsProcess(std::move(config), rng);
+    });
+  }
 }
 
 }  // namespace
@@ -49,6 +82,17 @@ StabilityResult run_stability(const StabilityParams& params) {
     throw std::invalid_argument("run_stability: trials/rounds == 0");
   }
   const std::uint64_t balls = params.balls == 0 ? params.n : params.balls;
+  if (params.backend == Backend::kSharded) {
+    if (params.graph != nullptr) {
+      throw std::invalid_argument(
+          "run_stability: the sharded backend is clique-only");
+    }
+    if (params.process != StabilityProcess::kRepeated &&
+        params.process != StabilityProcess::kRepeatedDChoice) {
+      throw std::invalid_argument(
+          "run_stability: no sharded instantiation for this process");
+    }
+  }
   std::vector<double> window_max(params.trials);
   std::vector<double> final_max(params.trials);
   std::vector<double> min_empty(params.trials);
@@ -63,9 +107,16 @@ StabilityResult run_stability(const StabilityParams& params) {
           Engine engine(std::move(process));
           engine.run_rounds(params.rounds, wmax, memp);
         };
+        const bool sharded = params.backend == Backend::kSharded;
         switch (params.process) {
           case StabilityProcess::kRepeated:
-            window(RepeatedBallsProcess(std::move(config), params.graph, rng));
+            if (sharded) {
+              window(make_sharded_load(std::move(config), params.seed, trial,
+                                       params.shard_size));
+            } else {
+              window(
+                  RepeatedBallsProcess(std::move(config), params.graph, rng));
+            }
             break;
           case StabilityProcess::kTetris:
             if (params.graph != nullptr) {
@@ -79,8 +130,14 @@ StabilityResult run_stability(const StabilityParams& params) {
               throw std::invalid_argument(
                   "run_stability: d-choices is clique-only");
             }
-            window(RepeatedDChoicesProcess(std::move(config), params.choices,
-                                           rng));
+            if (sharded) {
+              window(par::ShardedDChoicesProcess(
+                  std::move(config), params.choices, mix64(params.seed, trial),
+                  par::ShardedOptions{1, params.shard_size}));
+            } else {
+              window(RepeatedDChoicesProcess(std::move(config), params.choices,
+                                             rng));
+            }
             break;
           case StabilityProcess::kIndependent:
             window(IndependentWalksProcess(
@@ -115,33 +172,17 @@ ConvergenceResult run_convergence(const ConvergenceParams& p) {
   const std::uint64_t cap = p.cap == 0 ? 64ull * p.n : p.cap;
   std::vector<double> rounds(p.trials, -1.0);
 
-  // Both backends share the measurement; only the process differs.  The
-  // initial configuration comes from the trial's xoshiro substream in
-  // both cases, so the two backends start from identical configurations
-  // and differ only in the in-round randomness.
-  auto measure = [&](auto&& make_process) {
+  // One measurement body; with_load_kernel supplies the backend's
+  // process factory (the seq/sharded split lives in exactly one place).
+  with_load_kernel(p.backend, p.seed, p.shard_size, [&](auto factory) {
     for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
       LoadConfig config = make_config(p.start, p.n, p.n, rng);
-      Engine engine(make_process(std::move(config), trial, rng));
+      Engine engine(factory(std::move(config), trial, rng));
       const EngineResult r = engine.run(
           cap, UntilLegitimate{p.beta * log2n(p.n)}, NoFaults{});
       if (r.goal_reached) rounds[trial] = static_cast<double>(r.rounds);
     });
-  };
-  if (p.backend == ConvergenceBackend::kSharded) {
-    measure([&](LoadConfig config, std::uint32_t trial, Rng&) {
-      // Counter key derived exactly like CounterRng(seed, stream).
-      // threads = 1: under the trial fan-out the round is inline
-      // anyway; see ConvergenceParams::backend.
-      return par::ShardedRepeatedBallsProcess(
-          std::move(config), mix64(p.seed, trial),
-          par::ShardedOptions{1, p.shard_size});
-    });
-  } else {
-    measure([&](LoadConfig config, std::uint32_t, Rng& rng) {
-      return RepeatedBallsProcess(std::move(config), rng);
-    });
-  }
+  });
 
   ConvergenceResult result;
   for (std::uint32_t t = 0; t < p.trials; ++t) {
@@ -163,14 +204,16 @@ EmptyBinsResult run_empty_bins(const EmptyBinsParams& p) {
   std::vector<double> min_frac(p.trials);
   std::vector<double> mean_frac(p.trials);
 
-  for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
-    LoadConfig config = make_config(p.start, p.n, p.n, rng);
-    Engine engine(RepeatedBallsProcess(std::move(config), rng));
-    MinEmptyFraction lo;
-    MeanEmptyFraction mean;
-    engine.run_rounds(p.rounds, lo, mean);
-    min_frac[trial] = lo.min_fraction;
-    mean_frac[trial] = mean.mean();
+  with_load_kernel(p.backend, p.seed, 0, [&](auto factory) {
+    for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
+      LoadConfig config = make_config(p.start, p.n, p.n, rng);
+      Engine engine(factory(std::move(config), trial, rng));
+      MinEmptyFraction lo;
+      MeanEmptyFraction mean;
+      engine.run_rounds(p.rounds, lo, mean);
+      min_frac[trial] = lo.min_fraction;
+      mean_frac[trial] = mean.mean();
+    });
   });
 
   EmptyBinsResult result;
@@ -297,6 +340,13 @@ ZChainTailResult run_zchain_tail(const ZChainTailParams& p) {
 CoverTimeResult run_cover_time(const CoverTimeParams& p) {
   if (p.n < 2) throw std::invalid_argument("run_cover_time: n < 2");
   if (p.trials == 0) throw std::invalid_argument("run_cover_time: trials==0");
+  if (p.backend == Backend::kSharded &&
+      (p.graph != nullptr || p.fault_period != 0 ||
+       p.policy != QueuePolicy::kFifo)) {
+    throw std::invalid_argument(
+        "run_cover_time: the sharded token core is FIFO, clique-only and "
+        "fault-free; use the sequential backend");
+  }
   struct TrialOut {
     double cover = -1.0;
     double first = 0;
@@ -304,28 +354,51 @@ CoverTimeResult run_cover_time(const CoverTimeParams& p) {
     double single = -1.0;
   };
   std::vector<TrialOut> out(p.trials);
+  const std::uint64_t cap =
+      p.max_rounds != 0 ? p.max_rounds
+                        : static_cast<std::uint64_t>(
+                              64.0 * parallel_cover_scale(p.n));
 
   for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
-    TraversalParams tp;
-    tp.n = p.n;
-    tp.policy = p.policy;
-    tp.graph = p.graph;
-    tp.max_rounds = p.max_rounds;
-    tp.placement = p.placement;
-    tp.fault_period = p.fault_period;
-    tp.fault_strategy = p.fault_strategy;
-    const TraversalResult r = run_traversal(tp, mix64(p.seed, trial));
     TrialOut& o = out[trial];
-    if (r.cover_time.has_value()) {
-      o.cover = static_cast<double>(*r.cover_time);
-      o.first = static_cast<double>(r.first_token_covered);
+    if (p.backend == Backend::kSharded) {
+      // The visit-tracking token core (threads = 1: the trial fan-out
+      // owns the cores; see the Backend doc comment).
+      par::ShardedTokenProcess proc(
+          p.n, make_token_placement(p.placement, p.n, p.n, rng),
+          mix64(p.seed, trial), par::ShardedOptions{1, 0},
+          par::TokenOptions{.track_visits = true});
+      std::uint32_t wmax = 0;
+      while (!proc.all_covered() && proc.round() < cap) {
+        proc.step();
+        wmax = std::max(wmax, proc.max_load());
+      }
+      if (proc.all_covered()) {
+        o.cover = static_cast<double>(proc.global_cover_time());
+        std::uint64_t first = proc.cover_round(0);
+        for (std::uint32_t i = 1; i < proc.token_count(); ++i) {
+          first = std::min(first, proc.cover_round(i));
+        }
+        o.first = static_cast<double>(first);
+      }
+      o.max_load = static_cast<double>(wmax);
+    } else {
+      TraversalParams tp;
+      tp.n = p.n;
+      tp.policy = p.policy;
+      tp.graph = p.graph;
+      tp.max_rounds = p.max_rounds;
+      tp.placement = p.placement;
+      tp.fault_period = p.fault_period;
+      tp.fault_strategy = p.fault_strategy;
+      const TraversalResult r = run_traversal(tp, mix64(p.seed, trial));
+      if (r.cover_time.has_value()) {
+        o.cover = static_cast<double>(*r.cover_time);
+        o.first = static_cast<double>(r.first_token_covered);
+      }
+      o.max_load = static_cast<double>(r.max_load_seen);
     }
-    o.max_load = static_cast<double>(r.max_load_seen);
-    const std::uint64_t single_cap =
-        p.max_rounds != 0 ? p.max_rounds
-                          : static_cast<std::uint64_t>(
-                                64.0 * parallel_cover_scale(p.n));
-    const auto single = single_walk_cover_time(p.n, p.graph, single_cap, rng);
+    const auto single = single_walk_cover_time(p.n, p.graph, cap, rng);
     if (single.has_value()) o.single = static_cast<double>(*single);
   });
 
@@ -477,14 +550,23 @@ LeakyResult run_leaky(const LeakyParams& p) {
   for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
     LoadConfig config =
         make_config(InitialConfig::kOnePerBin, p.n, p.n, rng);
-    Engine engine(LeakyBinsProcess(std::move(config), p.lambda, rng));
-    engine.run_rounds(p.burn_in);
-    WindowMaxLoad wmax;
-    MeanTotalBallsPerBin total;
-    MeanEmptyFraction empty;
-    engine.run_rounds(p.rounds, wmax, total, empty);
-    out[trial] = TrialOut{static_cast<double>(wmax.window_max), total.mean(),
-                          empty.mean()};
+    const auto measure = [&](auto process) {
+      Engine engine(std::move(process));
+      engine.run_rounds(p.burn_in);
+      WindowMaxLoad wmax;
+      MeanTotalBallsPerBin total;
+      MeanEmptyFraction empty;
+      engine.run_rounds(p.rounds, wmax, total, empty);
+      out[trial] = TrialOut{static_cast<double>(wmax.window_max),
+                            total.mean(), empty.mean()};
+    };
+    if (p.backend == Backend::kSharded) {
+      measure(par::ShardedLeakyBinsProcess(std::move(config), p.lambda,
+                                           mix64(p.seed, trial),
+                                           par::ShardedOptions{1, 0}));
+    } else {
+      measure(LeakyBinsProcess(std::move(config), p.lambda, rng));
+    }
   });
 
   LeakyResult result;
@@ -531,6 +613,10 @@ JacksonResult run_jackson(const JacksonParams& p) {
 ProgressResult run_progress(const ProgressParams& p) {
   if (p.n < 2) throw std::invalid_argument("run_progress: n < 2");
   if (p.trials == 0) throw std::invalid_argument("run_progress: trials == 0");
+  if (p.backend == Backend::kSharded && p.policy != QueuePolicy::kFifo) {
+    throw std::invalid_argument(
+        "run_progress: the sharded token core is FIFO-only");
+  }
   const std::uint64_t rounds = p.rounds == 0 ? 8ull * p.n : p.rounds;
   struct TrialOut {
     double min_progress = 0;
@@ -539,20 +625,27 @@ ProgressResult run_progress(const ProgressParams& p) {
   std::vector<TrialOut> out(p.trials);
 
   for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
-    TokenProcess::Options options;
-    options.policy = p.policy;
-    options.track_visits = false;
-    Engine engine(
-        TokenProcess(p.n, identity_placement(p.n), options, rng));
-    engine.run_rounds(rounds);
-    const TokenProcess& proc = engine.process();
-    double sum = 0.0;
-    for (std::uint32_t i = 0; i < p.n; ++i) {
-      sum += static_cast<double>(proc.progress(i));
+    const auto measure = [&](auto process) {
+      Engine engine(std::move(process));
+      engine.run_rounds(rounds);
+      const auto& proc = engine.process();
+      double sum = 0.0;
+      for (std::uint32_t i = 0; i < p.n; ++i) {
+        sum += static_cast<double>(proc.progress(i));
+      }
+      out[trial] = TrialOut{static_cast<double>(proc.min_progress()),
+                            sum / static_cast<double>(p.n)};
+    };
+    if (p.backend == Backend::kSharded) {
+      measure(par::ShardedTokenProcess(p.n, identity_placement(p.n),
+                                       mix64(p.seed, trial),
+                                       par::ShardedOptions{1, 0}));
+    } else {
+      TokenProcess::Options options;
+      options.policy = p.policy;
+      options.track_visits = false;
+      measure(TokenProcess(p.n, identity_placement(p.n), options, rng));
     }
-    out[trial] =
-        TrialOut{static_cast<double>(proc.min_progress()),
-                 sum / static_cast<double>(p.n)};
   });
 
   ProgressResult result;

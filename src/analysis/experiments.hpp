@@ -23,6 +23,28 @@
 namespace rbb {
 
 // ---------------------------------------------------------------------------
+// Round-kernel backend selection (shared by every backend-capable driver)
+// ---------------------------------------------------------------------------
+
+/// Which round kernel a driver runs (complete graph only for kSharded).
+///
+/// One enum for every driver: the policy-core refactor (DESIGN.md
+/// Sect. 5) made "sharded" a property of the kernel instantiation, not
+/// of any particular experiment, so the per-driver enums (the old
+/// ConvergenceBackend) are gone.  The two kernels draw from different
+/// generator families, so their trajectories (not their statistics)
+/// differ.  Under kSharded the trial fan-out keeps the cores and every
+/// inner round runs sequentially (the thread_pool.hpp nesting rule: any
+/// submission from inside a pool task is inline), so the processes are
+/// built with threads = 1 -- a worker knob here would only spawn idle
+/// pools.  Per-round thread scaling belongs to single-instance
+/// measurements (the sharded_scaling experiment).
+enum class Backend {
+  kSeq,      // core/ sequential kernels, xoshiro draws
+  kSharded,  // src/par/ instantiations, counter-RNG draws
+};
+
+// ---------------------------------------------------------------------------
 // E1 / E7 / E13 / E14 / E15 -- stability windows
 // ---------------------------------------------------------------------------
 
@@ -46,6 +68,11 @@ struct StabilityParams {
   StabilityProcess process = StabilityProcess::kRepeated;
   std::uint32_t choices = 2;    // for kRepeatedDChoice
   ThreadPool* pool = nullptr;   // nullptr = the process-wide pool
+  /// kSharded is supported for kRepeated and kRepeatedDChoice (the
+  /// clique-only kernels with src/par/ instantiations); other processes
+  /// reject it.
+  Backend backend = Backend::kSeq;
+  std::uint32_t shard_size = 0;  // 0 = kernel::kDefaultShardSize
 };
 
 struct StabilityResult {
@@ -65,12 +92,6 @@ struct StabilityResult {
 // E2 -- convergence time from arbitrary configurations (Theorem 1, part 2)
 // ---------------------------------------------------------------------------
 
-/// Which round kernel run_convergence drives (complete graph only).
-enum class ConvergenceBackend {
-  kSequential,  // core/process.hpp, xoshiro draws
-  kSharded,     // par/sharded_process.hpp, counter-RNG draws
-};
-
 struct ConvergenceParams {
   std::uint32_t n = 0;
   std::uint32_t trials = 0;
@@ -78,16 +99,8 @@ struct ConvergenceParams {
   InitialConfig start = InitialConfig::kAllInOne;
   double beta = 4.0;
   std::uint64_t cap = 0;  // 0 = 64 n
-  /// Backend selection.  The two kernels draw from different generator
-  /// families, so their trajectories (not their statistics) differ.
-  /// Under kSharded the trial fan-out keeps the cores and every inner
-  /// round runs sequentially (the thread_pool.hpp nesting rule: any
-  /// submission from inside a pool task is inline), so the processes
-  /// are built with threads = 1 -- a worker knob here would only spawn
-  /// idle pools.  Per-round thread scaling belongs to single-instance
-  /// measurements (the sharded_scaling experiment).
-  ConvergenceBackend backend = ConvergenceBackend::kSequential;
-  std::uint32_t shard_size = 0; // 0 = par::kDefaultShardSize
+  Backend backend = Backend::kSeq;  // see the Backend doc comment
+  std::uint32_t shard_size = 0;     // 0 = kernel::kDefaultShardSize
 };
 
 struct ConvergenceResult {
@@ -108,6 +121,7 @@ struct EmptyBinsParams {
   std::uint32_t trials = 0;
   std::uint64_t seed = 1;
   InitialConfig start = InitialConfig::kOnePerBin;
+  Backend backend = Backend::kSeq;
 };
 
 struct EmptyBinsResult {
@@ -196,6 +210,10 @@ struct CoverTimeParams {
   std::uint64_t fault_period = 0;   // 0 = no faults (E8); else E9
   FaultStrategy fault_strategy = FaultStrategy::kAllToOne;
   std::uint64_t max_rounds = 0;     // 0 = 64 n log2(n)^2
+  /// kSharded drives the visit-tracking token core (FIFO, clique, no
+  /// faults); rejected when policy/graph/faults need the sequential
+  /// TokenProcess.
+  Backend backend = Backend::kSeq;
 };
 
 struct CoverTimeResult {
@@ -277,6 +295,7 @@ struct LeakyParams {
   std::uint64_t rounds = 0;    // measured window
   std::uint32_t trials = 0;
   std::uint64_t seed = 1;
+  Backend backend = Backend::kSeq;
 };
 
 struct LeakyResult {
@@ -317,6 +336,8 @@ struct ProgressParams {
   std::uint32_t trials = 0;
   std::uint64_t seed = 1;
   QueuePolicy policy = QueuePolicy::kFifo;
+  /// kSharded drives the src/par/ token core (FIFO only).
+  Backend backend = Backend::kSeq;
 };
 
 struct ProgressResult {

@@ -8,50 +8,29 @@
 // (arrivals of the same round are visible to later placements) -- the
 // standard discrete-time convention for Greedy[d]; the choice is
 // documented because [36] leaves the intra-round tie-break unspecified.
+// (The schedule-free counter-stream siblings in src/par/ use the
+// batch-snapshot convention instead; see core/kernel/variants.hpp.)
+//
+// Since the policy refactor (DESIGN.md Sect. 5), RepeatedDChoicesProcess
+// is a thin constructor adapter over the process core.
 #pragma once
 
 #include <cstdint>
 
 #include "core/config.hpp"
+#include "core/kernel/ball_kernel.hpp"
 #include "support/rng.hpp"
 
 namespace rbb {
 
-/// Per-round statistics (end-of-round state).
-struct DChoicesRoundStats {
-  std::uint32_t max_load = 0;
-  std::uint32_t empty_bins = 0;
-  std::uint32_t departures = 0;
-};
-
-class RepeatedDChoicesProcess {
+class RepeatedDChoicesProcess
+    : public kernel::BallProcessCore<kernel::DChoices<kernel::SequentialStream>,
+                                     kernel::SequentialExecution> {
  public:
-  RepeatedDChoicesProcess(LoadConfig initial, std::uint32_t d, Rng rng);
-
-  DChoicesRoundStats step();
-  DChoicesRoundStats run(std::uint64_t rounds);
-
-  [[nodiscard]] std::uint32_t bin_count() const noexcept {
-    return static_cast<std::uint32_t>(loads_.size());
-  }
-  [[nodiscard]] std::uint32_t choices() const noexcept { return d_; }
-  [[nodiscard]] std::uint64_t ball_count() const noexcept { return balls_; }
-  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
-  [[nodiscard]] const LoadConfig& loads() const noexcept { return loads_; }
-  [[nodiscard]] std::uint32_t max_load() const noexcept { return max_load_; }
-  [[nodiscard]] std::uint32_t empty_bins() const noexcept { return empty_; }
-
-  /// Testing hook; throws std::logic_error if cached stats drift.
-  void check_invariants() const;
-
- private:
-  LoadConfig loads_;
-  std::uint32_t d_;
-  Rng rng_;
-  std::uint64_t balls_;
-  std::uint64_t round_ = 0;
-  std::uint32_t max_load_ = 0;
-  std::uint32_t empty_ = 0;
+  RepeatedDChoicesProcess(LoadConfig initial, std::uint32_t d, Rng rng)
+      : BallProcessCore(std::move(initial),
+                        kernel::DChoices<kernel::SequentialStream>(
+                            kernel::SequentialStream(rng), d)) {}
 };
 
 }  // namespace rbb

@@ -1,0 +1,600 @@
+// The process core: ONE round-kernel template over the policy matrix
+// (variant x execution x RNG stream) -- DESIGN.md Sect. 5.
+//
+// Every load-shaped process in the repository is an instantiation of
+// BallProcessCore:
+//
+//   variant (variants.hpp)   LoadOnly | DChoices | Tetris | Leaky,
+//                            each carrying its RNG stream policy
+//                            (SequentialStream xoshiro256++ or
+//                            CounterStream Philox4x32),
+//   execution (exec.hpp)     SequentialExecution (in-place walk) or
+//                            ShardedExecution (two-phase striped
+//                            throw/commit scatter).
+//
+// The sequential instantiations reproduce the historical hand-written
+// kernels draw-for-draw (RepeatedBallsProcess, TetrisProcess,
+// LeakyBinsProcess, RepeatedDChoicesProcess are thin constructor
+// adapters over this template); the sharded instantiations execute one
+// round of one instance across all cores and are bit-identical to their
+// sequential counter-stream siblings for every thread count and shard
+// size (pinned by tests/par/).  The static_assert below is the whole
+// compatibility rule: sharded execution requires a schedule-free
+// stream.
+//
+// Round anatomy (sequential):
+//   1. departure walk  -- every non-empty bin releases one ball;
+//      relaunch variants collect destinations (stream-dependent: the
+//      xoshiro clique path block-draws after the walk so the generator
+//      state stays in registers; the counter path draws per releasing
+//      bin), refill variants discard the ball;
+//   2. arrivals        -- relaunch: apply the collected destinations
+//      (d-choices chooses per its placement convention first);
+//      refill: draw the round's fresh batch and apply it;
+//   3. stats           -- max load / empty bins maintained
+//      incrementally (design choice D3).
+//
+// Round anatomy (sharded): phase 1 *throw* -- stripes walk their own
+// bins, perform departures, draw destinations with the counter stream
+// and append them to per-(stripe, target-shard) buffers (plus, for
+// refill variants, each stripe draws its contiguous share of the fresh
+// arrivals; for d-choices an extra *choose* phase reads the now-stable
+// post-departure loads); phase 2 *commit* -- stripes drain the buffers
+// addressed to their own shards, apply the arrivals cache-hot, and
+// rescan for the round statistics, reduced over stripes in fixed
+// order.  No locks, no atomics, no shared cache lines inside a phase.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/kernel/exec.hpp"
+#include "core/kernel/variants.hpp"
+#include "support/bounds.hpp"
+#include "support/types.hpp"
+
+namespace rbb::kernel {
+
+template <typename Variant, typename Exec>
+class BallProcessCore {
+ public:
+  using Stream = typename Variant::Stream;
+  using Stats = typename Variant::Stats;
+  static constexpr BallVariantKind kKind = Variant::kKind;
+  static constexpr bool kShardedExec = Exec::kSharded;
+
+  static_assert(!kShardedExec || Stream::kScheduleFree,
+                "sharded execution requires a schedule-free (counter) RNG "
+                "stream: a sequential generator would serialize the round "
+                "or make results depend on the schedule");
+  static_assert(std::is_same_v<LoadConfig::value_type, load_t>,
+                "LoadConfig must store load_t (see support/types.hpp)");
+
+  static constexpr std::uint64_t kNeverEmptied =
+      std::numeric_limits<std::uint64_t>::max();
+
+  BallProcessCore(LoadConfig initial, Variant variant,
+                  ExecOptions options = {})
+      : loads_(std::move(initial)),
+        variant_(std::move(variant)),
+        exec_(loads_.empty() ? 1 : static_cast<std::uint32_t>(loads_.size()),
+              options),
+        balls_(rbb::total_balls(loads_)) {
+    if (loads_.empty()) {
+      throw std::invalid_argument("BallProcessCore: empty configuration");
+    }
+    variant_.validate(bin_count());
+    variant_.init(loads_);
+    recompute_stats();
+    if constexpr (kShardedExec) {
+      const ShardPlan& plan = exec_.plan();
+      buffers_.resize(static_cast<std::size_t>(plan.stripe_count()) *
+                      plan.shard_count());
+      acc_.resize(plan.stripe_count());
+      if constexpr (kKind == BallVariantKind::kDChoices) {
+        releasers_.resize(plan.stripe_count());
+      }
+    }
+  }
+
+  /// Executes one synchronous round; returns end-of-round statistics.
+  Stats step() {
+    if constexpr (kShardedExec) {
+      step_sharded();
+    } else {
+      step_sequential();
+    }
+    ++round_;
+    return Variant::make_stats(max_load_, empty_, last_departures_, balls_,
+                               last_arrivals_);
+  }
+
+  /// Executes `rounds` rounds; returns the stats of the last one (the
+  /// current state when rounds == 0).
+  Stats run(std::uint64_t rounds) {
+    Stats stats = Variant::make_stats(max_load_, empty_, 0, balls_, 0);
+    for (std::uint64_t t = 0; t < rounds; ++t) stats = step();
+    return stats;
+  }
+
+  // --- identity and load-shaped state ---------------------------------------
+
+  [[nodiscard]] std::uint32_t bin_count() const noexcept {
+    return static_cast<std::uint32_t>(loads_.size());
+  }
+  /// Rounds executed since construction.
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] const LoadConfig& loads() const noexcept { return loads_; }
+  /// Current maximum load (O(1); maintained incrementally / by the
+  /// commit rescan).
+  [[nodiscard]] load_t max_load() const noexcept { return max_load_; }
+  /// Current number of empty bins (O(1)).
+  [[nodiscard]] std::uint32_t empty_bins() const noexcept { return empty_; }
+  /// True iff max_load() <= beta * log2(n).
+  [[nodiscard]] bool is_legitimate(double beta = 4.0) const {
+    return static_cast<double>(max_load_) <= beta * log2n(bin_count());
+  }
+
+  /// Balls currently in the system (== ball_count() for conserving
+  /// variants; evolves for Tetris / leaky bins).
+  [[nodiscard]] ball_count_t total_balls() const noexcept { return balls_; }
+  [[nodiscard]] ball_count_t ball_count() const noexcept
+    requires Variant::kConservesBalls
+  {
+    return balls_;
+  }
+
+  [[nodiscard]] const ShardPlan& plan() const noexcept
+    requires kShardedExec
+  {
+    return exec_.plan();
+  }
+
+  // --- variant-specific surface ---------------------------------------------
+
+  [[nodiscard]] std::uint32_t choices() const noexcept
+    requires(kKind == BallVariantKind::kDChoices)
+  {
+    return variant_.d_;
+  }
+
+  [[nodiscard]] double lambda() const noexcept
+    requires(kKind == BallVariantKind::kLeaky)
+  {
+    return variant_.lambda_;
+  }
+
+  [[nodiscard]] ball_count_t arrivals_per_round() const noexcept
+    requires(kKind == BallVariantKind::kTetris)
+  {
+    return variant_.arrivals_;
+  }
+
+  /// First round at the end of which bin u was empty (0 if initially
+  /// empty; kNeverEmptied if it has not emptied yet).  Lemma 4 predicts
+  /// max over bins <= 5n w.h.p. from any start.
+  [[nodiscard]] std::uint64_t first_empty_round(bin_index_t u) const
+    requires(kKind == BallVariantKind::kTetris)
+  {
+    return variant_.first_empty_[u];
+  }
+  /// True once every bin has been empty at least once.
+  [[nodiscard]] bool all_emptied_once() const noexcept
+    requires(kKind == BallVariantKind::kTetris)
+  {
+    return variant_.not_yet_emptied_ == 0;
+  }
+  /// Max over bins of first_empty_round (kNeverEmptied until
+  /// all_emptied_once()).
+  [[nodiscard]] std::uint64_t max_first_empty_round() const
+    requires(kKind == BallVariantKind::kTetris)
+  {
+    if (variant_.not_yet_emptied_ != 0) return kNeverEmptied;
+    std::uint64_t worst = 0;
+    for (const std::uint64_t r : variant_.first_empty_) {
+      worst = std::max(worst, r);
+    }
+    return worst;
+  }
+  /// Runs until all bins have emptied once or `max_rounds` elapse;
+  /// returns the round by which the last bin first emptied, or
+  /// kNeverEmptied.
+  std::uint64_t run_until_all_emptied(std::uint64_t max_rounds)
+    requires(kKind == BallVariantKind::kTetris)
+  {
+    while (!all_emptied_once()) {
+      if (round_ >= max_rounds) return kNeverEmptied;
+      step();
+    }
+    return max_first_empty_round();
+  }
+
+  /// Adversarial reassignment (paper, Sect. 4.1): replaces the entire
+  /// configuration.  The new configuration must contain the same number
+  /// of balls.  Counts as a faulty round, not a process round.
+  void reassign(const LoadConfig& q)
+    requires Variant::kConservesBalls
+  {
+    validate_config(q, balls_);
+    if (q.size() != loads_.size()) {
+      throw std::invalid_argument("reassign: bin count mismatch");
+    }
+    loads_ = q;
+    recompute_stats();
+  }
+
+  /// Testing hook: recomputes the incremental bookkeeping from scratch
+  /// and throws std::logic_error on drift.
+  void check_invariants() const {
+    if (rbb::total_balls(loads_) != balls_) {
+      throw std::logic_error("BallProcessCore: ball count drifted");
+    }
+    if (rbb::max_load(loads_) != max_load_) {
+      throw std::logic_error("BallProcessCore: max load out of sync");
+    }
+    if (rbb::empty_bins(loads_) != empty_) {
+      throw std::logic_error("BallProcessCore: empty count out of sync");
+    }
+    if constexpr (kKind == BallVariantKind::kTetris) {
+      std::uint32_t unseen = 0;
+      for (const std::uint64_t r : variant_.first_empty_) {
+        if (r == kNeverEmptied) ++unseen;
+      }
+      if (unseen != variant_.not_yet_emptied_) {
+        throw std::logic_error(
+            "BallProcessCore: first-empty tracking out of sync");
+      }
+    }
+    if constexpr (kShardedExec) {
+      for (const auto& buf : buffers_) {
+        if (!buf.empty()) {
+          throw std::logic_error(
+              "BallProcessCore: scatter buffer not drained");
+        }
+      }
+    }
+  }
+
+ private:
+  void recompute_stats() {
+    max_load_ = rbb::max_load(loads_);
+    empty_ = rbb::empty_bins(loads_);
+  }
+
+  /// Incremental arrival bookkeeping shared by every sequential path.
+  void apply_arrival(bin_index_t v) {
+    load_t& load = loads_[v];
+    if (load == 0) --empty_;
+    if (++load > max_load_) max_load_ = load;
+  }
+
+  /// The round's fresh-arrival count (refill variants).  Drawn before
+  /// any phase runs, so it is schedule-free under the counter stream.
+  [[nodiscard]] ball_count_t draw_arrival_count(std::uint64_t r) {
+    if constexpr (kKind == BallVariantKind::kTetris) {
+      return variant_.arrivals_;
+    } else if constexpr (kKind == BallVariantKind::kLeaky) {
+      if constexpr (Stream::kScheduleFree) {
+        Rng rng = variant_.stream_.round_rng(r, kArrivalCountTag);
+        return (*variant_.law_)(rng);
+      } else {
+        return (*variant_.law_)(variant_.stream_.rng());
+      }
+    } else {
+      return 0;
+    }
+  }
+
+  // --- the sequential round -------------------------------------------------
+
+  void step_sequential() {
+    const std::uint32_t n = bin_count();
+    const std::uint64_t r = round_;
+    constexpr bool kRefill = kKind == BallVariantKind::kTetris ||
+                             kKind == BallVariantKind::kLeaky;
+
+    std::uint32_t departures = 0;
+    std::uint32_t zeros = 0;
+    load_t max_after = 0;
+    scratch_.clear();
+    if constexpr (kKind == BallVariantKind::kTetris) {
+      variant_.pending_empty_.clear();
+    }
+
+    for (bin_index_t u = 0; u < n; ++u) {
+      load_t& load = loads_[u];
+      if (load > 0) {
+        --load;
+        ++departures;
+        if constexpr (kKind == BallVariantKind::kLoadOnly) {
+          if constexpr (Stream::kScheduleFree) {
+            scratch_.push_back(
+                variant_.stream_.index(r, relaunch_slot(u), n));
+          } else if (variant_.graph_ != nullptr) {
+            scratch_.push_back(
+                variant_.graph_->sample_neighbor(u, variant_.stream_.rng()));
+          }
+          // xoshiro clique path: destinations are block-drawn below so
+          // the generator state stays in registers (design choice D4).
+        } else if constexpr (kKind == BallVariantKind::kDChoices) {
+          if constexpr (Stream::kScheduleFree) {
+            scratch_.push_back(u);  // releasers; choices read the snapshot
+          }
+          // sequential stream: draws interleave with placement below.
+        } else {
+          --balls_;  // refill: the departing ball leaves the system
+          if constexpr (kKind == BallVariantKind::kTetris) {
+            if (load == 0 && variant_.first_empty_[u] == kNeverEmptied) {
+              variant_.pending_empty_.push_back(u);
+            }
+          }
+        }
+      }
+      if (load == 0) {
+        ++zeros;
+      } else if (load > max_after) {
+        max_after = load;
+      }
+    }
+    max_load_ = max_after;
+    empty_ = zeros;
+
+    if constexpr (kKind == BallVariantKind::kLoadOnly) {
+      if constexpr (!Stream::kScheduleFree) {
+        if (variant_.graph_ == nullptr) {
+          // Complete graph: destinations sampled as one block (same
+          // stream as per-ball index(n) calls) and applied with a
+          // prefetched scatter -- at large n the load vector out-sizes
+          // the cache and the random writes otherwise stall per arrival.
+          scratch_.resize(departures);
+          variant_.stream_.rng().fill_indices(scratch_.data(), departures,
+                                              n);
+          constexpr std::uint32_t kPrefetchAhead = 16;
+          for (std::uint32_t i = 0; i < departures; ++i) {
+            if (i + kPrefetchAhead < departures) {
+              __builtin_prefetch(&loads_[scratch_[i + kPrefetchAhead]], 1);
+            }
+            apply_arrival(scratch_[i]);
+          }
+        } else {
+          for (const bin_index_t v : scratch_) apply_arrival(v);
+        }
+      } else {
+        for (const bin_index_t v : scratch_) apply_arrival(v);
+      }
+    } else if constexpr (kKind == BallVariantKind::kDChoices) {
+      if constexpr (!Stream::kScheduleFree) {
+        // Classic sequential Greedy[d]: arrivals of the same round are
+        // visible to later placements.
+        Rng& rng = variant_.stream_.rng();
+        const std::uint32_t d = variant_.d_;
+        for (std::uint32_t i = 0; i < departures; ++i) {
+          bin_index_t best = rng.index(n);
+          for (std::uint32_t j = 1; j < d; ++j) {
+            const bin_index_t c = rng.index(n);
+            if (loads_[c] < loads_[best]) best = c;
+          }
+          apply_arrival(best);
+        }
+      } else {
+        // Batch-snapshot Greedy[d]: all choices read the post-departure
+        // configuration, then all placements commit (the convention the
+        // sharded backend realizes; see variants.hpp).
+        scratch_dest_.clear();
+        for (const bin_index_t u : scratch_) {
+          scratch_dest_.push_back(variant_.choose(r, u, n, loads_));
+        }
+        for (const bin_index_t v : scratch_dest_) apply_arrival(v);
+      }
+    } else if constexpr (kRefill) {
+      const ball_count_t arrivals = draw_arrival_count(r);
+      bool ball_by_ball = true;
+      if constexpr (kKind == BallVariantKind::kTetris) {
+        if (variant_.sampling_ == ArrivalSampling::kSplit) {
+          ball_by_ball = false;
+          // kSplit is sequential-stream-only (validated at construction).
+          if constexpr (!Stream::kScheduleFree) {
+            const std::vector<std::uint32_t> counts =
+                occupancy_split(arrivals, n, variant_.stream_.rng());
+            for (bin_index_t v = 0; v < n; ++v) {
+              for (std::uint32_t c = 0; c < counts[v]; ++c) apply_arrival(v);
+            }
+          }
+        }
+      }
+      if (ball_by_ball) {
+        for (ball_count_t i = 0; i < arrivals; ++i) {
+          bin_index_t dest;
+          if constexpr (Stream::kScheduleFree) {
+            dest = variant_.stream_.index(r, fresh_arrival_slot(i), n);
+          } else {
+            dest = variant_.stream_.rng().index(n);
+          }
+          apply_arrival(dest);
+        }
+      }
+      balls_ += arrivals;
+      last_arrivals_ = arrivals;
+      if constexpr (kKind == BallVariantKind::kTetris) {
+        // A bin that reached zero in the departure walk was "empty at
+        // this round's end" only if no arrival refilled it.
+        for (const bin_index_t u : variant_.pending_empty_) {
+          if (loads_[u] == 0 && variant_.first_empty_[u] == kNeverEmptied) {
+            variant_.first_empty_[u] = r + 1;
+            --variant_.not_yet_emptied_;
+          }
+        }
+      }
+    }
+    last_departures_ = departures;
+  }
+
+  // --- the sharded round ----------------------------------------------------
+
+  /// Per-stripe accumulator, cache-line padded so stripe tasks never
+  /// share a line.
+  struct alignas(64) StripeAcc {
+    std::uint32_t departures = 0;
+    load_t max = 0;
+    std::uint32_t zeros = 0;
+    std::uint32_t newly_emptied = 0;  // Tetris first-empty bookkeeping
+  };
+
+  void step_sharded()
+    requires kShardedExec
+  {
+    const std::uint32_t n = bin_count();
+    const std::uint64_t r = round_;
+    const ShardPlan& plan = exec_.plan();
+    const std::uint32_t shard_count = plan.shard_count();
+    const std::uint32_t stripes = plan.stripe_count();
+    constexpr bool kRefill = kKind == BallVariantKind::kTetris ||
+                             kKind == BallVariantKind::kLeaky;
+
+    const ball_count_t arrivals = draw_arrival_count(r);
+
+    // Phase 1 (throw): departures + destination draws into stripe-owned
+    // buffers.  The counter stream keys every draw by (round, slot), so
+    // the round's randomness is independent of the schedule.  Refill
+    // variants also draw their contiguous share of the fresh arrivals
+    // here -- those draws read no loads.
+    exec_.stripes().for_stripes(stripes, [&](std::uint32_t g) {
+      StripeAcc& acc = acc_[g];
+      acc.departures = 0;
+      std::vector<bin_index_t>* row =
+          &buffers_[static_cast<std::size_t>(g) * shard_count];
+      if constexpr (kKind == BallVariantKind::kDChoices) {
+        releasers_[g].clear();
+      }
+      const bin_index_t begin = plan.stripe_begin_bin(g);
+      const bin_index_t end = plan.stripe_end_bin(g);
+      for (bin_index_t u = begin; u < end; ++u) {
+        load_t& load = loads_[u];
+        if (load > 0) {
+          --load;
+          ++acc.departures;
+          if constexpr (kKind == BallVariantKind::kLoadOnly) {
+            const bin_index_t dest =
+                variant_.stream_.index(r, relaunch_slot(u), n);
+            row[plan.shard_of(dest)].push_back(dest);
+          } else if constexpr (kKind == BallVariantKind::kDChoices) {
+            releasers_[g].push_back(u);
+          }
+          // refill: the ball leaves; nothing to scatter for it.
+        }
+      }
+      if constexpr (kRefill) {
+        const ball_count_t lo = arrivals * g / stripes;
+        const ball_count_t hi = arrivals * (g + 1) / stripes;
+        for (ball_count_t i = lo; i < hi; ++i) {
+          const bin_index_t dest =
+              variant_.stream_.index(r, fresh_arrival_slot(i), n);
+          row[plan.shard_of(dest)].push_back(dest);
+        }
+      }
+    });
+
+    // Phase 1.5 (choose), d-choices only: every stripe resolves its
+    // releasers' candidates against the now-stable post-departure
+    // configuration.  Cross-shard loads are read, never written, so the
+    // phase is race-free; the choices are the batch-snapshot convention
+    // the sequential counter-stream sibling realizes (variants.hpp).
+    if constexpr (kKind == BallVariantKind::kDChoices) {
+      exec_.stripes().for_stripes(stripes, [&](std::uint32_t g) {
+        std::vector<bin_index_t>* row =
+            &buffers_[static_cast<std::size_t>(g) * shard_count];
+        for (const bin_index_t u : releasers_[g]) {
+          const bin_index_t dest = variant_.choose(r, u, n, loads_);
+          row[plan.shard_of(dest)].push_back(dest);
+        }
+      });
+    }
+
+    // Phase 2 (commit): each stripe drains all buffers addressed to its
+    // shards and rescans them for the round statistics.  The shard's
+    // loads are cache-hot, so the random within-shard scatter is cheap.
+    exec_.stripes().for_stripes(stripes, [&](std::uint32_t g) {
+      StripeAcc& acc = acc_[g];
+      acc.max = 0;
+      acc.zeros = 0;
+      acc.newly_emptied = 0;
+      for (std::uint32_t s = plan.stripe_begin_shard(g);
+           s < plan.stripe_end_shard(g); ++s) {
+        for (std::uint32_t src = 0; src < stripes; ++src) {
+          std::vector<bin_index_t>& buf =
+              buffers_[static_cast<std::size_t>(src) * shard_count + s];
+          for (const bin_index_t dest : buf) ++loads_[dest];
+          buf.clear();
+        }
+        for (bin_index_t u = plan.shard_begin(s); u < plan.shard_end(s);
+             ++u) {
+          const load_t load = loads_[u];
+          if (load == 0) {
+            ++acc.zeros;
+            if constexpr (kKind == BallVariantKind::kTetris) {
+              // End-load zero means the bin emptied this round (or was
+              // marked before): equivalent to the sequential pending
+              // logic, since arrivals only add and departures remove
+              // at most one ball.
+              if (variant_.first_empty_[u] == kNeverEmptied) {
+                variant_.first_empty_[u] = r + 1;
+                ++acc.newly_emptied;
+              }
+            }
+          } else if (load > acc.max) {
+            acc.max = load;
+          }
+        }
+      }
+    });
+
+    // Fixed-order reduction over stripes.
+    std::uint32_t departures = 0;
+    max_load_ = 0;
+    empty_ = 0;
+    for (const StripeAcc& acc : acc_) {
+      departures += acc.departures;
+      max_load_ = std::max(max_load_, acc.max);
+      empty_ += acc.zeros;
+      if constexpr (kKind == BallVariantKind::kTetris) {
+        variant_.not_yet_emptied_ -= acc.newly_emptied;
+      }
+    }
+    if constexpr (kRefill) {
+      balls_ -= departures;
+      balls_ += arrivals;
+      last_arrivals_ = arrivals;
+    }
+    last_departures_ = departures;
+  }
+
+  LoadConfig loads_;
+  Variant variant_;
+  Exec exec_;
+  ball_count_t balls_;
+  std::uint64_t round_ = 0;
+  load_t max_load_ = 0;
+  std::uint32_t empty_ = 0;
+  std::uint32_t last_departures_ = 0;
+  ball_count_t last_arrivals_ = 0;
+
+  // Sequential-path scratch: destinations (load-only), releasers
+  // (d-choices snapshot), or the block-drawn clique destinations.
+  std::vector<bin_index_t> scratch_;
+  std::vector<bin_index_t> scratch_dest_;
+
+  /// buffers_[stripe * shard_count + target_shard]: destinations thrown
+  /// by `stripe` into `target_shard` this round.  Cleared (capacity
+  /// kept) by the phase-2 task that drains them.  Sharded only.
+  std::vector<std::vector<bin_index_t>> buffers_;
+  std::vector<StripeAcc> acc_;
+  std::vector<std::vector<bin_index_t>> releasers_;  // d-choices, per stripe
+};
+
+}  // namespace rbb::kernel

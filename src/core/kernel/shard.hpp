@@ -1,4 +1,4 @@
-// Bin partitioning for the sharded round kernel (DESIGN.md Sect. 5).
+// Bin partitioning for the sharded execution policy (DESIGN.md Sect. 5).
 //
 // A ShardPlan cuts the bin range [0, n) into cache-aligned shards --
 // contiguous, equally sized blocks whose load sub-vector fits in L1/L2
@@ -20,7 +20,9 @@
 #include <cstdint>
 #include <stdexcept>
 
-namespace rbb::par {
+#include "support/types.hpp"
+
+namespace rbb::kernel {
 
 /// Default bins per shard: 16384 x 4 bytes = 64 KiB, comfortably inside
 /// a per-core L2 while amortizing per-shard buffer bookkeeping.
@@ -38,9 +40,16 @@ class ShardPlan {
   /// a multiple of 16 bins (cache-line alignment; see header comment).
   explicit ShardPlan(std::uint32_t n, std::uint32_t shard_size = 0) : n_(n) {
     if (n == 0) throw std::invalid_argument("ShardPlan: n == 0");
-    shard_size_ = shard_size == 0 ? kDefaultShardSize : shard_size;
-    shard_size_ = ((shard_size_ + 15u) / 16u) * 16u;
-    shard_count_ = (n_ + shard_size_ - 1) / shard_size_;
+    // Round up in 64-bit and clamp to the largest 16-aligned uint32:
+    // near UINT32_MAX the 32-bit round-up would wrap to 0 and the
+    // shard-count division would SIGFPE (CLI-reachable via
+    // --shard-size).  Any shard size >= n means one shard anyway.
+    const std::uint64_t requested =
+        shard_size == 0 ? kDefaultShardSize : shard_size;
+    shard_size_ = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(((requested + 15u) / 16u) * 16u,
+                                0xFFFFFFF0u));
+    shard_count_ = (n_ - 1) / shard_size_ + 1;
     stripe_count_ = std::min(shard_count_, kMaxStripes);
   }
 
@@ -55,14 +64,19 @@ class ShardPlan {
     return stripe_count_;
   }
 
-  [[nodiscard]] std::uint32_t shard_of(std::uint32_t bin) const noexcept {
+  [[nodiscard]] std::uint32_t shard_of(bin_index_t bin) const noexcept {
     return bin / shard_size_;
   }
-  [[nodiscard]] std::uint32_t shard_begin(std::uint32_t shard) const noexcept {
-    return shard * shard_size_;
+  // Boundary arithmetic widens to 64 bits: near n = 2^32 the products
+  // shard * shard_size and (shard + 1) * shard_size exceed uint32 and
+  // would silently wrap (--scale=mega headroom; see support/types.hpp).
+  [[nodiscard]] bin_index_t shard_begin(std::uint32_t shard) const noexcept {
+    return static_cast<bin_index_t>(
+        std::min<std::uint64_t>(n_, std::uint64_t{shard} * shard_size_));
   }
-  [[nodiscard]] std::uint32_t shard_end(std::uint32_t shard) const noexcept {
-    return std::min(n_, (shard + 1) * shard_size_);
+  [[nodiscard]] bin_index_t shard_end(std::uint32_t shard) const noexcept {
+    return static_cast<bin_index_t>(std::min<std::uint64_t>(
+        n_, (std::uint64_t{shard} + 1) * shard_size_));
   }
 
   /// Stripe `g` owns shards [stripe_begin_shard(g), stripe_end_shard(g)),
@@ -79,6 +93,16 @@ class ShardPlan {
         stripe_count_);
   }
 
+  /// Bin range owned by stripe `g`: [stripe_begin_bin, stripe_end_bin).
+  [[nodiscard]] bin_index_t stripe_begin_bin(std::uint32_t g) const noexcept {
+    return shard_begin(stripe_begin_shard(g));
+  }
+  [[nodiscard]] bin_index_t stripe_end_bin(std::uint32_t g) const noexcept {
+    return stripe_end_shard(g) == shard_count_
+               ? n_
+               : shard_begin(stripe_end_shard(g));
+  }
+
  private:
   std::uint32_t n_;
   std::uint32_t shard_size_;
@@ -86,4 +110,4 @@ class ShardPlan {
   std::uint32_t stripe_count_;
 };
 
-}  // namespace rbb::par
+}  // namespace rbb::kernel

@@ -1,0 +1,104 @@
+// RNG stream policies of the process core (DESIGN.md Sect. 5).
+//
+// The second policy axis: where a round's randomness comes from.
+//
+//   * SequentialStream -- the production xoshiro256++ generator
+//     (support/rng.hpp).  Draws are a serial stream: the t-th draw
+//     requires the t-1 before it, which pins the consumer to one
+//     thread but makes each draw ~6x cheaper than a Philox block.
+//     kScheduleFree = false: the sharded execution policy rejects it
+//     at compile time.
+//   * CounterStream -- the counter-based Philox4x32-10 generator
+//     (support/counter_rng.hpp).  Every draw is a pure function of
+//     (seed, round, slot), so any worker can compute any draw in any
+//     order and a round's randomness is fully determined before any
+//     phase starts -- the property the sharded scatter needs for
+//     thread-count- and shard-size-invariant trajectories.
+//
+// Slot-space convention (shared by every variant so streams never
+// collide):
+//   slot = u                      relaunch destination of releasing bin u
+//   slot = j * 2^32 + u           candidate j of releasing bin u
+//                                 (repeated d-choices; j < 2^16)
+//   slot = 2^48 + i               fresh arrival i of the round (Tetris /
+//                                 leaky bins; i < 2^32)
+//   tag  = 2^56                   the round's arrival-count substream
+//                                 (leaky bins' Binomial(n, lambda) draw)
+#pragma once
+
+#include <cstdint>
+
+#include "support/counter_rng.hpp"
+#include "support/rng.hpp"
+
+namespace rbb::kernel {
+
+/// Slot of the destination draw for the ball released by bin u.
+[[nodiscard]] constexpr std::uint64_t relaunch_slot(
+    std::uint32_t u) noexcept {
+  return u;
+}
+
+/// Slot of candidate j for the ball released by bin u (d-choices).
+[[nodiscard]] constexpr std::uint64_t candidate_slot(std::uint32_t j,
+                                                     std::uint32_t u) noexcept {
+  return (static_cast<std::uint64_t>(j) << 32) | u;
+}
+
+/// Slot of the i-th fresh arrival of a round (Tetris / leaky bins).
+inline constexpr std::uint64_t kFreshArrivalBase = std::uint64_t{1} << 48;
+[[nodiscard]] constexpr std::uint64_t fresh_arrival_slot(
+    std::uint64_t i) noexcept {
+  return kFreshArrivalBase + i;
+}
+
+/// Tag of the per-round arrival-count substream (leaky bins).
+inline constexpr std::uint64_t kArrivalCountTag = std::uint64_t{1} << 56;
+
+/// Sequential xoshiro256++ stream (the production single-thread draws).
+class SequentialStream {
+ public:
+  static constexpr bool kScheduleFree = false;
+
+  explicit SequentialStream(Rng rng) noexcept : rng_(rng) {}
+
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+/// Counter-based Philox stream: draw = f(seed, round, slot), no state.
+class CounterStream {
+ public:
+  static constexpr bool kScheduleFree = true;
+
+  constexpr explicit CounterStream(std::uint64_t seed) noexcept
+      : rng_(seed) {}
+  constexpr CounterStream(std::uint64_t seed, std::uint64_t stream) noexcept
+      : rng_(seed, stream) {}
+
+  /// Uniform index in [0, n) for draw (round, slot).
+  [[nodiscard]] std::uint32_t index(std::uint64_t round, std::uint64_t slot,
+                                    std::uint32_t n) const noexcept {
+    return rng_.index(round, slot, n);
+  }
+
+  /// A sequential substream derived for (round, tag): used for the few
+  /// per-round draws that are counts rather than destinations (e.g. the
+  /// leaky-bins Binomial(n, lambda) arrival draw).  Schedule-free
+  /// because the core draws it exactly once per round, before any phase
+  /// is dispatched.
+  [[nodiscard]] Rng round_rng(std::uint64_t round,
+                              std::uint64_t tag) const noexcept {
+    const std::array<std::uint64_t, 2> w = rng_.words(round, tag);
+    return Rng(w[0], w[1]);
+  }
+
+  [[nodiscard]] const CounterRng& counter() const noexcept { return rng_; }
+
+ private:
+  CounterRng rng_;
+};
+
+}  // namespace rbb::kernel

@@ -1,0 +1,450 @@
+// The FIFO token-process core over the same (execution x RNG stream)
+// policy set as BallProcessCore (DESIGN.md Sect. 5).
+//
+// Token state (per-bin queues, per-token positions) is shaped unlike a
+// load vector, so the identity-tracking process gets its own core
+// template -- but the policy axes are the same types: the sequential
+// instantiation is the plain single-threaded loop (the parity oracle),
+// the sharded instantiation executes one round across all cores.
+//
+// Enqueue order is not commutative, so determinism comes from a
+// *canonical arrival order*: stripes are contiguous and walked in
+// ascending bin order, the commit drains per-(stripe, shard) buffers in
+// ascending source-stripe order, hence every bin receives its arrivals
+// sorted by releasing bin -- for every thread count and shard size.
+// The sequential instantiation realizes the same order with a plain
+// loop, which is why the two are bit-identical (pinned by tests/par/).
+//
+// Scope: FIFO queue policy on the complete graph, with per-token
+// progress counters and OPTIONAL per-token visited bitsets (cover-time
+// experiments; m*n bits -- fine at experiment sizes, petabyte-scale at
+// mega n, so visits default off).  The full-featured sequential
+// TokenProcess (general graphs, LIFO/random policies, delay histograms)
+// remains in core/token_process.hpp.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/kernel/exec.hpp"
+#include "core/kernel/stream.hpp"
+#include "core/token_process.hpp"  // BallQueue, QueuePolicy
+#include "support/types.hpp"
+
+namespace rbb::kernel {
+
+/// Instrumentation knobs of the token core.
+struct TokenOptions {
+  /// Per-token visited bitsets + cover rounds (Corollary 1 cover-time
+  /// measurements).  Costs m*n bits -- leave off beyond ~10^5 bins.
+  bool track_visits = false;
+};
+
+template <typename Exec, typename StreamP = CounterStream>
+class TokenProcessCore {
+ public:
+  using Stream = StreamP;
+  static constexpr bool kShardedExec = Exec::kSharded;
+
+  static_assert(!kShardedExec || Stream::kScheduleFree,
+                "sharded execution requires a schedule-free (counter) RNG "
+                "stream");
+
+  static constexpr std::uint64_t kNotCovered =
+      std::numeric_limits<std::uint64_t>::max();
+
+  /// `start_bin[i]` is the initial bin of token i; co-located tokens
+  /// enqueue in token-id order (as in TokenProcess).
+  TokenProcessCore(std::uint32_t bins, std::vector<bin_index_t> start_bin,
+                   Stream stream, ExecOptions exec_options = {},
+                   TokenOptions options = {})
+      : bins_(bins),
+        stream_(std::move(stream)),
+        exec_(bins == 0 ? 1 : bins, exec_options),
+        options_(options),
+        token_bin_(std::move(start_bin)),
+        progress_(token_bin_.size(), 0) {
+    if (bins_ == 0) {
+      throw std::invalid_argument("TokenProcessCore: bins == 0");
+    }
+    if (token_bin_.empty()) {
+      throw std::invalid_argument("TokenProcessCore: no tokens");
+    }
+    for (const bin_index_t bin : token_bin_) {
+      if (bin >= bins_) {
+        throw std::invalid_argument(
+            "TokenProcessCore: start bin out of range");
+      }
+    }
+    queues_.resize(bins_);
+    if (options_.track_visits) {
+      words_per_token_ = (bins_ + 63) / 64;
+      visited_.assign(static_cast<std::size_t>(words_per_token_) *
+                          token_bin_.size(),
+                      0);
+      visited_count_.assign(token_bin_.size(), 0);
+      cover_round_.assign(token_bin_.size(), kNotCovered);
+    }
+    if constexpr (kShardedExec) {
+      const ShardPlan& plan = exec_.plan();
+      buffers_.resize(static_cast<std::size_t>(plan.stripe_count()) *
+                      plan.shard_count());
+      acc_.resize(plan.stripe_count());
+    }
+    rebuild_queues();
+  }
+
+  /// One synchronous round: every non-empty bin releases its FIFO head.
+  void step() {
+    if constexpr (kShardedExec) {
+      step_sharded();
+    } else {
+      step_sequential();
+    }
+    ++round_;
+  }
+
+  /// Runs `rounds` rounds.
+  void run(std::uint64_t rounds) {
+    for (std::uint64_t t = 0; t < rounds; ++t) step();
+  }
+
+  /// Runs until every token has covered all bins or `max_rounds`
+  /// elapse; returns the global cover time (rounds from construction)
+  /// if reached.  Requires track_visits.
+  std::optional<std::uint64_t> run_until_covered(std::uint64_t max_rounds) {
+    if (!options_.track_visits) {
+      throw std::logic_error("run_until_covered: visit tracking disabled");
+    }
+    while (!all_covered()) {
+      if (round_ >= max_rounds) return std::nullopt;
+      step();
+    }
+    return global_cover_time();
+  }
+
+  [[nodiscard]] std::uint32_t bin_count() const noexcept { return bins_; }
+  [[nodiscard]] std::uint32_t token_count() const noexcept {
+    return static_cast<std::uint32_t>(token_bin_.size());
+  }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+
+  /// Load of bin u (queue length).
+  [[nodiscard]] load_t load(bin_index_t u) const {
+    return static_cast<load_t>(queues_[u].size());
+  }
+  /// Maximum load over all bins.  Sharded: O(1), maintained by the
+  /// commit rescan.  Sequential: computed lazily on first query after a
+  /// round (as in TokenProcess), so an unobserved round pays no O(n)
+  /// stats pass -- this keeps the seq-counter perf rows an honest
+  /// RNG-swap measurement.
+  [[nodiscard]] load_t max_load() const {
+    refresh_stats();
+    return max_load_;
+  }
+  /// Number of empty bins; same cost contract as max_load().
+  [[nodiscard]] std::uint32_t empty_bins() const {
+    refresh_stats();
+    return empty_;
+  }
+  /// Per-bin load snapshot (off the hot path; O(n)).
+  [[nodiscard]] LoadConfig loads() const {
+    LoadConfig loads(bins_, 0);
+    for (bin_index_t u = 0; u < bins_; ++u) {
+      loads[u] = static_cast<load_t>(queues_[u].size());
+    }
+    return loads;
+  }
+
+  /// Current bin of token i.
+  [[nodiscard]] bin_index_t token_bin(std::uint32_t token) const {
+    return token_bin_[token];
+  }
+  /// Walk steps token i has performed (times it was released).
+  [[nodiscard]] std::uint64_t progress(std::uint32_t token) const {
+    return progress_[token];
+  }
+  /// Minimum progress over all tokens; O(m).
+  [[nodiscard]] std::uint64_t min_progress() const {
+    std::uint64_t lo = progress_.empty() ? 0 : progress_[0];
+    for (const std::uint64_t p : progress_) lo = std::min(lo, p);
+    return lo;
+  }
+
+  /// Distinct bins token i has visited.  Requires track_visits.
+  [[nodiscard]] std::uint32_t visited_count(std::uint32_t token) const {
+    require_visits("visited_count");
+    return visited_count_[token];
+  }
+  /// Round by which token i had visited all bins, or kNotCovered.
+  /// Requires track_visits.
+  [[nodiscard]] std::uint64_t cover_round(std::uint32_t token) const {
+    require_visits("cover_round");
+    return cover_round_[token];
+  }
+  /// True when every token has visited every bin.  Requires
+  /// track_visits: without it the answer would be a silent, permanent
+  /// "no" and a run-until-covered loop would burn its whole round cap.
+  [[nodiscard]] bool all_covered() const {
+    require_visits("all_covered");
+    return covered_tokens_ == token_count();
+  }
+  /// max over tokens of cover_round (kNotCovered unless all_covered()).
+  /// Requires track_visits.
+  [[nodiscard]] std::uint64_t global_cover_time() const {
+    if (!all_covered()) return kNotCovered;
+    std::uint64_t worst = 0;
+    for (const std::uint64_t r : cover_round_) worst = std::max(worst, r);
+    return worst;
+  }
+
+  [[nodiscard]] const ShardPlan& plan() const noexcept
+    requires kShardedExec
+  {
+    return exec_.plan();
+  }
+
+  /// Adversarial reassignment (Sect. 4.1 semantics, as in
+  /// TokenProcess::reassign): every token i moves to new_bin[i]; queues
+  /// are rebuilt in token-id order; progress persists; the reassigned
+  /// position counts as a visit.
+  void reassign(const std::vector<bin_index_t>& new_bin) {
+    if (new_bin.size() != token_bin_.size()) {
+      throw std::invalid_argument("reassign: token count mismatch");
+    }
+    for (const bin_index_t bin : new_bin) {
+      if (bin >= bins_) {
+        throw std::invalid_argument("reassign: bin out of range");
+      }
+    }
+    token_bin_ = new_bin;
+    rebuild_queues();
+  }
+
+  /// Testing hook: queue/token-position consistency; throws
+  /// std::logic_error on violation.
+  void check_invariants() const {
+    std::uint64_t queued = 0;
+    for (bin_index_t u = 0; u < bins_; ++u) {
+      for (const std::uint32_t token : queues_[u].snapshot()) {
+        if (token_bin_[token] != u) {
+          throw std::logic_error(
+              "TokenProcessCore: queue/token position mismatch");
+        }
+        ++queued;
+      }
+    }
+    if (queued != token_bin_.size()) {
+      throw std::logic_error("TokenProcessCore: token count drifted");
+    }
+    if constexpr (kShardedExec) {
+      for (const auto& buf : buffers_) {
+        if (!buf.empty()) {
+          throw std::logic_error(
+              "TokenProcessCore: scatter buffer not drained");
+        }
+      }
+    }
+  }
+
+ private:
+  struct Arrival {
+    bin_index_t dest;
+    std::uint32_t token;
+  };
+
+  struct alignas(64) StripeAcc {
+    load_t max = 0;
+    std::uint32_t zeros = 0;
+    std::uint32_t newly_covered = 0;
+  };
+
+  /// Marks `bin` visited by `token`; returns true when this visit
+  /// completed the token's coverage (caller owns the covered counter so
+  /// the sharded commit can accumulate per stripe).
+  bool mark_visited(std::uint32_t token, bin_index_t bin,
+                    std::uint64_t cover_at) {
+    if (!options_.track_visits) return false;
+    std::uint64_t& word =
+        visited_[static_cast<std::size_t>(token) * words_per_token_ +
+                 bin / 64];
+    const std::uint64_t bit = 1ULL << (bin % 64);
+    if ((word & bit) != 0) return false;
+    word |= bit;
+    if (++visited_count_[token] == bins_ &&
+        cover_round_[token] == kNotCovered) {
+      cover_round_[token] = cover_at;
+      return true;
+    }
+    return false;
+  }
+
+  void step_sequential() {
+    const std::uint64_t r = round_;
+    moves_.clear();
+    for (bin_index_t u = 0; u < bins_; ++u) {
+      if (queues_[u].empty()) continue;
+      const std::uint32_t token = queues_[u].pop(QueuePolicy::kFifo, dummy_);
+      ++progress_[token];
+      moves_.push_back(Arrival{stream_.index(r, relaunch_slot(u), bins_),
+                               token});
+    }
+    for (const Arrival& arrival : moves_) {
+      queues_[arrival.dest].push(arrival.token);
+      token_bin_[arrival.token] = arrival.dest;
+      if (mark_visited(arrival.token, arrival.dest, r + 1)) {
+        ++covered_tokens_;
+      }
+    }
+    stats_dirty_ = true;  // recomputed lazily on the next stats query
+  }
+
+  void step_sharded()
+    requires kShardedExec
+  {
+    const std::uint32_t n = bins_;
+    const std::uint64_t r = round_;
+    const ShardPlan& plan = exec_.plan();
+    const std::uint32_t shard_count = plan.shard_count();
+
+    // Phase 1 (throw): each stripe releases its FIFO heads in ascending
+    // bin order, so every buffer is filled sorted by releasing bin.  A
+    // token sits in exactly one queue, so the progress_ writes are
+    // stripe-exclusive too.
+    exec_.stripes().for_stripes(plan.stripe_count(), [&](std::uint32_t g) {
+      std::vector<Arrival>* row =
+          &buffers_[static_cast<std::size_t>(g) * shard_count];
+      const bin_index_t begin = plan.stripe_begin_bin(g);
+      const bin_index_t end = plan.stripe_end_bin(g);
+      for (bin_index_t u = begin; u < end; ++u) {
+        if (queues_[u].empty()) continue;
+        const std::uint32_t token =
+            queues_[u].pop(QueuePolicy::kFifo, dummy_);
+        ++progress_[token];
+        const bin_index_t dest = stream_.index(r, relaunch_slot(u), n);
+        row[plan.shard_of(dest)].push_back(Arrival{dest, token});
+      }
+    });
+
+    // Phase 2 (commit): drain buffers in ascending source-stripe order
+    // so every bin enqueues its arrivals sorted by releasing bin -- the
+    // canonical order the sequential sibling realizes by construction.
+    // A token arrives in exactly one buffer, so the token_bin_ and
+    // visited_ writes are stripe-exclusive.
+    exec_.stripes().for_stripes(plan.stripe_count(), [&](std::uint32_t g) {
+      StripeAcc& acc = acc_[g];
+      acc.max = 0;
+      acc.zeros = 0;
+      acc.newly_covered = 0;
+      for (std::uint32_t s = plan.stripe_begin_shard(g);
+           s < plan.stripe_end_shard(g); ++s) {
+        for (std::uint32_t src = 0; src < plan.stripe_count(); ++src) {
+          std::vector<Arrival>& buf =
+              buffers_[static_cast<std::size_t>(src) * shard_count + s];
+          for (const Arrival& arrival : buf) {
+            queues_[arrival.dest].push(arrival.token);
+            token_bin_[arrival.token] = arrival.dest;
+            if (mark_visited(arrival.token, arrival.dest, r + 1)) {
+              ++acc.newly_covered;
+            }
+          }
+          buf.clear();
+        }
+        for (bin_index_t u = plan.shard_begin(s); u < plan.shard_end(s);
+             ++u) {
+          const auto load = static_cast<load_t>(queues_[u].size());
+          if (load == 0) {
+            ++acc.zeros;
+          } else if (load > acc.max) {
+            acc.max = load;
+          }
+        }
+      }
+    });
+
+    max_load_ = 0;
+    empty_ = 0;
+    for (const StripeAcc& acc : acc_) {
+      max_load_ = std::max(max_load_, acc.max);
+      empty_ += acc.zeros;
+      covered_tokens_ += acc.newly_covered;
+    }
+    stats_dirty_ = false;  // the commit rescan just paid for them
+  }
+
+  void rebuild_queues() {
+    for (BallQueue& queue : queues_) queue.clear();
+    for (std::uint32_t token = 0; token < token_count(); ++token) {
+      queues_[token_bin_[token]].push(token);
+      if (mark_visited(token, token_bin_[token], round_)) {
+        ++covered_tokens_;
+      }
+    }
+    rescan_stats();
+  }
+
+  void rescan_stats() const {
+    max_load_ = 0;
+    empty_ = 0;
+    for (bin_index_t u = 0; u < bins_; ++u) {
+      const auto load = static_cast<load_t>(queues_[u].size());
+      if (load == 0) {
+        ++empty_;
+      } else if (load > max_load_) {
+        max_load_ = load;
+      }
+    }
+    stats_dirty_ = false;
+  }
+
+  /// Pays the O(n) stats pass only when a query needs it (sequential
+  /// path; the sharded commit keeps the values fresh for free).
+  void refresh_stats() const {
+    if (stats_dirty_) rescan_stats();
+  }
+
+  void require_visits(const char* what) const {
+    if (!options_.track_visits) {
+      throw std::logic_error(std::string(what) +
+                             ": visit tracking disabled");
+    }
+  }
+
+  std::uint32_t bins_;
+  Stream stream_;
+  Exec exec_;
+  TokenOptions options_;
+  Rng dummy_{0};  // BallQueue::pop needs an Rng&; unused under FIFO
+  std::vector<BallQueue> queues_;
+  std::vector<bin_index_t> token_bin_;
+  std::vector<std::uint64_t> progress_;
+  std::uint64_t round_ = 0;
+  // Lazily maintained stats (refresh_stats); mutable so const queries
+  // can pay the rescan on demand.
+  mutable load_t max_load_ = 0;
+  mutable std::uint32_t empty_ = 0;
+  mutable bool stats_dirty_ = false;
+
+  // Visit tracking (empty when !options_.track_visits).
+  std::uint32_t words_per_token_ = 0;
+  std::vector<std::uint64_t> visited_;
+  std::vector<std::uint32_t> visited_count_;
+  std::vector<std::uint64_t> cover_round_;
+  std::uint32_t covered_tokens_ = 0;
+
+  // Sequential-path scratch.
+  std::vector<Arrival> moves_;
+
+  /// buffers_[stripe * shard_count + target_shard], ascending releasing
+  /// bin within each buffer.  Sharded only.
+  std::vector<std::vector<Arrival>> buffers_;
+  std::vector<StripeAcc> acc_;
+};
+
+}  // namespace rbb::kernel

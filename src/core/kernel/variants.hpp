@@ -1,0 +1,269 @@
+// Process-variant policies of the process core (DESIGN.md Sect. 5).
+//
+// The per-round *semantics* axis of the policy matrix: what a departure
+// means, where arrivals come from, and which extra bookkeeping the
+// variant maintains.  Each variant carries its RNG stream policy
+// (stream.hpp) as a template parameter, so one variant type fully
+// determines the randomness contract; the execution policy (exec.hpp)
+// stays orthogonal and is chosen at the BallProcessCore instantiation.
+//
+// Two arrival shapes exist:
+//   * relaunch (LoadOnly, DChoices) -- every departing ball is thrown
+//     back; the ball count is conserved.
+//   * refill (Tetris, Leaky) -- departing balls leave the system and an
+//     independent batch of fresh balls arrives each round.
+//
+// The members of these structs are the kernel's working state; they are
+// public for BallProcessCore, not part of the public process API (the
+// core re-exposes the user-facing accessors with requires-clauses).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "core/kernel/stream.hpp"
+#include "graph/graph.hpp"
+#include "support/samplers.hpp"
+#include "support/types.hpp"
+
+namespace rbb {
+
+/// Statistics of the configuration at the *end* of a round (the paper's
+/// process and every ball-conserving variant).
+struct RoundStats {
+  std::uint32_t max_load = 0;
+  std::uint32_t empty_bins = 0;
+  std::uint32_t departures = 0;  // |W^t| of the round just executed
+};
+
+/// Per-round statistics of the repeated d-choices process.
+struct DChoicesRoundStats {
+  std::uint32_t max_load = 0;
+  std::uint32_t empty_bins = 0;
+  std::uint32_t departures = 0;
+};
+
+/// Per-round statistics of the Tetris process (end-of-round state).
+struct TetrisRoundStats {
+  std::uint32_t max_load = 0;
+  std::uint32_t empty_bins = 0;
+  ball_count_t total_balls = 0;  // Tetris does not conserve ball count
+};
+
+/// Per-round statistics of the leaky-bins process.
+struct LeakyRoundStats {
+  std::uint32_t max_load = 0;
+  std::uint32_t empty_bins = 0;
+  ball_count_t total_balls = 0;
+  ball_count_t arrivals = 0;  // this round's Binomial(n, lambda) draw
+};
+
+/// How Tetris samples the per-round arrival occupancy (ablation D1).
+enum class ArrivalSampling {
+  kBallByBall,  // k independent uniform destinations, O(k) per round
+  kSplit,       // multinomial via recursive binomial splitting, O(n)
+};
+
+namespace kernel {
+
+enum class BallVariantKind { kLoadOnly, kDChoices, kTetris, kLeaky };
+
+/// The paper's process: every departure is re-thrown u.a.r. (complete
+/// graph) or to a uniform neighbor (general graph; sequential stream
+/// only -- neighbor sampling needs a serial generator).
+template <typename StreamP>
+struct LoadOnly {
+  using Stream = StreamP;
+  using Stats = RoundStats;
+  static constexpr BallVariantKind kKind = BallVariantKind::kLoadOnly;
+  static constexpr bool kConservesBalls = true;
+
+  explicit LoadOnly(Stream stream, const Graph* graph = nullptr)
+      : stream_(std::move(stream)), graph_(graph) {}
+
+  void validate(std::uint32_t n) const {
+    if (graph_ != nullptr) {
+      if constexpr (Stream::kScheduleFree) {
+        throw std::invalid_argument(
+            "LoadOnly: general graphs need the sequential stream "
+            "(neighbor sampling draws from a serial generator)");
+      }
+      if (graph_->node_count() != n) {
+        throw std::invalid_argument(
+            "RepeatedBallsProcess: graph size != configuration size");
+      }
+      if (graph_->min_degree() == 0) {
+        throw std::invalid_argument(
+            "RepeatedBallsProcess: graph has an isolated node");
+      }
+    }
+  }
+  void init(const std::vector<load_t>& /*loads*/) {}
+
+  static Stats make_stats(std::uint32_t max, std::uint32_t empty,
+                          std::uint32_t departures, ball_count_t /*balls*/,
+                          ball_count_t /*arrivals*/) {
+    return Stats{max, empty, departures};
+  }
+
+  Stream stream_;
+  const Graph* graph_;
+};
+
+/// Repeated d-choices ([36]): a released ball samples d candidate bins
+/// and joins the least loaded.
+///
+/// Placement convention (documented because [36] leaves the intra-round
+/// rule unspecified):
+///   * sequential stream -- classic Greedy[d]: balls are placed one by
+///     one in releasing-bin order and each placement sees the arrivals
+///     before it (the historical RepeatedDChoicesProcess behavior).
+///   * schedule-free stream -- batch-snapshot Greedy[d]: every choice
+///     reads the post-departure configuration and all placements commit
+///     afterwards.  This is the convention a parallel round can realize
+///     without serializing on the load vector, and it matches the
+///     batched setting of Berenbrink et al. (PODC 2016): decisions made
+///     on information that is one batch stale.
+template <typename StreamP>
+struct DChoices {
+  using Stream = StreamP;
+  using Stats = DChoicesRoundStats;
+  static constexpr BallVariantKind kKind = BallVariantKind::kDChoices;
+  static constexpr bool kConservesBalls = true;
+
+  DChoices(Stream stream, std::uint32_t d)
+      : stream_(std::move(stream)), d_(d) {}
+
+  void validate(std::uint32_t /*n*/) const {
+    if (d_ == 0) {
+      throw std::invalid_argument("RepeatedDChoicesProcess: d == 0");
+    }
+    if (d_ >= (1u << 16)) {
+      throw std::invalid_argument(
+          "RepeatedDChoicesProcess: d exceeds the candidate slot space");
+    }
+  }
+  void init(const std::vector<load_t>& /*loads*/) {}
+
+  /// Batch-snapshot choice for the ball released by bin u: d candidate
+  /// draws on slots (j, u), least loaded wins, ties keep the earlier
+  /// draw.  Reads `loads` only -- callable concurrently from any worker
+  /// once the post-departure configuration is stable.
+  template <typename S = Stream>
+    requires S::kScheduleFree
+  [[nodiscard]] bin_index_t choose(std::uint64_t round, bin_index_t u,
+                                   std::uint32_t n,
+                                   const std::vector<load_t>& loads) const {
+    bin_index_t best = stream_.index(round, candidate_slot(0, u), n);
+    for (std::uint32_t j = 1; j < d_; ++j) {
+      const bin_index_t c = stream_.index(round, candidate_slot(j, u), n);
+      if (loads[c] < loads[best]) best = c;
+    }
+    return best;
+  }
+
+  static Stats make_stats(std::uint32_t max, std::uint32_t empty,
+                          std::uint32_t departures, ball_count_t /*balls*/,
+                          ball_count_t /*arrivals*/) {
+    return Stats{max, empty, departures};
+  }
+
+  Stream stream_;
+  std::uint32_t d_;
+};
+
+/// The Tetris process (paper, Sect. 3.1): every non-empty bin discards
+/// one ball, then exactly `arrivals_` fresh balls are thrown i.i.d.
+/// u.a.r.  Tracks the first round each bin was empty (Lemma 4).
+template <typename StreamP>
+struct Tetris {
+  using Stream = StreamP;
+  using Stats = TetrisRoundStats;
+  static constexpr BallVariantKind kKind = BallVariantKind::kTetris;
+  static constexpr bool kConservesBalls = false;
+
+  static constexpr std::uint64_t kNeverEmptied =
+      std::numeric_limits<std::uint64_t>::max();
+
+  /// `arrivals_per_round` == 0 selects the paper's floor(3n/4).
+  Tetris(Stream stream, ball_count_t arrivals_per_round = 0,
+         ArrivalSampling sampling = ArrivalSampling::kBallByBall)
+      : stream_(std::move(stream)),
+        arrivals_(arrivals_per_round),
+        sampling_(sampling) {}
+
+  void validate(std::uint32_t /*n*/) const {
+    if constexpr (Stream::kScheduleFree) {
+      if (sampling_ == ArrivalSampling::kSplit) {
+        throw std::invalid_argument(
+            "Tetris: multinomial-split sampling is inherently sequential; "
+            "the schedule-free stream supports ball-by-ball arrivals only");
+      }
+    }
+  }
+  void init(const std::vector<load_t>& loads) {
+    if (arrivals_ == 0) arrivals_ = loads.size() * 3 / 4;
+    first_empty_.assign(loads.size(), kNeverEmptied);
+    not_yet_emptied_ = 0;
+    for (std::uint32_t u = 0; u < loads.size(); ++u) {
+      if (loads[u] == 0) {
+        first_empty_[u] = 0;
+      } else {
+        ++not_yet_emptied_;
+      }
+    }
+  }
+
+  static Stats make_stats(std::uint32_t max, std::uint32_t empty,
+                          std::uint32_t /*departures*/, ball_count_t balls,
+                          ball_count_t /*arrivals*/) {
+    return Stats{max, empty, balls};
+  }
+
+  Stream stream_;
+  ball_count_t arrivals_;
+  ArrivalSampling sampling_;
+  std::vector<std::uint64_t> first_empty_;
+  std::uint32_t not_yet_emptied_ = 0;
+  std::vector<bin_index_t> pending_empty_;  // sequential-path scratch
+};
+
+/// Leaky bins (Berenbrink et al., PODC 2016): one departure per
+/// non-empty bin leaves the system, Binomial(n, lambda) fresh arrivals
+/// land u.a.r.  Under the counter stream the arrival count is drawn
+/// from the round's derived substream, once, before any phase runs.
+template <typename StreamP>
+struct Leaky {
+  using Stream = StreamP;
+  using Stats = LeakyRoundStats;
+  static constexpr BallVariantKind kKind = BallVariantKind::kLeaky;
+  static constexpr bool kConservesBalls = false;
+
+  Leaky(Stream stream, double lambda)
+      : stream_(std::move(stream)), lambda_(lambda) {}
+
+  void validate(std::uint32_t /*n*/) const {
+    if (!(lambda_ >= 0.0 && lambda_ <= 1.0)) {
+      throw std::invalid_argument("LeakyBinsProcess: lambda outside [0, 1]");
+    }
+  }
+  void init(const std::vector<load_t>& loads) {
+    law_.emplace(loads.size(), lambda_);
+  }
+
+  static Stats make_stats(std::uint32_t max, std::uint32_t empty,
+                          std::uint32_t /*departures*/, ball_count_t balls,
+                          ball_count_t arrivals) {
+    return Stats{max, empty, balls, arrivals};
+  }
+
+  Stream stream_;
+  double lambda_;
+  std::optional<BinomialSampler> law_;
+};
+
+}  // namespace kernel
+}  // namespace rbb

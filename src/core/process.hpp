@@ -12,78 +12,39 @@
 // fastest representation (ablation D2); use TokenProcess when per-ball
 // identities (progress, cover time, FIFO order) are needed.
 //
-// Per-round cost: O(n + |W^t|) with O(1) extra work to maintain the
-// maximum load and the empty-bin count incrementally (ablation D3).
+// Since the policy refactor (DESIGN.md Sect. 5), RepeatedBallsProcess is a
+// thin constructor adapter over the process core: the LoadOnly variant on
+// the sequential xoshiro stream with in-place execution, draw-for-draw
+// identical to the historical hand-written kernel.  The counter-stream and
+// sharded instantiations of the same core live in src/par/.
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "core/config.hpp"
+#include "core/kernel/ball_kernel.hpp"
 #include "graph/graph.hpp"
 #include "support/rng.hpp"
 
 namespace rbb {
 
-/// Statistics of the configuration at the *end* of a round.
-struct RoundStats {
-  std::uint32_t max_load = 0;
-  std::uint32_t empty_bins = 0;
-  std::uint32_t departures = 0;  // |W^t| of the round just executed
-};
-
-/// Load-only repeated balls-into-bins simulator.
-class RepeatedBallsProcess {
+/// Load-only repeated balls-into-bins simulator (sequential xoshiro
+/// instantiation of the process core).
+class RepeatedBallsProcess
+    : public kernel::BallProcessCore<kernel::LoadOnly<kernel::SequentialStream>,
+                                     kernel::SequentialExecution> {
  public:
   /// Starts from an explicit configuration on the complete graph K_n.
-  RepeatedBallsProcess(LoadConfig initial, Rng rng);
+  RepeatedBallsProcess(LoadConfig initial, Rng rng)
+      : RepeatedBallsProcess(std::move(initial), nullptr, rng) {}
 
   /// Starts from an explicit configuration on a general graph; `graph`
   /// must outlive the process and have min degree >= 1.  Balls released by
   /// bin u land on a uniform random neighbor of u.
-  RepeatedBallsProcess(LoadConfig initial, const Graph* graph, Rng rng);
-
-  /// Executes one synchronous round; returns end-of-round statistics.
-  RoundStats step();
-
-  /// Executes `rounds` rounds; returns the stats of the last one.
-  RoundStats run(std::uint64_t rounds);
-
-  [[nodiscard]] std::uint32_t bin_count() const noexcept {
-    return static_cast<std::uint32_t>(loads_.size());
-  }
-  [[nodiscard]] std::uint64_t ball_count() const noexcept { return balls_; }
-  /// Rounds executed since construction.
-  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
-  [[nodiscard]] const LoadConfig& loads() const noexcept { return loads_; }
-
-  /// Current maximum load (O(1); maintained incrementally).
-  [[nodiscard]] std::uint32_t max_load() const noexcept { return max_load_; }
-  /// Current number of empty bins (O(1); maintained incrementally).
-  [[nodiscard]] std::uint32_t empty_bins() const noexcept { return empty_; }
-  /// True iff max_load() <= beta * log2(n).
-  [[nodiscard]] bool is_legitimate(double beta = 4.0) const;
-
-  /// Adversarial reassignment (paper, Sect. 4.1): replaces the entire
-  /// configuration.  The new configuration must contain the same number of
-  /// balls.  Counts as a faulty round, not a process round.
-  void reassign(const LoadConfig& q);
-
-  /// Testing hook: recomputes max/empty from scratch and checks them
-  /// against the incremental values; throws std::logic_error on mismatch.
-  void check_invariants() const;
-
- private:
-  void recompute_stats();
-
-  LoadConfig loads_;
-  const Graph* graph_;  // nullptr = complete graph
-  Rng rng_;
-  std::uint64_t balls_;
-  std::uint64_t round_ = 0;
-  std::uint32_t max_load_ = 0;
-  std::uint32_t empty_ = 0;
-  std::vector<std::uint32_t> scratch_;  // per-round destination buffer
+  RepeatedBallsProcess(LoadConfig initial, const Graph* graph, Rng rng)
+      : BallProcessCore(std::move(initial),
+                        kernel::LoadOnly<kernel::SequentialStream>(
+                            kernel::SequentialStream(rng), graph)) {}
 };
 
 }  // namespace rbb

@@ -37,6 +37,16 @@ enum class QueuePolicy {
 [[nodiscard]] const char* to_string(QueuePolicy policy);
 [[nodiscard]] QueuePolicy queue_policy_from_string(const std::string& s);
 
+/// One token per bin, token i starting in bin i: the canonical
+/// starting placement of the progress / delay / cover experiments and
+/// the token perf benches.
+[[nodiscard]] inline std::vector<std::uint32_t> identity_placement(
+    std::uint32_t n) {
+  std::vector<std::uint32_t> placement(n);
+  for (std::uint32_t i = 0; i < n; ++i) placement[i] = i;
+  return placement;
+}
+
 /// A bin's token queue: contiguous storage with an amortised-O(1) head.
 class BallQueue {
  public:

@@ -1,119 +1,67 @@
-// Sharded intra-round kernel for the repeated balls-into-bins process
-// (DESIGN.md Sect. 5): one round of ONE instance across all cores.
+// Sharded and counter-stream instantiations of the load-only kernel
+// (DESIGN.md Sect. 5).
 //
-// The sequential kernel (core/process.hpp) tops out around n = 10^6
-// because one thread performs the whole O(n) round and the random
-// arrival scatter misses cache on every write once the load vector
-// outgrows it.  This backend executes a round in two phases over the
-// cache-aligned shards of a ShardPlan:
+// Since the policy refactor the whole mega-n machinery lives in the
+// process core (core/kernel/): this header only names the load-only
+// instantiations of the (execution x RNG stream) policy matrix that the
+// runner, benches and tests drive:
 //
-//   phase 1 (throw):  each stripe task walks its own bins, performs the
-//     departures, draws every leaving ball's destination with the
-//     counter-based RNG (support/counter_rng.hpp, slot = releasing bin),
-//     and appends the destination to a per-(stripe, target-shard)
-//     buffer.  All writes go to stripe-owned memory -- no atomics.
-//   phase 2 (commit): each stripe task drains every buffer addressed to
-//     its own shards, applies the arrivals (the shard's loads fit in
-//     cache, so the scatter is cache-hot), and rescans the shard for the
-//     max-load / empty-bin statistics.  Again stripe-owned writes only.
+//   ShardedRepeatedBallsProcess    LoadOnly x CounterStream x Sharded
+//                                  -- one round of one instance across
+//                                  all cores, trajectories bit-identical
+//                                  for every thread count and shard size;
+//   SequentialCounterProcess       LoadOnly x CounterStream x Sequential
+//                                  -- the plain single-threaded loop
+//                                  making the SAME counter draws: the
+//                                  parity oracle of tests/par/ and the
+//                                  "what one thread does" perf floor.
 //
-// Determinism: destinations depend only on (seed, round, bin), load
-// updates are commutative sums, and the statistics reduce over stripes
-// in fixed order -- so the trajectory is bit-identical for every thread
-// count and every shard size (pinned by tests/par/).  The same
-// configuration and seed give the same loads whether the round ran on 1
-// or 64 workers.
+// Equal (configuration, seed) pairs give equal trajectories across the
+// two, for any ShardedOptions.
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <utility>
 
 #include "core/config.hpp"
-#include "core/process.hpp"  // RoundStats
-#include "par/shard.hpp"
-#include "par/stripe_exec.hpp"
-#include "support/counter_rng.hpp"
+#include "core/kernel/ball_kernel.hpp"
 
 namespace rbb::par {
 
-/// Execution knobs shared by the sharded processes.
-struct ShardedOptions {
-  /// 0 = run on the process-wide ThreadPool::global() (recommended: the
-  /// nesting rule in thread_pool.hpp then degrades an inner sharded
-  /// round to sequential under a trial-level fan-out instead of
-  /// oversubscribing).  1 = strictly in-thread, no pool.  k > 1 =
-  /// exactly k runnable threads via a private pool (k-1 workers + the
-  /// submitter; see StripeExecutor) -- benchmarks only, and only
-  /// meaningful at the top of the nesting hierarchy.
-  unsigned threads = 0;
-  /// Bins per shard; 0 = kDefaultShardSize.  Rounded up to a multiple
-  /// of 16 bins (one cache line of loads).
-  std::uint32_t shard_size = 0;
-};
+/// Execution knobs of the sharded instantiations (re-exported from the
+/// kernel layer; see kernel::ExecOptions for the threads rule).
+using ShardedOptions = kernel::ExecOptions;
+using kernel::kDefaultShardSize;
+using kernel::kMaxStripes;
+using kernel::ShardPlan;
 
 /// Load-only repeated balls-into-bins on the complete graph K_n,
-/// sharded across cores.  Mirrors RepeatedBallsProcess's surface, so the
-/// engine's generic customization points pick it up unchanged.
-class ShardedRepeatedBallsProcess {
+/// sharded across cores.
+class ShardedRepeatedBallsProcess
+    : public kernel::BallProcessCore<kernel::LoadOnly<kernel::CounterStream>,
+                                     kernel::ShardedExecution> {
  public:
   /// Starts from an explicit configuration.  `seed` keys the
   /// counter-based RNG; equal (configuration, seed) pairs give equal
   /// trajectories for any `options`.
   explicit ShardedRepeatedBallsProcess(LoadConfig initial, std::uint64_t seed,
-                                       ShardedOptions options = {});
+                                       ShardedOptions options = {})
+      : BallProcessCore(std::move(initial),
+                        kernel::LoadOnly<kernel::CounterStream>(
+                            kernel::CounterStream(seed)),
+                        options) {}
+};
 
-  /// Executes one synchronous round; returns end-of-round statistics.
-  RoundStats step();
-
-  /// Executes `rounds` rounds; returns the stats of the last one.
-  RoundStats run(std::uint64_t rounds);
-
-  [[nodiscard]] std::uint32_t bin_count() const noexcept {
-    return static_cast<std::uint32_t>(loads_.size());
-  }
-  [[nodiscard]] std::uint64_t ball_count() const noexcept { return balls_; }
-  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
-  [[nodiscard]] const LoadConfig& loads() const noexcept { return loads_; }
-  [[nodiscard]] std::uint32_t max_load() const noexcept { return max_load_; }
-  [[nodiscard]] std::uint32_t empty_bins() const noexcept { return empty_; }
-  /// True iff max_load() <= beta * log2(n).
-  [[nodiscard]] bool is_legitimate(double beta = 4.0) const;
-
-  [[nodiscard]] const ShardPlan& plan() const noexcept { return plan_; }
-
-  /// Adversarial reassignment (same contract as the sequential kernel):
-  /// replaces the configuration; ball count must be preserved.
-  void reassign(const LoadConfig& q);
-
-  /// Testing hook: recomputes ball total / max / empty from scratch and
-  /// throws std::logic_error on drift.
-  void check_invariants() const;
-
- private:
-  void recompute_stats();
-
-  /// Per-stripe accumulator, cache-line padded so stripe tasks never
-  /// share a line.
-  struct alignas(64) StripeAcc {
-    std::uint32_t departures = 0;
-    std::uint32_t max = 0;
-    std::uint32_t zeros = 0;
-  };
-
-  LoadConfig loads_;
-  ShardPlan plan_;
-  CounterRng rng_;
-  StripeExecutor exec_;
-  std::uint64_t balls_;
-  std::uint64_t round_ = 0;
-  std::uint32_t max_load_ = 0;
-  std::uint32_t empty_ = 0;
-
-  /// buffers_[stripe * shard_count + target_shard]: destinations thrown
-  /// by `stripe` into `target_shard` this round.  Cleared (capacity
-  /// kept) by the phase-2 task that drains them.
-  std::vector<std::vector<std::uint32_t>> buffers_;
-  std::vector<StripeAcc> acc_;
+/// Single-threaded load-only kernel under the counter-based RNG; the
+/// parity oracle for ShardedRepeatedBallsProcess.
+class SequentialCounterProcess
+    : public kernel::BallProcessCore<kernel::LoadOnly<kernel::CounterStream>,
+                                     kernel::SequentialExecution> {
+ public:
+  explicit SequentialCounterProcess(LoadConfig initial, std::uint64_t seed)
+      : BallProcessCore(std::move(initial),
+                        kernel::LoadOnly<kernel::CounterStream>(
+                            kernel::CounterStream(seed))) {}
 };
 
 }  // namespace rbb::par

@@ -1,120 +1,59 @@
-// Sharded port of the identity-tracking token process (DESIGN.md
-// Sect. 5): the FIFO multi-token traversal at mega-n scale.
+// Sharded and counter-stream instantiations of the FIFO token kernel
+// (DESIGN.md Sect. 5): the multi-token traversal at mega-n scale.
 //
-// Same two-phase throw/commit as ShardedRepeatedBallsProcess, but the
-// scatter carries (destination, token) pairs and the commit phase
-// enqueues tokens instead of incrementing counters.  Enqueue order is
-// not commutative, so the commit drains the per-(stripe, shard) buffers
-// in ascending source-stripe order; each stripe fills its buffers in
-// ascending releasing-bin order, hence every bin receives its arrivals
-// sorted by releasing bin -- a canonical order independent of thread
-// count and shard size.  The parity oracle is
-// par::SequentialCounterTokenProcess (reference.hpp), which realizes
-// the same order with a plain loop.
+// Thin constructor adapters over core/kernel/token_kernel.hpp:
+//
+//   ShardedTokenProcess            Token x CounterStream x Sharded
+//   SequentialCounterTokenProcess  Token x CounterStream x Sequential
+//                                  (the parity oracle of tests/par/)
 //
 // Scope of the port (the mega-n subset): FIFO queue policy on the
-// complete graph, with per-token progress counters.  The per-token
-// visited bitsets and delay histograms of core/token_process.hpp are
-// deliberately absent -- at n >= 10^8 a visited matrix alone is m*n bits
-// = petabyte-scale; cover-time experiments stay on the sequential
-// TokenProcess.
+// complete graph, per-token progress counters, and OPTIONAL per-token
+// visited bitsets (cover-time experiments; m*n bits -- leave off at
+// mega n).  The delay histograms and general-graph support of
+// core/token_process.hpp are deliberately absent; delay experiments
+// stay on the sequential TokenProcess.
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
-#include "core/config.hpp"
-#include "core/token_process.hpp"  // BallQueue, QueuePolicy
-#include "par/shard.hpp"
+#include "core/kernel/token_kernel.hpp"
 #include "par/sharded_process.hpp"  // ShardedOptions
-#include "par/stripe_exec.hpp"
-#include "support/counter_rng.hpp"
 
 namespace rbb::par {
 
+using kernel::TokenOptions;
+
 /// FIFO multi-token traversal on K_n, sharded across cores.
-class ShardedTokenProcess {
+class ShardedTokenProcess
+    : public kernel::TokenProcessCore<kernel::ShardedExecution> {
  public:
   /// `start_bin[i]` is the initial bin of token i; co-located tokens
   /// enqueue in token-id order (as in TokenProcess).
   ShardedTokenProcess(std::uint32_t bins,
                       std::vector<std::uint32_t> start_bin,
-                      std::uint64_t seed, ShardedOptions options = {});
+                      std::uint64_t seed, ShardedOptions options = {},
+                      TokenOptions token_options = {})
+      : TokenProcessCore(bins, std::move(start_bin),
+                         kernel::CounterStream(seed), options,
+                         token_options) {}
+};
 
-  /// One synchronous round: every non-empty bin releases its FIFO head.
-  void step();
-  /// Runs `rounds` rounds.
-  void run(std::uint64_t rounds);
-
-  [[nodiscard]] std::uint32_t bin_count() const noexcept { return bins_; }
-  [[nodiscard]] std::uint32_t token_count() const noexcept {
-    return static_cast<std::uint32_t>(token_bin_.size());
-  }
-  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
-
-  /// Load of bin u (queue length).
-  [[nodiscard]] std::uint32_t load(std::uint32_t u) const {
-    return static_cast<std::uint32_t>(queues_[u].size());
-  }
-  /// Maximum load over all bins; O(1) (maintained by the commit scan).
-  [[nodiscard]] std::uint32_t max_load() const noexcept { return max_load_; }
-  /// Number of empty bins; O(1) (maintained by the commit scan).
-  [[nodiscard]] std::uint32_t empty_bins() const noexcept { return empty_; }
-  /// Per-bin load snapshot (off the hot path; O(n)).
-  [[nodiscard]] LoadConfig loads() const;
-
-  /// Current bin of token i.
-  [[nodiscard]] std::uint32_t token_bin(std::uint32_t token) const {
-    return token_bin_[token];
-  }
-  /// Walk steps token i has performed (times it was released).
-  [[nodiscard]] std::uint64_t progress(std::uint32_t token) const {
-    return progress_[token];
-  }
-  /// Minimum progress over all tokens; O(m).
-  [[nodiscard]] std::uint64_t min_progress() const;
-
-  [[nodiscard]] const ShardPlan& plan() const noexcept { return plan_; }
-
-  /// Adversarial reassignment (Sect. 4.1 semantics, as in
-  /// TokenProcess::reassign): every token i moves to new_bin[i]; queues
-  /// are rebuilt in token-id order; progress persists.
-  void reassign(const std::vector<std::uint32_t>& new_bin);
-
-  /// Testing hook: queue/token-position consistency; throws
-  /// std::logic_error on violation.
-  void check_invariants() const;
-
- private:
-  void rebuild_queues();
-  void rescan_stats();
-
-  struct Arrival {
-    std::uint32_t dest;
-    std::uint32_t token;
-  };
-
-  struct alignas(64) StripeAcc {
-    std::uint32_t max = 0;
-    std::uint32_t zeros = 0;
-  };
-
-  std::uint32_t bins_;
-  ShardPlan plan_;
-  CounterRng rng_;
-  StripeExecutor exec_;
-  Rng dummy_{0};  // BallQueue::pop needs an Rng&; unused under FIFO
-  std::vector<BallQueue> queues_;
-  std::vector<std::uint32_t> token_bin_;
-  std::vector<std::uint64_t> progress_;
-  std::uint64_t round_ = 0;
-  std::uint32_t max_load_ = 0;
-  std::uint32_t empty_ = 0;
-
-  /// buffers_[stripe * shard_count + target_shard], ascending releasing
-  /// bin within each buffer.
-  std::vector<std::vector<Arrival>> buffers_;
-  std::vector<StripeAcc> acc_;
+/// Single-threaded FIFO token kernel under the counter-based RNG; the
+/// parity oracle for ShardedTokenProcess.  Arrivals are applied in
+/// ascending releasing-bin order (the canonical order), so queue states
+/// match the sharded sibling exactly.
+class SequentialCounterTokenProcess
+    : public kernel::TokenProcessCore<kernel::SequentialExecution> {
+ public:
+  SequentialCounterTokenProcess(std::uint32_t bins,
+                                std::vector<std::uint32_t> start_bin,
+                                std::uint64_t seed,
+                                TokenOptions token_options = {})
+      : TokenProcessCore(bins, std::move(start_bin),
+                         kernel::CounterStream(seed), {}, token_options) {}
 };
 
 }  // namespace rbb::par

@@ -3,10 +3,13 @@
 // Downstream users can include this single header; fine-grained headers
 // remain available for faster builds:
 //
-//   support/  rng, samplers, stats, bounds, dense_set, thread_pool,
-//             table, cli, scale
+//   support/  rng, counter_rng, types, samplers, stats, bounds,
+//             dense_set, thread_pool, table, cli, scale
 //   graph/    graph
-//   core/     config, process, token_process, faults
+//   core/     config, process, token_process, faults, and the policy
+//             core under core/kernel/ (shard, exec, stream, variants,
+//             ball_kernel, token_kernel)
+//   par/      sharded_process, sharded_token_process, sharded_variants
 //   engine/   process, engine, observers, stop, faults, trials
 //   tetris/   tetris, zchain, leaky
 //   coupling/ coupling
@@ -39,6 +42,9 @@
 #include "markov/rbb_chain.hpp"
 #include "markov/state_space.hpp"
 #include "markov/zchain_exact.hpp"
+#include "par/sharded_process.hpp"
+#include "par/sharded_token_process.hpp"
+#include "par/sharded_variants.hpp"
 #include "runner/docgen.hpp"
 #include "runner/legacy.hpp"
 #include "runner/params.hpp"

@@ -19,13 +19,14 @@ void register_convergence(Registry& registry) {
       "normalized by n.  The paper predicts a linear law; from all-in-one "
       "the heavy bin drains one ball per round, so the normalized value "
       "approaches 1 from below.  A power-law fit over the all-in-one "
-      "sweep reports the measured growth exponent.  Sharded-capable: "
-      "--backend=sharded runs the same measurement on the src/par/ "
-      "kernel (counter-RNG draws; same statistics, different "
-      "trajectories).  Trial-level parallelism owns the cores, so the "
-      "inner rounds run sequentially and --threads is ignored here; "
-      "per-round thread scaling is the sharded_scaling experiment.";
-  e.sharded_capable = true;
+      "sweep reports the measured growth exponent.  Backend-capable "
+      "(load-only family): --backend=sharded runs the same measurement "
+      "on the src/par/ kernel (counter-RNG draws; same statistics, "
+      "different trajectories).  Trial-level parallelism owns the "
+      "cores, so the inner rounds run sequentially and --threads is "
+      "ignored here; per-round thread scaling is the sharded_scaling "
+      "experiment.";
+  e.family = ProcessFamily::kLoadOnly;
   e.params = {
       {"beta", ParamSpec::Type::kF64, "4.0", "legitimacy constant"},
   };
@@ -49,7 +50,7 @@ void register_convergence(Registry& registry) {
         p.seed = ctx.seed();
         p.start = start;
         p.beta = ctx.params.f64("beta");
-        if (ctx.sharded()) p.backend = ConvergenceBackend::kSharded;
+        if (ctx.sharded()) p.backend = Backend::kSharded;
         const ConvergenceResult r = run_convergence(p);
         table.row()
             .cell(std::uint64_t{n})

@@ -21,7 +21,11 @@ void register_cover_time(Registry& registry) {
       "normalization by n log2^2 n, the single-token coupon-collector "
       "baseline, the measured slowdown factor, and log2 n (the predicted "
       "slowdown shape).  Power-law fits over the sweep report measured "
-      "growth exponents for both series.";
+      "growth exponents for both series.  Backend-capable (token "
+      "family): --backend=sharded drives the visit-tracking src/par/ "
+      "token core (FIFO, clique; the single-walk baseline stays "
+      "sequential).";
+  e.family = ProcessFamily::kToken;
   e.run = [](const RunContext& ctx) {
     const std::uint32_t trials = ctx.trials_or(2, 4, 10);
     const std::vector<std::uint32_t> ns =
@@ -46,6 +50,7 @@ void register_cover_time(Registry& registry) {
       p.n = n;
       p.trials = trials;
       p.seed = ctx.seed();
+      if (ctx.sharded()) p.backend = Backend::kSharded;
       const CoverTimeResult r = run_cover_time(p);
       const double slowdown = r.single_walk.mean() > 0
                                   ? r.cover_time.mean() / r.single_walk.mean()

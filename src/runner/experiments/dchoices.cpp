@@ -17,7 +17,12 @@ void register_dchoices(Registry& registry) {
       "Per n and d, the window max load of the repeated d-choices "
       "process.  d = 1 is the paper's process (~2 log2 n); d >= 2 "
       "collapses the maximum into the log log n regime -- the power of "
-      "two choices persists under repetition.";
+      "two choices persists under repetition.  Backend-capable "
+      "(d-choices family): --backend=sharded runs the src/par/ "
+      "counter-RNG kernels (batch-snapshot Greedy[d]: choices read the "
+      "post-departure configuration, the convention a parallel round "
+      "can realize; cf. the batched setting of Berenbrink et al. 2016).";
+  e.family = ProcessFamily::kDChoices;
   e.run = [](const RunContext& ctx) {
     const std::uint32_t trials = ctx.trials_or(2, 4, 8);
     const std::uint64_t wf = by_scale<std::uint64_t>(ctx.scale, 5, 15, 40);
@@ -38,6 +43,7 @@ void register_dchoices(Registry& registry) {
         p.process = d == 1 ? StabilityProcess::kRepeated
                            : StabilityProcess::kRepeatedDChoice;
         p.choices = d;
+        if (ctx.sharded()) p.backend = Backend::kSharded;
         const StabilityResult r = run_stability(p);
         table.row()
             .cell(std::uint64_t{n})

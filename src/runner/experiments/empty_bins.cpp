@@ -23,7 +23,11 @@ void register_empty_bins(Registry& registry) {
       "second table validates Lemma 1's proof directly: from a "
       "configuration with a empty and b singleton bins, one round leaves "
       "E[X] >= (a + b) exp(-(n - a)/(n - 1)) bins empty, measured over "
-      "many single-round trials.";
+      "many single-round trials.  Backend-capable (load-only family): "
+      "--backend=sharded runs the window sweep on the src/par/ "
+      "counter-RNG kernel (the single-round Lemma-1 table stays on the "
+      "sequential kernel).";
+  e.family = ProcessFamily::kLoadOnly;
   e.run = [](const RunContext& ctx) {
     const std::uint32_t trials = ctx.trials_or(2, 4, 10);
     const std::uint64_t wf = by_scale<std::uint64_t>(ctx.scale, 5, 20, 50);
@@ -45,6 +49,7 @@ void register_empty_bins(Registry& registry) {
         p.trials = trials;
         p.seed = seed;
         p.start = start;
+        if (ctx.sharded()) p.backend = Backend::kSharded;
         const EmptyBinsResult r = run_empty_bins(p);
         table.row()
             .cell(std::uint64_t{n})

@@ -17,7 +17,12 @@ void register_leaky_bins(Registry& registry) {
       "bin, and mean empty fraction of the leaky-bins process "
       "(probabilistic Tetris of [18]).  Subcritical lambda < 1 is stable "
       "with O(log n)-ish loads; lambda = 1 loses the drift and the mass "
-      "wanders.";
+      "wanders.  Backend-capable (leaky family): --backend=sharded runs "
+      "the src/par/ counter-RNG kernel -- deletions happen in the "
+      "departure walk, arrivals commit in canonical order, and the "
+      "per-round Binomial(n, lambda) count comes from the round's "
+      "derived counter substream.";
+  e.family = ProcessFamily::kLeaky;
   e.params = {
       {"n", ParamSpec::Type::kU64, "0", "bins (0 = scale default)"},
   };
@@ -43,6 +48,7 @@ void register_leaky_bins(Registry& registry) {
       p.rounds = wf * n;
       p.trials = trials;
       p.seed = ctx.seed();
+      if (ctx.sharded()) p.backend = Backend::kSharded;
       const LeakyResult r = run_leaky(p);
       table.row()
           .cell(lambda, 2)

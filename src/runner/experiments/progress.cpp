@@ -20,10 +20,20 @@ void register_progress(Registry& registry) {
       "per-round progress (~ the non-empty bin fraction ~ 0.63).  LIFO "
       "and RANDOM are included: Theorem 1 is policy-oblivious for loads, "
       "but per-token progress under LIFO has no such guarantee -- the "
-      "measured minimum visibly degrades.";
+      "measured minimum visibly degrades.  Backend-capable (token "
+      "family): --backend=sharded drives the src/par/ token core; the "
+      "sharded port is FIFO-only, so the policy sweep collapses to "
+      "FIFO.";
+  e.family = ProcessFamily::kToken;
   e.run = [](const RunContext& ctx) {
     const std::uint32_t trials = ctx.trials_or(2, 4, 10);
     const std::uint64_t wf = by_scale<std::uint64_t>(ctx.scale, 8, 16, 64);
+    const std::vector<QueuePolicy> policies =
+        ctx.sharded()
+            ? std::vector<QueuePolicy>{QueuePolicy::kFifo}
+            : std::vector<QueuePolicy>{QueuePolicy::kFifo,
+                                       QueuePolicy::kRandom,
+                                       QueuePolicy::kLifo};
 
     ResultSet rs;
     Table& table = rs.add_table(
@@ -32,14 +42,14 @@ void register_progress(Registry& registry) {
         {"n", "policy", "T (rounds)", "min progress (mean)",
          "min prog * log2 n / T", "mean progress / T"});
     for (const std::uint32_t n : default_n_sweep(ctx.scale)) {
-      for (const QueuePolicy policy :
-           {QueuePolicy::kFifo, QueuePolicy::kRandom, QueuePolicy::kLifo}) {
+      for (const QueuePolicy policy : policies) {
         ProgressParams p;
         p.n = n;
         p.rounds = wf * n;
         p.trials = trials;
         p.seed = ctx.seed();
         p.policy = policy;
+        if (ctx.sharded()) p.backend = Backend::kSharded;
         const ProgressResult r = run_progress(p);
         table.row()
             .cell(std::uint64_t{n})

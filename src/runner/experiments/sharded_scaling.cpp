@@ -1,25 +1,35 @@
-// Extra -- scaling of the sharded round kernel (src/par/): rounds/sec
-// and ns/ball for one mega-n instance, versus the sequential kernels.
+// Extra -- scaling of the sharded round kernels (src/par/): rounds/sec
+// and ns/ball for one mega-n instance, versus the sequential kernels,
+// for EVERY variant of the policy core.
 //
 // This is the experiment behind BENCH_sharded.json, the repository's
 // tracked perf baseline: run it with --format=json and compare the
-// rounds_per_sec column across commits.  Three kernels are timed per n:
+// rounds_per_sec column across commits (tools/bench_diff.py diffs two
+// baselines row by row).  Per (n, variant), three backends are timed:
 //
 //   seq          the production sequential kernel (xoshiro draws),
-//   seq-counter  the sequential reference making counter-RNG draws
+//   seq-counter  the sequential sibling making counter-RNG draws
 //                (isolates the RNG-swap cost from the sharding win),
 //   sharded xT   the two-phase kernel at each requested thread count.
+//
+// Variants: load (the paper's process), token (FIFO, m = n tokens),
+// tetris (3n/4 fresh arrivals/round), dchoices (d = 2).
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/process.hpp"
-#include "par/reference.hpp"
+#include "core/token_process.hpp"
+#include "baselines/repeated_dchoices.hpp"
 #include "par/sharded_process.hpp"
+#include "par/sharded_token_process.hpp"
+#include "par/sharded_variants.hpp"
 #include "runner/registry.hpp"
 #include "support/thread_pool.hpp"
+#include "tetris/tetris.hpp"
 
 namespace rbb::runner {
 
@@ -42,26 +52,32 @@ void register_sharded_scaling(Registry& registry) {
   Experiment e;
   e.name = "sharded_scaling";
   e.claim = "";
-  e.title = "sharded round kernel: rounds/sec and ns/ball vs n x threads";
+  e.title =
+      "sharded round kernels: rounds/sec and ns/ball vs n x variant x "
+      "threads";
   e.description =
-      "Times one instance of the load-only complete-graph process on "
-      "three kernels: the sequential xoshiro kernel (core/), the "
-      "sequential counter-RNG reference (par/reference.hpp, isolating "
-      "the RNG swap), and the sharded two-phase kernel (par/) at "
-      "several worker counts.  One round of one instance runs across "
-      "all cores; the trajectory is bit-identical for every thread "
-      "count and shard size.  n sweeps by scale up to 10^8 at "
-      "--scale=mega; --threads fixes a single worker count, otherwise "
-      "{1, 4, max} are measured.  The JSON output of this experiment "
-      "is the tracked perf baseline BENCH_sharded.json.  Single-"
-      "instance measurement: --trials is ignored.";
-  e.sharded_capable = true;
+      "Times one instance of every policy-core variant (load-only, FIFO "
+      "token, Tetris, d-choices with d = 2) on three backends: the "
+      "sequential xoshiro kernel, the sequential counter-RNG sibling "
+      "(isolating the RNG swap), and the sharded two-phase kernel "
+      "(src/par/) at several worker counts.  One round of one instance "
+      "runs across all cores; trajectories are bit-identical for every "
+      "thread count and shard size.  n sweeps by scale up to 10^8 at "
+      "--scale=mega (the token variant caps at 10^6: per-bin queues are "
+      "memory-bound, noted in the output); --threads fixes a single "
+      "worker count, otherwise {1, 4, max} are measured.  The JSON "
+      "output of this experiment is the tracked perf baseline "
+      "BENCH_sharded.json.  Single-instance measurement: --trials is "
+      "ignored.";
+  e.family = ProcessFamily::kKernelSuite;
   e.params = {
       {"rounds", ParamSpec::Type::kU64, "0",
        "measured rounds per point (0 = auto, ~6.4e7 bin-visits per "
        "point, clamped to [2, 32])"},
       {"shard-size", ParamSpec::Type::kU64, "0",
-       "bins per shard for the sharded kernel (0 = 16384)"},
+       "bins per shard for the sharded kernels (0 = 16384)"},
+      {"variant", ParamSpec::Type::kString, "all",
+       "kernel variant to time: all, load, token, tetris, dchoices"},
   };
   e.run = [](const RunContext& ctx) {
     const std::vector<std::uint64_t> ns = by_scale<std::vector<std::uint64_t>>(
@@ -69,6 +85,19 @@ void register_sharded_scaling(Registry& registry) {
         {1000000, 10000000, 100000000});
     const auto shard_size =
         static_cast<std::uint32_t>(ctx.params.u32("shard-size"));
+    const std::string& variant_filter = ctx.params.str("variant");
+    const auto variant_on = [&](const char* name) {
+      return variant_filter == "all" || variant_filter == name;
+    };
+    if (!variant_on("load") && !variant_on("token") &&
+        !variant_on("tetris") && !variant_on("dchoices")) {
+      throw std::invalid_argument(
+          "--variant expects all, load, token, tetris or dchoices");
+    }
+    /// Token queues are memory-bound (one BallQueue per bin), so the
+    /// token variant caps at 10^6 bins; the cap is reported, never
+    /// silent.
+    constexpr std::uint64_t kTokenCap = 1000000;
 
     // Worker counts: an explicit --threads measures exactly that;
     // otherwise 1, 4, and the machine maximum (deduplicated).
@@ -88,59 +117,144 @@ void register_sharded_scaling(Registry& registry) {
     ResultSet rs;
     Table& table = rs.add_table(
         "sharded_scaling",
-        "rounds/sec and ns/ball: sequential vs sharded kernels",
-        {"n", "backend", "threads", "rounds", "wall_s", "rounds_per_sec",
-         "ns_per_ball", "speedup_vs_seq"});
+        "rounds/sec and ns/ball: sequential vs sharded kernels, per "
+        "variant",
+        {"n", "variant", "backend", "threads", "rounds", "wall_s",
+         "rounds_per_sec", "ns_per_ball", "speedup_vs_seq"});
+    bool token_capped = false;
+    std::vector<std::uint64_t> token_ns_emitted;
 
-    for (const std::uint64_t n64 : ns) {
-      const auto n = static_cast<std::uint32_t>(n64);
-      const std::uint64_t rounds =
-          ctx.params.u64("rounds") != 0
-              ? ctx.params.u64("rounds")
-              : std::clamp<std::uint64_t>(64000000 / n64, 2, 32);
-      const double balls = static_cast<double>(n64) *
-                           static_cast<double>(rounds);
-
-      auto emit = [&](const std::string& backend, unsigned threads,
-                      double wall, double seq_wall) {
-        table.row()
-            .cell(n64)
-            .cell(backend)
-            .cell(std::uint64_t{threads})
-            .cell(rounds)
-            .cell(wall, 4)
-            .cell(static_cast<double>(rounds) / wall, 2)
-            .cell(wall / balls * 1e9, 2)
-            .cell(seq_wall / wall, 2);
+    for (const std::uint64_t n_requested : ns) {
+      /// Times the three backends of one variant at one n.  make_seq /
+      /// make_counter / make_sharded build the processes; the emit
+      /// bookkeeping (rounds/sec, ns/ball, speedup vs this variant's
+      /// seq row) is shared.
+      const auto bench_variant = [&](const std::string& variant,
+                                     std::uint64_t n64, auto make_seq,
+                                     auto make_counter, auto make_sharded) {
+        const std::uint64_t rounds =
+            ctx.params.u64("rounds") != 0
+                ? ctx.params.u64("rounds")
+                : std::clamp<std::uint64_t>(64000000 / n64, 2, 32);
+        const double balls =
+            static_cast<double>(n64) * static_cast<double>(rounds);
+        const auto emit = [&](const std::string& backend, unsigned threads,
+                              double wall, double seq_wall) {
+          table.row()
+              .cell(n64)
+              .cell(variant)
+              .cell(backend)
+              .cell(std::uint64_t{threads})
+              .cell(rounds)
+              .cell(wall, 4)
+              .cell(static_cast<double>(rounds) / wall, 2)
+              .cell(wall / balls * 1e9, 2)
+              .cell(seq_wall / wall, 2);
+        };
+        double seq_wall = 0;
+        {
+          auto proc = make_seq();
+          seq_wall = time_rounds(proc, rounds);
+          emit("seq", 1, seq_wall, seq_wall);
+        }
+        {
+          auto proc = make_counter();
+          emit("seq-counter", 1, time_rounds(proc, rounds), seq_wall);
+        }
+        for (const unsigned threads : thread_grid) {
+          auto proc = make_sharded(threads);
+          emit("sharded", threads, time_rounds(proc, rounds), seq_wall);
+        }
       };
 
+      const auto n = static_cast<std::uint32_t>(n_requested);
       Rng cfg_rng(ctx.seed());
-      double seq_wall = 0;
-      {
-        RepeatedBallsProcess proc(
-            make_config(InitialConfig::kOnePerBin, n, n, cfg_rng),
-            Rng(ctx.seed(), 1));
-        seq_wall = time_rounds(proc, rounds);
-        emit("seq", 1, seq_wall, seq_wall);
+      const auto config = [&] {
+        return make_config(InitialConfig::kOnePerBin, n, n, cfg_rng);
+      };
+
+      if (variant_on("load")) {
+        bench_variant(
+            "load", n_requested,
+            [&] { return RepeatedBallsProcess(config(), Rng(ctx.seed(), 1)); },
+            [&] { return par::SequentialCounterProcess(config(), ctx.seed()); },
+            [&](unsigned threads) {
+              return par::ShardedRepeatedBallsProcess(
+                  config(), ctx.seed(),
+                  par::ShardedOptions{threads, shard_size});
+            });
       }
-      {
-        par::SequentialCounterProcess proc(
-            make_config(InitialConfig::kOnePerBin, n, n, cfg_rng),
-            ctx.seed());
-        emit("seq-counter", 1, time_rounds(proc, rounds), seq_wall);
+      if (variant_on("tetris")) {
+        bench_variant(
+            "tetris", n_requested,
+            [&] { return TetrisProcess(config(), Rng(ctx.seed(), 2)); },
+            [&] {
+              return par::SequentialCounterTetrisProcess(config(),
+                                                         ctx.seed());
+            },
+            [&](unsigned threads) {
+              return par::ShardedTetrisProcess(
+                  config(), ctx.seed(), 0,
+                  par::ShardedOptions{threads, shard_size});
+            });
       }
-      for (const unsigned threads : thread_grid) {
-        par::ShardedRepeatedBallsProcess proc(
-            make_config(InitialConfig::kOnePerBin, n, n, cfg_rng),
-            ctx.seed(), par::ShardedOptions{threads, shard_size});
-        emit("sharded", threads, time_rounds(proc, rounds), seq_wall);
+      if (variant_on("dchoices")) {
+        bench_variant(
+            "dchoices", n_requested,
+            [&] {
+              return RepeatedDChoicesProcess(config(), 2, Rng(ctx.seed(), 3));
+            },
+            [&] {
+              return par::SequentialCounterDChoicesProcess(config(), 2,
+                                                           ctx.seed());
+            },
+            [&](unsigned threads) {
+              return par::ShardedDChoicesProcess(
+                  config(), 2, ctx.seed(),
+                  par::ShardedOptions{threads, shard_size});
+            });
+      }
+      // Several requested n collapse onto the same capped token point;
+      // measure each distinct token size once (duplicate keys would
+      // shadow each other in bench_diff.py).
+      const std::uint64_t tn64 = std::min(n_requested, kTokenCap);
+      if (variant_on("token") && tn64 != n_requested) token_capped = true;
+      const bool token_seen =
+          std::find(token_ns_emitted.begin(), token_ns_emitted.end(),
+                    tn64) != token_ns_emitted.end();
+      if (variant_on("token") && !token_seen) {
+        token_ns_emitted.push_back(tn64);
+        const auto tn = static_cast<std::uint32_t>(tn64);
+        TokenProcess::Options seq_options;
+        seq_options.track_visits = false;
+        bench_variant(
+            "token", tn64,
+            [&] {
+              return TokenProcess(tn, identity_placement(tn), seq_options,
+                                  Rng(ctx.seed(), 4));
+            },
+            [&] {
+              return par::SequentialCounterTokenProcess(
+                  tn, identity_placement(tn), ctx.seed());
+            },
+            [&](unsigned threads) {
+              return par::ShardedTokenProcess(
+                  tn, identity_placement(tn), ctx.seed(),
+                  par::ShardedOptions{threads, shard_size});
+            });
       }
     }
 
     rs.note("hardware threads: " + std::to_string(hw) +
             " (ThreadPool::default_thread_count; RBB_THREADS overrides)");
     rs.note("one-per-bin start: every bin releases each round, the "
-            "max-throughput regime; ns_per_ball = wall / (rounds * n)");
+            "max-throughput regime; ns_per_ball = wall / (rounds * n); "
+            "speedup_vs_seq is against the same variant's seq row");
+    if (token_capped) {
+      rs.note("token rows capped at n = " + std::to_string(kTokenCap) +
+              ": per-bin queues are memory-bound beyond that (the cap is "
+              "applied per row, not silently to the sweep)");
+    }
     rs.note("sharded trajectories are bit-identical across the threads "
             "column by construction (tests/par/); timings, not results, "
             "vary with the worker count");

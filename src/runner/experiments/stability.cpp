@@ -21,7 +21,11 @@ void register_stability(Registry& registry) {
       "per-trial maximum load, its ratio to log2(n) (the paper's O(log n) "
       "constant made visible), the minimum empty-bin fraction (Lemma 1 "
       "floor: 1/4), and the fraction of trials whose whole window stayed "
-      "legitimate at beta = 4.";
+      "legitimate at beta = 4.  Backend-capable (load-only family): "
+      "--backend=sharded runs the window on the src/par/ counter-RNG "
+      "kernel; trial-level parallelism owns the cores (--threads is a "
+      "single-instance knob).";
+  e.family = ProcessFamily::kLoadOnly;
   e.params = {
       {"window-factor", ParamSpec::Type::kU64, "0",
        "window = factor * n rounds (0 = scale default)"},
@@ -52,6 +56,7 @@ void register_stability(Registry& registry) {
       p.trials = trials;
       p.seed = ctx.seed();
       p.start = InitialConfig::kOnePerBin;
+      if (ctx.sharded()) p.backend = Backend::kSharded;
       const StabilityResult r = run_stability(p);
       table.row()
           .cell(std::uint64_t{n})

@@ -5,7 +5,50 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "engine/process.hpp"
+#include "par/sharded_process.hpp"
+#include "par/sharded_token_process.hpp"
+#include "par/sharded_variants.hpp"
+
 namespace rbb::runner {
+
+namespace {
+
+/// A usable sharded port: the type exists, runs under sharded
+/// execution, and plugs into the engine like any other process.  The
+/// capability of a ProcessFamily is DERIVED from this predicate over
+/// the family's src/par/ instantiation -- deleting or breaking a port
+/// flips the corresponding experiments to reject --backend=sharded at
+/// the same commit, with no bool to forget.
+template <typename P>
+constexpr bool has_sharded_port() {
+  return P::kShardedExec && SimProcess<P>;
+}
+
+}  // namespace
+
+bool backend_capable(ProcessFamily family) {
+  switch (family) {
+    case ProcessFamily::kNone:
+      return false;
+    case ProcessFamily::kLoadOnly:
+      return has_sharded_port<par::ShardedRepeatedBallsProcess>();
+    case ProcessFamily::kToken:
+      return has_sharded_port<par::ShardedTokenProcess>();
+    case ProcessFamily::kTetris:
+      return has_sharded_port<par::ShardedTetrisProcess>();
+    case ProcessFamily::kDChoices:
+      return has_sharded_port<par::ShardedDChoicesProcess>();
+    case ProcessFamily::kLeaky:
+      return has_sharded_port<par::ShardedLeakyBinsProcess>();
+    case ProcessFamily::kKernelSuite:
+      return has_sharded_port<par::ShardedRepeatedBallsProcess>() &&
+             has_sharded_port<par::ShardedTokenProcess>() &&
+             has_sharded_port<par::ShardedTetrisProcess>() &&
+             has_sharded_port<par::ShardedDChoicesProcess>();
+  }
+  return false;
+}
 
 void Registry::add(Experiment experiment) {
   if (experiment.name.empty()) {
@@ -100,12 +143,13 @@ CompletedRun run_experiment(const Experiment& experiment,
     throw std::invalid_argument("--backend expects seq or sharded, got \"" +
                                 backend + "\"");
   }
-  if (backend == "sharded" && !experiment.sharded_capable) {
+  if (backend == "sharded" && !backend_capable(experiment.family)) {
     throw std::invalid_argument(
         experiment.name +
-        " does not support --backend=sharded: only experiments whose "
-        "process has a src/par/ port accept it (run with --backend=seq, "
-        "or pick a sharded-capable experiment such as sharded_scaling)");
+        " does not support --backend=sharded: its process family has no "
+        "src/par/ instantiation of the policy core (run with "
+        "--backend=seq, or pick a backend-capable experiment such as "
+        "sharded_scaling)");
   }
   CompletedRun run;
   const auto t0 = std::chrono::steady_clock::now();

@@ -36,8 +36,9 @@ struct RunContext {
   [[nodiscard]] std::uint64_t seed() const { return params.u64("seed"); }
 
   /// True when the run asked for the sharded round kernel (src/par/)
-  /// via --backend=sharded.  Only reachable inside experiments that
-  /// declared `sharded_capable`; run_experiment rejects it elsewhere.
+  /// via --backend=sharded.  Only reachable inside experiments whose
+  /// declared ProcessFamily is backend-capable; run_experiment rejects
+  /// the flag elsewhere.
   [[nodiscard]] bool sharded() const {
     return params.str("backend") == "sharded";
   }
@@ -59,16 +60,41 @@ struct RunContext {
   }
 };
 
+/// Which process-core family an experiment's run function instantiates
+/// (the variant axis of the policy matrix, DESIGN.md Sect. 5).
+///
+/// This replaced the old hand-maintained `sharded_capable` bool: an
+/// experiment declares WHAT it runs, and whether --backend=sharded is
+/// accepted is *derived* from the declared family -- backend_capable()
+/// checks, at compile time, that a sharded instantiation of the
+/// family's kernel exists and satisfies the engine's SimProcess
+/// concept.  Adding a sharded port to a kernel therefore flips every
+/// experiment of that family at once, and the flag can never drift
+/// from the code.
+enum class ProcessFamily {
+  kNone,      // no round kernel (exact chains, Jackson, samplers, ...)
+  kLoadOnly,  // the paper's load-only process
+  kToken,     // FIFO token / traversal processes
+  kTetris,    // the auxiliary Tetris process
+  kDChoices,  // repeated d-choices
+  kLeaky,     // leaky bins
+  kKernelSuite,  // drives several kernel families (sharded_scaling)
+};
+
+/// True iff the family's kernel has a sharded instantiation (derived
+/// from the src/par/ types; see registry.cpp).
+[[nodiscard]] bool backend_capable(ProcessFamily family);
+
 /// One registered experiment.
 struct Experiment {
   std::string name;         // CLI name, e.g. "convergence"
   std::string claim;        // DESIGN.md Sect. 4 E-number, "" for extras
   std::string title;        // one-line claim summary (list / docs)
   std::string description;  // prose for describe / docs
-  /// Opt-in for --backend=sharded: true only when the run function
-  /// honors RunContext::sharded() by driving a src/par/ process.
-  /// run_experiment rejects the flag on every other experiment.
-  bool sharded_capable = false;
+  /// The process family the run function drives.  --backend=sharded is
+  /// accepted iff backend_capable(family); run_experiment rejects it
+  /// elsewhere.  kNone (the default) never accepts the flag.
+  ProcessFamily family = ProcessFamily::kNone;
   std::vector<ParamSpec> params;  // registry prepends seed/trials/backend/...
   std::function<ResultSet(const RunContext&)> run;
 };

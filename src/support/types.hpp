@@ -1,0 +1,44 @@
+// Fixed-width arithmetic types shared by every round kernel.
+//
+// The kernels are sized for the mega scale (n up to 10^9 bins with
+// --scale=mega headroom toward 2^32), so the width of every quantity is
+// a contract, not a convenience:
+//
+//   * bin_index_t -- a bin (node, station) index in [0, n).  32 bits:
+//     n < 2^32 is a hard precondition of the samplers (Lemire bounded
+//     draws produce 32-bit indices) and of the scatter buffers.
+//   * load_t -- one bin's ball count.  32 bits: a single bin can hold
+//     every ball only in adversarial starts, and the experiments keep
+//     m <= a small multiple of n < 2^32.  LoadConfig is a vector of
+//     exactly this type; the kernels static_assert the match so a
+//     silent vector-of-something-else can never compile.
+//   * ball_count_t -- a SYSTEM-WIDE ball count or any sum over bins.
+//     64 bits, always: at n = 10^9 a sum of 32-bit loads overflows
+//     32-bit arithmetic as soon as the mean load exceeds ~4 -- this is
+//     the one place narrowing would be silent and wrong, so totals
+//     (total_balls, departures accumulated across rounds, arrival
+//     counters) must be carried in ball_count_t.
+//   * round_t -- a round index.  64 bits: poly(n) windows at mega n
+//     exceed 2^32 rounds.
+//
+// Per-round per-bin quantities (departures of one round <= n, empty-bin
+// counts <= n) fit in 32 bits by construction and stay uint32_t.
+#pragma once
+
+#include <cstdint>
+
+namespace rbb {
+
+using bin_index_t = std::uint32_t;
+using load_t = std::uint32_t;
+using ball_count_t = std::uint64_t;
+using round_t = std::uint64_t;
+
+static_assert(sizeof(ball_count_t) == 8,
+              "system-wide ball counts must be 64-bit: at n = 1e9 a "
+              "32-bit total overflows at mean load ~4");
+static_assert(sizeof(round_t) == 8,
+              "round indices must be 64-bit: poly(n) windows at mega n "
+              "exceed 2^32 rounds");
+
+}  // namespace rbb

@@ -6,55 +6,29 @@
 // For lambda < 1 the drift per non-empty bin stays negative and the system
 // is stable (logarithmic loads); at lambda = 1 the slack vanishes and the
 // queue mass grows.  Experiment E16 sweeps lambda across the transition.
+//
+// Since the policy refactor (DESIGN.md Sect. 5), LeakyBinsProcess is a
+// thin constructor adapter over the process core (Leaky variant,
+// sequential xoshiro stream, in-place execution); the counter-stream and
+// sharded instantiations live in src/par/.
 #pragma once
 
-#include <cstdint>
-
 #include "core/config.hpp"
+#include "core/kernel/ball_kernel.hpp"
 #include "support/rng.hpp"
-#include "support/samplers.hpp"
 
 namespace rbb {
 
-/// Per-round statistics of the leaky-bins process.
-struct LeakyRoundStats {
-  std::uint32_t max_load = 0;
-  std::uint32_t empty_bins = 0;
-  std::uint64_t total_balls = 0;
-  std::uint64_t arrivals = 0;  // this round's Binomial(n, lambda) draw
-};
-
 /// Leaky-bins process: one departure per non-empty bin per round (the ball
 /// leaves the system), Binomial(n, lambda) fresh arrivals placed u.a.r.
-class LeakyBinsProcess {
+class LeakyBinsProcess
+    : public kernel::BallProcessCore<kernel::Leaky<kernel::SequentialStream>,
+                                     kernel::SequentialExecution> {
  public:
-  LeakyBinsProcess(LoadConfig initial, double lambda, Rng rng);
-
-  LeakyRoundStats step();
-  LeakyRoundStats run(std::uint64_t rounds);
-
-  [[nodiscard]] std::uint32_t bin_count() const noexcept {
-    return static_cast<std::uint32_t>(loads_.size());
-  }
-  [[nodiscard]] double lambda() const noexcept { return lambda_; }
-  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
-  [[nodiscard]] const LoadConfig& loads() const noexcept { return loads_; }
-  [[nodiscard]] std::uint32_t max_load() const noexcept { return max_load_; }
-  [[nodiscard]] std::uint32_t empty_bins() const noexcept { return empty_; }
-  [[nodiscard]] std::uint64_t total_balls() const noexcept { return balls_; }
-
-  /// Testing hook; throws std::logic_error if cached stats drift.
-  void check_invariants() const;
-
- private:
-  LoadConfig loads_;
-  double lambda_;
-  Rng rng_;
-  BinomialSampler arrival_law_;
-  std::uint64_t balls_;
-  std::uint64_t round_ = 0;
-  std::uint32_t max_load_ = 0;
-  std::uint32_t empty_ = 0;
+  LeakyBinsProcess(LoadConfig initial, double lambda, Rng rng)
+      : BallProcessCore(std::move(initial),
+                        kernel::Leaky<kernel::SequentialStream>(
+                            kernel::SequentialStream(rng), lambda)) {}
 };
 
 }  // namespace rbb

@@ -14,93 +14,35 @@
 // (ball-by-ball vs. multinomial splitting, ablation D1) are exposed as
 // parameters; the critical-drift sweep (arrivals = mu * n for mu -> 1)
 // is an ablation bench showing why 3/4 works.
+//
+// Since the policy refactor (DESIGN.md Sect. 5), TetrisProcess is a thin
+// constructor adapter over the process core (Tetris variant, sequential
+// xoshiro stream, in-place execution); the counter-stream and sharded
+// instantiations live in src/par/.
 #pragma once
 
 #include <cstdint>
-#include <limits>
-#include <vector>
 
 #include "core/config.hpp"
+#include "core/kernel/ball_kernel.hpp"
 #include "support/rng.hpp"
 
 namespace rbb {
 
-/// How Tetris samples the per-round arrival occupancy (ablation D1).
-enum class ArrivalSampling {
-  kBallByBall,  // k independent uniform destinations, O(k) per round
-  kSplit,       // multinomial via recursive binomial splitting, O(n)
-};
-
-/// Per-round statistics of the Tetris process (end-of-round state).
-struct TetrisRoundStats {
-  std::uint32_t max_load = 0;
-  std::uint32_t empty_bins = 0;
-  std::uint64_t total_balls = 0;  // Tetris does not conserve ball count
-};
-
-/// The Tetris repeated balls-into-bins process.
-class TetrisProcess {
+/// The Tetris repeated balls-into-bins process (sequential xoshiro
+/// instantiation of the process core).
+class TetrisProcess
+    : public kernel::BallProcessCore<kernel::Tetris<kernel::SequentialStream>,
+                                     kernel::SequentialExecution> {
  public:
-  static constexpr std::uint64_t kNeverEmptied =
-      std::numeric_limits<std::uint64_t>::max();
-
   /// `arrivals_per_round` == 0 selects the paper's floor(3n/4).
   TetrisProcess(LoadConfig initial, Rng rng,
                 std::uint64_t arrivals_per_round = 0,
-                ArrivalSampling sampling = ArrivalSampling::kBallByBall);
-
-  /// One round: discard one ball from each non-empty bin, then add the
-  /// fresh arrivals.  Returns end-of-round statistics.
-  TetrisRoundStats step();
-  TetrisRoundStats run(std::uint64_t rounds);
-
-  [[nodiscard]] std::uint32_t bin_count() const noexcept {
-    return static_cast<std::uint32_t>(loads_.size());
-  }
-  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
-  [[nodiscard]] const LoadConfig& loads() const noexcept { return loads_; }
-  [[nodiscard]] std::uint32_t max_load() const noexcept { return max_load_; }
-  [[nodiscard]] std::uint32_t empty_bins() const noexcept { return empty_; }
-  [[nodiscard]] std::uint64_t total_balls() const noexcept { return balls_; }
-  [[nodiscard]] std::uint64_t arrivals_per_round() const noexcept {
-    return arrivals_;
-  }
-
-  /// First round at the end of which bin u was empty (0 if initially
-  /// empty; kNeverEmptied if it has not emptied yet).  Lemma 4 predicts
-  /// max over bins <= 5n w.h.p. from any start.
-  [[nodiscard]] std::uint64_t first_empty_round(std::uint32_t u) const {
-    return first_empty_[u];
-  }
-  /// True once every bin has been empty at least once.
-  [[nodiscard]] bool all_emptied_once() const noexcept {
-    return not_yet_emptied_ == 0;
-  }
-  /// Max over bins of first_empty_round (kNeverEmptied until
-  /// all_emptied_once()).
-  [[nodiscard]] std::uint64_t max_first_empty_round() const;
-
-  /// Runs until all bins have emptied once or `max_rounds` elapse; returns
-  /// the round by which the last bin first emptied, or kNeverEmptied.
-  std::uint64_t run_until_all_emptied(std::uint64_t max_rounds);
-
-  /// Testing hook; throws std::logic_error if cached stats drift.
-  void check_invariants() const;
-
- private:
-  void apply_arrival(std::uint32_t v);
-
-  LoadConfig loads_;
-  Rng rng_;
-  std::uint64_t arrivals_;
-  ArrivalSampling sampling_;
-  std::uint64_t balls_;
-  std::uint64_t round_ = 0;
-  std::uint32_t max_load_ = 0;
-  std::uint32_t empty_ = 0;
-  std::vector<std::uint64_t> first_empty_;
-  std::uint32_t not_yet_emptied_ = 0;
-  std::vector<std::uint32_t> pending_empty_;  // per-round scratch
+                ArrivalSampling sampling = ArrivalSampling::kBallByBall)
+      : BallProcessCore(std::move(initial),
+                        kernel::Tetris<kernel::SequentialStream>(
+                            kernel::SequentialStream(rng), arrivals_per_round,
+                            sampling)) {}
 };
 
 }  // namespace rbb

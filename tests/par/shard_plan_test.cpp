@@ -1,7 +1,13 @@
-// Tests for the bin-partitioning arithmetic behind the sharded kernels.
-#include "par/shard.hpp"
+// Tests for the bin-partitioning arithmetic behind the sharded kernels
+// (now owned by the policy-core layer, re-exported through src/par/).
+#include "core/kernel/shard.hpp"
 
 #include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "par/sharded_process.hpp"  // the rbb::par re-exports
 
 namespace rbb::par {
 namespace {
@@ -53,6 +59,31 @@ TEST(ShardPlan, ShardSizeIsCacheLineAligned) {
 
 TEST(ShardPlan, RejectsZeroBins) {
   EXPECT_THROW(ShardPlan(0), std::invalid_argument);
+}
+
+TEST(ShardPlan, ShardSizeRoundUpSurvivesNearUint32Max) {
+  // A 32-bit round-up of shard_size >= 2^32 - 15 would wrap to 0 and
+  // divide by zero; the plan clamps to the largest 16-aligned uint32
+  // instead (CLI-reachable via --shard-size).
+  const ShardPlan plan(1000, 4294967290u);
+  EXPECT_EQ(plan.shard_size(), 0xFFFFFFF0u);
+  EXPECT_EQ(plan.shard_count(), 1u);
+  EXPECT_EQ(plan.shard_end(0), 1000u);
+}
+
+TEST(ShardPlan, BoundaryArithmeticSurvivesNearUint32Max) {
+  // --scale=mega headroom: near n = 2^32 the products shard * size and
+  // (shard + 1) * size exceed 32 bits; the plan must compute boundaries
+  // in 64-bit and still tile [0, n) exactly (support/types.hpp).
+  const std::uint32_t n = std::numeric_limits<std::uint32_t>::max();
+  const ShardPlan plan(n, 1u << 20);
+  EXPECT_EQ(plan.shard_begin(0), 0u);
+  const std::uint32_t last = plan.shard_count() - 1;
+  EXPECT_LT(plan.shard_begin(last), n);
+  EXPECT_EQ(plan.shard_end(last), n);
+  EXPECT_GT(plan.shard_end(last), plan.shard_begin(last));
+  // The last stripe's bin range reaches n as well.
+  EXPECT_EQ(plan.stripe_end_bin(plan.stripe_count() - 1), n);
 }
 
 }  // namespace

@@ -17,7 +17,6 @@
 
 #include "core/config.hpp"
 #include "engine/engine.hpp"
-#include "par/reference.hpp"
 
 namespace rbb::par {
 namespace {

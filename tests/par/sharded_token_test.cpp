@@ -14,7 +14,6 @@
 #include <vector>
 
 #include "engine/engine.hpp"
-#include "par/reference.hpp"
 
 namespace rbb::par {
 namespace {
@@ -23,11 +22,7 @@ constexpr std::uint32_t kN = 2048;
 constexpr std::uint64_t kSeed = 0xc0ffeeULL;
 constexpr std::uint64_t kRounds = 40;
 
-std::vector<std::uint32_t> one_per_bin() {
-  std::vector<std::uint32_t> placement(kN);
-  std::iota(placement.begin(), placement.end(), 0u);
-  return placement;
-}
+std::vector<std::uint32_t> one_per_bin() { return identity_placement(kN); }
 
 std::vector<std::uint32_t> all_in_front() {
   return std::vector<std::uint32_t>(kN, 0u);  // every token in bin 0
@@ -134,6 +129,29 @@ TEST(ShardedTokenProcess, RejectsBadConstruction) {
   EXPECT_THROW(ShardedTokenProcess(0, {0u}, 1), std::invalid_argument);
   EXPECT_THROW(ShardedTokenProcess(8, {}, 1), std::invalid_argument);
   EXPECT_THROW(ShardedTokenProcess(8, {8u}, 1), std::invalid_argument);
+}
+
+TEST(ShardedTokenProcess, VisitTrackingMatchesSequentialSibling) {
+  // Cover-time instrumentation (optional: m*n bits) must be part of the
+  // parity contract too: visited counts and cover rounds bit-identical
+  // between the sharded commit-phase marking and the sequential loop.
+  constexpr std::uint32_t kSmall = 96;
+  std::vector<std::uint32_t> placement(kSmall);
+  std::iota(placement.begin(), placement.end(), 0u);
+  TokenOptions visits{.track_visits = true};
+  SequentialCounterTokenProcess reference(kSmall, placement, kSeed, visits);
+  ShardedTokenProcess sharded(kSmall, placement, kSeed,
+                              {.threads = 2, .shard_size = 64}, visits);
+  const std::uint64_t cap = 64ull * kSmall * kSmall;
+  const auto ref_cover = reference.run_until_covered(cap);
+  const auto sharded_cover = sharded.run_until_covered(cap);
+  ASSERT_TRUE(ref_cover.has_value());
+  ASSERT_TRUE(sharded_cover.has_value());
+  EXPECT_EQ(*ref_cover, *sharded_cover);
+  for (std::uint32_t i = 0; i < kSmall; ++i) {
+    ASSERT_EQ(sharded.visited_count(i), reference.visited_count(i));
+    ASSERT_EQ(sharded.cover_round(i), reference.cover_round(i));
+  }
 }
 
 static_assert(SimProcess<ShardedTokenProcess>,

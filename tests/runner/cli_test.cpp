@@ -232,15 +232,39 @@ TEST(Cli, RunAcceptsMegaScale) {
 
 // --- the sharded backend surface --------------------------------------------
 
-TEST(Cli, RunRejectsShardedBackendWithoutOptIn) {
-  // stability has no src/par/ port; the rejection must name the flag
-  // and exit 1 (a clean run-layer error, not std::terminate).
-  const CliResult r = rbb({"run", "stability", "--scale=smoke",
-                           "--trials=1", "--n=32", "--window-factor=2",
+TEST(Cli, RunRejectsShardedBackendWithoutCapableFamily) {
+  // jackson declares no process family (kNone: continuous-time event
+  // loop, no round kernel); the rejection must name the flag and exit 1
+  // (a clean run-layer error, not std::terminate).
+  const CliResult r = rbb({"run", "jackson", "--scale=smoke", "--trials=1",
                            "--backend=sharded"});
   EXPECT_EQ(r.code, 1);
   EXPECT_NE(r.err.find("does not support --backend=sharded"),
             std::string::npos);
+}
+
+TEST(Cli, RunAcceptsShardedBackendOnEveryKernelFamily) {
+  // One newly capable experiment per variant family runs end-to-end
+  // under --backend=sharded at smoke scale with valid JSON out.
+  const std::vector<std::vector<std::string>> runs = {
+      {"run", "stability", "--scale=smoke", "--trials=1", "--n=32",
+       "--window-factor=2", "--backend=sharded", "--format=json"},
+      {"run", "tetris_stability", "--scale=smoke", "--trials=1",
+       "--backend=sharded", "--format=json"},
+      {"run", "dchoices", "--scale=smoke", "--trials=1",
+       "--backend=sharded", "--format=json"},
+      {"run", "leaky_bins", "--scale=smoke", "--trials=1", "--n=64",
+       "--backend=sharded", "--format=json"},
+      {"run", "progress", "--scale=smoke", "--trials=1",
+       "--backend=sharded", "--format=json"},
+  };
+  for (const auto& args : runs) {
+    const CliResult r = rbb(args);
+    ASSERT_EQ(r.code, 0) << args[1] << ": " << r.err;
+    EXPECT_TRUE(JsonChecker(r.out).valid()) << args[1];
+    EXPECT_NE(r.out.find("\"backend\": \"sharded\""), std::string::npos)
+        << args[1];
+  }
 }
 
 TEST(Cli, RunRejectsUnknownBackendValue) {
@@ -369,6 +393,48 @@ TEST(Cli, SweepRejectsDuplicateParam) {
       {"sweep", "stability", "--scale=smoke", "--n=16,32", "--n=64"});
   EXPECT_EQ(r.code, 2);
   EXPECT_NE(r.err.find("given more than once"), std::string::npos);
+}
+
+TEST(Cli, SweepForwardsBackendAndThreadsLikeRun) {
+  // The prepended kernel knobs ride through `sweep` exactly as through
+  // `run`: a fixed --backend=sharded --threads=1 override applies to
+  // every grid point and lands in each embedded result document.
+  const CliResult r =
+      rbb({"sweep", "convergence", "--scale=smoke", "--trials=1",
+           "--backend=sharded", "--threads=1", "--seed=1,2",
+           "--format=json"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(JsonChecker(r.out).valid());
+  std::size_t count = 0;
+  for (std::size_t at = r.out.find("\"backend\": \"sharded\"");
+       at != std::string::npos;
+       at = r.out.find("\"backend\": \"sharded\"", at + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);  // one per sweep point
+}
+
+TEST(Cli, SweepAcceptsBackendAsAGridAxis) {
+  // backend=seq,sharded is a legitimate axis on a capable experiment:
+  // the same measurement on both kernels, two embedded documents.
+  const CliResult r =
+      rbb({"sweep", "empty_bins", "--scale=smoke", "--trials=1",
+           "--backend=seq,sharded", "--format=json"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(JsonChecker(r.out).valid());
+  EXPECT_NE(r.out.find("\"backend\": \"seq\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"backend\": \"sharded\""), std::string::npos);
+}
+
+TEST(Cli, SweepRejectsShardedBackendWithoutCapableFamily) {
+  // The same clear run-layer error as `rbb run`, surfaced at the
+  // failing sweep point.
+  const CliResult r = rbb({"sweep", "jackson", "--scale=smoke",
+                           "--trials=1", "--seed=1,2",
+                           "--backend=sharded"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("does not support --backend=sharded"),
+            std::string::npos);
 }
 
 // --- docs -------------------------------------------------------------------

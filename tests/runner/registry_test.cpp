@@ -27,14 +27,32 @@ TEST(Registry, HoldsAllTwentyFiveExperiments) {
   EXPECT_EQ(default_registry().experiments().size(), 25u);
 }
 
-TEST(Registry, ShardedOptInIsExplicit) {
-  // --backend=sharded is accepted exactly where a src/par/ port exists.
+TEST(Registry, BackendCapabilityIsDerivedFromTheDeclaredFamily) {
+  // --backend=sharded is accepted exactly where the experiment's
+  // declared process family has a src/par/ instantiation of the policy
+  // core -- the capability is derived, not a hand-maintained bool.
   std::set<std::string> capable;
   for (const Experiment& e : default_registry().experiments()) {
-    if (e.sharded_capable) capable.insert(e.name);
+    if (backend_capable(e.family)) capable.insert(e.name);
   }
-  EXPECT_EQ(capable, (std::set<std::string>{"convergence",
-                                            "sharded_scaling"}));
+  EXPECT_EQ(capable,
+            (std::set<std::string>{"convergence", "stability", "empty_bins",
+                                   "tetris_stability", "dchoices",
+                                   "leaky_bins", "cover_time", "progress",
+                                   "sharded_scaling"}));
+}
+
+TEST(Registry, EveryKernelFamilyIsBackendCapable) {
+  // The policy refactor's payoff: every variant of the process core has
+  // a sharded instantiation, so every kernel family is capable; only
+  // kNone (no round kernel) rejects the flag.
+  EXPECT_FALSE(backend_capable(ProcessFamily::kNone));
+  EXPECT_TRUE(backend_capable(ProcessFamily::kLoadOnly));
+  EXPECT_TRUE(backend_capable(ProcessFamily::kToken));
+  EXPECT_TRUE(backend_capable(ProcessFamily::kTetris));
+  EXPECT_TRUE(backend_capable(ProcessFamily::kDChoices));
+  EXPECT_TRUE(backend_capable(ProcessFamily::kLeaky));
+  EXPECT_TRUE(backend_capable(ProcessFamily::kKernelSuite));
 }
 
 TEST(Registry, NamesAreUniqueAndDeclarationsComplete) {

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json perf baselines row by row.
+
+Both inputs are rbb.result.v1 documents produced by
+
+    rbb run sharded_scaling --format=json --out=BENCH_sharded.json
+
+Rows are keyed by (n, variant, backend, threads) -- older baselines
+without a variant column are read as variant="load" -- and the tool
+prints the per-row ns/ball delta (absolute and percent), plus rows that
+exist on only one side (scales differ, kernels added/removed).  Exit
+code 0 always: this is a reporting tool, the judgment call stays human
+(wire a threshold in CI if a hard gate is ever wanted).
+
+Usage:
+    tools/bench_diff.py OLD.json NEW.json
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+
+# Behave under `| head`: die silently on a closed pipe.
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+
+def load_rows(path: str) -> dict[tuple, dict]:
+    """Keyed ns/ball (and friends) per (n, variant, backend, threads)."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "rbb.result.v1":
+        sys.exit(f"{path}: not an rbb.result.v1 document "
+                 f"(schema={doc.get('schema')!r})")
+    tables = [t for t in doc.get("tables", [])
+              if t.get("id") == "sharded_scaling"]
+    if not tables:
+        sys.exit(f"{path}: no sharded_scaling table")
+    table = tables[0]
+    columns = table["columns"]
+    idx = {name: i for i, name in enumerate(columns)}
+    rows: dict[tuple, dict] = {}
+    for row in table["rows"]:
+        variant = row[idx["variant"]] if "variant" in idx else "load"
+        key = (row[idx["n"]], variant, row[idx["backend"]],
+               row[idx["threads"]])
+        rows[key] = {
+            "ns_per_ball": float(row[idx["ns_per_ball"]]),
+            "rounds_per_sec": float(row[idx["rounds_per_sec"]]),
+        }
+    return rows
+
+
+def fmt_key(key: tuple) -> str:
+    n, variant, backend, threads = key
+    return f"n={n:<11} {variant:<8} {backend:<11} x{threads}"
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    old_path, new_path = sys.argv[1], sys.argv[2]
+    old = load_rows(old_path)
+    new = load_rows(new_path)
+
+    shared = sorted(set(old) & set(new))
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+
+    print(f"# bench diff: {old_path} -> {new_path}")
+    print(f"# {len(shared)} shared rows, {len(only_old)} only-old, "
+          f"{len(only_new)} only-new")
+    if shared:
+        print(f"{'row':<42} {'old ns/ball':>12} {'new ns/ball':>12} "
+              f"{'delta':>9} {'pct':>8}")
+        for key in shared:
+            o = old[key]["ns_per_ball"]
+            n = new[key]["ns_per_ball"]
+            delta = n - o
+            pct = (delta / o * 100.0) if o else float("inf")
+            marker = " <-- slower" if pct > 10.0 else \
+                     (" <-- faster" if pct < -10.0 else "")
+            print(f"{fmt_key(key):<42} {o:>12.2f} {n:>12.2f} "
+                  f"{delta:>+9.2f} {pct:>+7.1f}%{marker}")
+    for key in only_old:
+        print(f"only in {old_path}: {fmt_key(key)}")
+    for key in only_new:
+        print(f"only in {new_path}: {fmt_key(key)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
