@@ -4,10 +4,15 @@
 //   D2 -- load-only kernel vs identity-tracking token process,
 //   D3 -- the incremental max/empty bookkeeping vs a full rescan,
 //   D4 -- xoshiro256++ vs std::mt19937_64 raw throughput,
+//   D6 -- counter-RNG draw planes: scalar per-call Philox vs the
+//         batched portable path vs the AVX2 path, and per-call vs
+//         batched Lemire bounded reduction (the plane win measured in
+//         isolation, not only end-to-end through sharded_scaling),
 // plus the absolute rounds/second of every process in the repository.
 #include <benchmark/benchmark.h>
 
 #include <random>
+#include <vector>
 
 #include "baselines/repeated_dchoices.hpp"
 #include "core/config.hpp"
@@ -15,6 +20,8 @@
 #include "core/token_process.hpp"
 #include "engine/engine.hpp"
 #include "markov/rbb_chain.hpp"
+#include "support/counter_rng.hpp"
+#include "support/draw_plane.hpp"
 #include "support/samplers.hpp"
 #include "tetris/tetris.hpp"
 
@@ -160,6 +167,139 @@ void BM_RngBounded(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_RngBounded);
+
+// ---- D6: counter-RNG draw planes (support/draw_plane.hpp) ----------------
+// One plane of kPlaneDraws bounded draws per iteration; items processed
+// = draws, so google-benchmark's items/sec column reads as draws/sec.
+// The scalar baseline makes the identical draws one Philox block at a
+// time (the pre-plane hot path of every counter-stream kernel).
+
+constexpr std::size_t kPlaneDraws = 4096;
+constexpr std::uint32_t kPlaneBound = 1000003;
+
+void BM_CounterDrawScalarPerCall(benchmark::State& state) {
+  const CounterRng rng(8);
+  std::vector<std::uint32_t> out(kPlaneDraws);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kPlaneDraws; ++i) {
+      out[i] = rng.index(round, i, kPlaneBound);
+    }
+    benchmark::DoNotOptimize(out.data());
+    ++round;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPlaneDraws));
+}
+BENCHMARK(BM_CounterDrawScalarPerCall);
+
+/// Times one fill_range plane per iteration under a pinned dispatch
+/// branch; skips cleanly when the machine lacks the ISA.
+void plane_range_bench(benchmark::State& state, PlaneIsa isa) {
+  if (!plane_isa_supported(isa)) {
+    state.SkipWithError("ISA not supported on this machine");
+    return;
+  }
+  force_plane_isa(isa);
+  const CounterRng rng(8);
+  const DrawPlane plane(rng);
+  std::vector<std::uint32_t> out(kPlaneDraws);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    plane.fill_range(round, 0, kPlaneDraws, kPlaneBound, out.data());
+    benchmark::DoNotOptimize(out.data());
+    ++round;
+  }
+  reset_plane_isa();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPlaneDraws));
+}
+
+void BM_DrawPlaneRangePortable(benchmark::State& state) {
+  plane_range_bench(state, PlaneIsa::kPortable);
+}
+BENCHMARK(BM_DrawPlaneRangePortable);
+
+void BM_DrawPlaneRangeAvx2(benchmark::State& state) {
+  plane_range_bench(state, PlaneIsa::kAvx2);
+}
+BENCHMARK(BM_DrawPlaneRangeAvx2);
+
+/// The gathered-slot shape the relaunch/d-choices paths use: slot list
+/// = a shuffled sparse subset of bins.
+void plane_gather_bench(benchmark::State& state, PlaneIsa isa) {
+  if (!plane_isa_supported(isa)) {
+    state.SkipWithError("ISA not supported on this machine");
+    return;
+  }
+  force_plane_isa(isa);
+  const CounterRng rng(8);
+  const DrawPlane plane(rng);
+  Rng slot_rng(3);
+  std::vector<std::uint32_t> slots(kPlaneDraws);
+  for (auto& s : slots) s = slot_rng.index(1u << 20);
+  std::vector<std::uint32_t> out(kPlaneDraws);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    plane.fill_gather(round, slots.data(), 0, kPlaneDraws, kPlaneBound,
+                      out.data());
+    benchmark::DoNotOptimize(out.data());
+    ++round;
+  }
+  reset_plane_isa();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPlaneDraws));
+}
+
+void BM_DrawPlaneGatherPortable(benchmark::State& state) {
+  plane_gather_bench(state, PlaneIsa::kPortable);
+}
+BENCHMARK(BM_DrawPlaneGatherPortable);
+
+void BM_DrawPlaneGatherAvx2(benchmark::State& state) {
+  plane_gather_bench(state, PlaneIsa::kAvx2);
+}
+BENCHMARK(BM_DrawPlaneGatherAvx2);
+
+// Per-call vs batched Lemire over the same pre-generated words: what
+// the hoisted threshold + deferred retry list buy on top of block
+// batching.
+void BM_LemireBoundedPerCall(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<std::uint64_t> w0(kPlaneDraws), w1(kPlaneDraws);
+  for (std::size_t i = 0; i < kPlaneDraws; ++i) {
+    w0[i] = rng();
+    w1[i] = rng();
+  }
+  std::vector<std::uint32_t> out(kPlaneDraws);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kPlaneDraws; ++i) {
+      out[i] = lemire_bounded(w0[i], w1[i], kPlaneBound);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPlaneDraws));
+}
+BENCHMARK(BM_LemireBoundedPerCall);
+
+void BM_LemireBoundedBatch(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<std::uint64_t> w0(kPlaneDraws), w1(kPlaneDraws);
+  for (std::size_t i = 0; i < kPlaneDraws; ++i) {
+    w0[i] = rng();
+    w1[i] = rng();
+  }
+  std::vector<std::uint32_t> out(kPlaneDraws);
+  for (auto _ : state) {
+    lemire_bounded_batch(w0.data(), w1.data(), kPlaneDraws, kPlaneBound,
+                         out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPlaneDraws));
+}
+BENCHMARK(BM_LemireBoundedBatch);
 
 void BM_BinomialTetrisLaw(benchmark::State& state) {
   // The Z-chain's hot sampler: Bin(3n/4, 1/n), inversion path.

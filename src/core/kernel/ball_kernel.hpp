@@ -26,8 +26,10 @@
 //   1. departure walk  -- every non-empty bin releases one ball;
 //      relaunch variants collect destinations (stream-dependent: the
 //      xoshiro clique path block-draws after the walk so the generator
-//      state stays in registers; the counter path draws per releasing
-//      bin), refill variants discard the ball;
+//      state stays in registers; the counter path banks the releasing
+//      bins and materializes their destinations with one gathered
+//      draw plane -- support/draw_plane.hpp), refill variants discard
+//      the ball;
 //   2. arrivals        -- relaunch: apply the collected destinations
 //      (d-choices chooses per its placement convention first);
 //      refill: draw the round's fresh batch and apply it;
@@ -36,10 +38,11 @@
 //
 // Round anatomy (sharded): phase 1 *throw* -- stripes walk their own
 // bins, perform departures, draw destinations with the counter stream
-// and append them to per-(stripe, target-shard) buffers (plus, for
-// refill variants, each stripe draws its contiguous share of the fresh
-// arrivals; for d-choices an extra *choose* phase reads the now-stable
-// post-departure loads); phase 2 *commit* -- stripes drain the buffers
+// in chunked draw planes and append them to per-(stripe, target-shard)
+// buffers (plus, for refill variants, each stripe draws its contiguous
+// share of the fresh arrivals; for d-choices an extra *choose* phase
+// reads the now-stable post-departure loads); phase 2 *commit* --
+// stripes drain the buffers
 // addressed to their own shards, apply the arrivals cache-hot, and
 // rescan for the round statistics, reduced over stripes in fixed
 // order.  No locks, no atomics, no shared cache lines inside a phase.
@@ -274,6 +277,20 @@ class BallProcessCore {
     if (++load > max_load_) max_load_ = load;
   }
 
+  /// Applies a materialized destination block with a prefetched
+  /// scatter: at large n the load vector out-sizes the cache and the
+  /// random writes otherwise stall per arrival.
+  void apply_scatter(const std::vector<bin_index_t>& dests) {
+    constexpr std::uint32_t kPrefetchAhead = 16;
+    const auto count = static_cast<std::uint32_t>(dests.size());
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (i + kPrefetchAhead < count) {
+        __builtin_prefetch(&loads_[dests[i + kPrefetchAhead]], 1);
+      }
+      apply_arrival(dests[i]);
+    }
+  }
+
   /// The round's fresh-arrival count (refill variants).  Drawn before
   /// any phase runs, so it is schedule-free under the counter stream.
   [[nodiscard]] ball_count_t draw_arrival_count(std::uint64_t r) {
@@ -314,8 +331,9 @@ class BallProcessCore {
         ++departures;
         if constexpr (kKind == BallVariantKind::kLoadOnly) {
           if constexpr (Stream::kScheduleFree) {
-            scratch_.push_back(
-                variant_.stream_.index(r, relaunch_slot(u), n));
+            // Collect the releasing bins; their destinations come from
+            // one gathered draw plane after the walk (slot = u).
+            scratch_.push_back(u);
           } else if (variant_.graph_ != nullptr) {
             scratch_.push_back(
                 variant_.graph_->sample_neighbor(u, variant_.stream_.rng()));
@@ -355,18 +373,19 @@ class BallProcessCore {
           scratch_.resize(departures);
           variant_.stream_.rng().fill_indices(scratch_.data(), departures,
                                               n);
-          constexpr std::uint32_t kPrefetchAhead = 16;
-          for (std::uint32_t i = 0; i < departures; ++i) {
-            if (i + kPrefetchAhead < departures) {
-              __builtin_prefetch(&loads_[scratch_[i + kPrefetchAhead]], 1);
-            }
-            apply_arrival(scratch_[i]);
-          }
+          apply_scatter(scratch_);
         } else {
           for (const bin_index_t v : scratch_) apply_arrival(v);
         }
       } else {
-        for (const bin_index_t v : scratch_) apply_arrival(v);
+        // Counter path: scratch_ holds the releasing bins; one gathered
+        // draw plane materializes every destination (bit-identical to
+        // the per-slot draws), then the same prefetched scatter.
+        scratch_dest_.resize(scratch_.size());
+        variant_.stream_.fill_gather(
+            r, scratch_.data(), 0, scratch_.size(), n,
+            scratch_dest_.data());
+        apply_scatter(scratch_dest_);
       }
     } else if constexpr (kKind == BallVariantKind::kDChoices) {
       if constexpr (!Stream::kScheduleFree) {
@@ -385,12 +404,14 @@ class BallProcessCore {
       } else {
         // Batch-snapshot Greedy[d]: all choices read the post-departure
         // configuration, then all placements commit (the convention the
-        // sharded backend realizes; see variants.hpp).
-        scratch_dest_.clear();
-        for (const bin_index_t u : scratch_) {
-          scratch_dest_.push_back(variant_.choose(r, u, n, loads_));
-        }
-        for (const bin_index_t v : scratch_dest_) apply_arrival(v);
+        // sharded backend realizes; see variants.hpp).  The d candidate
+        // draws come from gathered planes, candidate-major.
+        const auto m = static_cast<std::uint32_t>(scratch_.size());
+        scratch_dest_.resize(m);
+        scratch_cand_.resize(m);
+        variant_.choose_batch(r, scratch_.data(), m, n, loads_,
+                              scratch_dest_.data(), scratch_cand_.data());
+        apply_scatter(scratch_dest_);
       }
     } else if constexpr (kRefill) {
       const ball_count_t arrivals = draw_arrival_count(r);
@@ -409,14 +430,22 @@ class BallProcessCore {
         }
       }
       if (ball_by_ball) {
-        for (ball_count_t i = 0; i < arrivals; ++i) {
-          bin_index_t dest;
-          if constexpr (Stream::kScheduleFree) {
-            dest = variant_.stream_.index(r, fresh_arrival_slot(i), n);
-          } else {
-            dest = variant_.stream_.rng().index(n);
+        if constexpr (Stream::kScheduleFree) {
+          // The fresh-arrival slots are contiguous: chunked range
+          // planes, applied as each chunk lands.
+          bin_index_t chunk[kDrawChunk];
+          for (ball_count_t i = 0; i < arrivals;) {
+            const auto len = static_cast<std::uint32_t>(
+                std::min<ball_count_t>(kDrawChunk, arrivals - i));
+            variant_.stream_.fill_range(r, fresh_arrival_slot(i), len, n,
+                                        chunk);
+            for (std::uint32_t k = 0; k < len; ++k) apply_arrival(chunk[k]);
+            i += len;
           }
-          apply_arrival(dest);
+        } else {
+          for (ball_count_t i = 0; i < arrivals; ++i) {
+            apply_arrival(variant_.stream_.rng().index(n));
+          }
         }
       }
       balls_ += arrivals;
@@ -469,33 +498,64 @@ class BallProcessCore {
       acc.departures = 0;
       std::vector<bin_index_t>* row =
           &buffers_[static_cast<std::size_t>(g) * shard_count];
-      if constexpr (kKind == BallVariantKind::kDChoices) {
-        releasers_[g].clear();
-      }
       const bin_index_t begin = plan.stripe_begin_bin(g);
       const bin_index_t end = plan.stripe_end_bin(g);
-      for (bin_index_t u = begin; u < end; ++u) {
-        load_t& load = loads_[u];
-        if (load > 0) {
-          --load;
-          ++acc.departures;
-          if constexpr (kKind == BallVariantKind::kLoadOnly) {
-            const bin_index_t dest =
-                variant_.stream_.index(r, relaunch_slot(u), n);
+      if constexpr (kKind == BallVariantKind::kLoadOnly) {
+        // The walk banks releasing bins into a stack chunk; each flush
+        // materializes the chunk's destinations with one gathered draw
+        // plane and scatters them.  Ascending-u push order per buffer
+        // is preserved, so the commit order is unchanged.
+        bin_index_t slot_buf[kDrawChunk];
+        bin_index_t dest_buf[kDrawChunk];
+        std::uint32_t pending = 0;
+        const auto flush = [&] {
+          variant_.stream_.fill_gather(r, slot_buf, 0, pending, n,
+                                       dest_buf);
+          for (std::uint32_t i = 0; i < pending; ++i) {
+            const bin_index_t dest = dest_buf[i];
             row[plan.shard_of(dest)].push_back(dest);
-          } else if constexpr (kKind == BallVariantKind::kDChoices) {
-            releasers_[g].push_back(u);
           }
-          // refill: the ball leaves; nothing to scatter for it.
+          pending = 0;
+        };
+        for (bin_index_t u = begin; u < end; ++u) {
+          load_t& load = loads_[u];
+          if (load > 0) {
+            --load;
+            ++acc.departures;
+            slot_buf[pending++] = u;
+            if (pending == kDrawChunk) flush();
+          }
+        }
+        if (pending > 0) flush();
+      } else {
+        if constexpr (kKind == BallVariantKind::kDChoices) {
+          releasers_[g].clear();
+        }
+        for (bin_index_t u = begin; u < end; ++u) {
+          load_t& load = loads_[u];
+          if (load > 0) {
+            --load;
+            ++acc.departures;
+            if constexpr (kKind == BallVariantKind::kDChoices) {
+              releasers_[g].push_back(u);
+            }
+            // refill: the ball leaves; nothing to scatter for it.
+          }
         }
       }
       if constexpr (kRefill) {
         const ball_count_t lo = arrivals * g / stripes;
         const ball_count_t hi = arrivals * (g + 1) / stripes;
-        for (ball_count_t i = lo; i < hi; ++i) {
-          const bin_index_t dest =
-              variant_.stream_.index(r, fresh_arrival_slot(i), n);
-          row[plan.shard_of(dest)].push_back(dest);
+        bin_index_t chunk[kDrawChunk];
+        for (ball_count_t i = lo; i < hi;) {
+          const auto len = static_cast<std::uint32_t>(
+              std::min<ball_count_t>(kDrawChunk, hi - i));
+          variant_.stream_.fill_range(r, fresh_arrival_slot(i), len, n,
+                                      chunk);
+          for (std::uint32_t k = 0; k < len; ++k) {
+            row[plan.shard_of(chunk[k])].push_back(chunk[k]);
+          }
+          i += len;
         }
       }
     });
@@ -509,9 +569,18 @@ class BallProcessCore {
       exec_.stripes().for_stripes(stripes, [&](std::uint32_t g) {
         std::vector<bin_index_t>* row =
             &buffers_[static_cast<std::size_t>(g) * shard_count];
-        for (const bin_index_t u : releasers_[g]) {
-          const bin_index_t dest = variant_.choose(r, u, n, loads_);
-          row[plan.shard_of(dest)].push_back(dest);
+        const std::vector<bin_index_t>& rel = releasers_[g];
+        bin_index_t best[kDrawChunk];
+        bin_index_t cand[kDrawChunk];
+        for (std::size_t i = 0; i < rel.size();) {
+          const auto len = static_cast<std::uint32_t>(
+              std::min<std::size_t>(kDrawChunk, rel.size() - i));
+          variant_.choose_batch(r, rel.data() + i, len, n, loads_, best,
+                                cand);
+          for (std::uint32_t k = 0; k < len; ++k) {
+            row[plan.shard_of(best[k])].push_back(best[k]);
+          }
+          i += len;
         }
       });
     }
@@ -584,10 +653,12 @@ class BallProcessCore {
   std::uint32_t last_departures_ = 0;
   ball_count_t last_arrivals_ = 0;
 
-  // Sequential-path scratch: destinations (load-only), releasers
-  // (d-choices snapshot), or the block-drawn clique destinations.
+  // Sequential-path scratch: releasing bins / block-drawn clique
+  // destinations (scratch_), the plane-materialized destinations
+  // (scratch_dest_), and the d-choices candidate plane (scratch_cand_).
   std::vector<bin_index_t> scratch_;
   std::vector<bin_index_t> scratch_dest_;
+  std::vector<bin_index_t> scratch_cand_;
 
   /// buffers_[stripe * shard_count + target_shard]: destinations thrown
   /// by `stripe` into `target_shard` this round.  Cleared (capacity

@@ -13,7 +13,10 @@
 //     (seed, round, slot), so any worker can compute any draw in any
 //     order and a round's randomness is fully determined before any
 //     phase starts -- the property the sharded scatter needs for
-//     thread-count- and shard-size-invariant trajectories.
+//     thread-count- and shard-size-invariant trajectories.  Hot paths
+//     consume draws through the batched/SIMD draw planes
+//     (support/draw_plane.hpp) via fill_range / fill_gather, which are
+//     bit-identical to per-call index() by construction.
 //
 // Slot-space convention (shared by every variant so streams never
 // collide):
@@ -26,9 +29,11 @@
 //                                 (leaky bins' Binomial(n, lambda) draw)
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "support/counter_rng.hpp"
+#include "support/draw_plane.hpp"
 #include "support/rng.hpp"
 
 namespace rbb::kernel {
@@ -55,6 +60,12 @@ inline constexpr std::uint64_t kFreshArrivalBase = std::uint64_t{1} << 48;
 /// Tag of the per-round arrival-count substream (leaky bins).
 inline constexpr std::uint64_t kArrivalCountTag = std::uint64_t{1} << 56;
 
+/// Draws buffered per stack chunk when a kernel phase interleaves
+/// plane fills with scatter/apply work (sharded stripes, refill
+/// arrivals): big enough to amortize the batch setup, small enough
+/// that the chunk buffers live in L1.
+inline constexpr std::uint32_t kDrawChunk = 256;
+
 /// Sequential xoshiro256++ stream (the production single-thread draws).
 class SequentialStream {
  public:
@@ -74,14 +85,34 @@ class CounterStream {
   static constexpr bool kScheduleFree = true;
 
   constexpr explicit CounterStream(std::uint64_t seed) noexcept
-      : rng_(seed) {}
+      : rng_(seed), plane_(rng_) {}
   constexpr CounterStream(std::uint64_t seed, std::uint64_t stream) noexcept
-      : rng_(seed, stream) {}
+      : rng_(seed, stream), plane_(rng_) {}
 
   /// Uniform index in [0, n) for draw (round, slot).
   [[nodiscard]] std::uint32_t index(std::uint64_t round, std::uint64_t slot,
                                     std::uint32_t n) const noexcept {
     return rng_.index(round, slot, n);
+  }
+
+  /// Batched draws for the contiguous slot range
+  /// [slot_begin, slot_begin + count): out[i] = index(round,
+  /// slot_begin + i, n), bit for bit, via the SIMD/batched draw plane
+  /// (support/draw_plane.hpp).  Fresh-arrival draws use this.
+  void fill_range(std::uint64_t round, std::uint64_t slot_begin,
+                  std::size_t count, std::uint32_t n,
+                  std::uint32_t* out) const noexcept {
+    plane_.fill_range(round, slot_begin, count, n, out);
+  }
+
+  /// Batched draws for a gathered slot list sharing the upper slot
+  /// half: out[i] = index(round, (slot_hi << 32) | slot_lo[i], n).
+  /// Relaunch destinations gather the releasing bins with slot_hi = 0;
+  /// d-choices candidate j gathers them with slot_hi = j.
+  void fill_gather(std::uint64_t round, const std::uint32_t* slot_lo,
+                   std::uint32_t slot_hi, std::size_t count, std::uint32_t n,
+                   std::uint32_t* out) const noexcept {
+    plane_.fill_gather(round, slot_lo, slot_hi, count, n, out);
   }
 
   /// A sequential substream derived for (round, tag): used for the few
@@ -96,9 +127,11 @@ class CounterStream {
   }
 
   [[nodiscard]] const CounterRng& counter() const noexcept { return rng_; }
+  [[nodiscard]] const DrawPlane& plane() const noexcept { return plane_; }
 
  private:
   CounterRng rng_;
+  DrawPlane plane_;
 };
 
 }  // namespace rbb::kernel

@@ -287,18 +287,26 @@ class TokenProcessCore {
 
   void step_sequential() {
     const std::uint64_t r = round_;
-    moves_.clear();
+    seq_slots_.clear();
+    seq_tokens_.clear();
     for (bin_index_t u = 0; u < bins_; ++u) {
       if (queues_[u].empty()) continue;
       const std::uint32_t token = queues_[u].pop(QueuePolicy::kFifo, dummy_);
       ++progress_[token];
-      moves_.push_back(Arrival{stream_.index(r, relaunch_slot(u), bins_),
-                               token});
+      seq_slots_.push_back(u);
+      seq_tokens_.push_back(token);
     }
-    for (const Arrival& arrival : moves_) {
-      queues_[arrival.dest].push(arrival.token);
-      token_bin_[arrival.token] = arrival.dest;
-      if (mark_visited(arrival.token, arrival.dest, r + 1)) {
+    // One gathered draw plane materializes every move's destination
+    // (slot = releasing bin), bit-identical to the per-call draws.
+    seq_dests_.resize(seq_slots_.size());
+    stream_.fill_gather(r, seq_slots_.data(), 0, seq_slots_.size(), bins_,
+                        seq_dests_.data());
+    for (std::size_t i = 0; i < seq_dests_.size(); ++i) {
+      const bin_index_t dest = seq_dests_[i];
+      const std::uint32_t token = seq_tokens_[i];
+      queues_[dest].push(token);
+      token_bin_[token] = dest;
+      if (mark_visited(token, dest, r + 1)) {
         ++covered_tokens_;
       }
     }
@@ -322,14 +330,32 @@ class TokenProcessCore {
           &buffers_[static_cast<std::size_t>(g) * shard_count];
       const bin_index_t begin = plan.stripe_begin_bin(g);
       const bin_index_t end = plan.stripe_end_bin(g);
+      // Releasing bins and their tokens bank into stack chunks; each
+      // flush draws the chunk's destinations from one gathered plane.
+      // Ascending-u push order per buffer is preserved, so the
+      // canonical arrival order is unchanged.
+      bin_index_t slot_buf[kDrawChunk];
+      std::uint32_t token_buf[kDrawChunk];
+      bin_index_t dest_buf[kDrawChunk];
+      std::uint32_t pending = 0;
+      const auto flush = [&] {
+        stream_.fill_gather(r, slot_buf, 0, pending, n, dest_buf);
+        for (std::uint32_t i = 0; i < pending; ++i) {
+          const bin_index_t dest = dest_buf[i];
+          row[plan.shard_of(dest)].push_back(Arrival{dest, token_buf[i]});
+        }
+        pending = 0;
+      };
       for (bin_index_t u = begin; u < end; ++u) {
         if (queues_[u].empty()) continue;
         const std::uint32_t token =
             queues_[u].pop(QueuePolicy::kFifo, dummy_);
         ++progress_[token];
-        const bin_index_t dest = stream_.index(r, relaunch_slot(u), n);
-        row[plan.shard_of(dest)].push_back(Arrival{dest, token});
+        slot_buf[pending] = u;
+        token_buf[pending] = token;
+        if (++pending == kDrawChunk) flush();
       }
+      if (pending > 0) flush();
     });
 
     // Phase 2 (commit): drain buffers in ascending source-stripe order
@@ -438,8 +464,11 @@ class TokenProcessCore {
   std::vector<std::uint64_t> cover_round_;
   std::uint32_t covered_tokens_ = 0;
 
-  // Sequential-path scratch.
-  std::vector<Arrival> moves_;
+  // Sequential-path scratch: releasing bins, their tokens, and the
+  // plane-materialized destinations, index-aligned.
+  std::vector<bin_index_t> seq_slots_;
+  std::vector<std::uint32_t> seq_tokens_;
+  std::vector<bin_index_t> seq_dests_;
 
   /// buffers_[stripe * shard_count + target_shard], ascending releasing
   /// bin within each buffer.  Sharded only.

@@ -148,21 +148,27 @@ struct DChoices {
   }
   void init(const std::vector<load_t>& /*loads*/) {}
 
-  /// Batch-snapshot choice for the ball released by bin u: d candidate
-  /// draws on slots (j, u), least loaded wins, ties keep the earlier
-  /// draw.  Reads `loads` only -- callable concurrently from any worker
-  /// once the post-departure configuration is stable.
+  /// Batch-snapshot choices for `m` released balls (releasers[i] = the
+  /// releasing bin): per candidate index j, one gathered draw plane on
+  /// slots (j, u) materializes every ball's j-th candidate at once --
+  /// the same (round, slot) draws the historical per-ball loop made,
+  /// in candidate-major order.  Least loaded wins, ties keep the
+  /// earlier draw.  `best` and `cand` are caller-provided buffers of
+  /// `m` entries.  Reads `loads` only -- callable concurrently from any
+  /// worker once the post-departure configuration is stable.
   template <typename S = Stream>
     requires S::kScheduleFree
-  [[nodiscard]] bin_index_t choose(std::uint64_t round, bin_index_t u,
-                                   std::uint32_t n,
-                                   const std::vector<load_t>& loads) const {
-    bin_index_t best = stream_.index(round, candidate_slot(0, u), n);
+  void choose_batch(std::uint64_t round, const bin_index_t* releasers,
+                    std::uint32_t m, std::uint32_t n,
+                    const std::vector<load_t>& loads, bin_index_t* best,
+                    bin_index_t* cand) const {
+    stream_.fill_gather(round, releasers, 0, m, n, best);
     for (std::uint32_t j = 1; j < d_; ++j) {
-      const bin_index_t c = stream_.index(round, candidate_slot(j, u), n);
-      if (loads[c] < loads[best]) best = c;
+      stream_.fill_gather(round, releasers, j, m, n, cand);
+      for (std::uint32_t i = 0; i < m; ++i) {
+        if (loads[cand[i]] < loads[best[i]]) best[i] = cand[i];
+      }
     }
-    return best;
   }
 
   static Stats make_stats(std::uint32_t max, std::uint32_t empty,

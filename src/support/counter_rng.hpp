@@ -30,6 +30,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "support/rng.hpp"  // SplitMix64, mix64
@@ -41,29 +42,67 @@ namespace rbb {
 /// paper; the known-answer tests in tests/support/ pin the output
 /// against the Random123 reference vectors.
 inline constexpr int kPhiloxRounds = 10;
+inline constexpr std::uint32_t kPhiloxMul0 = 0xD2511F53u;
+inline constexpr std::uint32_t kPhiloxMul1 = 0xCD9E8D57u;
+inline constexpr std::uint32_t kPhiloxWeyl0 = 0x9E3779B9u;  // golden ratio
+inline constexpr std::uint32_t kPhiloxWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+/// The per-round key pairs of one Philox key: round r bumps each word
+/// by its Weyl constant.  The scalar block function materializes them
+/// on the fly (two adds per round); the batched draw planes
+/// (support/draw_plane.hpp) hoist this schedule once per plane so the
+/// per-block inner loop carries no key arithmetic at all.
+using PhiloxKeySchedule =
+    std::array<std::array<std::uint32_t, 2>, kPhiloxRounds>;
+
+[[nodiscard]] constexpr PhiloxKeySchedule philox_key_schedule(
+    std::array<std::uint32_t, 2> key) noexcept {
+  PhiloxKeySchedule schedule{};
+  for (int r = 0; r < kPhiloxRounds; ++r) {
+    schedule[static_cast<std::size_t>(r)] = key;
+    key[0] += kPhiloxWeyl0;
+    key[1] += kPhiloxWeyl1;
+  }
+  return schedule;
+}
 
 [[nodiscard]] constexpr std::array<std::uint32_t, 4> philox4x32(
     std::array<std::uint32_t, 4> counter,
     std::array<std::uint32_t, 2> key) noexcept {
-  constexpr std::uint32_t kMul0 = 0xD2511F53u;
-  constexpr std::uint32_t kMul1 = 0xCD9E8D57u;
-  constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
-  constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
   for (int r = 0; r < kPhiloxRounds; ++r) {
     const std::uint64_t p0 =
-        static_cast<std::uint64_t>(kMul0) * counter[0];
+        static_cast<std::uint64_t>(kPhiloxMul0) * counter[0];
     const std::uint64_t p1 =
-        static_cast<std::uint64_t>(kMul1) * counter[2];
+        static_cast<std::uint64_t>(kPhiloxMul1) * counter[2];
     counter = {
         static_cast<std::uint32_t>(p1 >> 32) ^ counter[1] ^ key[0],
         static_cast<std::uint32_t>(p1),
         static_cast<std::uint32_t>(p0 >> 32) ^ counter[3] ^ key[1],
         static_cast<std::uint32_t>(p0),
     };
-    key[0] += kWeyl0;
-    key[1] += kWeyl1;
+    key[0] += kPhiloxWeyl0;
+    key[1] += kPhiloxWeyl1;
   }
   return counter;
+}
+
+/// Lemire bounded reduction on a draw's two 64-bit words: multiply-shift
+/// on w0 with one rejection retry on w1, after which w1 is accepted
+/// unconditionally (residual bias < 2^-64 per draw; see
+/// CounterRng::index).  Shared by the scalar per-call path and the
+/// batched draw planes so the two are identical by construction: the
+/// plane hoists `threshold` and skips the `lo < n` pre-test, which is
+/// equivalent because threshold = (2^64 - n) mod n < n always.
+[[nodiscard]] constexpr std::uint32_t lemire_bounded(
+    std::uint64_t w0, std::uint64_t w1, std::uint32_t n) noexcept {
+  __uint128_t m = static_cast<__uint128_t>(w0) * n;
+  if (static_cast<std::uint64_t>(m) < n) {
+    const std::uint64_t threshold = (0 - std::uint64_t{n}) % n;
+    if (static_cast<std::uint64_t>(m) < threshold) {
+      m = static_cast<__uint128_t>(w1) * n;
+    }
+  }
+  return static_cast<std::uint32_t>(m >> 64);
 }
 
 /// The stateless RNG facade over philox4x32: a key (from the root seed)
@@ -118,14 +157,7 @@ class CounterRng {
                                               std::uint64_t slot,
                                               std::uint32_t n) const noexcept {
     const std::array<std::uint64_t, 2> w = words(round, slot);
-    __uint128_t m = static_cast<__uint128_t>(w[0]) * n;
-    if (static_cast<std::uint64_t>(m) < n) {
-      const std::uint64_t threshold = (0 - std::uint64_t{n}) % n;
-      if (static_cast<std::uint64_t>(m) < threshold) {
-        m = static_cast<__uint128_t>(w[1]) * n;
-      }
-    }
-    return static_cast<std::uint32_t>(m >> 64);
+    return lemire_bounded(w[0], w[1], n);
   }
 
   /// Uniform double in [0, 1) with 53 random bits for draw (round, slot).

@@ -8,12 +8,22 @@ Both inputs are rbb.result.v1 documents produced by
 Rows are keyed by (n, variant, backend, threads) -- older baselines
 without a variant column are read as variant="load" -- and the tool
 prints the per-row ns/ball delta (absolute and percent), plus rows that
-exist on only one side (scales differ, kernels added/removed).  Exit
-code 0 always: this is a reporting tool, the judgment call stays human
-(wire a threshold in CI if a hard gate is ever wanted).
+exist on only one side (scales differ, kernels added/removed).
+
+By default the exit code is 0 (reporting only).  With --gate PCT the
+tool becomes CI's perf gate: it exits 1 when any shared row's ns/ball
+regressed by more than PCT percent against the old baseline.  Rows
+present on only one side never fail the gate (adding a kernel or a
+scale must not require a baseline refresh in the same commit).
+
+Several NEW files may be given: rows merge by per-row *minimum*
+ns/ball (the standard de-noising estimator for wall timings -- noise
+on shared runners only ever adds time).  CI measures the pinned smoke
+configuration three times and gates on the merged result, so a single
+descheduled run cannot fail the job.
 
 Usage:
-    tools/bench_diff.py OLD.json NEW.json
+    tools/bench_diff.py [--gate PCT] OLD.json NEW.json [NEW2.json ...]
 """
 
 from __future__ import annotations
@@ -58,12 +68,35 @@ def fmt_key(key: tuple) -> str:
 
 
 def main() -> int:
-    if len(sys.argv) != 3:
+    args = sys.argv[1:]
+    gate_pct: float | None = None
+    if "--gate" in args:
+        at = args.index("--gate")
+        try:
+            gate_pct = float(args[at + 1])
+        except (IndexError, ValueError):
+            print("--gate needs a numeric percent threshold\n",
+                  file=sys.stderr)
+            print(__doc__, file=sys.stderr)
+            return 2
+        args = args[:at] + args[at + 2:]
+    if len(args) < 2 or any(a.startswith("-") for a in args):
         print(__doc__, file=sys.stderr)
         return 2
-    old_path, new_path = sys.argv[1], sys.argv[2]
+    old_path, new_paths = args[0], args[1:]
     old = load_rows(old_path)
-    new = load_rows(new_path)
+    new: dict[tuple, dict] = {}
+    for path in new_paths:
+        for key, row in load_rows(path).items():
+            if key in new:
+                new[key]["ns_per_ball"] = min(new[key]["ns_per_ball"],
+                                              row["ns_per_ball"])
+                new[key]["rounds_per_sec"] = max(new[key]["rounds_per_sec"],
+                                                 row["rounds_per_sec"])
+            else:
+                new[key] = row
+    new_path = new_paths[0] if len(new_paths) == 1 else \
+        f"min of {len(new_paths)} runs"
 
     shared = sorted(set(old) & set(new))
     only_old = sorted(set(old) - set(new))
@@ -72,6 +105,7 @@ def main() -> int:
     print(f"# bench diff: {old_path} -> {new_path}")
     print(f"# {len(shared)} shared rows, {len(only_old)} only-old, "
           f"{len(only_new)} only-new")
+    regressions: list[tuple] = []
     if shared:
         print(f"{'row':<42} {'old ns/ball':>12} {'new ns/ball':>12} "
               f"{'delta':>9} {'pct':>8}")
@@ -84,10 +118,24 @@ def main() -> int:
                      (" <-- faster" if pct < -10.0 else "")
             print(f"{fmt_key(key):<42} {o:>12.2f} {n:>12.2f} "
                   f"{delta:>+9.2f} {pct:>+7.1f}%{marker}")
+            if gate_pct is not None and pct > gate_pct:
+                regressions.append((key, pct))
     for key in only_old:
         print(f"only in {old_path}: {fmt_key(key)}")
     for key in only_new:
         print(f"only in {new_path}: {fmt_key(key)}")
+    if regressions:
+        print(f"\nGATE FAILED: {len(regressions)} row(s) regressed more "
+              f"than {gate_pct}% ns/ball:", file=sys.stderr)
+        for key, pct in regressions:
+            print(f"  {fmt_key(key)}  {pct:+.1f}%", file=sys.stderr)
+        print("If the regression is intended (e.g. a deliberate trade-off), "
+              "regenerate the committed baseline in this PR or apply the "
+              "override label documented in .github/workflows/ci.yml.",
+              file=sys.stderr)
+        return 1
+    if gate_pct is not None:
+        print(f"# gate: no row regressed more than {gate_pct}%")
     return 0
 
 
