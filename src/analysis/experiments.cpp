@@ -341,10 +341,9 @@ CoverTimeResult run_cover_time(const CoverTimeParams& p) {
   if (p.n < 2) throw std::invalid_argument("run_cover_time: n < 2");
   if (p.trials == 0) throw std::invalid_argument("run_cover_time: trials==0");
   if (p.backend == Backend::kSharded &&
-      (p.graph != nullptr || p.fault_period != 0 ||
-       p.policy != QueuePolicy::kFifo)) {
+      (p.graph != nullptr || p.fault_period != 0)) {
     throw std::invalid_argument(
-        "run_cover_time: the sharded token core is FIFO, clique-only and "
+        "run_cover_time: the sharded token core is clique-only and "
         "fault-free; use the sequential backend");
   }
   struct TrialOut {
@@ -367,7 +366,7 @@ CoverTimeResult run_cover_time(const CoverTimeParams& p) {
       par::ShardedTokenProcess proc(
           p.n, make_token_placement(p.placement, p.n, p.n, rng),
           mix64(p.seed, trial), par::ShardedOptions{1, 0},
-          par::TokenOptions{.track_visits = true});
+          par::TokenOptions{.track_visits = true, .policy = p.policy});
       std::uint32_t wmax = 0;
       while (!proc.all_covered() && proc.round() < cap) {
         proc.step();
@@ -613,10 +612,6 @@ JacksonResult run_jackson(const JacksonParams& p) {
 ProgressResult run_progress(const ProgressParams& p) {
   if (p.n < 2) throw std::invalid_argument("run_progress: n < 2");
   if (p.trials == 0) throw std::invalid_argument("run_progress: trials == 0");
-  if (p.backend == Backend::kSharded && p.policy != QueuePolicy::kFifo) {
-    throw std::invalid_argument(
-        "run_progress: the sharded token core is FIFO-only");
-  }
   const std::uint64_t rounds = p.rounds == 0 ? 8ull * p.n : p.rounds;
   struct TrialOut {
     double min_progress = 0;
@@ -639,7 +634,8 @@ ProgressResult run_progress(const ProgressParams& p) {
     if (p.backend == Backend::kSharded) {
       measure(par::ShardedTokenProcess(p.n, identity_placement(p.n),
                                        mix64(p.seed, trial),
-                                       par::ShardedOptions{1, 0}));
+                                       par::ShardedOptions{1, 0},
+                                       par::TokenOptions{.policy = p.policy}));
     } else {
       TokenProcess::Options options;
       options.policy = p.policy;

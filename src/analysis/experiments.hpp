@@ -210,9 +210,9 @@ struct CoverTimeParams {
   std::uint64_t fault_period = 0;   // 0 = no faults (E8); else E9
   FaultStrategy fault_strategy = FaultStrategy::kAllToOne;
   std::uint64_t max_rounds = 0;     // 0 = 64 n log2(n)^2
-  /// kSharded drives the visit-tracking token core (FIFO, clique, no
-  /// faults); rejected when policy/graph/faults need the sequential
-  /// TokenProcess.
+  /// kSharded drives the visit-tracking token core (any queue policy,
+  /// clique, no faults); rejected when graph/faults need the
+  /// sequential TokenProcess.
   Backend backend = Backend::kSeq;
 };
 

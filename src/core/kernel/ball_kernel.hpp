@@ -159,6 +159,28 @@ class BallProcessCore {
     return exec_.plan();
   }
 
+  /// Bytes of resident kernel state (load vector, variant bookkeeping,
+  /// scratch and scatter buffers at their current capacity).  Feeds the
+  /// memory column of sharded_scaling.
+  [[nodiscard]] std::size_t resident_state_bytes() const noexcept {
+    std::size_t bytes = loads_.capacity() * sizeof(load_t) +
+                        scratch_.capacity() * sizeof(bin_index_t) +
+                        scratch_dest_.capacity() * sizeof(bin_index_t) +
+                        scratch_cand_.capacity() * sizeof(bin_index_t);
+    for (const auto& buf : buffers_) {
+      bytes += buf.capacity() * sizeof(bin_index_t);
+    }
+    bytes += acc_.capacity() * sizeof(StripeAcc);
+    for (const auto& rel : releasers_) {
+      bytes += rel.capacity() * sizeof(bin_index_t);
+    }
+    if constexpr (kKind == BallVariantKind::kTetris) {
+      bytes += variant_.first_empty_.capacity() * sizeof(std::uint64_t) +
+               variant_.pending_empty_.capacity() * sizeof(bin_index_t);
+    }
+    return bytes;
+  }
+
   // --- variant-specific surface ---------------------------------------------
 
   [[nodiscard]] std::uint32_t choices() const noexcept

@@ -25,6 +25,8 @@
 //                                 (repeated d-choices; j < 2^16)
 //   slot = 2^48 + i               fresh arrival i of the round (Tetris /
 //                                 leaky bins; i < 2^32)
+//   slot = 2^49 + u               queue-position draw of releasing bin u
+//                                 (random queue policy of the token core)
 //   tag  = 2^56                   the round's arrival-count substream
 //                                 (leaky bins' Binomial(n, lambda) draw)
 #pragma once
@@ -55,6 +57,16 @@ inline constexpr std::uint64_t kFreshArrivalBase = std::uint64_t{1} << 48;
 [[nodiscard]] constexpr std::uint64_t fresh_arrival_slot(
     std::uint64_t i) noexcept {
   return kFreshArrivalBase + i;
+}
+
+/// Slot of the queue-position draw of releasing bin u under the random
+/// queue policy: which of the bin's `count` tokens departs this round.
+/// One draw per (round, releasing bin), so it is schedule-free; the
+/// base clears the fresh-arrival range (2^48 + i, i < 2^32).
+inline constexpr std::uint64_t kPopSelectBase = std::uint64_t{1} << 49;
+[[nodiscard]] constexpr std::uint64_t pop_select_slot(
+    std::uint32_t u) noexcept {
+  return kPopSelectBase + u;
 }
 
 /// Tag of the per-round arrival-count substream (leaky bins).

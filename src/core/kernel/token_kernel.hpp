@@ -1,11 +1,17 @@
-// The FIFO token-process core over the same (execution x RNG stream)
-// policy set as BallProcessCore (DESIGN.md Sect. 5).
+// The token-process core over the same (execution x RNG stream) policy
+// set as BallProcessCore (DESIGN.md Sect. 5).
 //
 // Token state (per-bin queues, per-token positions) is shaped unlike a
 // load vector, so the identity-tracking process gets its own core
 // template -- but the policy axes are the same types: the sequential
-// instantiation is the plain single-threaded loop (the parity oracle),
-// the sharded instantiation executes one round across all cores.
+// instantiations are plain single-threaded loops (xoshiro draws or the
+// counter-RNG parity oracle), the sharded instantiation executes one
+// round across all cores.
+//
+// Queue state is the flat implicit-FIFO store of token_store.hpp: one
+// contiguous token-link array plus per-bin {head, tail, count} headers,
+// 8m + 12n bytes total -- no per-bin allocation, which is what lets
+// sharded_scaling run token rows at n = 10^8.
 //
 // Enqueue order is not commutative, so determinism comes from a
 // *canonical arrival order*: stripes are contiguous and walked in
@@ -15,12 +21,22 @@
 // The sequential instantiation realizes the same order with a plain
 // loop, which is why the two are bit-identical (pinned by tests/par/).
 //
-// Scope: FIFO queue policy on the complete graph, with per-token
-// progress counters and OPTIONAL per-token visited bitsets (cover-time
-// experiments; m*n bits -- fine at experiment sizes, petabyte-scale at
-// mega n, so visits default off).  The full-featured sequential
-// TokenProcess (general graphs, LIFO/random policies, delay histograms)
-// remains in core/token_process.hpp.
+// Queue policies (TokenOptions::policy): FIFO pops the oldest token,
+// LIFO the newest, random the k-th oldest where k is drawn uniformly --
+// under the counter stream from the dedicated pop-select slot plane
+// (one draw per (round, releasing bin), schedule-free), under the
+// sequential stream from the process rng interleaved with the
+// destination draws exactly as in TokenProcess.  The random removal is
+// order-preserving (remove the k-th in arrival order), unlike the
+// legacy BallQueue's swap-remove; FIFO and LIFO sequential-stream
+// trajectories are draw-for-draw identical to TokenProcess on the
+// complete graph (pinned by tests/par/token_flat_test.cpp).
+//
+// Scope: the complete graph, per-token progress counters and OPTIONAL
+// per-token visited bitsets (cover-time experiments; m*n bits -- fine
+// at experiment sizes, petabyte-scale at mega n, so visits default
+// off).  General graphs and delay histograms remain on the sequential
+// TokenProcess (core/token_process.hpp).
 #pragma once
 
 #include <algorithm>
@@ -34,16 +50,19 @@
 #include "core/config.hpp"
 #include "core/kernel/exec.hpp"
 #include "core/kernel/stream.hpp"
-#include "core/token_process.hpp"  // BallQueue, QueuePolicy
+#include "core/kernel/token_store.hpp"
+#include "core/token_process.hpp"  // QueuePolicy, identity_placement
 #include "support/types.hpp"
 
 namespace rbb::kernel {
 
-/// Instrumentation knobs of the token core.
+/// Instrumentation and policy knobs of the token core.
 struct TokenOptions {
   /// Per-token visited bitsets + cover rounds (Corollary 1 cover-time
   /// measurements).  Costs m*n bits -- leave off beyond ~10^5 bins.
   bool track_visits = false;
+  /// Which token a non-empty bin releases each round.
+  QueuePolicy policy = QueuePolicy::kFifo;
 };
 
 template <typename Exec, typename StreamP = CounterStream>
@@ -68,28 +87,29 @@ class TokenProcessCore {
         stream_(std::move(stream)),
         exec_(bins == 0 ? 1 : bins, exec_options),
         options_(options),
-        token_bin_(std::move(start_bin)),
-        progress_(token_bin_.size(), 0) {
+        store_(bins == 0 ? 1 : bins,
+               static_cast<std::uint32_t>(start_bin.size()),
+               options.policy),
+        progress_(start_bin.size(), 0) {
     if (bins_ == 0) {
       throw std::invalid_argument("TokenProcessCore: bins == 0");
     }
-    if (token_bin_.empty()) {
+    if (start_bin.empty()) {
       throw std::invalid_argument("TokenProcessCore: no tokens");
     }
-    for (const bin_index_t bin : token_bin_) {
+    for (const bin_index_t bin : start_bin) {
       if (bin >= bins_) {
         throw std::invalid_argument(
             "TokenProcessCore: start bin out of range");
       }
     }
-    queues_.resize(bins_);
     if (options_.track_visits) {
       words_per_token_ = (bins_ + 63) / 64;
       visited_.assign(static_cast<std::size_t>(words_per_token_) *
-                          token_bin_.size(),
+                          start_bin.size(),
                       0);
-      visited_count_.assign(token_bin_.size(), 0);
-      cover_round_.assign(token_bin_.size(), kNotCovered);
+      visited_count_.assign(start_bin.size(), 0);
+      cover_round_.assign(start_bin.size(), kNotCovered);
     }
     if constexpr (kShardedExec) {
       const ShardPlan& plan = exec_.plan();
@@ -97,10 +117,11 @@ class TokenProcessCore {
                       plan.shard_count());
       acc_.resize(plan.stripe_count());
     }
-    rebuild_queues();
+    rebuild_queues(start_bin);
   }
 
-  /// One synchronous round: every non-empty bin releases its FIFO head.
+  /// One synchronous round: every non-empty bin releases one token per
+  /// the queue policy.
   void step() {
     if constexpr (kShardedExec) {
       step_sharded();
@@ -131,13 +152,16 @@ class TokenProcessCore {
 
   [[nodiscard]] std::uint32_t bin_count() const noexcept { return bins_; }
   [[nodiscard]] std::uint32_t token_count() const noexcept {
-    return static_cast<std::uint32_t>(token_bin_.size());
+    return store_.token_count();
   }
   [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] QueuePolicy policy() const noexcept {
+    return options_.policy;
+  }
 
   /// Load of bin u (queue length).
   [[nodiscard]] load_t load(bin_index_t u) const {
-    return static_cast<load_t>(queues_[u].size());
+    return static_cast<load_t>(store_.count(u));
   }
   /// Maximum load over all bins.  Sharded: O(1), maintained by the
   /// commit rescan.  Sequential: computed lazily on first query after a
@@ -157,14 +181,14 @@ class TokenProcessCore {
   [[nodiscard]] LoadConfig loads() const {
     LoadConfig loads(bins_, 0);
     for (bin_index_t u = 0; u < bins_; ++u) {
-      loads[u] = static_cast<load_t>(queues_[u].size());
+      loads[u] = static_cast<load_t>(store_.count(u));
     }
     return loads;
   }
 
   /// Current bin of token i.
   [[nodiscard]] bin_index_t token_bin(std::uint32_t token) const {
-    return token_bin_[token];
+    return store_.bin_of(token);
   }
   /// Walk steps token i has performed (times it was released).
   [[nodiscard]] std::uint64_t progress(std::uint32_t token) const {
@@ -175,6 +199,13 @@ class TokenProcessCore {
     std::uint64_t lo = progress_.empty() ? 0 : progress_[0];
     for (const std::uint64_t p : progress_) lo = std::min(lo, p);
     return lo;
+  }
+
+  /// Tokens of bin u in arrival order, oldest first (testing /
+  /// inspection; allocates -- never on the hot path).
+  [[nodiscard]] std::vector<std::uint32_t> queue_snapshot(
+      bin_index_t u) const {
+    return store_.snapshot(u);
   }
 
   /// Distinct bins token i has visited.  Requires track_visits.
@@ -210,12 +241,34 @@ class TokenProcessCore {
     return exec_.plan();
   }
 
+  /// Bytes of resident kernel state (queue store, progress, visit
+  /// bitsets, scratch and scatter buffers at their current capacity).
+  /// Feeds the memory column of sharded_scaling.
+  [[nodiscard]] std::size_t resident_state_bytes() const noexcept {
+    std::size_t bytes =
+        store_.resident_bytes() +
+        progress_.capacity() * sizeof(std::uint64_t) +
+        visited_.capacity() * sizeof(std::uint64_t) +
+        visited_count_.capacity() * sizeof(std::uint32_t) +
+        cover_round_.capacity() * sizeof(std::uint64_t) +
+        seq_slots_.capacity() * sizeof(bin_index_t) +
+        seq_tokens_.capacity() * sizeof(std::uint32_t) +
+        seq_dests_.capacity() * sizeof(bin_index_t);
+    if constexpr (kShardedExec) {
+      for (const auto& buf : buffers_) {
+        bytes += buf.capacity() * sizeof(Arrival);
+      }
+      bytes += acc_.capacity() * sizeof(StripeAcc);
+    }
+    return bytes;
+  }
+
   /// Adversarial reassignment (Sect. 4.1 semantics, as in
   /// TokenProcess::reassign): every token i moves to new_bin[i]; queues
   /// are rebuilt in token-id order; progress persists; the reassigned
   /// position counts as a visit.
   void reassign(const std::vector<bin_index_t>& new_bin) {
-    if (new_bin.size() != token_bin_.size()) {
+    if (new_bin.size() != progress_.size()) {
       throw std::invalid_argument("reassign: token count mismatch");
     }
     for (const bin_index_t bin : new_bin) {
@@ -223,24 +276,38 @@ class TokenProcessCore {
         throw std::invalid_argument("reassign: bin out of range");
       }
     }
-    token_bin_ = new_bin;
-    rebuild_queues();
+    rebuild_queues(new_bin);
   }
 
   /// Testing hook: queue/token-position consistency; throws
-  /// std::logic_error on violation.
+  /// std::logic_error on violation.  Walks the flat lists in place --
+  /// no per-bin heap copy.
   void check_invariants() const {
     std::uint64_t queued = 0;
     for (bin_index_t u = 0; u < bins_; ++u) {
-      for (const std::uint32_t token : queues_[u].snapshot()) {
-        if (token_bin_[token] != u) {
+      const std::uint32_t expect = store_.count(u);
+      std::uint32_t walked = 0;
+      std::uint32_t last = FlatTokenStore::kNil;
+      for (std::uint32_t t = store_.peek_head(u);
+           t != FlatTokenStore::kNil && walked <= expect;
+           t = store_.next(t)) {
+        if (store_.bin_of(t) != u) {
           throw std::logic_error(
               "TokenProcessCore: queue/token position mismatch");
         }
-        ++queued;
+        last = t;
+        ++walked;
       }
+      if (walked != expect) {
+        throw std::logic_error(
+            "TokenProcessCore: queue length drifted (or list cycle)");
+      }
+      if (expect > 0 && last != store_.tail(u)) {
+        throw std::logic_error("TokenProcessCore: tail out of sync");
+      }
+      queued += walked;
     }
-    if (queued != token_bin_.size()) {
+    if (queued != progress_.size()) {
       throw std::logic_error("TokenProcessCore: token count drifted");
     }
     if constexpr (kShardedExec) {
@@ -265,6 +332,11 @@ class TokenProcessCore {
     std::uint32_t newly_covered = 0;
   };
 
+  /// Scatter loops prefetch this many arrivals ahead: at mega n the
+  /// store out-sizes the cache and each push touches a random header
+  /// (and, appending, a random tail slot).
+  static constexpr std::uint32_t kPrefetchAhead = 16;
+
   /// Marks `bin` visited by `token`; returns true when this visit
   /// completed the token's coverage (caller owns the covered counter so
   /// the sharded commit can accumulate per stripe).
@@ -285,27 +357,77 @@ class TokenProcessCore {
     return false;
   }
 
+  /// The releasing pop of bin u under the counter stream: FIFO/LIFO pop
+  /// the head, random removes the k-th oldest with k drawn from the
+  /// pop-select slot plane -- a pure function of (round, u), so any
+  /// stripe can release its own bins in any schedule.
+  std::uint32_t release_counter(bin_index_t u, std::uint64_t r) {
+    if (options_.policy == QueuePolicy::kRandom) {
+      const std::uint32_t size = store_.count(u);
+      return store_.pop_at(u, stream_.index(r, pop_select_slot(u), size));
+    }
+    return store_.pop_front(u);
+  }
+
+  /// Prefetches the head slot (the pop target) and progress counter of
+  /// bin `u` if it will release; headers themselves stream sequentially
+  /// through the scan, so peeking ahead is cache-hot.
+  void prefetch_release(bin_index_t u) const {
+    const std::uint32_t h = store_.peek_head(u);
+    if (h != FlatTokenStore::kNil) {
+      store_.prefetch_slot(h);
+      __builtin_prefetch(&progress_[h], 1);
+    }
+  }
+
   void step_sequential() {
     const std::uint64_t r = round_;
     seq_slots_.clear();
     seq_tokens_.clear();
-    for (bin_index_t u = 0; u < bins_; ++u) {
-      if (queues_[u].empty()) continue;
-      const std::uint32_t token = queues_[u].pop(QueuePolicy::kFifo, dummy_);
-      ++progress_[token];
-      seq_slots_.push_back(u);
-      seq_tokens_.push_back(token);
+    seq_dests_.clear();
+    if constexpr (Stream::kScheduleFree) {
+      for (bin_index_t u = 0; u < bins_; ++u) {
+        if (u + kPrefetchAhead < bins_) prefetch_release(u + kPrefetchAhead);
+        if (store_.empty(u)) continue;
+        const std::uint32_t token = release_counter(u, r);
+        ++progress_[token];
+        seq_slots_.push_back(u);
+        seq_tokens_.push_back(token);
+      }
+      // One gathered draw plane materializes every move's destination
+      // (slot = releasing bin), bit-identical to the per-call draws.
+      seq_dests_.resize(seq_slots_.size());
+      stream_.fill_gather(r, seq_slots_.data(), 0, seq_slots_.size(), bins_,
+                          seq_dests_.data());
+    } else {
+      // Sequential xoshiro draws: the random-policy pop draw and the
+      // destination draw interleave per releasing bin, draw-for-draw as
+      // in TokenProcess on the complete graph; arrivals apply after the
+      // walk (later bins see pre-move queues, the synchronous-round
+      // convention both realize).
+      Rng& rng = stream_.rng();
+      for (bin_index_t u = 0; u < bins_; ++u) {
+        if (u + kPrefetchAhead < bins_) prefetch_release(u + kPrefetchAhead);
+        if (store_.empty(u)) continue;
+        const std::uint32_t token =
+            options_.policy == QueuePolicy::kRandom
+                ? store_.pop_at(u, static_cast<std::uint32_t>(
+                                       rng.below(store_.count(u))))
+                : store_.pop_front(u);
+        ++progress_[token];
+        seq_tokens_.push_back(token);
+        seq_dests_.push_back(rng.index(bins_));
+      }
     }
-    // One gathered draw plane materializes every move's destination
-    // (slot = releasing bin), bit-identical to the per-call draws.
-    seq_dests_.resize(seq_slots_.size());
-    stream_.fill_gather(r, seq_slots_.data(), 0, seq_slots_.size(), bins_,
-                        seq_dests_.data());
-    for (std::size_t i = 0; i < seq_dests_.size(); ++i) {
+    const std::size_t moves = seq_dests_.size();
+    for (std::size_t i = 0; i < moves; ++i) {
+      if (i + kPrefetchAhead < moves) {
+        store_.prefetch_bin(seq_dests_[i + kPrefetchAhead]);
+        store_.prefetch_slot(seq_tokens_[i + kPrefetchAhead]);
+      }
       const bin_index_t dest = seq_dests_[i];
       const std::uint32_t token = seq_tokens_[i];
-      queues_[dest].push(token);
-      token_bin_[token] = dest;
+      store_.push(dest, token);
       if (mark_visited(token, dest, r + 1)) {
         ++covered_tokens_;
       }
@@ -321,10 +443,11 @@ class TokenProcessCore {
     const ShardPlan& plan = exec_.plan();
     const std::uint32_t shard_count = plan.shard_count();
 
-    // Phase 1 (throw): each stripe releases its FIFO heads in ascending
-    // bin order, so every buffer is filled sorted by releasing bin.  A
-    // token sits in exactly one queue, so the progress_ writes are
-    // stripe-exclusive too.
+    // Phase 1 (throw): each stripe releases its queue heads in
+    // ascending bin order, so every buffer is filled sorted by
+    // releasing bin.  A token sits in exactly one queue and a stripe
+    // pops only its own bins' lists, so the store and progress_ writes
+    // are stripe-exclusive.
     exec_.stripes().for_stripes(plan.stripe_count(), [&](std::uint32_t g) {
       std::vector<Arrival>* row =
           &buffers_[static_cast<std::size_t>(g) * shard_count];
@@ -347,9 +470,9 @@ class TokenProcessCore {
         pending = 0;
       };
       for (bin_index_t u = begin; u < end; ++u) {
-        if (queues_[u].empty()) continue;
-        const std::uint32_t token =
-            queues_[u].pop(QueuePolicy::kFifo, dummy_);
+        if (u + kPrefetchAhead < end) prefetch_release(u + kPrefetchAhead);
+        if (store_.empty(u)) continue;
+        const std::uint32_t token = release_counter(u, r);
         ++progress_[token];
         slot_buf[pending] = u;
         token_buf[pending] = token;
@@ -361,8 +484,9 @@ class TokenProcessCore {
     // Phase 2 (commit): drain buffers in ascending source-stripe order
     // so every bin enqueues its arrivals sorted by releasing bin -- the
     // canonical order the sequential sibling realizes by construction.
-    // A token arrives in exactly one buffer, so the token_bin_ and
-    // visited_ writes are stripe-exclusive.
+    // A token arrives in exactly one buffer and a stripe pushes only
+    // into its own shards' lists, so the store and visited_ writes are
+    // stripe-exclusive.
     exec_.stripes().for_stripes(plan.stripe_count(), [&](std::uint32_t g) {
       StripeAcc& acc = acc_[g];
       acc.max = 0;
@@ -373,9 +497,15 @@ class TokenProcessCore {
         for (std::uint32_t src = 0; src < plan.stripe_count(); ++src) {
           std::vector<Arrival>& buf =
               buffers_[static_cast<std::size_t>(src) * shard_count + s];
-          for (const Arrival& arrival : buf) {
-            queues_[arrival.dest].push(arrival.token);
-            token_bin_[arrival.token] = arrival.dest;
+          const std::size_t arrivals = buf.size();
+          for (std::size_t i = 0; i < arrivals; ++i) {
+            if (i + kPrefetchAhead < arrivals) {
+              const Arrival& ahead = buf[i + kPrefetchAhead];
+              store_.prefetch_bin(ahead.dest);
+              store_.prefetch_slot(ahead.token);
+            }
+            const Arrival& arrival = buf[i];
+            store_.push(arrival.dest, arrival.token);
             if (mark_visited(arrival.token, arrival.dest, r + 1)) {
               ++acc.newly_covered;
             }
@@ -384,7 +514,7 @@ class TokenProcessCore {
         }
         for (bin_index_t u = plan.shard_begin(s); u < plan.shard_end(s);
              ++u) {
-          const auto load = static_cast<load_t>(queues_[u].size());
+          const auto load = static_cast<load_t>(store_.count(u));
           if (load == 0) {
             ++acc.zeros;
           } else if (load > acc.max) {
@@ -404,11 +534,10 @@ class TokenProcessCore {
     stats_dirty_ = false;  // the commit rescan just paid for them
   }
 
-  void rebuild_queues() {
-    for (BallQueue& queue : queues_) queue.clear();
+  void rebuild_queues(const std::vector<bin_index_t>& placement) {
+    store_.rebuild(placement);
     for (std::uint32_t token = 0; token < token_count(); ++token) {
-      queues_[token_bin_[token]].push(token);
-      if (mark_visited(token, token_bin_[token], round_)) {
+      if (mark_visited(token, placement[token], round_)) {
         ++covered_tokens_;
       }
     }
@@ -419,7 +548,7 @@ class TokenProcessCore {
     max_load_ = 0;
     empty_ = 0;
     for (bin_index_t u = 0; u < bins_; ++u) {
-      const auto load = static_cast<load_t>(queues_[u].size());
+      const auto load = static_cast<load_t>(store_.count(u));
       if (load == 0) {
         ++empty_;
       } else if (load > max_load_) {
@@ -446,9 +575,7 @@ class TokenProcessCore {
   Stream stream_;
   Exec exec_;
   TokenOptions options_;
-  Rng dummy_{0};  // BallQueue::pop needs an Rng&; unused under FIFO
-  std::vector<BallQueue> queues_;
-  std::vector<bin_index_t> token_bin_;
+  FlatTokenStore store_;
   std::vector<std::uint64_t> progress_;
   std::uint64_t round_ = 0;
   // Lazily maintained stats (refresh_stats); mutable so const queries
@@ -464,8 +591,8 @@ class TokenProcessCore {
   std::vector<std::uint64_t> cover_round_;
   std::uint32_t covered_tokens_ = 0;
 
-  // Sequential-path scratch: releasing bins, their tokens, and the
-  // plane-materialized destinations, index-aligned.
+  // Sequential-path scratch: releasing bins (counter path), their
+  // tokens, and the destinations, index-aligned.
   std::vector<bin_index_t> seq_slots_;
   std::vector<std::uint32_t> seq_tokens_;
   std::vector<bin_index_t> seq_dests_;
@@ -474,6 +601,22 @@ class TokenProcessCore {
   /// bin within each buffer.  Sharded only.
   std::vector<std::vector<Arrival>> buffers_;
   std::vector<StripeAcc> acc_;
+};
+
+/// Sequential xoshiro instantiation of the flat token core: the
+/// production single-thread token kernel.  FIFO and LIFO trajectories
+/// are draw-for-draw identical to the classic TokenProcess on the
+/// complete graph (pinned by tests/par/token_flat_test.cpp); random
+/// differs only in the post-removal queue order (order-preserving
+/// versus legacy swap-remove).
+class SequentialTokenProcess
+    : public TokenProcessCore<SequentialExecution, SequentialStream> {
+ public:
+  SequentialTokenProcess(std::uint32_t bins,
+                         std::vector<bin_index_t> start_bin, Rng rng,
+                         TokenOptions options = {})
+      : TokenProcessCore(bins, std::move(start_bin), SequentialStream(rng),
+                         {}, options) {}
 };
 
 }  // namespace rbb::kernel

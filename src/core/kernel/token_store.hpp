@@ -1,0 +1,191 @@
+// Flat token storage of the token-process core (DESIGN.md Sect. 5).
+//
+// The mega-n replacement for a vector of growable per-bin queues: all
+// queue state lives in two contiguous arrays,
+//
+//   slots_[token] = {next, bin}   one 8-byte record per token,
+//   bins_[u]      = {head, tail, count}   one 12-byte header per bin,
+//
+// i.e. an *implicit FIFO*: each bin's queue is an intrusive singly
+// linked list threaded through the token array.  A round only ever
+// needs a queue's head (or, under the random policy, its k-th element)
+// and appends at its tail, so head/tail identity is the whole per-bin
+// state -- no per-bin allocation, no compaction, no growth: push and
+// pop_front are O(1) pointer splices into memory that never moves.
+// Resident state is 8m + 12n bytes versus one malloc'd vector per bin,
+// which is what lifts the 10^6 token cap of sharded_scaling.
+//
+// Policy orientation: FIFO and random push at the tail (list order =
+// arrival order, oldest at head); LIFO pushes at the head (list order =
+// newest first).  All three policies therefore *pop the head* except
+// random, which removes the k-th element in arrival order -- an
+// order-preserving removal, unlike the swap-remove of the legacy
+// BallQueue (see DESIGN.md: the first pop removes the same token, but
+// the legacy swap perturbs the order seen by later pops).
+//
+// Determinism: push order is the only thing that defines a queue's
+// content, and the store performs pushes exactly in the order the core
+// hands them over -- the canonical sorted-by-releasing-bin arrival
+// order of the sharded commit is preserved verbatim, so trajectories
+// are bit-identical to the queue-backed predecessor (pinned by
+// tests/par/).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/token_process.hpp"  // QueuePolicy
+#include "support/types.hpp"
+
+namespace rbb::kernel {
+
+class FlatTokenStore {
+ public:
+  /// List terminator / empty-bin head.  Token ids are < 2^32 - 1.
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  FlatTokenStore(std::uint32_t bins, std::uint32_t tokens,
+                 QueuePolicy policy)
+      : policy_(policy),
+        slots_(tokens),
+        bins_(bins, BinList{kNil, kNil, 0}) {}
+
+  /// Drops every queue and re-pushes token 0, 1, ... into
+  /// placement[token]: co-located tokens enqueue in token-id order,
+  /// the construction/reassign convention of TokenProcess.
+  void rebuild(const std::vector<bin_index_t>& placement) {
+    std::fill(bins_.begin(), bins_.end(), BinList{kNil, kNil, 0});
+    for (std::uint32_t token = 0;
+         token < static_cast<std::uint32_t>(slots_.size()); ++token) {
+      push(placement[token], token);
+    }
+  }
+
+  [[nodiscard]] std::uint32_t token_count() const noexcept {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+  [[nodiscard]] std::uint32_t count(bin_index_t u) const noexcept {
+    return bins_[u].count;
+  }
+  [[nodiscard]] bool empty(bin_index_t u) const noexcept {
+    return bins_[u].count == 0;
+  }
+  /// Bin the token was last pushed into (== its current bin; a popped
+  /// token keeps the old value until the core re-enqueues it, exactly
+  /// the mid-round semantics the queue-backed core had for token_bin_).
+  [[nodiscard]] bin_index_t bin_of(std::uint32_t token) const noexcept {
+    return slots_[token].bin;
+  }
+  /// Head token of bin u, or kNil when empty (prefetch / inspection).
+  [[nodiscard]] std::uint32_t peek_head(bin_index_t u) const noexcept {
+    return bins_[u].head;
+  }
+  /// Successor of `token` in its bin's list, or kNil (inspection).
+  [[nodiscard]] std::uint32_t next(std::uint32_t token) const noexcept {
+    return slots_[token].next;
+  }
+  [[nodiscard]] std::uint32_t tail(bin_index_t u) const noexcept {
+    return bins_[u].tail;
+  }
+
+  /// Enqueues `token` into bin u per the policy orientation.
+  void push(bin_index_t u, std::uint32_t token) noexcept {
+    if (policy_ == QueuePolicy::kLifo) {
+      push_front(u, token);
+    } else {
+      push_back(u, token);
+    }
+  }
+
+  /// Removes and returns the head of bin u.  Requires !empty(u).  The
+  /// releasing pop of FIFO (oldest) and LIFO (newest).
+  std::uint32_t pop_front(bin_index_t u) noexcept {
+    BinList& list = bins_[u];
+    const std::uint32_t token = list.head;
+    list.head = slots_[token].next;
+    if (--list.count == 0) list.tail = kNil;
+    return token;
+  }
+
+  /// Removes and returns the k-th element of bin u's list (k = 0 is the
+  /// head); order-preserving.  Requires k < count(u).  The random
+  /// policy's pop; O(k) list walk -- queue lengths are O(log n) w.h.p.
+  /// (Theorem 1), so this stays cheap at any scale.
+  std::uint32_t pop_at(bin_index_t u, std::uint32_t k) noexcept {
+    if (k == 0) return pop_front(u);
+    BinList& list = bins_[u];
+    std::uint32_t prev = list.head;
+    for (std::uint32_t i = 1; i < k; ++i) prev = slots_[prev].next;
+    const std::uint32_t token = slots_[prev].next;
+    slots_[prev].next = slots_[token].next;
+    if (list.tail == token) list.tail = prev;
+    --list.count;
+    return token;
+  }
+
+  /// Tokens of bin u in arrival order, oldest first (inspection; the
+  /// LIFO-oriented list is stored newest-first and reversed here).
+  [[nodiscard]] std::vector<std::uint32_t> snapshot(bin_index_t u) const {
+    std::vector<std::uint32_t> out;
+    out.reserve(bins_[u].count);
+    for (std::uint32_t t = bins_[u].head; t != kNil; t = slots_[t].next) {
+      out.push_back(t);
+    }
+    if (policy_ == QueuePolicy::kLifo) std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+  void prefetch_slot(std::uint32_t token) const noexcept {
+    __builtin_prefetch(&slots_[token], 1);
+  }
+  void prefetch_bin(bin_index_t u) const noexcept {
+    __builtin_prefetch(&bins_[u], 1);
+  }
+
+  [[nodiscard]] QueuePolicy policy() const noexcept { return policy_; }
+
+  /// Bytes of resident storage (the memory column of sharded_scaling).
+  [[nodiscard]] std::size_t resident_bytes() const noexcept {
+    return slots_.capacity() * sizeof(TokenSlot) +
+           bins_.capacity() * sizeof(BinList);
+  }
+
+ private:
+  struct TokenSlot {
+    std::uint32_t next;  // successor in the bin's list, or kNil
+    bin_index_t bin;     // bin of the last push
+  };
+  struct BinList {
+    std::uint32_t head;
+    std::uint32_t tail;
+    std::uint32_t count;
+  };
+
+  void push_back(bin_index_t u, std::uint32_t token) noexcept {
+    slots_[token] = TokenSlot{kNil, u};
+    BinList& list = bins_[u];
+    if (list.count == 0) {
+      list.head = token;
+    } else {
+      slots_[list.tail].next = token;
+    }
+    list.tail = token;
+    ++list.count;
+  }
+
+  void push_front(bin_index_t u, std::uint32_t token) noexcept {
+    BinList& list = bins_[u];
+    slots_[token] = TokenSlot{list.head, u};
+    if (list.count == 0) list.tail = token;
+    list.head = token;
+    ++list.count;
+  }
+
+  QueuePolicy policy_;
+  std::vector<TokenSlot> slots_;
+  std::vector<BinList> bins_;
+};
+
+}  // namespace rbb::kernel

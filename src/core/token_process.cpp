@@ -47,9 +47,24 @@ std::uint32_t BallQueue::pop(QueuePolicy policy, Rng& rng) {
 }
 
 void BallQueue::maybe_compact() {
-  if (head_ > 32 && head_ * 2 >= items_.size()) {
-    items_.erase(items_.begin(), items_.begin() + static_cast<std::ptrdiff_t>(head_));
-    head_ = 0;
+  // Proportional compaction: copy the live suffix down only once the
+  // dead prefix is at least as large as it (and at least kMinDeadSlots,
+  // so tiny queues don't churn).  The copy moves `live` elements after
+  // >= max(live, kMinDeadSlots) pops accumulated the dead slots, so the
+  // amortized cost per pop is O(1) and proportional to the queue's live
+  // size -- never to its pop history, however long-lived the bin.
+  const std::size_t live = items_.size() - head_;
+  if (head_ < kMinDeadSlots || head_ < live) return;
+  std::copy(items_.begin() + static_cast<std::ptrdiff_t>(head_),
+            items_.end(), items_.begin());
+  items_.resize(live);
+  head_ = 0;
+  // A long-lived skewed bin would otherwise retain the capacity of a
+  // past load spike forever; release it once the live size has fallen
+  // an order of magnitude below it (rare, so the realloc churn is
+  // negligible against the pops between two compactions).
+  if (items_.capacity() / 8 > std::max(live, kMinDeadSlots)) {
+    items_.shrink_to_fit();
   }
 }
 
@@ -211,7 +226,7 @@ void TokenProcess::mark_visited(std::uint32_t token, std::uint32_t bin) {
 void TokenProcess::check_invariants() const {
   std::uint64_t queued = 0;
   for (std::uint32_t u = 0; u < bins_; ++u) {
-    for (const std::uint32_t token : queues_[u].snapshot()) {
+    for (const std::uint32_t token : queues_[u]) {
       if (token >= token_bin_.size() || token_bin_[token] != u) {
         throw std::logic_error("TokenProcess: queue/position mismatch");
       }

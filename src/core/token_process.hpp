@@ -61,13 +61,31 @@ class BallQueue {
     items_.clear();
     head_ = 0;
   }
-  /// Tokens currently enqueued, oldest first (testing / inspection).
+  /// Live tokens in queue order (oldest first under FIFO pops; the
+  /// random policy's swap-remove perturbs the interior).  Contiguous
+  /// view, no copy; invalidated by any mutation.
+  [[nodiscard]] const std::uint32_t* begin() const noexcept {
+    return items_.data() + head_;
+  }
+  [[nodiscard]] const std::uint32_t* end() const noexcept {
+    return items_.data() + items_.size();
+  }
+  /// Tokens currently enqueued, in queue order (testing / inspection;
+  /// allocates -- invariant checks iterate begin()/end() instead).
   [[nodiscard]] std::vector<std::uint32_t> snapshot() const {
-    return {items_.begin() + static_cast<std::ptrdiff_t>(head_),
-            items_.end()};
+    return {begin(), end()};
+  }
+  /// Heap bytes currently held, dead prefix and spare capacity
+  /// included (compaction tests / memory accounting).
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return items_.capacity() * sizeof(std::uint32_t);
   }
 
  private:
+  /// Dead slots tolerated before a compaction is considered at all;
+  /// below this the erase would cost more than the memory it frees.
+  static constexpr std::size_t kMinDeadSlots = 32;
+
   void maybe_compact();
 
   std::vector<std::uint32_t> items_;

@@ -1,4 +1,4 @@
-// Sharded and counter-stream instantiations of the FIFO token kernel
+// Sharded and counter-stream instantiations of the token kernel
 // (DESIGN.md Sect. 5): the multi-token traversal at mega-n scale.
 //
 // Thin constructor adapters over core/kernel/token_kernel.hpp:
@@ -7,12 +7,16 @@
 //   SequentialCounterTokenProcess  Token x CounterStream x Sequential
 //                                  (the parity oracle of tests/par/)
 //
-// Scope of the port (the mega-n subset): FIFO queue policy on the
-// complete graph, per-token progress counters, and OPTIONAL per-token
-// visited bitsets (cover-time experiments; m*n bits -- leave off at
-// mega n).  The delay histograms and general-graph support of
-// core/token_process.hpp are deliberately absent; delay experiments
-// stay on the sequential TokenProcess.
+// Scope of the port (the mega-n subset): all three queue policies
+// (TokenOptions::policy -- FIFO, LIFO, random with schedule-free
+// pop-select draws) on the complete graph, per-token progress
+// counters, and OPTIONAL per-token visited bitsets (cover-time
+// experiments; m*n bits -- leave off at mega n).  The delay
+// histograms and general-graph support of core/token_process.hpp are
+// deliberately absent; delay experiments stay on the sequential
+// TokenProcess.  Queue state is the flat implicit-FIFO store
+// (core/kernel/token_store.hpp): 8m + 12n bytes, no per-bin
+// allocation, which is what makes token rows benchable at n = 10^8.
 #pragma once
 
 #include <cstdint>
@@ -26,7 +30,7 @@ namespace rbb::par {
 
 using kernel::TokenOptions;
 
-/// FIFO multi-token traversal on K_n, sharded across cores.
+/// Multi-token traversal on K_n, sharded across cores.
 class ShardedTokenProcess
     : public kernel::TokenProcessCore<kernel::ShardedExecution> {
  public:
@@ -41,7 +45,7 @@ class ShardedTokenProcess
                          token_options) {}
 };
 
-/// Single-threaded FIFO token kernel under the counter-based RNG; the
+/// Single-threaded token kernel under the counter-based RNG; the
 /// parity oracle for ShardedTokenProcess.  Arrivals are applied in
 /// ascending releasing-bin order (the canonical order), so queue states
 /// match the sharded sibling exactly.

@@ -23,8 +23,8 @@ void register_cover_time(Registry& registry) {
       "slowdown shape).  Power-law fits over the sweep report measured "
       "growth exponents for both series.  Backend-capable (token "
       "family): --backend=sharded drives the visit-tracking src/par/ "
-      "token core (FIFO, clique; the single-walk baseline stays "
-      "sequential).";
+      "token core (any queue policy, clique; the single-walk baseline "
+      "stays sequential).";
   e.family = ProcessFamily::kToken;
   e.run = [](const RunContext& ctx) {
     const std::uint32_t trials = ctx.trials_or(2, 4, 10);

@@ -21,19 +21,16 @@ void register_progress(Registry& registry) {
       "and RANDOM are included: Theorem 1 is policy-oblivious for loads, "
       "but per-token progress under LIFO has no such guarantee -- the "
       "measured minimum visibly degrades.  Backend-capable (token "
-      "family): --backend=sharded drives the src/par/ token core; the "
-      "sharded port is FIFO-only, so the policy sweep collapses to "
-      "FIFO.";
+      "family): --backend=sharded drives the src/par/ token core, which "
+      "carries all three queue policies (random uses schedule-free "
+      "pop-select draws), so the full policy sweep runs on either "
+      "backend.";
   e.family = ProcessFamily::kToken;
   e.run = [](const RunContext& ctx) {
     const std::uint32_t trials = ctx.trials_or(2, 4, 10);
     const std::uint64_t wf = by_scale<std::uint64_t>(ctx.scale, 8, 16, 64);
-    const std::vector<QueuePolicy> policies =
-        ctx.sharded()
-            ? std::vector<QueuePolicy>{QueuePolicy::kFifo}
-            : std::vector<QueuePolicy>{QueuePolicy::kFifo,
-                                       QueuePolicy::kRandom,
-                                       QueuePolicy::kLifo};
+    const std::vector<QueuePolicy> policies = {
+        QueuePolicy::kFifo, QueuePolicy::kRandom, QueuePolicy::kLifo};
 
     ResultSet rs;
     Table& table = rs.add_table(

@@ -12,8 +12,11 @@
 //                (isolates the RNG-swap cost from the sharding win),
 //   sharded xT   the two-phase kernel at each requested thread count.
 //
-// Variants: load (the paper's process), token (FIFO, m = n tokens),
-// tetris (3n/4 fresh arrivals/round), dchoices (d = 2).
+// Variants: load (the paper's process), token (FIFO, m = n tokens, the
+// flat implicit-FIFO store), tetris (3n/4 fresh arrivals/round),
+// dchoices (d = 2).  Every variant runs the full n sweep -- the former
+// 10^6 token cap fell with the per-bin queues (token state is now
+// 8m + 12n bytes of flat storage).
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -22,12 +25,12 @@
 
 #include "core/config.hpp"
 #include "core/process.hpp"
-#include "core/token_process.hpp"
 #include "baselines/repeated_dchoices.hpp"
 #include "par/sharded_process.hpp"
 #include "par/sharded_token_process.hpp"
 #include "par/sharded_variants.hpp"
 #include "runner/registry.hpp"
+#include "support/meminfo.hpp"
 #include "support/thread_pool.hpp"
 #include "tetris/tetris.hpp"
 
@@ -63,12 +66,14 @@ void register_sharded_scaling(Registry& registry) {
       "(src/par/) at several worker counts.  One round of one instance "
       "runs across all cores; trajectories are bit-identical for every "
       "thread count and shard size.  n sweeps by scale up to 10^8 at "
-      "--scale=mega (the token variant caps at 10^6: per-bin queues are "
-      "memory-bound, noted in the output); --threads fixes a single "
-      "worker count, otherwise {1, 4, max} are measured.  The JSON "
-      "output of this experiment is the tracked perf baseline "
-      "BENCH_sharded.json.  Single-instance measurement: --trials is "
-      "ignored.";
+      "--scale=mega for all four variants (token rows are uncapped: the "
+      "flat implicit-FIFO store is 8m + 12n bytes); --n times a single "
+      "size instead.  --threads fixes a single worker count, otherwise "
+      "{1, 4, max} are measured.  Each row also reports the resident "
+      "kernel state per ball and the process peak RSS -- informational "
+      "columns, not gated by tools/bench_diff.py.  The JSON output of "
+      "this experiment is the tracked perf baseline BENCH_sharded.json.  "
+      "Single-instance measurement: --trials is ignored.";
   e.family = ProcessFamily::kKernelSuite;
   e.params = {
       {"rounds", ParamSpec::Type::kU64, "0",
@@ -78,11 +83,15 @@ void register_sharded_scaling(Registry& registry) {
        "bins per shard for the sharded kernels (0 = 16384)"},
       {"variant", ParamSpec::Type::kString, "all",
        "kernel variant to time: all, load, token, tetris, dchoices"},
+      {"n", ParamSpec::Type::kU64, "0",
+       "time a single bin count instead of the --scale sweep (0 = "
+       "sweep)"},
   };
   e.run = [](const RunContext& ctx) {
-    const std::vector<std::uint64_t> ns = by_scale<std::vector<std::uint64_t>>(
+    std::vector<std::uint64_t> ns = by_scale<std::vector<std::uint64_t>>(
         ctx.scale, {100000}, {1000000, 10000000}, {1000000, 10000000},
         {1000000, 10000000, 100000000});
+    if (ctx.params.u64("n") != 0) ns = {ctx.params.u64("n")};
     const auto shard_size =
         static_cast<std::uint32_t>(ctx.params.u32("shard-size"));
     const std::string& variant_filter = ctx.params.str("variant");
@@ -94,10 +103,6 @@ void register_sharded_scaling(Registry& registry) {
       throw std::invalid_argument(
           "--variant expects all, load, token, tetris or dchoices");
     }
-    /// Token queues are memory-bound (one BallQueue per bin), so the
-    /// token variant caps at 10^6 bins; the cap is reported, never
-    /// silent.
-    constexpr std::uint64_t kTokenCap = 1000000;
 
     // Worker counts: an explicit --threads measures exactly that;
     // otherwise 1, 4, and the machine maximum (deduplicated).
@@ -120,15 +125,14 @@ void register_sharded_scaling(Registry& registry) {
         "rounds/sec and ns/ball: sequential vs sharded kernels, per "
         "variant",
         {"n", "variant", "backend", "threads", "rounds", "wall_s",
-         "rounds_per_sec", "ns_per_ball", "speedup_vs_seq"});
-    bool token_capped = false;
-    std::vector<std::uint64_t> token_ns_emitted;
+         "rounds_per_sec", "ns_per_ball", "speedup_vs_seq",
+         "state_bytes_per_ball", "peak_rss_mb"});
 
     for (const std::uint64_t n_requested : ns) {
       /// Times the three backends of one variant at one n.  make_seq /
       /// make_counter / make_sharded build the processes; the emit
       /// bookkeeping (rounds/sec, ns/ball, speedup vs this variant's
-      /// seq row) is shared.
+      /// seq row, resident state, peak RSS) is shared.
       const auto bench_variant = [&](const std::string& variant,
                                      std::uint64_t n64, auto make_seq,
                                      auto make_counter, auto make_sharded) {
@@ -139,7 +143,8 @@ void register_sharded_scaling(Registry& registry) {
         const double balls =
             static_cast<double>(n64) * static_cast<double>(rounds);
         const auto emit = [&](const std::string& backend, unsigned threads,
-                              double wall, double seq_wall) {
+                              double wall, double seq_wall,
+                              double state_bytes) {
           table.row()
               .cell(n64)
               .cell(variant)
@@ -149,21 +154,30 @@ void register_sharded_scaling(Registry& registry) {
               .cell(wall, 4)
               .cell(static_cast<double>(rounds) / wall, 2)
               .cell(wall / balls * 1e9, 2)
-              .cell(seq_wall / wall, 2);
+              .cell(seq_wall / wall, 2)
+              .cell(state_bytes / static_cast<double>(n64), 1)
+              .cell(static_cast<double>(peak_rss_bytes()) /
+                        (1024.0 * 1024.0),
+                    1);
         };
         double seq_wall = 0;
         {
           auto proc = make_seq();
           seq_wall = time_rounds(proc, rounds);
-          emit("seq", 1, seq_wall, seq_wall);
+          emit("seq", 1, seq_wall, seq_wall,
+               static_cast<double>(proc.resident_state_bytes()));
         }
         {
           auto proc = make_counter();
-          emit("seq-counter", 1, time_rounds(proc, rounds), seq_wall);
+          const double wall = time_rounds(proc, rounds);
+          emit("seq-counter", 1, wall, seq_wall,
+               static_cast<double>(proc.resident_state_bytes()));
         }
         for (const unsigned threads : thread_grid) {
           auto proc = make_sharded(threads);
-          emit("sharded", threads, time_rounds(proc, rounds), seq_wall);
+          const double wall = time_rounds(proc, rounds);
+          emit("sharded", threads, wall, seq_wall,
+               static_cast<double>(proc.resident_state_bytes()));
         }
       };
 
@@ -214,32 +228,20 @@ void register_sharded_scaling(Registry& registry) {
                   par::ShardedOptions{threads, shard_size});
             });
       }
-      // Several requested n collapse onto the same capped token point;
-      // measure each distinct token size once (duplicate keys would
-      // shadow each other in bench_diff.py).
-      const std::uint64_t tn64 = std::min(n_requested, kTokenCap);
-      if (variant_on("token") && tn64 != n_requested) token_capped = true;
-      const bool token_seen =
-          std::find(token_ns_emitted.begin(), token_ns_emitted.end(),
-                    tn64) != token_ns_emitted.end();
-      if (variant_on("token") && !token_seen) {
-        token_ns_emitted.push_back(tn64);
-        const auto tn = static_cast<std::uint32_t>(tn64);
-        TokenProcess::Options seq_options;
-        seq_options.track_visits = false;
+      if (variant_on("token")) {
         bench_variant(
-            "token", tn64,
+            "token", n_requested,
             [&] {
-              return TokenProcess(tn, identity_placement(tn), seq_options,
-                                  Rng(ctx.seed(), 4));
+              return kernel::SequentialTokenProcess(
+                  n, identity_placement(n), Rng(ctx.seed(), 4));
             },
             [&] {
               return par::SequentialCounterTokenProcess(
-                  tn, identity_placement(tn), ctx.seed());
+                  n, identity_placement(n), ctx.seed());
             },
             [&](unsigned threads) {
               return par::ShardedTokenProcess(
-                  tn, identity_placement(tn), ctx.seed(),
+                  n, identity_placement(n), ctx.seed(),
                   par::ShardedOptions{threads, shard_size});
             });
       }
@@ -250,11 +252,11 @@ void register_sharded_scaling(Registry& registry) {
     rs.note("one-per-bin start: every bin releases each round, the "
             "max-throughput regime; ns_per_ball = wall / (rounds * n); "
             "speedup_vs_seq is against the same variant's seq row");
-    if (token_capped) {
-      rs.note("token rows capped at n = " + std::to_string(kTokenCap) +
-              ": per-bin queues are memory-bound beyond that (the cap is "
-              "applied per row, not silently to the sweep)");
-    }
+    rs.note("state_bytes_per_ball (resident kernel state / n, measured "
+            "post-run) and peak_rss_mb (VmHWM; 0 where unavailable; "
+            "process-wide, so earlier rows' allocations raise later "
+            "rows' watermark) are informational: tools/bench_diff.py "
+            "gates ns_per_ball only");
     rs.note("sharded trajectories are bit-identical across the threads "
             "column by construction (tests/par/); timings, not results, "
             "vary with the worker count");

@@ -1,0 +1,26 @@
+#include "support/meminfo.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace rbb {
+
+std::uint64_t peak_rss_bytes() noexcept {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  std::uint64_t kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      if (std::sscanf(line + 6, "%llu",
+                      reinterpret_cast<unsigned long long*>(&kb)) != 1) {
+        kb = 0;
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+}  // namespace rbb

@@ -1,0 +1,14 @@
+// Process memory introspection for the perf experiments.
+#pragma once
+
+#include <cstdint>
+
+namespace rbb {
+
+/// Peak resident set size of the current process in bytes (Linux VmHWM
+/// from /proc/self/status), or 0 where the platform does not expose
+/// it.  Informational only: callers must treat 0 as "unavailable",
+/// never as "no memory used".
+[[nodiscard]] std::uint64_t peak_rss_bytes() noexcept;
+
+}  // namespace rbb

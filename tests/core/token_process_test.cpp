@@ -286,6 +286,80 @@ TEST(TokenProcessDelays, ReassignResetsArrivalClock) {
   EXPECT_LE(proc.delay_histogram().max_value(), 32u);
 }
 
+TEST(BallQueue, SnapshotAndRangeViewAgree) {
+  BallQueue q;
+  Rng rng(7);
+  for (std::uint32_t t = 0; t < 8; ++t) q.push(t);
+  q.pop(QueuePolicy::kFifo, rng);
+  q.pop(QueuePolicy::kFifo, rng);
+  const std::vector<std::uint32_t> snap = q.snapshot();
+  const std::vector<std::uint32_t> view(q.begin(), q.end());
+  EXPECT_EQ(snap, view);
+  EXPECT_EQ(snap, (std::vector<std::uint32_t>{2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(static_cast<std::size_t>(q.end() - q.begin()), q.size());
+}
+
+TEST(BallQueue, SteadyChurnKeepsCostProportionalToLive) {
+  // The long-lived skewed-bin regime: a hot queue holding a handful of
+  // live tokens, popped and refilled millions of times.  Compaction
+  // cost must track the LIVE count, not the dead prefix -- the queue's
+  // footprint has to stay within a small constant of the live size.
+  BallQueue q;
+  Rng rng(3);
+  for (std::uint32_t t = 0; t < 4; ++t) q.push(t);
+  for (std::uint32_t t = 0; t < 1'000'000; ++t) {
+    const std::uint32_t token = q.pop(QueuePolicy::kFifo, rng);
+    q.push(token);
+  }
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.snapshot().size(), 4u);
+  // 4 live + <= 32 tolerated dead slots, times vector growth slack.
+  EXPECT_LE(q.capacity_bytes(), 256 * sizeof(std::uint32_t));
+}
+
+TEST(BallQueue, SpikeThenDrainReleasesCapacity) {
+  // An adversarial pile-up (reassign-all-to-one-bin) followed by a long
+  // drain must hand the spike's heap back: after the queue shrinks to a
+  // few live tokens, the retained capacity is a small multiple of the
+  // live size, not the high-water mark.
+  BallQueue q;
+  Rng rng(5);
+  constexpr std::uint32_t kSpike = 100'000;
+  for (std::uint32_t t = 0; t < kSpike; ++t) q.push(t);
+  const std::size_t peak = q.capacity_bytes();
+  EXPECT_GE(peak, kSpike * sizeof(std::uint32_t));
+  for (std::uint32_t t = 0; t < kSpike - 4; ++t) {
+    q.pop(QueuePolicy::kFifo, rng);
+  }
+  // Keep churning at the small size so compaction gets its chances.
+  for (std::uint32_t t = 0; t < 1024; ++t) {
+    q.push(q.pop(QueuePolicy::kFifo, rng));
+  }
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_LT(q.capacity_bytes(), peak / 64);
+}
+
+TEST(BallQueue, PopAcrossCompactionPreservesOrderEveryPolicy) {
+  // Push/pop sequences long enough to cross several compactions must
+  // keep FIFO order exact and LIFO popping the most recent push.
+  BallQueue fifo;
+  Rng rng(9);
+  std::uint32_t next_push = 0;
+  std::uint32_t next_pop = 0;
+  for (std::uint32_t round = 0; round < 5000; ++round) {
+    fifo.push(next_push++);
+    fifo.push(next_push++);
+    ASSERT_EQ(fifo.pop(QueuePolicy::kFifo, rng), next_pop++);
+  }
+  BallQueue lifo;
+  for (std::uint32_t round = 0; round < 5000; ++round) {
+    lifo.push(round);
+    lifo.push(round + 1'000'000);
+    ASSERT_EQ(lifo.pop(QueuePolicy::kLifo, rng), round + 1'000'000);
+  }
+  EXPECT_EQ(lifo.size(), 5000u);
+}
+
 // Property sweep: across policies and sizes, tokens are conserved, loads
 // match queue contents, and total progress equals the departure count.
 class TokenSweep

@@ -16,6 +16,12 @@ regressed by more than PCT percent against the old baseline.  Rows
 present on only one side never fail the gate (adding a kernel or a
 scale must not require a baseline refresh in the same commit).
 
+Only the ns/ball (and rounds/sec) columns are compared; any other
+column a baseline grows -- e.g. the state_bytes_per_ball / peak_rss_mb
+memory columns of sharded_scaling -- is informational and never gates.
+Columns are resolved by name, so baselines from before a column was
+added still diff cleanly against newer ones.
+
 Several NEW files may be given: rows merge by per-row *minimum*
 ns/ball (the standard de-noising estimator for wall timings -- noise
 on shared runners only ever adds time).  CI measures the pinned smoke
