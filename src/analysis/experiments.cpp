@@ -9,7 +9,10 @@
 #include "baselines/jackson.hpp"
 #include "baselines/oneshot.hpp"
 #include "baselines/repeated_dchoices.hpp"
+#include "baselines/threshold.hpp"
+#include "core/mixed_process.hpp"
 #include "core/process.hpp"
+#include "par/sharded_mixed.hpp"
 #include "coupling/coupling.hpp"
 #include "engine/engine.hpp"
 #include "par/sharded_process.hpp"
@@ -88,7 +91,8 @@ StabilityResult run_stability(const StabilityParams& params) {
           "run_stability: the sharded backend is clique-only");
     }
     if (params.process != StabilityProcess::kRepeated &&
-        params.process != StabilityProcess::kRepeatedDChoice) {
+        params.process != StabilityProcess::kRepeatedDChoice &&
+        params.process != StabilityProcess::kThreshold) {
       throw std::invalid_argument(
           "run_stability: no sharded instantiation for this process");
     }
@@ -143,6 +147,29 @@ StabilityResult run_stability(const StabilityParams& params) {
             window(IndependentWalksProcess(
                 params.n, config_to_positions(config), params.graph, rng));
             break;
+          case StabilityProcess::kThreshold: {
+            if (params.graph != nullptr) {
+              throw std::invalid_argument(
+                  "run_stability: threshold allocation is clique-only");
+            }
+            // Default accept bound: one above the mean load, so the
+            // rule bites exactly when a bin is above average.
+            const load_t accept =
+                params.threshold != 0
+                    ? params.threshold
+                    : static_cast<load_t>((balls + params.n - 1) / params.n +
+                                          1);
+            if (sharded) {
+              window(par::ShardedThresholdProcess(
+                  std::move(config), accept, params.choices,
+                  mix64(params.seed, trial),
+                  par::ShardedOptions{1, params.shard_size}));
+            } else {
+              window(ThresholdProcess(std::move(config), accept,
+                                      params.choices, rng));
+            }
+            break;
+          }
         }
         window_max[trial] = static_cast<double>(wmax.window_max);
         final_max[trial] = static_cast<double>(wmax.final_max);
@@ -174,9 +201,10 @@ ConvergenceResult run_convergence(const ConvergenceParams& p) {
 
   // One measurement body; with_load_kernel supplies the backend's
   // process factory (the seq/sharded split lives in exactly one place).
+  const std::uint64_t conv_balls = p.balls == 0 ? p.n : p.balls;
   with_load_kernel(p.backend, p.seed, p.shard_size, [&](auto factory) {
     for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
-      LoadConfig config = make_config(p.start, p.n, p.n, rng);
+      LoadConfig config = make_config(p.start, p.n, conv_balls, rng);
       Engine engine(factory(std::move(config), trial, rng));
       const EngineResult r = engine.run(
           cap, UntilLegitimate{p.beta * log2n(p.n)}, NoFaults{});
@@ -204,9 +232,10 @@ EmptyBinsResult run_empty_bins(const EmptyBinsParams& p) {
   std::vector<double> min_frac(p.trials);
   std::vector<double> mean_frac(p.trials);
 
+  const std::uint64_t eb_balls = p.balls == 0 ? p.n : p.balls;
   with_load_kernel(p.backend, p.seed, 0, [&](auto factory) {
     for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
-      LoadConfig config = make_config(p.start, p.n, p.n, rng);
+      LoadConfig config = make_config(p.start, p.n, eb_balls, rng);
       Engine engine(factory(std::move(config), trial, rng));
       MinEmptyFraction lo;
       MeanEmptyFraction mean;
@@ -221,6 +250,58 @@ EmptyBinsResult run_empty_bins(const EmptyBinsParams& p) {
     result.min_fraction.add(min_frac[t]);
     result.mean_fraction.add(mean_frac[t]);
     if (min_frac[t] < 0.25) ++result.below_quarter;
+  }
+  return result;
+}
+
+MixedResult run_mixed(const MixedParams& p) {
+  if (p.n < 2) throw std::invalid_argument("run_mixed: n < 2");
+  if (p.trials == 0) throw std::invalid_argument("run_mixed: trials == 0");
+  const std::uint64_t rounds = p.rounds == 0 ? 4ull * p.n : p.rounds;
+  // The scenario is deterministic in its parameters (round-robin deal,
+  // largest-remainder class split); trials differ only in the in-round
+  // randomness, exactly like the m = n drivers.
+  const MixedSpec spec =
+      make_mixed_spec(p.n, p.ball_ratio, p.weights, p.bin_profile);
+  const double initial_balls = static_cast<double>(spec.balls);
+
+  struct TrialOut {
+    double window_max = 0, final_max = 0, window_max_weighted = 0;
+    double mean_empty = 0, max_util = 0, dropped = 0;
+  };
+  std::vector<TrialOut> out(p.trials);
+
+  for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
+    const auto measure = [&](auto process) {
+      Engine engine(std::move(process));
+      WindowMaxLoad wmax;
+      WindowMaxWeightedLoad wweighted;
+      MeanEmptyFraction mean_empty;
+      WindowMaxUtilization util;
+      engine.run_rounds(rounds, wmax, wweighted, mean_empty, util);
+      out[trial] = {static_cast<double>(wmax.window_max),
+                    static_cast<double>(wmax.final_max),
+                    static_cast<double>(wweighted.window_max),
+                    mean_empty.mean(), util.window_max,
+                    static_cast<double>(engine.process().dropped_balls()) /
+                        initial_balls};
+    };
+    if (p.backend == Backend::kSharded) {
+      measure(par::ShardedMixedProcess(spec, mix64(p.seed, trial),
+                                       par::ShardedOptions{1, p.shard_size}));
+    } else {
+      measure(MixedProcess(spec, rng));
+    }
+  });
+
+  MixedResult result;
+  for (std::uint32_t t = 0; t < p.trials; ++t) {
+    result.window_max.add(out[t].window_max);
+    result.final_max.add(out[t].final_max);
+    result.window_max_weighted.add(out[t].window_max_weighted);
+    result.mean_empty_fraction.add(out[t].mean_empty);
+    result.max_utilization.add(out[t].max_util);
+    result.dropped_fraction.add(out[t].dropped);
   }
   return result;
 }

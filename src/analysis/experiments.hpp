@@ -11,10 +11,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/faults.hpp"
+#include "core/mixed_config.hpp"
 #include "core/token_process.hpp"
 #include "engine/trials.hpp"
 #include "graph/graph.hpp"
@@ -54,6 +56,8 @@ enum class StabilityProcess {
   kTetris,          // the auxiliary process (E7)
   kRepeatedDChoice, // the [36] extension (E15); set `choices`
   kIndependent,     // unconstrained parallel walks (E12 comparator)
+  kThreshold,       // 1-2-3-Toolkit threshold allocation; set
+                    // `threshold` and `choices` (= probe count)
 };
 
 struct StabilityParams {
@@ -66,11 +70,14 @@ struct StabilityParams {
   double beta = 4.0;            // legitimacy constant
   const Graph* graph = nullptr; // nullptr = complete graph
   StabilityProcess process = StabilityProcess::kRepeated;
-  std::uint32_t choices = 2;    // for kRepeatedDChoice
+  std::uint32_t choices = 2;    // d for kRepeatedDChoice; probes for
+                                // kThreshold
+  std::uint32_t threshold = 0;  // kThreshold accept bound; 0 = auto
+                                // (ceil(m/n) + 1)
   ThreadPool* pool = nullptr;   // nullptr = the process-wide pool
-  /// kSharded is supported for kRepeated and kRepeatedDChoice (the
-  /// clique-only kernels with src/par/ instantiations); other processes
-  /// reject it.
+  /// kSharded is supported for kRepeated, kRepeatedDChoice and
+  /// kThreshold (the clique-only kernels with src/par/
+  /// instantiations); other processes reject it.
   Backend backend = Backend::kSeq;
   std::uint32_t shard_size = 0;  // 0 = kernel::kDefaultShardSize
 };
@@ -94,6 +101,7 @@ struct StabilityResult {
 
 struct ConvergenceParams {
   std::uint32_t n = 0;
+  std::uint64_t balls = 0;  // 0 = n (m = c * n regimes set this)
   std::uint32_t trials = 0;
   std::uint64_t seed = 1;
   InitialConfig start = InitialConfig::kAllInOne;
@@ -117,6 +125,7 @@ struct ConvergenceResult {
 
 struct EmptyBinsParams {
   std::uint32_t n = 0;
+  std::uint64_t balls = 0;  // 0 = n (m = c * n regimes set this)
   std::uint64_t rounds = 0;
   std::uint32_t trials = 0;
   std::uint64_t seed = 1;
@@ -131,6 +140,34 @@ struct EmptyBinsResult {
 };
 
 [[nodiscard]] EmptyBinsResult run_empty_bins(const EmptyBinsParams& p);
+
+// ---------------------------------------------------------------------------
+// Mixed-regime engine (DESIGN.md Sect. 5): m = c n, weighted balls,
+// heterogeneous bins
+// ---------------------------------------------------------------------------
+
+struct MixedParams {
+  std::uint32_t n = 0;
+  double ball_ratio = 1.0;            // m = round(ratio * n), min 1
+  std::string weights = "unit";       // core/mixed_config.hpp profile
+  std::string bin_profile = "uniform";
+  std::uint64_t rounds = 0;           // 0 = 4 n
+  std::uint32_t trials = 0;
+  std::uint64_t seed = 1;
+  Backend backend = Backend::kSeq;    // see the Backend doc comment
+  std::uint32_t shard_size = 0;       // 0 = kernel::kDefaultShardSize
+};
+
+struct MixedResult {
+  OnlineMoments window_max;           // per-trial max_t M(t)
+  OnlineMoments final_max;            // per-trial M(rounds)
+  OnlineMoments window_max_weighted;  // per-trial max_t weighted M(t)
+  OnlineMoments mean_empty_fraction;  // per-trial mean_t empty(t)/n
+  OnlineMoments max_utilization;      // per-trial max_t load/cap (capped)
+  OnlineMoments dropped_fraction;     // per-trial drops / initial balls
+};
+
+[[nodiscard]] MixedResult run_mixed(const MixedParams& p);
 
 // ---------------------------------------------------------------------------
 // E4 -- coupling & domination (Lemma 3)

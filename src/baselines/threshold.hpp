@@ -1,0 +1,40 @@
+// Threshold allocation (Bertrand & Lenzen, "The 1-2-3 Toolkit").
+//
+// The adaptive cousin of Greedy[d]: a released ball probes up to
+// `probes` uniform candidate bins IN SEQUENCE and settles in the first
+// one whose load is at most `threshold`; if no probe qualifies it
+// settles in the last bin probed.  Unlike d-choices the rule usually
+// stops after one probe (any bin at or below the threshold ends the
+// search), which is the low-communication allocation shape the
+// toolkit's protocols realize -- and the proof that the Variant axis
+// of the process core absorbs adaptive rules, not just fixed-fan-out
+// ones.
+//
+// Within a round the sequential instantiation places balls online in
+// releasing-bin order (each probe sees the arrivals before it); the
+// schedule-free counter-stream siblings in src/par/ use the
+// batch-snapshot convention instead (core/kernel/variants.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "core/kernel/ball_kernel.hpp"
+#include "support/rng.hpp"
+
+namespace rbb {
+
+class ThresholdProcess
+    : public kernel::BallProcessCore<
+          kernel::Threshold<kernel::SequentialStream>,
+          kernel::SequentialExecution> {
+ public:
+  ThresholdProcess(LoadConfig initial, load_t threshold, std::uint32_t probes,
+                   Rng rng)
+      : BallProcessCore(std::move(initial),
+                        kernel::Threshold<kernel::SequentialStream>(
+                            kernel::SequentialStream(rng), threshold,
+                            probes)) {}
+};
+
+}  // namespace rbb

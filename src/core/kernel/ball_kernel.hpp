@@ -100,7 +100,8 @@ class BallProcessCore {
       buffers_.resize(static_cast<std::size_t>(plan.stripe_count()) *
                       plan.shard_count());
       acc_.resize(plan.stripe_count());
-      if constexpr (kKind == BallVariantKind::kDChoices) {
+      if constexpr (kKind == BallVariantKind::kDChoices ||
+                    kKind == BallVariantKind::kThreshold) {
         releasers_.resize(plan.stripe_count());
       }
     }
@@ -187,6 +188,18 @@ class BallProcessCore {
     requires(kKind == BallVariantKind::kDChoices)
   {
     return variant_.d_;
+  }
+
+  [[nodiscard]] load_t threshold() const noexcept
+    requires(kKind == BallVariantKind::kThreshold)
+  {
+    return variant_.threshold_;
+  }
+
+  [[nodiscard]] std::uint32_t probes() const noexcept
+    requires(kKind == BallVariantKind::kThreshold)
+  {
+    return variant_.probes_;
   }
 
   [[nodiscard]] double lambda() const noexcept
@@ -362,7 +375,8 @@ class BallProcessCore {
           }
           // xoshiro clique path: destinations are block-drawn below so
           // the generator state stays in registers (design choice D4).
-        } else if constexpr (kKind == BallVariantKind::kDChoices) {
+        } else if constexpr (kKind == BallVariantKind::kDChoices ||
+                             kKind == BallVariantKind::kThreshold) {
           if constexpr (Stream::kScheduleFree) {
             scratch_.push_back(u);  // releasers; choices read the snapshot
           }
@@ -409,24 +423,31 @@ class BallProcessCore {
             scratch_dest_.data());
         apply_scatter(scratch_dest_);
       }
-    } else if constexpr (kKind == BallVariantKind::kDChoices) {
+    } else if constexpr (kKind == BallVariantKind::kDChoices ||
+                         kKind == BallVariantKind::kThreshold) {
       if constexpr (!Stream::kScheduleFree) {
-        // Classic sequential Greedy[d]: arrivals of the same round are
-        // visible to later placements.
+        // Classic online placement: arrivals of the same round are
+        // visible to later probes/choices.
         Rng& rng = variant_.stream_.rng();
-        const std::uint32_t d = variant_.d_;
-        for (std::uint32_t i = 0; i < departures; ++i) {
-          bin_index_t best = rng.index(n);
-          for (std::uint32_t j = 1; j < d; ++j) {
-            const bin_index_t c = rng.index(n);
-            if (loads_[c] < loads_[best]) best = c;
+        if constexpr (kKind == BallVariantKind::kDChoices) {
+          const std::uint32_t d = variant_.d_;
+          for (std::uint32_t i = 0; i < departures; ++i) {
+            bin_index_t best = rng.index(n);
+            for (std::uint32_t j = 1; j < d; ++j) {
+              const bin_index_t c = rng.index(n);
+              if (loads_[c] < loads_[best]) best = c;
+            }
+            apply_arrival(best);
           }
-          apply_arrival(best);
+        } else {
+          for (std::uint32_t i = 0; i < departures; ++i) {
+            apply_arrival(variant_.choose_one(rng, n, loads_));
+          }
         }
       } else {
-        // Batch-snapshot Greedy[d]: all choices read the post-departure
+        // Batch-snapshot placement: all choices read the post-departure
         // configuration, then all placements commit (the convention the
-        // sharded backend realizes; see variants.hpp).  The d candidate
+        // sharded backend realizes; see variants.hpp).  The candidate
         // draws come from gathered planes, candidate-major.
         const auto m = static_cast<std::uint32_t>(scratch_.size());
         scratch_dest_.resize(m);
@@ -550,7 +571,9 @@ class BallProcessCore {
         }
         if (pending > 0) flush();
       } else {
-        if constexpr (kKind == BallVariantKind::kDChoices) {
+        constexpr bool kChoose = kKind == BallVariantKind::kDChoices ||
+                                 kKind == BallVariantKind::kThreshold;
+        if constexpr (kChoose) {
           releasers_[g].clear();
         }
         for (bin_index_t u = begin; u < end; ++u) {
@@ -558,7 +581,7 @@ class BallProcessCore {
           if (load > 0) {
             --load;
             ++acc.departures;
-            if constexpr (kKind == BallVariantKind::kDChoices) {
+            if constexpr (kChoose) {
               releasers_[g].push_back(u);
             }
             // refill: the ball leaves; nothing to scatter for it.
@@ -582,12 +605,14 @@ class BallProcessCore {
       }
     });
 
-    // Phase 1.5 (choose), d-choices only: every stripe resolves its
-    // releasers' candidates against the now-stable post-departure
-    // configuration.  Cross-shard loads are read, never written, so the
-    // phase is race-free; the choices are the batch-snapshot convention
-    // the sequential counter-stream sibling realizes (variants.hpp).
-    if constexpr (kKind == BallVariantKind::kDChoices) {
+    // Phase 1.5 (choose), d-choices and threshold only: every stripe
+    // resolves its releasers' candidates against the now-stable
+    // post-departure configuration.  Cross-shard loads are read, never
+    // written, so the phase is race-free; the choices are the
+    // batch-snapshot convention the sequential counter-stream sibling
+    // realizes (variants.hpp).
+    if constexpr (kKind == BallVariantKind::kDChoices ||
+                  kKind == BallVariantKind::kThreshold) {
       exec_.stripes().for_stripes(stripes, [&](std::uint32_t g) {
         std::vector<bin_index_t>* row =
             &buffers_[static_cast<std::size_t>(g) * shard_count];

@@ -27,6 +27,11 @@
 //                                 leaky bins; i < 2^32)
 //   slot = 2^49 + u               queue-position draw of releasing bin u
 //                                 (random queue policy of the token core)
+//   slot = 2^50 + j * 2^32 + u    weight-CLASS draw of departure j of
+//                                 releasing bin u (mixed-regime core;
+//                                 j < rate_u < 2^16)
+//   slot = 2^51 + j * 2^32 + u    DESTINATION draw of departure j of
+//                                 releasing bin u (mixed-regime core)
 //   tag  = 2^56                   the round's arrival-count substream
 //                                 (leaky bins' Binomial(n, lambda) draw)
 #pragma once
@@ -69,8 +74,47 @@ inline constexpr std::uint64_t kPopSelectBase = std::uint64_t{1} << 49;
   return kPopSelectBase + u;
 }
 
+/// Base of the weight-class draws of the mixed-regime core: departure
+/// j of releasing bin u picks WHICH ball leaves (a class index,
+/// proportional to the bin's per-class counts) on slot
+/// 2^50 | (j << 32) | u.  One slot per (round, bin, departure index),
+/// so the draw is schedule-free; heterogeneous service rates bound
+/// j < rate_u, and the core validates rate_u < 2^16 so the j field
+/// never carries into the base bits.
+inline constexpr std::uint64_t kMixedClassBase = std::uint64_t{1} << 50;
+[[nodiscard]] constexpr std::uint64_t mixed_class_slot(
+    std::uint32_t j, std::uint32_t u) noexcept {
+  return kMixedClassBase | (static_cast<std::uint64_t>(j) << 32) | u;
+}
+
+/// Base of the destination draws of the mixed-regime core: departure j
+/// of releasing bin u throws to index(round, 2^51 | (j << 32) | u, n).
+/// Separate from the class base so the two draws of one departure
+/// never alias.
+inline constexpr std::uint64_t kMixedDestBase = std::uint64_t{1} << 51;
+[[nodiscard]] constexpr std::uint64_t mixed_dest_slot(
+    std::uint32_t j, std::uint32_t u) noexcept {
+  return kMixedDestBase | (static_cast<std::uint64_t>(j) << 32) | u;
+}
+
 /// Tag of the per-round arrival-count substream (leaky bins).
 inline constexpr std::uint64_t kArrivalCountTag = std::uint64_t{1} << 56;
+
+// The slot bases partition the 64-bit slot space; a new range must
+// clear every existing one.  (candidate_slot spans [0, 2^48) with
+// j < 2^16.)
+static_assert(kFreshArrivalBase >= (std::uint64_t{1} << 48),
+              "fresh arrivals must clear the candidate range");
+static_assert(kPopSelectBase >= kFreshArrivalBase + (std::uint64_t{1} << 32),
+              "pop-select must clear the fresh-arrival range");
+static_assert(kMixedClassBase >= kPopSelectBase + (std::uint64_t{1} << 32),
+              "mixed class draws must clear the pop-select range");
+static_assert(kMixedDestBase >= kMixedClassBase + (std::uint64_t{1} << 48),
+              "mixed destination draws must clear the class range "
+              "(j < 2^16, u < 2^32)");
+static_assert(kArrivalCountTag >= kMixedDestBase + (std::uint64_t{1} << 48),
+              "the arrival-count tag must clear the mixed destination "
+              "range");
 
 /// Draws buffered per stack chunk when a kernel phase interleaves
 /// plane fills with scatter/apply work (sharded stripes, refill

@@ -69,7 +69,13 @@ enum class ArrivalSampling {
 
 namespace kernel {
 
-enum class BallVariantKind { kLoadOnly, kDChoices, kTetris, kLeaky };
+enum class BallVariantKind {
+  kLoadOnly,
+  kDChoices,
+  kThreshold,
+  kTetris,
+  kLeaky,
+};
 
 /// The paper's process: every departure is re-thrown u.a.r. (complete
 /// graph) or to a uniform neighbor (general graph; sequential stream
@@ -179,6 +185,88 @@ struct DChoices {
 
   Stream stream_;
   std::uint32_t d_;
+};
+
+/// Threshold allocation (Bertrand & Lenzen, "The 1-2-3 Toolkit"): a
+/// released ball probes up to `probes_` uniform candidate bins in
+/// sequence and joins the FIRST one whose load is at most `threshold_`;
+/// if no probe qualifies, the ball settles in the last bin probed.
+/// Unlike Greedy[d] the rule is adaptive -- a lightly loaded first
+/// probe ends the search -- which is exactly the allocation shape the
+/// toolkit's low-message protocols realize.
+///
+/// Placement convention mirrors DChoices: the sequential stream places
+/// balls online (each probe sees the arrivals before it), the
+/// schedule-free stream reads the post-departure snapshot for every
+/// probe and commits all placements afterwards.  Probe j of releasing
+/// bin u draws on candidate slot (j, u), the same plane family as
+/// d-choices, so the sharded backend needs no new slot range.
+template <typename StreamP>
+struct Threshold {
+  using Stream = StreamP;
+  using Stats = RoundStats;
+  static constexpr BallVariantKind kKind = BallVariantKind::kThreshold;
+  static constexpr bool kConservesBalls = true;
+
+  Threshold(Stream stream, load_t threshold, std::uint32_t probes = 2)
+      : stream_(std::move(stream)), threshold_(threshold), probes_(probes) {}
+
+  void validate(std::uint32_t /*n*/) const {
+    if (probes_ == 0) {
+      throw std::invalid_argument("Threshold: probes == 0");
+    }
+    if (probes_ >= (1u << 16)) {
+      throw std::invalid_argument(
+          "Threshold: probes exceeds the candidate slot space");
+    }
+  }
+  void init(const std::vector<load_t>& /*loads*/) {}
+
+  /// Online placement (sequential stream): draws probes one by one and
+  /// stops at the first bin at or below the threshold.
+  template <typename S = Stream>
+    requires(!S::kScheduleFree)
+  [[nodiscard]] bin_index_t choose_one(
+      Rng& rng, std::uint32_t n, const std::vector<load_t>& loads) const {
+    bin_index_t best = rng.index(n);
+    for (std::uint32_t j = 1; j < probes_ && loads[best] > threshold_; ++j) {
+      best = rng.index(n);
+    }
+    return best;
+  }
+
+  /// Batch-snapshot placement for `m` released balls, one gathered draw
+  /// plane per probe index.  A ball whose current `best` already
+  /// qualifies keeps it; otherwise the next probe replaces it -- after
+  /// the last plane, `best[i]` is the first qualifying probe or the
+  /// final one.  Every plane is materialized for every ball (the
+  /// counter draws are pure functions, so unconsumed values cost
+  /// nothing semantically), which keeps the draw set independent of the
+  /// chunking and hence bit-identical across workers and shard sizes.
+  template <typename S = Stream>
+    requires S::kScheduleFree
+  void choose_batch(std::uint64_t round, const bin_index_t* releasers,
+                    std::uint32_t m, std::uint32_t n,
+                    const std::vector<load_t>& loads, bin_index_t* best,
+                    bin_index_t* cand) const {
+    stream_.fill_gather(round, releasers, 0, m, n, best);
+    for (std::uint32_t j = 1; j < probes_; ++j) {
+      stream_.fill_gather(round, releasers, j, m, n, cand);
+      for (std::uint32_t i = 0; i < m; ++i) {
+        if (loads[best[i]] > threshold_) best[i] = cand[i];
+      }
+    }
+  }
+
+  static Stats make_stats(std::uint32_t max, std::uint32_t empty,
+                          std::uint32_t departures, ball_count_t /*balls*/,
+                          ball_count_t /*arrivals*/) {
+    return Stats{max, empty, departures};
+  }
+
+  Stream stream_;
+  load_t threshold_;
+  std::uint32_t probes_;
 };
 
 /// The Tetris process (paper, Sect. 3.1): every non-empty bin discards

@@ -1,0 +1,28 @@
+// Mixed-regime process, sequential xoshiro instantiation.
+//
+// The user-facing simulator for m != n / weighted-ball / heterogeneous
+// -bin scenarios (core/mixed_config.hpp describes the scenario, the
+// core in core/kernel/mixed_kernel.hpp executes it).  The counter
+// -stream and sharded instantiations live in src/par/sharded_mixed.hpp.
+#pragma once
+
+#include <utility>
+
+#include "core/kernel/mixed_kernel.hpp"
+#include "support/rng.hpp"
+
+namespace rbb {
+
+/// Sequential mixed-regime simulator: one xoshiro stream, in-place
+/// execution.  Within a round the j-th departure of bin u draws its
+/// class pick then its destination, in that order, bins ascending.
+class MixedProcess
+    : public kernel::MixedProcessCore<kernel::SequentialStream,
+                                      kernel::SequentialExecution> {
+ public:
+  MixedProcess(MixedSpec spec, Rng rng)
+      : MixedProcessCore(std::move(spec),
+                         kernel::SequentialStream(rng)) {}
+};
+
+}  // namespace rbb

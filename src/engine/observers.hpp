@@ -189,6 +189,51 @@ struct MaxLoadTrajectory {
   }
 };
 
+/// Window maximum and final value of the maximum WEIGHTED load
+/// (mixed-regime engine: hot-key pressure that the unweighted max load
+/// cannot see).  Binds only to processes exposing max_weighted_load().
+struct WindowMaxWeightedLoad {
+  std::uint64_t window_max = 0;
+  std::uint64_t final_max = 0;
+
+  template <typename P>
+    requires requires(const P& p) {
+      { p.max_weighted_load() } -> std::convertible_to<std::uint64_t>;
+    }
+  void observe(const RoundContext<P>& ctx) {
+    final_max = ctx.process().max_weighted_load();
+    window_max = std::max(window_max, final_max);
+  }
+};
+
+/// Records the full max-weighted-load trajectory, one entry per round.
+struct WeightedLoadTrajectory {
+  std::vector<std::uint64_t> values;
+
+  template <typename P>
+    requires requires(const P& p) {
+      { p.max_weighted_load() } -> std::convertible_to<std::uint64_t>;
+    }
+  void observe(const RoundContext<P>& ctx) {
+    values.push_back(ctx.process().max_weighted_load());
+  }
+};
+
+/// Window maximum of the capacity utilization (load / capacity over
+/// capacity-bounded bins; 0 when every bin is unbounded) -- the
+/// normalized-by-capacity statistic of heterogeneous-bin scenarios.
+struct WindowMaxUtilization {
+  double window_max = 0.0;
+
+  template <typename P>
+    requires requires(const P& p) {
+      { p.max_utilization() } -> std::convertible_to<double>;
+    }
+  void observe(const RoundContext<P>& ctx) {
+    window_max = std::max(window_max, ctx.process().max_utilization());
+  }
+};
+
 /// Revalidates process invariants every round (fuzzing aid; throws
 /// std::logic_error on bookkeeping drift).
 struct InvariantCheck {

@@ -1,0 +1,48 @@
+// Sharded and counter-stream instantiations of the mixed-regime
+// process (DESIGN.md Sect. 5).
+//
+// Same pattern as sharded_variants.hpp: the sharded process executes
+// one round of one instance across all cores via the two-phase
+// throw/commit scatter, and the single-threaded counter-stream sibling
+// is its parity oracle (tests/par/sharded_mixed_test.cpp pins
+// trajectories -- loads, weighted loads, drops -- bit-identical across
+// worker counts and shard sizes).
+//
+// Draw conventions inherited from the kernel layer: the class pick of
+// departure j of releasing bin u draws on counter slot
+// 2^50 | (j << 32) | u, its destination on 2^51 | (j << 32) | u
+// (core/kernel/stream.hpp); arrivals commit in ascending source-stripe
+// then push order, which equals the sequential ascending-(u, j) order
+// per destination bin, so capacity/drop decisions agree bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "core/kernel/mixed_kernel.hpp"
+#include "par/sharded_process.hpp"  // ShardedOptions
+
+namespace rbb::par {
+
+/// Mixed-regime process at mega n: one round across all cores.
+class ShardedMixedProcess
+    : public kernel::MixedProcessCore<kernel::CounterStream,
+                                      kernel::ShardedExecution> {
+ public:
+  ShardedMixedProcess(MixedSpec spec, std::uint64_t seed,
+                      ShardedOptions options = {})
+      : MixedProcessCore(std::move(spec), kernel::CounterStream(seed),
+                         options) {}
+};
+
+/// Single-threaded mixed-regime process under the counter stream; the
+/// parity oracle for ShardedMixedProcess.
+class SequentialCounterMixedProcess
+    : public kernel::MixedProcessCore<kernel::CounterStream,
+                                      kernel::SequentialExecution> {
+ public:
+  SequentialCounterMixedProcess(MixedSpec spec, std::uint64_t seed)
+      : MixedProcessCore(std::move(spec), kernel::CounterStream(seed)) {}
+};
+
+}  // namespace rbb::par

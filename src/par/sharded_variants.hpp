@@ -87,6 +87,35 @@ class SequentialCounterDChoicesProcess
                             kernel::CounterStream(seed), d)) {}
 };
 
+/// Threshold allocation at mega n (batch-snapshot probing; the 1-2-3
+/// Toolkit variant).  Probe j of releasing bin u draws on candidate
+/// slot (j, u), so the choose phase reuses the d-choices plane family.
+class ShardedThresholdProcess
+    : public kernel::BallProcessCore<kernel::Threshold<kernel::CounterStream>,
+                                     kernel::ShardedExecution> {
+ public:
+  ShardedThresholdProcess(LoadConfig initial, load_t threshold,
+                          std::uint32_t probes, std::uint64_t seed,
+                          ShardedOptions options = {})
+      : BallProcessCore(std::move(initial),
+                        kernel::Threshold<kernel::CounterStream>(
+                            kernel::CounterStream(seed), threshold, probes),
+                        options) {}
+};
+
+/// Single-threaded threshold allocation under the counter stream; the
+/// parity oracle for ShardedThresholdProcess.
+class SequentialCounterThresholdProcess
+    : public kernel::BallProcessCore<kernel::Threshold<kernel::CounterStream>,
+                                     kernel::SequentialExecution> {
+ public:
+  SequentialCounterThresholdProcess(LoadConfig initial, load_t threshold,
+                                    std::uint32_t probes, std::uint64_t seed)
+      : BallProcessCore(std::move(initial),
+                        kernel::Threshold<kernel::CounterStream>(
+                            kernel::CounterStream(seed), threshold, probes)) {}
+};
+
 /// Leaky bins at mega n.
 class ShardedLeakyBinsProcess
     : public kernel::BallProcessCore<kernel::Leaky<kernel::CounterStream>,

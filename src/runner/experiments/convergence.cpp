@@ -1,5 +1,6 @@
 // E2 -- Theorem 1 (self-stabilization): from ANY configuration the system
 // reaches a legitimate configuration within O(n) rounds.
+#include <cmath>
 #include <vector>
 
 #include "analysis/experiments.hpp"
@@ -29,6 +30,8 @@ void register_convergence(Registry& registry) {
   e.family = ProcessFamily::kLoadOnly;
   e.params = {
       {"beta", ParamSpec::Type::kF64, "4.0", "legitimacy constant"},
+      {"ball-ratio", ParamSpec::Type::kF64, "0",
+       "balls m = round(ratio * n) (0 = the paper's m = n)"},
   };
   e.run = [](const RunContext& ctx) {
     const std::uint32_t trials = ctx.trials_or(3, 8, 20);
@@ -50,6 +53,10 @@ void register_convergence(Registry& registry) {
         p.seed = ctx.seed();
         p.start = start;
         p.beta = ctx.params.f64("beta");
+        if (ctx.params.f64("ball-ratio") != 0) {
+          p.balls = static_cast<std::uint64_t>(
+              std::llround(ctx.params.f64("ball-ratio") * n));
+        }
         if (ctx.sharded()) p.backend = Backend::kSharded;
         const ConvergenceResult r = run_convergence(p);
         table.row()

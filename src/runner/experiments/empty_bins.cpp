@@ -28,6 +28,11 @@ void register_empty_bins(Registry& registry) {
       "counter-RNG kernel (the single-round Lemma-1 table stays on the "
       "sequential kernel).";
   e.family = ProcessFamily::kLoadOnly;
+  e.params = {
+      {"ball-ratio", ParamSpec::Type::kF64, "0",
+       "balls m = round(ratio * n) (0 = the paper's m = n; the Lemma-1 "
+       "single-round table always uses m = n)"},
+  };
   e.run = [](const RunContext& ctx) {
     const std::uint32_t trials = ctx.trials_or(2, 4, 10);
     const std::uint64_t wf = by_scale<std::uint64_t>(ctx.scale, 5, 20, 50);
@@ -49,6 +54,10 @@ void register_empty_bins(Registry& registry) {
         p.trials = trials;
         p.seed = seed;
         p.start = start;
+        if (ctx.params.f64("ball-ratio") != 0) {
+          p.balls = static_cast<std::uint64_t>(
+              std::llround(ctx.params.f64("ball-ratio") * n));
+        }
         if (ctx.sharded()) p.backend = Backend::kSharded;
         const EmptyBinsResult r = run_empty_bins(p);
         table.row()

@@ -2,6 +2,7 @@
 // repeated balls-into-bins process visits only legitimate configurations
 // over a long window.  (Registry port of the former bench/exp_stability
 // main; the bench binary is now a shim over this registration.)
+#include <cmath>
 #include <vector>
 
 #include "analysis/experiments.hpp"
@@ -31,6 +32,8 @@ void register_stability(Registry& registry) {
        "window = factor * n rounds (0 = scale default)"},
       {"n", ParamSpec::Type::kU64, "0",
        "run a single n instead of the scale sweep"},
+      {"ball-ratio", ParamSpec::Type::kF64, "0",
+       "balls m = round(ratio * n) (0 = the paper's m = n)"},
   };
   e.run = [](const RunContext& ctx) {
     const std::uint32_t trials = ctx.trials_or(2, 4, 8);
@@ -56,6 +59,10 @@ void register_stability(Registry& registry) {
       p.trials = trials;
       p.seed = ctx.seed();
       p.start = InitialConfig::kOnePerBin;
+      if (ctx.params.f64("ball-ratio") != 0) {
+        p.balls = static_cast<std::uint64_t>(
+            std::llround(ctx.params.f64("ball-ratio") * n));
+      }
       if (ctx.sharded()) p.backend = Backend::kSharded;
       const StabilityResult r = run_stability(p);
       table.row()

@@ -32,9 +32,12 @@ void register_progress(Registry&);             // E18
 void register_delays(Registry&);               // E19
 void register_load_profile(Registry&);         // E20
 void register_mixing(Registry&);               // E21
+void register_max_load_regimes(Registry&);     // E22
+void register_mixed_regime(Registry&);         // E23
 void register_overload(Registry&);             // extra (Sect. 5 open qn)
 void register_israeli_jalfon(Registry&);       // extra (ancestor protocol)
 void register_sharded_scaling(Registry&);      // extra (src/par/ baseline)
+void register_threshold_allocation(Registry&); // extra (1-2-3 Toolkit)
 
 void register_all_experiments(Registry& registry) {
   register_stability(registry);
@@ -59,9 +62,12 @@ void register_all_experiments(Registry& registry) {
   register_delays(registry);
   register_load_profile(registry);
   register_mixing(registry);
+  register_max_load_regimes(registry);
+  register_mixed_regime(registry);
   register_overload(registry);
   register_israeli_jalfon(registry);
   register_sharded_scaling(registry);
+  register_threshold_allocation(registry);
 }
 
 }  // namespace rbb::runner

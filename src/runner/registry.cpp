@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "engine/process.hpp"
+#include "par/sharded_mixed.hpp"
 #include "par/sharded_process.hpp"
 #include "par/sharded_token_process.hpp"
 #include "par/sharded_variants.hpp"
@@ -39,8 +40,12 @@ bool backend_capable(ProcessFamily family) {
       return has_sharded_port<par::ShardedTetrisProcess>();
     case ProcessFamily::kDChoices:
       return has_sharded_port<par::ShardedDChoicesProcess>();
+    case ProcessFamily::kThreshold:
+      return has_sharded_port<par::ShardedThresholdProcess>();
     case ProcessFamily::kLeaky:
       return has_sharded_port<par::ShardedLeakyBinsProcess>();
+    case ProcessFamily::kMixed:
+      return has_sharded_port<par::ShardedMixedProcess>();
     case ProcessFamily::kKernelSuite:
       return has_sharded_port<par::ShardedRepeatedBallsProcess>() &&
              has_sharded_port<par::ShardedTokenProcess>() &&

@@ -77,7 +77,9 @@ enum class ProcessFamily {
   kToken,     // FIFO token / traversal processes
   kTetris,    // the auxiliary Tetris process
   kDChoices,  // repeated d-choices
+  kThreshold, // 1-2-3-Toolkit threshold allocation
   kLeaky,     // leaky bins
+  kMixed,     // mixed-regime engine (m != n, weights, heterogeneity)
   kKernelSuite,  // drives several kernel families (sharded_scaling)
 };
 

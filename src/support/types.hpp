@@ -20,9 +20,21 @@
 //     counters) must be carried in ball_count_t.
 //   * round_t -- a round index.  64 bits: poly(n) windows at mega n
 //     exceed 2^32 rounds.
+//   * weight_t -- one ball's integer weight (mixed-regime engine).
+//     32 bits: the weight-class tables keep per-class weights small
+//     (unit .. a few hundred), and a single ball never needs more.
+//   * weighted_load_t -- a weighted ball count: one bin's weighted
+//     load, or any weighted sum over bins.  64 bits, always: at the
+//     m = 8n mega regime (m = 8e8 balls) even UNIT weights push
+//     system-wide totals past 2^32, and per-bin weighted loads reach
+//     m * max_weight in adversarial starts -- load_t * weight_t
+//     products must never be accumulated in 32 bits.
 //
-// Per-round per-bin quantities (departures of one round <= n, empty-bin
-// counts <= n) fit in 32 bits by construction and stay uint32_t.
+// Per-round per-bin quantities (empty-bin counts <= n) fit in 32 bits
+// by construction and stay uint32_t.  Per-round DEPARTURE totals do
+// not once m decouples from n: with m = c * n and c = 8 at mega n a
+// single round can release up to min(m, sum_u rate_u) balls, so
+// departure counters are ball_count_t even within one round.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +45,8 @@ using bin_index_t = std::uint32_t;
 using load_t = std::uint32_t;
 using ball_count_t = std::uint64_t;
 using round_t = std::uint64_t;
+using weight_t = std::uint32_t;
+using weighted_load_t = std::uint64_t;
 
 static_assert(sizeof(ball_count_t) == 8,
               "system-wide ball counts must be 64-bit: at n = 1e9 a "
@@ -40,5 +54,13 @@ static_assert(sizeof(ball_count_t) == 8,
 static_assert(sizeof(round_t) == 8,
               "round indices must be 64-bit: poly(n) windows at mega n "
               "exceed 2^32 rounds");
+static_assert(sizeof(weighted_load_t) == 8,
+              "weighted totals must be 64-bit: m = 8n at mega scale "
+              "overflows 32 bits even at unit weight, and per-bin "
+              "weighted loads reach m * max_weight in adversarial "
+              "starts");
+static_assert(sizeof(weighted_load_t) >= sizeof(load_t) + sizeof(weight_t),
+              "a load_t * weight_t product must fit weighted_load_t "
+              "without truncation");
 
 }  // namespace rbb

@@ -10,10 +10,13 @@
 #include "baselines/jackson.hpp"
 #include "baselines/repeated_dchoices.hpp"
 #include "core/faults.hpp"
+#include "core/mixed_config.hpp"
+#include "core/mixed_process.hpp"
 #include "core/process.hpp"
 #include "core/token_process.hpp"
 #include "engine/engine.hpp"
 #include "graph/graph.hpp"
+#include "par/sharded_mixed.hpp"
 #include "selfstab/israeli_jalfon.hpp"
 #include "tetris/leaky.hpp"
 #include "tetris/tetris.hpp"
@@ -163,6 +166,89 @@ TEST_P(FuzzSweep, IsraeliJalfonSurvivesRandomOps) {
     }
     ASSERT_NO_THROW(proc.check_invariants()) << "op " << op;
     ASSERT_GE(proc.token_count(), 1u) << "op " << op;
+  }
+}
+
+// Mixed-regime conservation fuzz: random (ball ratio, weight profile,
+// bin profile) scenarios through both stream policies, revalidating
+// check_invariants() after every burst and asserting the conservation
+// law directly -- initial weighted mass equals current mass plus
+// cumulative dropped mass, no capacity is ever exceeded, and zero-rate
+// bins never lose a ball (they only hoard).
+TEST_P(FuzzSweep, MixedRegimeConservesWeightedMass) {
+  const auto [n, seed] = GetParam();
+  Rng op_rng(static_cast<std::uint64_t>(seed) * 48611 + n);
+  const double ratios[] = {0.5, 1.0, 2.0, 8.0};
+  const double ratio = ratios[op_rng.below(4)];
+  const char* const weight_names[] = {"unit", "bimodal", "zipf"};
+  const char* const bin_names[] = {"uniform", "two-speed", "stalled-tenth",
+                                   "capped"};
+  const std::string weights = weight_names[op_rng.below(3)];
+  const std::string bins = bin_names[op_rng.below(4)];
+  const MixedSpec spec = make_mixed_spec(n, ratio, weights, bins);
+
+  weighted_load_t initial_weight = 0;
+  const std::uint32_t k =
+      static_cast<std::uint32_t>(spec.weights.class_weights.size());
+  for (std::uint32_t u = 0; u < spec.bins; ++u) {
+    for (std::uint32_t c = 0; c < k; ++c) {
+      initial_weight +=
+          static_cast<weighted_load_t>(
+              spec.class_counts[static_cast<std::size_t>(u) * k + c]) *
+          spec.weights.class_weights[c];
+    }
+  }
+
+  const auto fuzz = [&](auto proc) {
+    std::vector<load_t> stalled_floor(spec.bins, 0);
+    for (std::uint32_t u = 0; u < spec.bins; ++u) {
+      if (spec.rates[u] == 0) stalled_floor[u] = proc.loads()[u];
+    }
+    for (int op = 0; op < 60; ++op) {
+      proc.run(op_rng.below(10));
+      ASSERT_NO_THROW(proc.check_invariants()) << "op " << op;
+      ASSERT_EQ(proc.total_balls() + proc.dropped_balls(), spec.balls)
+          << "op " << op;
+      ASSERT_EQ(proc.total_weight() + proc.dropped_weight(), initial_weight)
+          << "op " << op;
+      for (std::uint32_t u = 0; u < spec.bins; ++u) {
+        if (spec.capacities[u] != 0) {
+          ASSERT_LE(proc.loads()[u], spec.capacities[u])
+              << "op " << op << " bin " << u;
+        }
+        if (spec.rates[u] == 0) {
+          ASSERT_GE(proc.loads()[u], stalled_floor[u])
+              << "op " << op << " stalled bin " << u;
+          stalled_floor[u] = proc.loads()[u];
+        }
+      }
+    }
+  };
+  fuzz(MixedProcess(spec, op_rng.split()));
+  fuzz(par::SequentialCounterMixedProcess(
+      spec, static_cast<std::uint64_t>(seed) * 1299709 + n));
+}
+
+// Engine-driven mixed fuzz: the same revalidation through the Engine's
+// observer path (InvariantCheck after *every* round), riding the fault
+// -injection family below -- the mixed process has no reassign surface,
+// so the plan is NoFaults and the drops themselves are the adversary.
+TEST_P(FuzzSweep, EngineMixedRegimeSurvivesRandomRuns) {
+  const auto [n, seed] = GetParam();
+  Rng op_rng(static_cast<std::uint64_t>(seed) * 75353 + n);
+  const MixedSpec spec = make_mixed_spec(
+      n, 8.0, "zipf", op_rng.bernoulli(0.5) ? "capped" : "stalled-tenth");
+  Engine engine(par::ShardedMixedProcess(
+      spec, static_cast<std::uint64_t>(seed) * 7 + n,
+      par::ShardedOptions{.threads = 2, .shard_size = 64}));
+  InvariantCheck check;
+  for (int op = 0; op < 20; ++op) {
+    engine.run(op_rng.below(12), RunForRounds{}, NoFaults{}, check);
+    ASSERT_NO_THROW(engine.check_invariants()) << "op " << op;
+    ASSERT_EQ(engine.process().total_balls() +
+                  engine.process().dropped_balls(),
+              spec.balls)
+        << "op " << op;
   }
 }
 

@@ -11,20 +11,20 @@ namespace rbb::runner {
 namespace {
 
 TEST(Registry, EveryDesignClaimHasARegisteredExperiment) {
-  // E1..E21 is the numbered experiment map of DESIGN.md Sect. 4.
+  // E1..E23 is the numbered experiment map of DESIGN.md Sect. 4.
   std::set<std::string> claimed;
   for (const Experiment& e : default_registry().experiments()) {
     if (!e.claim.empty()) claimed.insert(e.claim);
   }
-  for (int i = 1; i <= 21; ++i) {
+  for (int i = 1; i <= 23; ++i) {
     const std::string claim = "E" + std::to_string(i);
     EXPECT_TRUE(claimed.count(claim) == 1)
         << claim << " from DESIGN.md Sect. 4 has no registered experiment";
   }
 }
 
-TEST(Registry, HoldsAllTwentyFiveExperiments) {
-  EXPECT_EQ(default_registry().experiments().size(), 25u);
+TEST(Registry, HoldsAllTwentyEightExperiments) {
+  EXPECT_EQ(default_registry().experiments().size(), 28u);
 }
 
 TEST(Registry, BackendCapabilityIsDerivedFromTheDeclaredFamily) {
@@ -39,7 +39,8 @@ TEST(Registry, BackendCapabilityIsDerivedFromTheDeclaredFamily) {
             (std::set<std::string>{"convergence", "stability", "empty_bins",
                                    "tetris_stability", "dchoices",
                                    "leaky_bins", "cover_time", "progress",
-                                   "sharded_scaling"}));
+                                   "sharded_scaling", "max_load_regimes",
+                                   "mixed_regime", "threshold_allocation"}));
 }
 
 TEST(Registry, EveryKernelFamilyIsBackendCapable) {
@@ -51,7 +52,9 @@ TEST(Registry, EveryKernelFamilyIsBackendCapable) {
   EXPECT_TRUE(backend_capable(ProcessFamily::kToken));
   EXPECT_TRUE(backend_capable(ProcessFamily::kTetris));
   EXPECT_TRUE(backend_capable(ProcessFamily::kDChoices));
+  EXPECT_TRUE(backend_capable(ProcessFamily::kThreshold));
   EXPECT_TRUE(backend_capable(ProcessFamily::kLeaky));
+  EXPECT_TRUE(backend_capable(ProcessFamily::kMixed));
   EXPECT_TRUE(backend_capable(ProcessFamily::kKernelSuite));
 }
 
@@ -82,7 +85,7 @@ TEST(Registry, NamesAreUniqueAndDeclarationsComplete) {
 
 TEST(Registry, CatalogSortsByClaimWithExtrasLast) {
   const auto catalog = default_registry().catalog();
-  ASSERT_EQ(catalog.size(), 25u);
+  ASSERT_EQ(catalog.size(), 28u);
   EXPECT_EQ(catalog.front()->claim, "E1");
   EXPECT_TRUE(catalog[catalog.size() - 1]->claim.empty());
   EXPECT_TRUE(catalog[catalog.size() - 2]->claim.empty());

@@ -1,0 +1,106 @@
+// Statistical oracle: one-round destination draws are uniform over the
+// bins under BOTH stream policies (DESIGN.md Sect. 5).  The kernels
+// consume exactly these draw functions -- CounterStream::index on the
+// slot-space of core/kernel/stream.hpp, Rng::index on the sequential
+// stream -- so pinning their one-round empirical distribution pins the
+// distribution the processes throw with.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/kernel/stream.hpp"
+#include "support/rng.hpp"
+#include "stat_oracle.hpp"
+
+namespace rbb {
+namespace {
+
+using testing::chi_square_bound;
+using testing::chi_square_uniform;
+using testing::ks_bound;
+using testing::ks_uniform;
+
+constexpr std::uint32_t kBins = 64;
+constexpr std::uint32_t kDrawsPerCell = 200;  // ~200 expected per bin
+
+TEST(DrawUniformity, CounterStreamRelaunchSlotsAreUniform) {
+  const kernel::CounterStream stream(0xFEEDFACEull);
+  std::vector<std::uint64_t> counts(kBins, 0);
+  // One round = one draw per releasing bin; aggregate across rounds.
+  for (std::uint64_t round = 1; round <= kDrawsPerCell; ++round) {
+    for (std::uint32_t u = 0; u < kBins; ++u) {
+      ++counts[stream.index(round, kernel::relaunch_slot(u), kBins)];
+    }
+  }
+  EXPECT_LT(chi_square_uniform(counts), chi_square_bound(kBins - 1));
+}
+
+TEST(DrawUniformity, CounterStreamMixedDestinationSlotsAreUniform) {
+  // The mixed-regime core's destination draws: slot 2^51 | (j << 32) | u.
+  const kernel::CounterStream stream(0xABCDEF01ull);
+  std::vector<std::uint64_t> counts(kBins, 0);
+  for (std::uint64_t round = 1; round <= kDrawsPerCell / 4; ++round) {
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      for (std::uint32_t u = 0; u < kBins; ++u) {
+        ++counts[stream.index(round, kernel::mixed_dest_slot(j, u), kBins)];
+      }
+    }
+  }
+  EXPECT_LT(chi_square_uniform(counts), chi_square_bound(kBins - 1));
+}
+
+TEST(DrawUniformity, CounterStreamMixedClassSlotsAreUniform) {
+  // The class picks reuse the same index() primitive on their own slot
+  // range; check uniformity over a small class-draw bound too.
+  const kernel::CounterStream stream(0x12345678ull);
+  constexpr std::uint32_t kBound = 7;  // deliberately not a power of two
+  std::vector<std::uint64_t> counts(kBound, 0);
+  for (std::uint64_t round = 1; round <= 200; ++round) {
+    for (std::uint32_t u = 0; u < kBins; ++u) {
+      ++counts[stream.index(round, kernel::mixed_class_slot(0, u), kBound)];
+    }
+  }
+  EXPECT_LT(chi_square_uniform(counts), chi_square_bound(kBound - 1));
+}
+
+TEST(DrawUniformity, SequentialStreamDrawsAreUniform) {
+  kernel::SequentialStream stream{Rng(0xD1CE5EEDull)};
+  std::vector<std::uint64_t> counts(kBins, 0);
+  for (std::uint32_t i = 0; i < kBins * kDrawsPerCell; ++i) {
+    ++counts[stream.rng().index(kBins)];
+  }
+  EXPECT_LT(chi_square_uniform(counts), chi_square_bound(kBins - 1));
+}
+
+TEST(DrawUniformity, CounterStreamPassesKolmogorovSmirnov) {
+  // CDF-level check on the same primitive, finer than binned chi-square.
+  const kernel::CounterStream stream(0x0BADF00Dull);
+  constexpr std::uint32_t kSamples = 4096;
+  constexpr std::uint32_t kScale = 1u << 30;
+  std::vector<double> samples;
+  samples.reserve(kSamples);
+  for (std::uint32_t i = 0; i < kSamples; ++i) {
+    samples.push_back(
+        static_cast<double>(stream.index(1, kernel::mixed_dest_slot(0, i),
+                                         kScale)) /
+        static_cast<double>(kScale));
+  }
+  EXPECT_LT(ks_uniform(samples), ks_bound(kSamples));
+}
+
+TEST(DrawUniformity, SequentialStreamPassesKolmogorovSmirnov) {
+  kernel::SequentialStream stream{Rng(0xC0FFEE42ull)};
+  constexpr std::uint32_t kSamples = 4096;
+  constexpr std::uint32_t kScale = 1u << 30;
+  std::vector<double> samples;
+  samples.reserve(kSamples);
+  for (std::uint32_t i = 0; i < kSamples; ++i) {
+    samples.push_back(static_cast<double>(stream.rng().index(kScale)) /
+                      static_cast<double>(kScale));
+  }
+  EXPECT_LT(ks_uniform(samples), ks_bound(kSamples));
+}
+
+}  // namespace
+}  // namespace rbb

@@ -1,0 +1,92 @@
+// Statistical oracle: the mixed-regime class pick removes a uniformly
+// random ball, so departure classes are proportional to the bin's
+// per-class counts -- under both stream policies.  The scenario pins
+// the distribution exactly: all balls sit in bin 0 with rate 1, so the
+// round's single departure is one uniform ball from a known census and
+// the per-seed class frequencies must follow count / m.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mixed_config.hpp"
+#include "core/mixed_process.hpp"
+#include "par/sharded_mixed.hpp"
+#include "support/rng.hpp"
+#include "stat_oracle.hpp"
+
+namespace rbb {
+namespace {
+
+using testing::chi_square;
+using testing::chi_square_bound;
+
+/// 4 bins; bin 0 holds every ball with class census {24, 12, 4} at
+/// weights {1, 2, 8}; rate 1 everywhere, no capacities.
+MixedSpec one_hot_spec() {
+  MixedSpec spec;
+  spec.bins = 4;
+  spec.balls = 40;
+  spec.weights = {"census", {1, 2, 8}, {0.6, 0.3, 0.1}};
+  spec.rates.assign(spec.bins, 1);
+  spec.capacities.assign(spec.bins, 0);
+  spec.class_counts.assign(static_cast<std::size_t>(spec.bins) * 3, 0);
+  spec.class_counts[0] = 24;
+  spec.class_counts[1] = 12;
+  spec.class_counts[2] = 4;
+  return spec;
+}
+
+const std::vector<double> kClassProbability = {24.0 / 40, 12.0 / 40,
+                                               4.0 / 40};
+constexpr std::uint32_t kTrials = 4000;
+
+TEST(WeightedDeparture, SequentialStreamClassPickMatchesCensus) {
+  const MixedSpec spec = one_hot_spec();
+  std::vector<std::uint64_t> by_class(3, 0);
+  for (std::uint32_t s = 0; s < kTrials; ++s) {
+    MixedProcess process(spec, Rng(11, s));
+    process.step();
+    ASSERT_EQ(process.last_departures(), 1u);
+    for (std::uint32_t c = 0; c < 3; ++c) {
+      by_class[c] += process.last_departures_by_class()[c];
+    }
+  }
+  EXPECT_LT(chi_square(by_class, kClassProbability), chi_square_bound(2));
+}
+
+TEST(WeightedDeparture, CounterStreamClassPickMatchesCensus) {
+  const MixedSpec spec = one_hot_spec();
+  std::vector<std::uint64_t> by_class(3, 0);
+  for (std::uint32_t s = 0; s < kTrials; ++s) {
+    par::SequentialCounterMixedProcess process(spec, mix64(22, s));
+    process.step();
+    ASSERT_EQ(process.last_departures(), 1u);
+    for (std::uint32_t c = 0; c < 3; ++c) {
+      by_class[c] += process.last_departures_by_class()[c];
+    }
+  }
+  EXPECT_LT(chi_square(by_class, kClassProbability), chi_square_bound(2));
+}
+
+TEST(WeightedDeparture, DestinationOfDepartedBallIsUniform) {
+  // The departed ball's destination draw spreads uniformly over all
+  // bins (including back into bin 0): after one round the arrival sits
+  // in a uniform bin, visible as the loads delta.
+  const MixedSpec spec = one_hot_spec();
+  std::vector<std::uint64_t> dest(spec.bins, 0);
+  for (std::uint32_t s = 0; s < kTrials; ++s) {
+    MixedProcess process(spec, Rng(33, s));
+    process.step();
+    for (std::uint32_t u = 1; u < spec.bins; ++u) {
+      dest[u] += process.loads()[u];
+    }
+    // Bin 0 lost one and possibly regained it.
+    dest[0] += process.loads()[0] - (spec.balls - 1);
+  }
+  EXPECT_LT(testing::chi_square_uniform(dest),
+            chi_square_bound(spec.bins - 1));
+}
+
+}  // namespace
+}  // namespace rbb
