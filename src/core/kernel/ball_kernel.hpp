@@ -59,6 +59,8 @@
 #include "core/config.hpp"
 #include "core/kernel/exec.hpp"
 #include "core/kernel/variants.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/bounds.hpp"
 #include "support/types.hpp"
 
@@ -537,6 +539,7 @@ class BallProcessCore {
     // variants also draw their contiguous share of the fresh arrivals
     // here -- those draws read no loads.
     exec_.stripes().for_stripes(stripes, [&](std::uint32_t g) {
+      const obs::ScopedPhase phase_span(obs::Phase::kThrow);
       StripeAcc& acc = acc_[g];
       acc.departures = 0;
       std::vector<bin_index_t>* row =
@@ -552,6 +555,7 @@ class BallProcessCore {
         bin_index_t dest_buf[kDrawChunk];
         std::uint32_t pending = 0;
         const auto flush = [&] {
+          obs::add(obs::Counter::kChunkFlushes);
           variant_.stream_.fill_gather(r, slot_buf, 0, pending, n,
                                        dest_buf);
           for (std::uint32_t i = 0; i < pending; ++i) {
@@ -595,6 +599,7 @@ class BallProcessCore {
         for (ball_count_t i = lo; i < hi;) {
           const auto len = static_cast<std::uint32_t>(
               std::min<ball_count_t>(kDrawChunk, hi - i));
+          obs::add(obs::Counter::kChunkFlushes);
           variant_.stream_.fill_range(r, fresh_arrival_slot(i), len, n,
                                       chunk);
           for (std::uint32_t k = 0; k < len; ++k) {
@@ -614,6 +619,7 @@ class BallProcessCore {
     if constexpr (kKind == BallVariantKind::kDChoices ||
                   kKind == BallVariantKind::kThreshold) {
       exec_.stripes().for_stripes(stripes, [&](std::uint32_t g) {
+        const obs::ScopedPhase phase_span(obs::Phase::kChoose);
         std::vector<bin_index_t>* row =
             &buffers_[static_cast<std::size_t>(g) * shard_count];
         const std::vector<bin_index_t>& rel = releasers_[g];
@@ -636,6 +642,7 @@ class BallProcessCore {
     // shards and rescans them for the round statistics.  The shard's
     // loads are cache-hot, so the random within-shard scatter is cheap.
     exec_.stripes().for_stripes(stripes, [&](std::uint32_t g) {
+      const obs::ScopedPhase phase_span(obs::Phase::kCommit);
       StripeAcc& acc = acc_[g];
       acc.max = 0;
       acc.zeros = 0;
@@ -648,6 +655,7 @@ class BallProcessCore {
           for (const bin_index_t dest : buf) ++loads_[dest];
           buf.clear();
         }
+        const std::uint64_t rs0 = obs::enabled() ? obs::now_ns() : 0;
         for (bin_index_t u = plan.shard_begin(s); u < plan.shard_end(s);
              ++u) {
           const load_t load = loads_[u];
@@ -666,6 +674,11 @@ class BallProcessCore {
           } else if (load > acc.max) {
             acc.max = load;
           }
+        }
+        if (rs0 != 0) {
+          const std::uint64_t rs1 = obs::now_ns();
+          obs::add_phase_ns(obs::Phase::kRescan, rs1 - rs0);
+          obs::record_span("rescan", rs0, rs1);
         }
       }
     });

@@ -48,6 +48,8 @@
 #include "core/kernel/exec.hpp"
 #include "core/kernel/stream.hpp"
 #include "core/mixed_config.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/types.hpp"
 
 namespace rbb {
@@ -440,6 +442,7 @@ class MixedProcessCore {
     // the packed (class, destination) words into per-(stripe,
     // target-shard) buffers in ascending (u, j) order.
     exec_.stripes().for_stripes(stripes, [&](std::uint32_t g) {
+      const obs::ScopedPhase phase_span(obs::Phase::kThrow);
       StripeAcc& acc = acc_[g];
       acc.departures = 0;
       ball_count_t* dep_by_class = &class_acc_[static_cast<std::size_t>(g) * k];
@@ -470,6 +473,7 @@ class MixedProcessCore {
     // arrival order, so capacity/drop decisions are bit-identical --
     // then rescans its bins for the round statistics.
     exec_.stripes().for_stripes(stripes, [&](std::uint32_t g) {
+      const obs::ScopedPhase phase_span(obs::Phase::kCommit);
       StripeAcc& acc = acc_[g];
       acc.drops = 0;
       acc.dropped_weight = 0;
@@ -492,6 +496,7 @@ class MixedProcessCore {
           }
           buf.clear();
         }
+        const std::uint64_t rs0 = obs::enabled() ? obs::now_ns() : 0;
         for (bin_index_t u = plan.shard_begin(s); u < plan.shard_end(s);
              ++u) {
           const load_t load = loads_[u];
@@ -506,6 +511,11 @@ class MixedProcessCore {
                 std::max(acc.max_util, static_cast<double>(load) /
                                            static_cast<double>(caps_[u]));
           }
+        }
+        if (rs0 != 0) {
+          const std::uint64_t rs1 = obs::now_ns();
+          obs::add_phase_ns(obs::Phase::kRescan, rs1 - rs0);
+          obs::record_span("rescan", rs0, rs1);
         }
       }
     });
@@ -540,6 +550,7 @@ class MixedProcessCore {
     dropped_balls_ += drops;
     dropped_weight_ += dropped_w;
     last_drops_ = drops;
+    if (drops != 0) obs::add(obs::Counter::kMixedDrops, drops);
   }
 
   /// Sequential-path epilogue: totals, drop accounting, stats rescan.
@@ -549,6 +560,7 @@ class MixedProcessCore {
     dropped_balls_ += drops;
     dropped_weight_ += dropped_w;
     last_drops_ = drops;
+    if (drops != 0) obs::add(obs::Counter::kMixedDrops, drops);
     rescan_stats();
   }
 

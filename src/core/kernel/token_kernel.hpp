@@ -52,6 +52,8 @@
 #include "core/kernel/stream.hpp"
 #include "core/kernel/token_store.hpp"
 #include "core/token_process.hpp"  // QueuePolicy, identity_placement
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/types.hpp"
 
 namespace rbb::kernel {
@@ -449,6 +451,7 @@ class TokenProcessCore {
     // pops only its own bins' lists, so the store and progress_ writes
     // are stripe-exclusive.
     exec_.stripes().for_stripes(plan.stripe_count(), [&](std::uint32_t g) {
+      const obs::ScopedPhase phase_span(obs::Phase::kThrow);
       std::vector<Arrival>* row =
           &buffers_[static_cast<std::size_t>(g) * shard_count];
       const bin_index_t begin = plan.stripe_begin_bin(g);
@@ -462,6 +465,7 @@ class TokenProcessCore {
       bin_index_t dest_buf[kDrawChunk];
       std::uint32_t pending = 0;
       const auto flush = [&] {
+        obs::add(obs::Counter::kChunkFlushes);
         stream_.fill_gather(r, slot_buf, 0, pending, n, dest_buf);
         for (std::uint32_t i = 0; i < pending; ++i) {
           const bin_index_t dest = dest_buf[i];
@@ -488,6 +492,7 @@ class TokenProcessCore {
     // into its own shards' lists, so the store and visited_ writes are
     // stripe-exclusive.
     exec_.stripes().for_stripes(plan.stripe_count(), [&](std::uint32_t g) {
+      const obs::ScopedPhase phase_span(obs::Phase::kCommit);
       StripeAcc& acc = acc_[g];
       acc.max = 0;
       acc.zeros = 0;
@@ -512,6 +517,7 @@ class TokenProcessCore {
           }
           buf.clear();
         }
+        const std::uint64_t rs0 = obs::enabled() ? obs::now_ns() : 0;
         for (bin_index_t u = plan.shard_begin(s); u < plan.shard_end(s);
              ++u) {
           const auto load = static_cast<load_t>(store_.count(u));
@@ -520,6 +526,11 @@ class TokenProcessCore {
           } else if (load > acc.max) {
             acc.max = load;
           }
+        }
+        if (rs0 != 0) {
+          const std::uint64_t rs1 = obs::now_ns();
+          obs::add_phase_ns(obs::Phase::kRescan, rs1 - rs0);
+          obs::record_span("rescan", rs0, rs1);
         }
       }
     });

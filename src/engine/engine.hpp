@@ -26,6 +26,8 @@
 #include "engine/observers.hpp"
 #include "engine/process.hpp"
 #include "engine/stop.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rbb {
 
@@ -69,14 +71,20 @@ class Engine {
         break;
       }
       if (result.rounds >= max_rounds) break;
-      engine_step(process_);
+      {
+        const obs::ScopedPhase round_span(obs::Phase::kRound);
+        engine_step(process_);
+      }
       ++result.rounds;
       ++driven_;
       if constexpr (sizeof...(Observers) > 0) {
         const RoundContext<P> ctx(process_, result.rounds);
         (observers.observe(ctx), ...);
       }
-      if (faults.maybe_inject(process_, driven_)) ++result.faults_injected;
+      if (faults.maybe_inject(process_, driven_)) {
+        ++result.faults_injected;
+        obs::add(obs::Counter::kFaultsInjected);
+      }
     }
     return result;
   }

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 
@@ -29,6 +30,7 @@ void for_each_trial(std::uint32_t trials, std::uint64_t seed, Fn&& fn,
                     ThreadPool* pool = nullptr) {
   ThreadPool& chosen = pool != nullptr ? *pool : ThreadPool::global();
   chosen.for_each(trials, [seed, &fn](std::uint64_t trial) {
+    const obs::ScopedPhase trial_span(obs::Phase::kTrial);
     Rng rng(seed, trial);
     fn(static_cast<std::uint32_t>(trial), rng);
   });

@@ -1,0 +1,185 @@
+// Thread-slot registry behind obs/metrics.hpp and obs/trace.hpp.
+//
+// Each recording thread lazily registers one Slot: counter and
+// phase_ns cells are plain uint64 (the hot path is a TLS pointer deref
+// and an add -- no atomics), the trace buffer is a bounded vector
+// under a per-slot mutex (tracing is opt-in, so the lock is off the
+// default path entirely).  Slots live in a leaked global vector so
+// totals survive thread exit and static destruction order.
+//
+// Scrape safety relies on quiescence, not on per-cell atomicity: every
+// instrumented pool task's writes are ordered before the submitting
+// thread's return from for_each by the batch-completion handshake
+// (Batch::done acq_rel increment against the submitter's acquire
+// wait), and scrape()/reset() run from the submitting thread between
+// runs.  The one writer that can outlive a batch -- a worker recording
+// its post-drain retire wait -- touches only the mutex-guarded trace
+// buffer and its dropped-event count, which scrape() reads under the
+// same mutex.
+#include "obs/metrics.hpp"
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+#if RBB_TELEMETRY
+
+namespace rbb::obs {
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_tracing{false};
+
+namespace {
+
+/// Trace epoch: absolute now_ns() at start_trace(); event timestamps
+/// are stored relative to it.
+std::atomic<std::uint64_t> g_trace_epoch{0};
+
+struct alignas(64) Slot {
+  std::uint64_t counters[kCounterCount] = {};
+  std::uint64_t phase_ns[kPhaseCount] = {};
+  std::uint32_t tid = 0;
+
+  // Trace state, guarded by mu (shared with the exporter/scraper).
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint64_t events_dropped = 0;
+};
+
+struct SlotRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Slot>> slots;
+};
+
+SlotRegistry& registry() {
+  static SlotRegistry* const reg = new SlotRegistry();  // leaked: see above
+  return *reg;
+}
+
+Slot& thread_slot() {
+  thread_local Slot* slot = [] {
+    SlotRegistry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    reg.slots.push_back(std::make_unique<Slot>());
+    reg.slots.back()->tid = static_cast<std::uint32_t>(reg.slots.size() - 1);
+    return reg.slots.back().get();
+  }();
+  return *slot;
+}
+
+void append_event(const char* name, std::uint64_t ts_ns, std::uint64_t dur_ns,
+                  const std::uint32_t* tid_override) {
+  Slot& slot = thread_slot();
+  const std::lock_guard<std::mutex> lock(slot.mu);
+  if (slot.events.size() >= kMaxTraceEventsPerThread) {
+    ++slot.events_dropped;
+    return;
+  }
+  slot.events.push_back(TraceEvent{
+      name, ts_ns, dur_ns, tid_override != nullptr ? *tid_override : slot.tid});
+}
+
+}  // namespace
+
+void slot_add(unsigned counter, std::uint64_t delta) noexcept {
+  thread_slot().counters[counter] += delta;
+}
+
+void slot_add_phase(unsigned phase, std::uint64_t ns) noexcept {
+  thread_slot().phase_ns[phase] += ns;
+}
+
+void finish_phase(Phase phase, std::uint64_t t0_ns) noexcept {
+  const std::uint64_t t1_ns = now_ns();
+  slot_add_phase(static_cast<unsigned>(phase), t1_ns - t0_ns);
+  if (tracing()) record_span(to_string(phase), t0_ns, t1_ns);
+}
+
+std::vector<TraceEvent> collect_trace_events() {
+  std::vector<TraceEvent> all;
+  SlotRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& slot : reg.slots) {
+    const std::lock_guard<std::mutex> slot_lock(slot->mu);
+    all.insert(all.end(), slot->events.begin(), slot->events.end());
+  }
+  return all;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+MetricsSnapshot scrape() noexcept {
+  MetricsSnapshot snap;
+  detail::SlotRegistry& reg = detail::registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& slot : reg.slots) {
+    for (std::size_t c = 0; c < kCounterCount; ++c) {
+      snap.counters[c] += slot->counters[c];
+    }
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      snap.phase_ns[p] += slot->phase_ns[p];
+    }
+    const std::lock_guard<std::mutex> slot_lock(slot->mu);
+    snap.counters[static_cast<std::size_t>(Counter::kTraceEventsDropped)] +=
+        slot->events_dropped;
+  }
+  return snap;
+}
+
+void reset() noexcept {
+  detail::SlotRegistry& reg = detail::registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& slot : reg.slots) {
+    for (std::size_t c = 0; c < kCounterCount; ++c) slot->counters[c] = 0;
+    for (std::size_t p = 0; p < kPhaseCount; ++p) slot->phase_ns[p] = 0;
+    const std::lock_guard<std::mutex> slot_lock(slot->mu);
+    slot->events.clear();
+    slot->events_dropped = 0;
+  }
+}
+
+void start_trace() noexcept {
+  detail::SlotRegistry& reg = detail::registry();
+  {
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    for (const auto& slot : reg.slots) {
+      const std::lock_guard<std::mutex> slot_lock(slot->mu);
+      slot->events.clear();
+      slot->events_dropped = 0;
+    }
+  }
+  detail::g_trace_epoch.store(now_ns(), std::memory_order_relaxed);
+  detail::g_tracing.store(true, std::memory_order_relaxed);
+}
+
+void stop_trace() noexcept {
+  detail::g_tracing.store(false, std::memory_order_relaxed);
+}
+
+void record_span(const char* name, std::uint64_t t0_ns,
+                 std::uint64_t t1_ns) noexcept {
+  if (!tracing()) return;
+  const std::uint64_t epoch =
+      detail::g_trace_epoch.load(std::memory_order_relaxed);
+  // Spans opened before start_trace() clamp to the epoch.
+  const std::uint64_t ts = t0_ns > epoch ? t0_ns - epoch : 0;
+  const std::uint64_t dur = t1_ns > t0_ns ? t1_ns - t0_ns : 0;
+  detail::append_event(name, ts, dur, nullptr);
+}
+
+void record_span_at(const char* name, std::uint32_t tid, std::uint64_t ts_ns,
+                    std::uint64_t dur_ns) noexcept {
+  if (!tracing()) return;
+  detail::append_event(name, ts_ns, dur_ns, &tid);
+}
+
+}  // namespace rbb::obs
+
+#endif  // RBB_TELEMETRY

@@ -1,0 +1,125 @@
+// Phase spans: RAII scoped timers over the obs metrics registry, with
+// optional Chrome-trace event capture (DESIGN.md Sect. 6).
+//
+// A ScopedPhase accumulates its duration into the calling thread's
+// phase_ns slot (obs/metrics.hpp) and -- while a trace is active --
+// appends a complete event ("ph":"X") to the thread's bounded trace
+// buffer.  Buffers hold kMaxTraceEventsPerThread events; overflow
+// increments Counter::kTraceEventsDropped instead of reallocating
+// unboundedly, so tracing a million-round run degrades gracefully.
+//
+// Thread ids in the trace are slot-registration order (0 = the first
+// thread that recorded telemetry, usually the main thread).  Export via
+// obs/trace_export.hpp; open the file at https://ui.perfetto.dev or
+// chrome://tracing.
+//
+// Under RBB_TELEMETRY=0 everything here is an empty inline no-op and
+// sizeof(ScopedPhase) == 1 (pinned by tests/obs/).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace rbb::obs {
+
+/// Per-thread trace-buffer capacity, in events.  40 bytes/event keeps
+/// the worst case near 10 MB per thread.
+inline constexpr std::size_t kMaxTraceEventsPerThread = std::size_t{1}
+                                                        << 18;
+
+#if RBB_TELEMETRY
+
+/// Steady-clock nanoseconds (the time base of every span and trace
+/// timestamp).
+[[nodiscard]] inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace detail {
+extern std::atomic<bool> g_tracing;
+void finish_phase(Phase phase, std::uint64_t t0_ns) noexcept;
+
+/// One captured complete event (internal: the exporter's input).
+struct TraceEvent {
+  const char* name;      // static storage
+  std::uint64_t ts_ns;   // relative to the trace epoch
+  std::uint64_t dur_ns;
+  std::uint32_t tid;     // slot-registration order
+};
+
+/// Snapshot of every thread's buffered events (unsorted).
+[[nodiscard]] std::vector<TraceEvent> collect_trace_events();
+}  // namespace detail
+
+/// True while start_trace() is active (events are being captured).
+[[nodiscard]] inline bool tracing() noexcept {
+  return detail::g_tracing.load(std::memory_order_relaxed);
+}
+
+/// Clears every thread's trace buffer, re-bases the trace epoch at now,
+/// and starts capturing events.  Recording additionally requires
+/// obs::set_enabled(true) -- enabled() is the master switch.
+void start_trace() noexcept;
+
+/// Stops capturing; buffered events stay available for export.
+void stop_trace() noexcept;
+
+/// Appends a complete event [t0, t1] (absolute now_ns() timestamps) to
+/// the calling thread's buffer.  `name` must have static storage
+/// duration (the buffer stores the pointer).  No-op unless tracing().
+void record_span(const char* name, std::uint64_t t0_ns,
+                 std::uint64_t t1_ns) noexcept;
+
+/// Test hook: appends an event with an explicit thread id and
+/// epoch-relative timestamps, bypassing the clock -- lets the golden
+/// export test pin exact bytes.  Same static-storage rule for `name`.
+void record_span_at(const char* name, std::uint32_t tid,
+                    std::uint64_t ts_ns, std::uint64_t dur_ns) noexcept;
+
+/// RAII phase span: measures construction-to-destruction, accumulates
+/// into the thread's phase_ns slot, and emits a trace event when a
+/// trace is active.  Disabled (enabled() == false) it costs one
+/// relaxed load and no clock reads.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(Phase phase) noexcept
+      : phase_(phase), t0_(enabled() ? now_ns() : 0) {}
+  ~ScopedPhase() {
+    if (t0_ != 0) detail::finish_phase(phase_, t0_);
+  }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  Phase phase_;
+  std::uint64_t t0_;
+};
+
+#else  // !RBB_TELEMETRY
+
+[[nodiscard]] constexpr std::uint64_t now_ns() noexcept { return 0; }
+[[nodiscard]] constexpr bool tracing() noexcept { return false; }
+inline void start_trace() noexcept {}
+inline void stop_trace() noexcept {}
+inline void record_span(const char*, std::uint64_t, std::uint64_t) noexcept {}
+inline void record_span_at(const char*, std::uint32_t, std::uint64_t,
+                           std::uint64_t) noexcept {}
+
+/// The no-op span: an empty object the optimizer deletes outright.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(Phase) noexcept {}
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+};
+
+#endif  // RBB_TELEMETRY
+
+}  // namespace rbb::obs

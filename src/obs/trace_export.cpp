@@ -1,0 +1,75 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace rbb::obs {
+
+namespace {
+
+/// Nanoseconds as a microsecond literal with three decimals
+/// ("12345" -> "12.345"): exact, locale-independent, golden-stable.
+void write_us(std::ostream& out, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out << buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out) {
+#if RBB_TELEMETRY
+  std::vector<detail::TraceEvent> events = detail::collect_trace_events();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const detail::TraceEvent& a, const detail::TraceEvent& b) {
+                     if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return std::strcmp(a.name, b.name) < 0;
+                   });
+#else
+  const std::vector<int> events;  // RBB_TELEMETRY=0: a valid empty trace
+#endif
+  out << "{\n";
+  out << "  \"displayTimeUnit\": \"ms\",\n";
+  out << "  \"traceEvents\": [";
+#if RBB_TELEMETRY
+  bool first = true;
+  for (const detail::TraceEvent& e : events) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"name\": \"" << e.name << "\", \"cat\": \"rbb\", "
+        << "\"ph\": \"X\", \"ts\": ";
+    write_us(out, e.ts_ns);
+    out << ", \"dur\": ";
+    write_us(out, e.dur_ns);
+    out << ", \"pid\": 1, \"tid\": " << e.tid << "}";
+  }
+#endif
+  out << (events.empty() ? "]\n" : "\n  ]\n");
+  out << "}\n";
+}
+
+std::string chrome_trace_json() {
+  std::ostringstream out;
+  write_chrome_trace(out);
+  return out.str();
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  write_chrome_trace(out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace rbb::obs

@@ -1,0 +1,38 @@
+// Chrome-trace / Perfetto JSON export of the captured phase spans
+// (obs/trace.hpp).
+//
+// The document is the Trace Event Format's JSON-object form: a
+// `traceEvents` array of complete events, each with the fixed key
+// order
+//
+//   {"name": ..., "cat": "rbb", "ph": "X", "ts": <us>, "dur": <us>,
+//    "pid": 1, "tid": <slot id>}
+//
+// so the golden test in tests/obs/ can pin exact bytes.  Timestamps
+// and durations are microseconds (the format's unit) with three
+// decimals, preserving the captured nanosecond resolution.  Events are
+// sorted by (ts, tid, name) -- per-thread buffers are already in time
+// order, so the merge makes the whole file deterministic for a given
+// capture.  Load the result at https://ui.perfetto.dev or
+// chrome://tracing.
+//
+// Exists (and produces a valid, empty trace) under RBB_TELEMETRY=0,
+// so runner --trace=FILE stays well-formed in the no-op build.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace rbb::obs {
+
+/// Renders every buffered trace event as a Chrome-trace JSON document.
+void write_chrome_trace(std::ostream& out);
+
+/// write_chrome_trace into a string (tests, small traces).
+[[nodiscard]] std::string chrome_trace_json();
+
+/// write_chrome_trace into `path`; false when the file cannot be
+/// opened or written.
+[[nodiscard]] bool write_chrome_trace_file(const std::string& path);
+
+}  // namespace rbb::obs

@@ -126,7 +126,8 @@ void register_sharded_scaling(Registry& registry) {
         "variant",
         {"n", "variant", "backend", "threads", "rounds", "wall_s",
          "rounds_per_sec", "ns_per_ball", "speedup_vs_seq",
-         "state_bytes_per_ball", "peak_rss_mb"});
+         "state_bytes_per_ball", "peak_rss_mb"},
+        {"state_bytes_per_ball", "peak_rss_mb"});
 
     for (const std::uint64_t n_requested : ns) {
       /// Times the three backends of one variant at one n.  make_seq /
@@ -145,20 +146,23 @@ void register_sharded_scaling(Registry& registry) {
         const auto emit = [&](const std::string& backend, unsigned threads,
                               double wall, double seq_wall,
                               double state_bytes) {
-          table.row()
-              .cell(n64)
-              .cell(variant)
-              .cell(backend)
-              .cell(std::uint64_t{threads})
-              .cell(rounds)
-              .cell(wall, 4)
-              .cell(static_cast<double>(rounds) / wall, 2)
-              .cell(wall / balls * 1e9, 2)
-              .cell(seq_wall / wall, 2)
-              .cell(state_bytes / static_cast<double>(n64), 1)
-              .cell(static_cast<double>(peak_rss_bytes()) /
-                        (1024.0 * 1024.0),
-                    1);
+          Table& r = table.row()
+                         .cell(n64)
+                         .cell(variant)
+                         .cell(backend)
+                         .cell(std::uint64_t{threads})
+                         .cell(rounds)
+                         .cell(wall, 4)
+                         .cell(static_cast<double>(rounds) / wall, 2)
+                         .cell(wall / balls * 1e9, 2)
+                         .cell(seq_wall / wall, 2)
+                         .cell(state_bytes / static_cast<double>(n64), 1);
+          const PeakRss rss = peak_rss();
+          if (rss.available) {
+            r.cell(static_cast<double>(rss.bytes) / (1024.0 * 1024.0), 1);
+          } else {
+            r.cell(std::string("unavailable"));
+          }
         };
         double seq_wall = 0;
         {
@@ -253,10 +257,12 @@ void register_sharded_scaling(Registry& registry) {
             "max-throughput regime; ns_per_ball = wall / (rounds * n); "
             "speedup_vs_seq is against the same variant's seq row");
     rs.note("state_bytes_per_ball (resident kernel state / n, measured "
-            "post-run) and peak_rss_mb (VmHWM; 0 where unavailable; "
+            "post-run) and peak_rss_mb (VmHWM; the literal string "
+            "\"unavailable\" where the platform exposes no watermark; "
             "process-wide, so earlier rows' allocations raise later "
-            "rows' watermark) are informational: tools/bench_diff.py "
-            "gates ns_per_ball only");
+            "rows' watermark) are informational -- declared in the "
+            "table's `informational` set, which tools/bench_diff.py "
+            "reads instead of hardcoding names");
     rs.note("sharded trajectories are bit-identical across the threads "
             "column by construction (tests/par/); timings, not results, "
             "vary with the worker count");

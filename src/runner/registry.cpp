@@ -5,7 +5,12 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include <thread>
+
 #include "engine/process.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "par/sharded_mixed.hpp"
 #include "par/sharded_process.hpp"
 #include "par/sharded_token_process.hpp"
@@ -74,8 +79,8 @@ void Registry::add(Experiment experiment) {
     // `rbb run` (while the legacy shim *would* set it) -- exactly the
     // frontend drift the registry exists to prevent.
     for (const char* reserved :
-         {"seed", "trials", "backend", "threads", "scale", "format", "out",
-          "check", "help"}) {
+         {"seed", "trials", "backend", "threads", "metrics", "trace",
+          "scale", "format", "out", "check", "help"}) {
       if (spec.name == reserved) {
         throw std::invalid_argument(
             "Registry::add: " + experiment.name +
@@ -97,6 +102,14 @@ void Registry::add(Experiment experiment) {
       {"threads", ParamSpec::Type::kU64, "0",
        "sharded-backend workers (0 = the shared pool, i.e. all hardware "
        "threads; ignored under --backend=seq)"},
+      {"metrics", ParamSpec::Type::kFlag, "false",
+       "scrape the telemetry registry (src/obs/) after the run and emit "
+       "the additive `metrics` block: counter totals, per-phase ns, "
+       "barrier-wait fraction, effective parallelism"},
+      {"trace", ParamSpec::Type::kString, "",
+       "write the run's phase spans as Chrome-trace JSON to this path "
+       "(open at https://ui.perfetto.dev; under `sweep` each point "
+       "overwrites it, so the last point wins)"},
   };
   params.insert(params.end(),
                 std::make_move_iterator(experiment.params.begin()),
@@ -156,6 +169,18 @@ CompletedRun run_experiment(const Experiment& experiment,
         "--backend=seq, or pick a backend-capable experiment such as "
         "sharded_scaling)");
   }
+  const bool metrics_on = values.flag("metrics");
+  const std::string& trace_path = values.str("trace");
+  const bool telemetry = metrics_on || !trace_path.empty();
+  if (telemetry) {
+    // Fresh totals per run; the scrape below then reads exactly this
+    // run.  Under RBB_TELEMETRY=0 these are no-ops and the metrics
+    // block reports zeros (the flags stay accepted so scripts need not
+    // care how the binary was built).
+    obs::reset();
+    if (!trace_path.empty()) obs::start_trace();
+    obs::set_enabled(true);
+  }
   CompletedRun run;
   const auto t0 = std::chrono::steady_clock::now();
   const RunContext ctx{values, scale};
@@ -169,6 +194,47 @@ CompletedRun run_experiment(const Experiment& experiment,
   run.meta.scale = to_string(scale);
   run.meta.git_rev = git_revision();
   fill_meta_params(run.meta, values);
+
+  // Honest thread accounting, in every result: what the machine has,
+  // what was asked for, and how many threads could actually run tasks
+  // (an explicit sharded --threads=k builds a private pool of k;
+  // everything else shares the global pool plus the submitting thread).
+  const std::uint32_t threads_requested = values.u32("threads");
+  run.meta.parallelism.hardware_concurrency =
+      std::thread::hardware_concurrency();
+  run.meta.parallelism.threads_requested = threads_requested;
+  run.meta.parallelism.runnable_threads =
+      (backend == "sharded" && threads_requested >= 1)
+          ? threads_requested
+          : ThreadPool::global().thread_count() + 1;
+
+  if (telemetry) {
+    obs::set_enabled(false);
+    if (!trace_path.empty()) {
+      obs::stop_trace();
+      if (!obs::write_chrome_trace_file(trace_path)) {
+        throw std::runtime_error("cannot write trace file " + trace_path);
+      }
+    }
+    if (metrics_on) {
+      const obs::MetricsSnapshot snap = obs::scrape();
+      run.meta.metrics.present = true;
+      for (std::size_t c = 0; c < obs::kCounterCount; ++c) {
+        run.meta.metrics.counters.push_back(RunMeta::Metric{
+            to_string(static_cast<obs::Counter>(c)), snap.counters[c]});
+      }
+      for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+        run.meta.metrics.phase_ns.push_back(RunMeta::Metric{
+            to_string(static_cast<obs::Phase>(p)), snap.phase_ns[p]});
+      }
+      run.meta.metrics.barrier_wait_fraction = snap.barrier_wait_fraction();
+      run.meta.metrics.effective_parallelism =
+          std::min(run.meta.parallelism.runnable_threads,
+                   run.meta.parallelism.hardware_concurrency == 0
+                       ? run.meta.parallelism.runnable_threads
+                       : run.meta.parallelism.hardware_concurrency);
+    }
+  }
   return run;
 }
 

@@ -8,8 +8,15 @@ namespace rbb::runner {
 
 Table& ResultSet::add_table(std::string id, std::string title,
                             std::vector<std::string> headers) {
-  tables_.push_back(
-      Entry{std::move(id), std::move(title), Table(std::move(headers))});
+  return add_table(std::move(id), std::move(title), std::move(headers), {});
+}
+
+Table& ResultSet::add_table(std::string id, std::string title,
+                            std::vector<std::string> headers,
+                            std::vector<std::string> informational) {
+  tables_.push_back(Entry{std::move(id), std::move(title),
+                          Table(std::move(headers)),
+                          std::move(informational)});
   return tables_.back().data;
 }
 
@@ -119,6 +126,14 @@ std::string to_json(const RunMeta& meta, const ResultSet& rs) {
   out << "  \"git_rev\": \"" << json_escape(meta.git_rev) << "\",\n";
   out << "  \"wall_time_s\": " << format_double(meta.wall_seconds, 3)
       << ",\n";
+  out << "  \"parallelism\": {\n";
+  out << "    \"hardware_concurrency\": "
+      << meta.parallelism.hardware_concurrency << ",\n";
+  out << "    \"threads_requested\": " << meta.parallelism.threads_requested
+      << ",\n";
+  out << "    \"runnable_threads\": " << meta.parallelism.runnable_threads
+      << "\n";
+  out << "  },\n";
   out << "  \"params\": {";
   for (std::size_t i = 0; i < meta.params.size(); ++i) {
     out << (i == 0 ? "\n" : ",\n");
@@ -126,6 +141,28 @@ std::string to_json(const RunMeta& meta, const ResultSet& rs) {
         << "\": " << json_param_value(meta.params[i]);
   }
   out << (meta.params.empty() ? "},\n" : "\n  },\n");
+  if (meta.metrics.present) {
+    out << "  \"metrics\": {\n";
+    out << "    \"counters\": {";
+    for (std::size_t i = 0; i < meta.metrics.counters.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n");
+      out << "      \"" << json_escape(meta.metrics.counters[i].name)
+          << "\": " << meta.metrics.counters[i].value;
+    }
+    out << (meta.metrics.counters.empty() ? "},\n" : "\n    },\n");
+    out << "    \"phase_ns\": {";
+    for (std::size_t i = 0; i < meta.metrics.phase_ns.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n");
+      out << "      \"" << json_escape(meta.metrics.phase_ns[i].name)
+          << "\": " << meta.metrics.phase_ns[i].value;
+    }
+    out << (meta.metrics.phase_ns.empty() ? "},\n" : "\n    },\n");
+    out << "    \"barrier_wait_fraction\": "
+        << format_double(meta.metrics.barrier_wait_fraction, 6) << ",\n";
+    out << "    \"effective_parallelism\": "
+        << meta.metrics.effective_parallelism << "\n";
+    out << "  },\n";
+  }
   out << "  \"notes\": [";
   for (std::size_t i = 0; i < rs.notes().size(); ++i) {
     out << (i == 0 ? "\n" : ",\n");
@@ -147,6 +184,14 @@ std::string to_json(const RunMeta& meta, const ResultSet& rs) {
       out << "\"" << json_escape(headers[c]) << "\"";
     }
     out << "],\n";
+    if (!entry.informational.empty()) {
+      out << "      \"informational\": [";
+      for (std::size_t c = 0; c < entry.informational.size(); ++c) {
+        if (c != 0) out << ", ";
+        out << "\"" << json_escape(entry.informational[c]) << "\"";
+      }
+      out << "],\n";
+    }
     out << "      \"rows\": [";
     const auto& rows = entry.data.rows();
     for (std::size_t r = 0; r < rows.size(); ++r) {
@@ -176,8 +221,24 @@ std::string to_csv(const RunMeta& meta, const ResultSet& rs) {
   out << "# seed=" << meta.seed << "\n";
   out << "# git_rev=" << meta.git_rev << "\n";
   out << "# wall_time_s=" << format_double(meta.wall_seconds, 3) << "\n";
+  out << "# parallelism hardware_concurrency="
+      << meta.parallelism.hardware_concurrency
+      << " threads_requested=" << meta.parallelism.threads_requested
+      << " runnable_threads=" << meta.parallelism.runnable_threads << "\n";
   for (const RunMeta::Param& param : meta.params) {
     out << "# param " << param.name << "=" << param.value << "\n";
+  }
+  if (meta.metrics.present) {
+    for (const RunMeta::Metric& m : meta.metrics.counters) {
+      out << "# metric counter " << m.name << "=" << m.value << "\n";
+    }
+    for (const RunMeta::Metric& m : meta.metrics.phase_ns) {
+      out << "# metric phase_ns " << m.name << "=" << m.value << "\n";
+    }
+    out << "# metric barrier_wait_fraction="
+        << format_double(meta.metrics.barrier_wait_fraction, 6) << "\n";
+    out << "# metric effective_parallelism="
+        << meta.metrics.effective_parallelism << "\n";
   }
   for (const ResultSet::Entry& entry : rs.tables()) {
     out << "\n# table " << entry.id << ": " << entry.title << "\n";
@@ -199,6 +260,19 @@ std::string to_text(const RunMeta& meta, const ResultSet& rs) {
   }
   for (const std::string& note : rs.notes()) {
     out << note << "\n";
+  }
+  if (meta.metrics.present) {
+    out << "\n--- metrics (obs scrape) ---\n";
+    for (const RunMeta::Metric& m : meta.metrics.counters) {
+      if (m.value != 0) out << m.name << ": " << m.value << "\n";
+    }
+    for (const RunMeta::Metric& m : meta.metrics.phase_ns) {
+      if (m.value != 0) out << m.name << "_ns: " << m.value << "\n";
+    }
+    out << "barrier_wait_fraction: "
+        << format_double(meta.metrics.barrier_wait_fraction, 6) << "\n";
+    out << "effective_parallelism: " << meta.metrics.effective_parallelism
+        << "\n";
   }
   return out.str();
 }

@@ -31,12 +31,22 @@ class ResultSet {
     std::string id;     // stable table id, e.g. "E1_stability"
     std::string title;  // one-line claim the table demonstrates
     Table data;
+    /// Column names that are context, not measurements: consumers such
+    /// as tools/bench_diff.py must never gate on them.  Serialized as
+    /// the table's "informational" array when non-empty.
+    std::vector<std::string> informational;
   };
 
   /// Starts a new table; the returned reference stays valid across later
   /// add_table calls (entries live in a deque).
   Table& add_table(std::string id, std::string title,
                    std::vector<std::string> headers);
+
+  /// add_table declaring a subset of `headers` informational (carried
+  /// into the JSON so downstream tooling need not hardcode names).
+  Table& add_table(std::string id, std::string title,
+                   std::vector<std::string> headers,
+                   std::vector<std::string> informational);
 
   /// Appends a free-form note (fit summaries, analytic context).
   void note(std::string text);
@@ -59,6 +69,33 @@ struct RunMeta {
     std::string value;  // canonical text
   };
 
+  /// The run's honest thread accounting (ROADMAP item 5), emitted in
+  /// every serialization so perf rows carry the hardware they came
+  /// from: tools/bench_diff.py refuses to gate rows whose effective
+  /// parallelism differs between baselines.
+  struct Parallelism {
+    std::uint32_t hardware_concurrency = 0;  // std::thread value, 0 unknown
+    std::uint32_t threads_requested = 0;     // the --threads parameter
+    std::uint32_t runnable_threads = 0;      // threads that can run tasks
+  };
+
+  /// One scraped telemetry value (name as serialized).
+  struct Metric {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+
+  /// The optional --metrics block: counter totals and per-phase ns from
+  /// the obs registry.  Additive -- absent (present == false) the JSON
+  /// document is byte-identical to the pre-telemetry schema.
+  struct MetricsBlock {
+    bool present = false;
+    std::vector<Metric> counters;   // catalogue order
+    std::vector<Metric> phase_ns;   // catalogue order
+    double barrier_wait_fraction = 0;
+    std::uint32_t effective_parallelism = 0;  // min(runnable, hardware)
+  };
+
   std::string experiment;  // registry name, e.g. "stability"
   std::string claim;       // DESIGN.md E-number ("E1"), empty for extras
   std::string title;       // one-line experiment title
@@ -67,6 +104,8 @@ struct RunMeta {
   std::vector<Param> params;  // declaration order
   std::string git_rev;
   double wall_seconds = 0;
+  Parallelism parallelism;
+  MetricsBlock metrics;
 };
 
 /// Fills meta.params (and meta.seed) from parsed values, in spec order.

@@ -37,6 +37,12 @@ options for run / sweep:
   --backend=seq|sharded         round kernel (sharded-capable
                                 experiments only; default: seq)
   --threads=N                   sharded-backend workers (0 = all)
+  --metrics                     scrape src/obs/ telemetry after the run
+                                and emit the additive `metrics` block
+                                (counters, per-phase ns, barrier-wait
+                                fraction, effective parallelism)
+  --trace=FILE                  write the run's phase spans as
+                                Chrome-trace JSON (open in Perfetto)
   --<param>=value               any parameter of the experiment
                                 (see `rbb describe <experiment>`);
                                 under `sweep`, comma-separated values

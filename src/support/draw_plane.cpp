@@ -22,6 +22,9 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define RBB_PLANE_X86 1
 #include <immintrin.h>
@@ -264,6 +267,9 @@ inline void lemire_batch(const std::uint64_t* w0, const std::uint64_t* w1,
     out[i] = static_cast<std::uint32_t>(
         (static_cast<__uint128_t>(w1[i]) * n) >> 64);
   }
+  // The scalar lemire_bounded stays constexpr (KAT-pinned); the retry
+  // telemetry lives here because every hot consumer reduces in batches.
+  if (retries != 0) obs::add(obs::Counter::kLemireRetries, retries);
 }
 
 }  // namespace
@@ -314,9 +320,10 @@ void DrawPlane::fill_range(std::uint64_t round, std::uint64_t slot_begin,
   const std::uint64_t threshold = (0 - std::uint64_t{n}) % n;
   const auto c2 = static_cast<std::uint32_t>(round);
   const auto c3 = static_cast<std::uint32_t>(round >> 32);
-#if RBB_PLANE_X86
   const bool avx2 = active_plane_isa() == PlaneIsa::kAvx2;
-#endif
+  const std::uint64_t t0 = obs::enabled() ? obs::now_ns() : 0;
+  std::uint64_t batches = 0;
+  const std::size_t total = count;
   std::uint64_t w0[kBatch], w1[kBatch];
   while (count > 0) {
     const auto lo = static_cast<std::uint32_t>(slot_begin);
@@ -336,9 +343,17 @@ void DrawPlane::fill_range(std::uint64_t round, std::uint64_t slot_begin,
     words_range_portable(schedule_, lo, hi, c2, c3, len, w0, w1);
 #endif
     lemire_batch(w0, w1, len, n, threshold, out);
+    ++batches;
     slot_begin += len;
     out += len;
     count -= len;
+  }
+  if (t0 != 0) {
+    obs::add_phase_ns(obs::Phase::kPlaneFill, obs::now_ns() - t0);
+    obs::add(avx2 ? obs::Counter::kPlaneBatchesAvx2
+                  : obs::Counter::kPlaneBatchesPortable,
+             batches);
+    obs::add(obs::Counter::kPlaneDraws, total);
   }
 }
 
@@ -349,9 +364,10 @@ void DrawPlane::fill_gather(std::uint64_t round, const std::uint32_t* slot_lo,
   const std::uint64_t threshold = (0 - std::uint64_t{n}) % n;
   const auto c2 = static_cast<std::uint32_t>(round);
   const auto c3 = static_cast<std::uint32_t>(round >> 32);
-#if RBB_PLANE_X86
   const bool avx2 = active_plane_isa() == PlaneIsa::kAvx2;
-#endif
+  const std::uint64_t t0 = obs::enabled() ? obs::now_ns() : 0;
+  std::uint64_t batches = 0;
+  const std::size_t total = count;
   std::uint64_t w0[kBatch], w1[kBatch];
   while (count > 0) {
     const std::size_t len = std::min(count, kBatch);
@@ -366,9 +382,17 @@ void DrawPlane::fill_gather(std::uint64_t round, const std::uint32_t* slot_lo,
     words_gather_portable(schedule_, slot_lo, slot_hi, c2, c3, len, w0, w1);
 #endif
     lemire_batch(w0, w1, len, n, threshold, out);
+    ++batches;
     slot_lo += len;
     out += len;
     count -= len;
+  }
+  if (t0 != 0) {
+    obs::add_phase_ns(obs::Phase::kPlaneFill, obs::now_ns() - t0);
+    obs::add(avx2 ? obs::Counter::kPlaneBatchesAvx2
+                  : obs::Counter::kPlaneBatchesPortable,
+             batches);
+    obs::add(obs::Counter::kPlaneDraws, total);
   }
 }
 

@@ -5,22 +5,27 @@
 
 namespace rbb {
 
-std::uint64_t peak_rss_bytes() noexcept {
-  std::FILE* f = std::fopen("/proc/self/status", "r");
-  if (f == nullptr) return 0;
-  std::uint64_t kb = 0;
+PeakRss parse_peak_rss_status(const char* path) noexcept {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return {};
+  PeakRss result;
   char line[256];
   while (std::fgets(line, sizeof(line), f) != nullptr) {
     if (std::strncmp(line, "VmHWM:", 6) == 0) {
-      if (std::sscanf(line + 6, "%llu",
-                      reinterpret_cast<unsigned long long*>(&kb)) != 1) {
-        kb = 0;
+      unsigned long long kb = 0;
+      if (std::sscanf(line + 6, "%llu", &kb) == 1) {
+        result.available = true;
+        result.bytes = static_cast<std::uint64_t>(kb) * 1024;
       }
       break;
     }
   }
   std::fclose(f);
-  return kb * 1024;
+  return result;
+}
+
+PeakRss peak_rss() noexcept {
+  return parse_peak_rss_status("/proc/self/status");
 }
 
 }  // namespace rbb

@@ -5,10 +5,21 @@
 
 namespace rbb {
 
-/// Peak resident set size of the current process in bytes (Linux VmHWM
-/// from /proc/self/status), or 0 where the platform does not expose
-/// it.  Informational only: callers must treat 0 as "unavailable",
-/// never as "no memory used".
-[[nodiscard]] std::uint64_t peak_rss_bytes() noexcept;
+/// Peak RSS with explicit availability: on platforms without a
+/// readable /proc/self/status (or without a VmHWM line) `available`
+/// is false and callers must render "unavailable" -- a silent 0 would
+/// read as "no memory used" in the result tables.
+struct PeakRss {
+  bool available = false;
+  std::uint64_t bytes = 0;
+};
+
+/// Peak resident set size of the current process (Linux VmHWM from
+/// /proc/self/status).
+[[nodiscard]] PeakRss peak_rss() noexcept;
+
+/// Parses VmHWM out of a status file at `path` (testing seam for
+/// peak_rss: unit tests point it at synthetic files).
+[[nodiscard]] PeakRss parse_peak_rss_status(const char* path) noexcept;
 
 }  // namespace rbb

@@ -2,6 +2,9 @@
 
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace rbb {
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -69,12 +72,20 @@ void drain_batch(ThreadPool::Batch& batch, std::mutex& mutex,
   for (;;) {
     const std::uint64_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= batch.task_count) return;
+    // Telemetry slot writes must precede the done increment below: its
+    // acq_rel pairing with the submitter's acquire wait is what orders
+    // them before a scrape.
+    const std::uint64_t t0 = obs::enabled() ? obs::now_ns() : 0;
     try {
       const TaskDepthGuard depth;
       batch.invoke(batch.context, i);
     } catch (...) {
       const std::lock_guard<std::mutex> lock(mutex);
       if (!batch.first_error) batch.first_error = std::current_exception();
+    }
+    if (t0 != 0) {
+      obs::add_phase_ns(obs::Phase::kPoolTask, obs::now_ns() - t0);
+      obs::add(obs::Counter::kPoolTasks);
     }
     if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 >=
         batch.task_count) {
@@ -121,10 +132,14 @@ void ThreadPool::run_batch(std::shared_ptr<Batch> batch) {
     current_owner_ = batch;
   }
   work_available_.notify_all();
+  obs::add(obs::Counter::kPoolBatches);
 
   // The submitting thread participates in the work.
   drain_batch(*batch, mutex_, batch_done_);
 
+  // Everything past our own drain is barrier wait: the time the
+  // submitter stalls on stragglers before the batch retires.
+  const std::uint64_t w0 = obs::enabled() ? obs::now_ns() : 0;
   std::unique_lock<std::mutex> lock(mutex_);
   batch_done_.wait(lock, [&batch] {
     return batch->done.load(std::memory_order_acquire) >= batch->task_count;
@@ -133,6 +148,11 @@ void ThreadPool::run_batch(std::shared_ptr<Batch> batch) {
   current_owner_.reset();
   const std::exception_ptr err = batch->first_error;
   lock.unlock();
+  if (w0 != 0) {
+    const std::uint64_t w1 = obs::now_ns();
+    obs::add_phase_ns(obs::Phase::kBarrierWait, w1 - w0);
+    obs::record_span("barrier_wait", w0, w1);
+  }
   work_available_.notify_all();  // release workers parked on batch retire
   if (err) std::rethrow_exception(err);
 }
@@ -149,7 +169,10 @@ void ThreadPool::worker_loop() {
     }
     if (batch) drain_batch(*batch, mutex_, batch_done_);
     // Wait until this batch is retired so we do not busy-spin re-claiming
-    // an exhausted index space.
+    // an exhausted index space.  The wait is captured as a per-worker
+    // trace span only (its tail runs concurrently with the submitter's
+    // scrape, so it must not touch the plain slot cells).
+    const std::uint64_t w0 = (batch && obs::tracing()) ? obs::now_ns() : 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(lock, [this, raw = batch.get()] {
@@ -157,6 +180,7 @@ void ThreadPool::worker_loop() {
       });
       if (shutting_down_) return;
     }
+    if (w0 != 0) obs::record_span("worker_retire_wait", w0, obs::now_ns());
   }
 }
 

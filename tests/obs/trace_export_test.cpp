@@ -1,0 +1,128 @@
+// Golden tests for the Chrome-trace exporter (src/obs/trace_export.*):
+// the emitted document is byte-stable (fixed key order, fixed
+// microsecond formatting, deterministic event sort), so a JSON consumer
+// -- Perfetto, chrome://tracing, `python3 -c "import json; ..."` in CI
+// -- always sees the same shape.
+//
+// Events are injected through the record_span_at test hook (explicit
+// thread id, epoch-relative timestamps, no clock reads), which is what
+// makes exact-byte goldens possible.
+#include "obs/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rbb::obs {
+namespace {
+
+class TraceExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    stop_trace();
+    reset();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    stop_trace();
+    reset();
+  }
+};
+
+constexpr const char* kEmptyGolden =
+    "{\n"
+    "  \"displayTimeUnit\": \"ms\",\n"
+    "  \"traceEvents\": []\n"
+    "}\n";
+
+TEST_F(TraceExportTest, EmptyTraceGolden) {
+  // Holds in both builds: RBB_TELEMETRY=0 always exports this document.
+  EXPECT_EQ(chrome_trace_json(), kEmptyGolden);
+}
+
+#if RBB_TELEMETRY
+
+TEST_F(TraceExportTest, GoldenBytesWithDeterministicSort) {
+  start_trace();
+  // Inserted out of order on purpose: the exporter sorts by
+  // (ts, tid, name), so the golden pins the deterministic order too.
+  record_span_at("round", 0, 2500, 1250);
+  record_span_at("throw", 1, 500, 250);
+  record_span_at("commit", 0, 500, 100);
+  stop_trace();
+  const std::string golden =
+      "{\n"
+      "  \"displayTimeUnit\": \"ms\",\n"
+      "  \"traceEvents\": [\n"
+      "    {\"name\": \"commit\", \"cat\": \"rbb\", \"ph\": \"X\", "
+      "\"ts\": 0.500, \"dur\": 0.100, \"pid\": 1, \"tid\": 0},\n"
+      "    {\"name\": \"throw\", \"cat\": \"rbb\", \"ph\": \"X\", "
+      "\"ts\": 0.500, \"dur\": 0.250, \"pid\": 1, \"tid\": 1},\n"
+      "    {\"name\": \"round\", \"cat\": \"rbb\", \"ph\": \"X\", "
+      "\"ts\": 2.500, \"dur\": 1.250, \"pid\": 1, \"tid\": 0}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(chrome_trace_json(), golden);
+}
+
+TEST_F(TraceExportTest, MicrosecondFormattingIsExact) {
+  start_trace();
+  record_span_at("a", 0, 0, 7);            // sub-microsecond
+  record_span_at("b", 0, 1, 999);          // fractional carry boundary
+  record_span_at("c", 0, 1000, 1000000);   // exactly 1 us / 1 ms
+  stop_trace();
+  const std::string json = chrome_trace_json();
+  EXPECT_NE(json.find("\"ts\": 0.000, \"dur\": 0.007"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 0.001, \"dur\": 0.999"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 1.000, \"dur\": 1000.000"),
+            std::string::npos);
+}
+
+TEST_F(TraceExportTest, StartTraceClearsPriorEvents) {
+  start_trace();
+  record_span_at("stale", 0, 0, 1);
+  stop_trace();
+  start_trace();
+  stop_trace();
+  EXPECT_EQ(chrome_trace_json(), kEmptyGolden);
+}
+
+TEST_F(TraceExportTest, EventsIgnoredWhileNotTracing) {
+  record_span_at("ghost", 0, 0, 1);
+  record_span("ghost2", 10, 20);
+  EXPECT_EQ(chrome_trace_json(), kEmptyGolden);
+}
+
+TEST_F(TraceExportTest, ScopedPhaseEmitsNamedEventWhileTracing) {
+  set_enabled(true);
+  start_trace();
+  { const ScopedPhase span(Phase::kRescan); }
+  stop_trace();
+  set_enabled(false);
+  EXPECT_NE(chrome_trace_json().find("\"name\": \"rescan\""),
+            std::string::npos);
+}
+
+#endif  // RBB_TELEMETRY
+
+TEST_F(TraceExportTest, WriteFileRoundTripsAndFailsCleanly) {
+  const std::string path =
+      ::testing::TempDir() + "/rbb_trace_export_test.json";
+  ASSERT_TRUE(write_chrome_trace_file(path));
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), chrome_trace_json());
+  std::remove(path.c_str());
+  EXPECT_FALSE(write_chrome_trace_file("/nonexistent-dir/trace.json"));
+}
+
+}  // namespace
+}  // namespace rbb::obs

@@ -65,13 +65,17 @@ TEST(Registry, NamesAreUniqueAndDeclarationsComplete) {
     EXPECT_FALSE(e.title.empty()) << e.name << " has no title";
     EXPECT_FALSE(e.description.empty()) << e.name << " has no description";
     EXPECT_TRUE(static_cast<bool>(e.run)) << e.name << " has no run fn";
-    // The registry prepends the common Monte-Carlo and backend knobs.
-    ASSERT_GE(e.params.size(), 4u) << e.name;
+    // The registry prepends the common Monte-Carlo, backend, and
+    // telemetry knobs.
+    ASSERT_GE(e.params.size(), 6u) << e.name;
     EXPECT_EQ(e.params[0].name, "seed") << e.name;
     EXPECT_EQ(e.params[1].name, "trials") << e.name;
     EXPECT_EQ(e.params[2].name, "backend") << e.name;
     EXPECT_EQ(e.params[2].default_value, "seq") << e.name;
     EXPECT_EQ(e.params[3].name, "threads") << e.name;
+    EXPECT_EQ(e.params[4].name, "metrics") << e.name;
+    EXPECT_EQ(e.params[4].type, ParamSpec::Type::kFlag) << e.name;
+    EXPECT_EQ(e.params[5].name, "trace") << e.name;
     for (const ParamSpec& spec : e.params) {
       EXPECT_FALSE(spec.help.empty())
           << e.name << " --" << spec.name << " has no help text";
@@ -133,7 +137,8 @@ TEST(Registry, AddRejectsBadDeclarations) {
   // parameter assignment (or shadow a prepended common spec) and be
   // silently unsettable.
   for (const char* reserved :
-       {"backend", "threads", "scale", "format", "out", "check", "help"}) {
+       {"backend", "threads", "metrics", "trace", "scale", "format", "out",
+        "check", "help"}) {
     Experiment clash;
     clash.name = std::string("clash_") + reserved;
     clash.params = {{reserved, ParamSpec::Type::kString, "", "clash"}};

@@ -28,6 +28,9 @@ RunMeta golden_meta() {
   };
   meta.git_rev = "deadbeef";
   meta.wall_seconds = 0.125;
+  meta.parallelism = {.hardware_concurrency = 8,
+                      .threads_requested = 2,
+                      .runnable_threads = 2};
   return meta;
 }
 
@@ -53,6 +56,11 @@ TEST(SerializationGolden, Json) {
   "seed": 7,
   "git_rev": "deadbeef",
   "wall_time_s": 0.125,
+  "parallelism": {
+    "hardware_concurrency": 8,
+    "threads_requested": 2,
+    "runnable_threads": 2
+  },
   "params": {
     "seed": 7,
     "trials": 2,
@@ -89,6 +97,8 @@ TEST(SerializationGolden, Csv) {
       "# seed=7\n"
       "# git_rev=deadbeef\n"
       "# wall_time_s=0.125\n"
+      "# parallelism hardware_concurrency=8 threads_requested=2 "
+      "runnable_threads=2\n"
       "# param seed=7\n"
       "# param trials=2\n"
       "# param beta=4.0\n"
@@ -121,6 +131,58 @@ TEST(SerializationGolden, EmptyResultSetStillWellFormed) {
   EXPECT_NE(json.find("\"params\": {},"), std::string::npos);
   EXPECT_NE(json.find("\"notes\": [],"), std::string::npos);
   EXPECT_NE(json.find("\"tables\": []"), std::string::npos);
+}
+
+TEST(SerializationGolden, MetricsBlockIsAdditive) {
+  RunMeta meta = golden_meta();
+  const ResultSet rs = golden_results();
+  const std::string without = to_json(meta, rs);
+  EXPECT_EQ(without.find("\"metrics\""), std::string::npos);
+
+  meta.metrics.present = true;
+  meta.metrics.counters = {{"lemire_retries", 0}, {"pool_tasks", 42}};
+  meta.metrics.phase_ns = {{"throw", 1200}, {"barrier_wait", 30}};
+  meta.metrics.barrier_wait_fraction = 0.25;
+  meta.metrics.effective_parallelism = 2;
+  const std::string with = to_json(meta, rs);
+  const char* expected_block =
+      "  \"metrics\": {\n"
+      "    \"counters\": {\n"
+      "      \"lemire_retries\": 0,\n"
+      "      \"pool_tasks\": 42\n"
+      "    },\n"
+      "    \"phase_ns\": {\n"
+      "      \"throw\": 1200,\n"
+      "      \"barrier_wait\": 30\n"
+      "    },\n"
+      "    \"barrier_wait_fraction\": 0.250000,\n"
+      "    \"effective_parallelism\": 2\n"
+      "  },\n";
+  EXPECT_NE(with.find(expected_block), std::string::npos);
+  // Additive: removing the block byte-reverts the document.
+  std::string stripped = with;
+  const std::size_t at = stripped.find(expected_block);
+  ASSERT_NE(at, std::string::npos);
+  stripped.erase(at, std::string(expected_block).size());
+  EXPECT_EQ(stripped, without);
+}
+
+TEST(SerializationGolden, InformationalColumnsSerializedWhenDeclared) {
+  ResultSet rs;
+  Table& t = rs.add_table("memtab", "with context columns",
+                          {"n", "ns_per_ball", "peak_rss_mb"},
+                          {"peak_rss_mb"});
+  t.row().cell(std::uint64_t{1}).cell(2.0, 2).cell(3.0, 1);
+  const std::string json = to_json(golden_meta(), rs);
+  EXPECT_NE(json.find("      \"columns\": [\"n\", \"ns_per_ball\", "
+                      "\"peak_rss_mb\"],\n"
+                      "      \"informational\": [\"peak_rss_mb\"],\n"),
+            std::string::npos);
+  // The 3-arg overload declares nothing: no empty-array noise.
+  ResultSet plain;
+  plain.add_table("t", "no informational", {"a"});
+  EXPECT_EQ(to_json(golden_meta(), plain).find("\"informational\""),
+            std::string::npos);
 }
 
 TEST(JsonNumberRule, AcceptsAndRejects) {

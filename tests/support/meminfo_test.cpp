@@ -1,0 +1,82 @@
+// Tests for the peak-RSS probe (src/support/meminfo.*): the VmHWM
+// parse must say "unavailable" explicitly -- never a silent 0 -- when
+// the status file is missing, lacks the line, or carries garbage.
+#include "support/meminfo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace rbb {
+namespace {
+
+/// Writes `content` to a temp file and returns its path.
+std::string write_status(const std::string& name,
+                         const std::string& content) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  return path;
+}
+
+TEST(Meminfo, ParsesVmHwmLine) {
+  const std::string path = write_status("status_valid",
+                                        "Name:\trbb\n"
+                                        "VmPeak:\t  123456 kB\n"
+                                        "VmHWM:\t    5432 kB\n"
+                                        "VmRSS:\t    4000 kB\n");
+  const PeakRss rss = parse_peak_rss_status(path.c_str());
+  EXPECT_TRUE(rss.available);
+  EXPECT_EQ(rss.bytes, 5432ull * 1024);
+  std::remove(path.c_str());
+}
+
+TEST(Meminfo, MissingLineIsUnavailableNotZero) {
+  const std::string path = write_status("status_no_hwm",
+                                        "Name:\trbb\n"
+                                        "VmPeak:\t  123456 kB\n"
+                                        "VmRSS:\t    4000 kB\n");
+  const PeakRss rss = parse_peak_rss_status(path.c_str());
+  EXPECT_FALSE(rss.available);
+  EXPECT_EQ(rss.bytes, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Meminfo, MissingFileIsUnavailable) {
+  const PeakRss rss =
+      parse_peak_rss_status("/nonexistent/dir/status-for-meminfo-test");
+  EXPECT_FALSE(rss.available);
+  EXPECT_EQ(rss.bytes, 0u);
+}
+
+TEST(Meminfo, UnparsableValueIsUnavailable) {
+  const std::string path = write_status("status_garbage",
+                                        "VmHWM:\tnot-a-number kB\n");
+  const PeakRss rss = parse_peak_rss_status(path.c_str());
+  EXPECT_FALSE(rss.available);
+  EXPECT_EQ(rss.bytes, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Meminfo, ZeroKbIsAvailable) {
+  // Availability and magnitude are independent: an explicit 0 kB line
+  // parses as available (the old API conflated the two).
+  const std::string path = write_status("status_zero", "VmHWM:\t0 kB\n");
+  const PeakRss rss = parse_peak_rss_status(path.c_str());
+  EXPECT_TRUE(rss.available);
+  EXPECT_EQ(rss.bytes, 0u);
+  std::remove(path.c_str());
+}
+
+#ifdef __linux__
+TEST(Meminfo, LivePeakRssIsAvailableOnLinux) {
+  const PeakRss rss = peak_rss();
+  EXPECT_TRUE(rss.available);
+  EXPECT_GT(rss.bytes, 0u);
+}
+#endif
+
+}  // namespace
+}  // namespace rbb
