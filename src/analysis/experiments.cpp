@@ -40,18 +40,20 @@ std::vector<std::uint32_t> config_to_positions(const LoadConfig& q) {
 }
 
 /// The one place that seeds a sharded load kernel for trial-level
-/// Monte-Carlo: threads = 1 (under the trial fan-out the round is
-/// inline anyway; see the Backend doc comment) and a counter key
-/// mirroring CounterRng(seed, trial).  run_stability's per-process
-/// switch and with_load_kernel below both route through this, so the
-/// convention cannot diverge between experiments.
+/// Monte-Carlo: a counter key mirroring CounterRng(seed, trial) and the
+/// trial plan's per-instance thread share (1 under the legacy fan-out,
+/// where the round is inline anyway; see the Backend doc comment).
+/// run_stability's per-process switch and with_load_kernel below both
+/// route through this, so the convention cannot diverge between
+/// experiments.
 par::ShardedRepeatedBallsProcess make_sharded_load(LoadConfig config,
                                                    std::uint64_t seed,
                                                    std::uint32_t trial,
-                                                   std::uint32_t shard_size) {
-  return par::ShardedRepeatedBallsProcess(std::move(config),
-                                          mix64(seed, trial),
-                                          par::ShardedOptions{1, shard_size});
+                                                   std::uint32_t shard_size,
+                                                   unsigned threads = 1) {
+  return par::ShardedRepeatedBallsProcess(
+      std::move(config), mix64(seed, trial),
+      par::ShardedOptions{threads, shard_size});
 }
 
 /// Calls `fn` with a load-kernel process factory for the requested
@@ -65,10 +67,13 @@ par::ShardedRepeatedBallsProcess make_sharded_load(LoadConfig config,
 /// and differ only in the in-round randomness.
 template <typename Fn>
 void with_load_kernel(Backend backend, std::uint64_t seed,
-                      std::uint32_t shard_size, Fn&& fn) {
+                      std::uint32_t shard_size, Fn&& fn,
+                      unsigned threads = 1) {
   if (backend == Backend::kSharded) {
-    fn([seed, shard_size](LoadConfig config, std::uint32_t trial, Rng&) {
-      return make_sharded_load(std::move(config), seed, trial, shard_size);
+    fn([seed, shard_size, threads](LoadConfig config, std::uint32_t trial,
+                                   Rng&) {
+      return make_sharded_load(std::move(config), seed, trial, shard_size,
+                               threads);
     });
   } else {
     fn([](LoadConfig config, std::uint32_t, Rng& rng) {
@@ -102,7 +107,7 @@ StabilityResult run_stability(const StabilityParams& params) {
   std::vector<double> min_empty(params.trials);
 
   for_each_trial(
-      params.trials, params.seed,
+      params.trials, params.seed, params.plan,
       [&](std::uint32_t trial, Rng& rng) {
         LoadConfig config = make_config(params.start, params.n, balls, rng);
         WindowMaxLoad wmax;
@@ -116,7 +121,8 @@ StabilityResult run_stability(const StabilityParams& params) {
           case StabilityProcess::kRepeated:
             if (sharded) {
               window(make_sharded_load(std::move(config), params.seed, trial,
-                                       params.shard_size));
+                                       params.shard_size,
+                                       params.plan.process_threads));
             } else {
               window(
                   RepeatedBallsProcess(std::move(config), params.graph, rng));
@@ -137,7 +143,8 @@ StabilityResult run_stability(const StabilityParams& params) {
             if (sharded) {
               window(par::ShardedDChoicesProcess(
                   std::move(config), params.choices, mix64(params.seed, trial),
-                  par::ShardedOptions{1, params.shard_size}));
+                  par::ShardedOptions{params.plan.process_threads,
+                                      params.shard_size}));
             } else {
               window(RepeatedDChoicesProcess(std::move(config), params.choices,
                                              rng));
@@ -163,7 +170,8 @@ StabilityResult run_stability(const StabilityParams& params) {
               window(par::ShardedThresholdProcess(
                   std::move(config), accept, params.choices,
                   mix64(params.seed, trial),
-                  par::ShardedOptions{1, params.shard_size}));
+                  par::ShardedOptions{params.plan.process_threads,
+                                      params.shard_size}));
             } else {
               window(ThresholdProcess(std::move(config), accept,
                                       params.choices, rng));
@@ -202,15 +210,23 @@ ConvergenceResult run_convergence(const ConvergenceParams& p) {
   // One measurement body; with_load_kernel supplies the backend's
   // process factory (the seq/sharded split lives in exactly one place).
   const std::uint64_t conv_balls = p.balls == 0 ? p.n : p.balls;
-  with_load_kernel(p.backend, p.seed, p.shard_size, [&](auto factory) {
-    for_each_trial(p.trials, p.seed, [&](std::uint32_t trial, Rng& rng) {
-      LoadConfig config = make_config(p.start, p.n, conv_balls, rng);
-      Engine engine(factory(std::move(config), trial, rng));
-      const EngineResult r = engine.run(
-          cap, UntilLegitimate{p.beta * log2n(p.n)}, NoFaults{});
-      if (r.goal_reached) rounds[trial] = static_cast<double>(r.rounds);
-    });
-  });
+  with_load_kernel(
+      p.backend, p.seed, p.shard_size,
+      [&](auto factory) {
+        for_each_trial(p.trials, p.seed, p.plan,
+                       [&](std::uint32_t trial, Rng& rng) {
+                         LoadConfig config =
+                             make_config(p.start, p.n, conv_balls, rng);
+                         Engine engine(factory(std::move(config), trial, rng));
+                         const EngineResult r = engine.run(
+                             cap, UntilLegitimate{p.beta * log2n(p.n)},
+                             NoFaults{});
+                         if (r.goal_reached) {
+                           rounds[trial] = static_cast<double>(r.rounds);
+                         }
+                       });
+      },
+      p.plan.process_threads);
 
   ConvergenceResult result;
   for (std::uint32_t t = 0; t < p.trials; ++t) {

@@ -35,12 +35,15 @@ namespace rbb {
 /// of any particular experiment, so the per-driver enums (the old
 /// ConvergenceBackend) are gone.  The two kernels draw from different
 /// generator families, so their trajectories (not their statistics)
-/// differ.  Under kSharded the trial fan-out keeps the cores and every
-/// inner round runs sequentially (the thread_pool.hpp nesting rule: any
-/// submission from inside a pool task is inline), so the processes are
-/// built with threads = 1 -- a worker knob here would only spawn idle
-/// pools.  Per-round thread scaling belongs to single-instance
-/// measurements (the sharded_scaling experiment).
+/// differ.  Under kSharded the thread budget follows the driver's
+/// TrialPlan (engine/trials.hpp): the legacy default gives the trial
+/// fan-out all the cores and builds each process with threads = 1 (any
+/// pool submission from inside a trial task is inline -- the
+/// thread_pool.hpp nesting rule), while an explicit plan runs
+/// trial_workers concurrent trials each sharding its rounds across
+/// process_threads of a private pool (the trials hold a
+/// NestedParallelismGrant).  Per-round thread scaling of a single
+/// instance belongs to the sharded_scaling experiment.
 enum class Backend {
   kSeq,      // core/ sequential kernels, xoshiro draws
   kSharded,  // src/par/ instantiations, counter-RNG draws
@@ -80,6 +83,10 @@ struct StabilityParams {
   /// instantiations); other processes reject it.
   Backend backend = Backend::kSeq;
   std::uint32_t shard_size = 0;  // 0 = kernel::kDefaultShardSize
+  /// Trial/round thread split (default: legacy shared-pool fan-out);
+  /// process_threads reaches the sharded kernels' ExecOptions, so it
+  /// only matters under Backend::kSharded.
+  TrialPlan plan = {};
 };
 
 struct StabilityResult {
@@ -109,6 +116,7 @@ struct ConvergenceParams {
   std::uint64_t cap = 0;  // 0 = 64 n
   Backend backend = Backend::kSeq;  // see the Backend doc comment
   std::uint32_t shard_size = 0;     // 0 = kernel::kDefaultShardSize
+  TrialPlan plan = {};              // see StabilityParams::plan
 };
 
 struct ConvergenceResult {

@@ -58,6 +58,7 @@
 
 #include "core/config.hpp"
 #include "core/kernel/exec.hpp"
+#include "core/kernel/pipeline.hpp"
 #include "core/kernel/variants.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -122,8 +123,18 @@ class BallProcessCore {
   }
 
   /// Executes `rounds` rounds; returns the stats of the last one (the
-  /// current state when rounds == 0).
+  /// current state when rounds == 0).  Multi-round sharded runs take
+  /// the pipelined path (double-buffered throw/commit overlap on a
+  /// resident worker team -- pipeline.hpp) when the executor can host
+  /// one and RBB_PIPELINE is not 0; trajectories are bit-identical to
+  /// the barriered per-step loop either way (pinned by tests/par/).
   Stats run(std::uint64_t rounds) {
+    if constexpr (kShardedExec) {
+      if (rounds > 1 && pipeline_enabled() && run_sharded_pipelined(rounds)) {
+        return Variant::make_stats(max_load_, empty_, last_departures_,
+                                   balls_, last_arrivals_);
+      }
+    }
     Stats stats = Variant::make_stats(max_load_, empty_, 0, balls_, 0);
     for (std::uint64_t t = 0; t < rounds; ++t) stats = step();
     return stats;
@@ -171,6 +182,9 @@ class BallProcessCore {
                         scratch_dest_.capacity() * sizeof(bin_index_t) +
                         scratch_cand_.capacity() * sizeof(bin_index_t);
     for (const auto& buf : buffers_) {
+      bytes += buf.capacity() * sizeof(bin_index_t);
+    }
+    for (const auto& buf : buffers_alt_) {
       bytes += buf.capacity() * sizeof(bin_index_t);
     }
     bytes += acc_.capacity() * sizeof(StripeAcc);
@@ -296,6 +310,12 @@ class BallProcessCore {
         if (!buf.empty()) {
           throw std::logic_error(
               "BallProcessCore: scatter buffer not drained");
+        }
+      }
+      for (const auto& buf : buffers_alt_) {
+        if (!buf.empty()) {
+          throw std::logic_error(
+              "BallProcessCore: alternate scatter buffer not drained");
         }
       }
     }
@@ -512,175 +532,211 @@ class BallProcessCore {
   // --- the sharded round ----------------------------------------------------
 
   /// Per-stripe accumulator, cache-line padded so stripe tasks never
-  /// share a line.
+  /// share a line.  The per-round fields are reset by each round's
+  /// phase bodies (so after a pipelined run they hold the LAST round's
+  /// values); the cum_* fields accumulate across a pipelined run, whose
+  /// single final reduction replaces the per-round one.
   struct alignas(64) StripeAcc {
     std::uint32_t departures = 0;
     load_t max = 0;
     std::uint32_t zeros = 0;
     std::uint32_t newly_emptied = 0;  // Tetris first-empty bookkeeping
+    std::uint64_t cum_departures = 0;
+    std::uint32_t cum_newly_emptied = 0;
   };
+
+  /// Phase 1 (throw) for one stripe of round r: departures +
+  /// destination draws into the stripe's rows of `bufs` (the
+  /// parity-selected buffer base; bufs[g * shard_count + s] receives
+  /// stripe g's throws into shard s).  The counter stream keys every
+  /// draw by (round, slot), so the round's randomness is independent of
+  /// the schedule.  Reads and writes only the stripe's own bins; refill
+  /// variants also draw their contiguous share of the round's fresh
+  /// arrivals here -- those draws read no loads.
+  void throw_stripe(std::uint32_t g, std::uint64_t r, ball_count_t arrivals,
+                    std::vector<bin_index_t>* bufs)
+    requires kShardedExec
+  {
+    const obs::ScopedPhase phase_span(obs::Phase::kThrow);
+    const std::uint32_t n = bin_count();
+    const ShardPlan& plan = exec_.plan();
+    const std::uint32_t shard_count = plan.shard_count();
+    const std::uint32_t stripes = plan.stripe_count();
+    constexpr bool kRefill = kKind == BallVariantKind::kTetris ||
+                             kKind == BallVariantKind::kLeaky;
+    StripeAcc& acc = acc_[g];
+    acc.departures = 0;
+    std::vector<bin_index_t>* row =
+        bufs + static_cast<std::size_t>(g) * shard_count;
+    const bin_index_t begin = plan.stripe_begin_bin(g);
+    const bin_index_t end = plan.stripe_end_bin(g);
+    if constexpr (kKind == BallVariantKind::kLoadOnly) {
+      // The walk banks releasing bins into a stack chunk; each flush
+      // materializes the chunk's destinations with one gathered draw
+      // plane and scatters them.  Ascending-u push order per buffer
+      // is preserved, so the commit order is unchanged.
+      bin_index_t slot_buf[kDrawChunk];
+      bin_index_t dest_buf[kDrawChunk];
+      std::uint32_t pending = 0;
+      const auto flush = [&] {
+        obs::add(obs::Counter::kChunkFlushes);
+        variant_.stream_.fill_gather(r, slot_buf, 0, pending, n, dest_buf);
+        for (std::uint32_t i = 0; i < pending; ++i) {
+          const bin_index_t dest = dest_buf[i];
+          row[plan.shard_of(dest)].push_back(dest);
+        }
+        pending = 0;
+      };
+      for (bin_index_t u = begin; u < end; ++u) {
+        load_t& load = loads_[u];
+        if (load > 0) {
+          --load;
+          ++acc.departures;
+          slot_buf[pending++] = u;
+          if (pending == kDrawChunk) flush();
+        }
+      }
+      if (pending > 0) flush();
+    } else {
+      constexpr bool kChoose = kKind == BallVariantKind::kDChoices ||
+                               kKind == BallVariantKind::kThreshold;
+      if constexpr (kChoose) {
+        releasers_[g].clear();
+      }
+      for (bin_index_t u = begin; u < end; ++u) {
+        load_t& load = loads_[u];
+        if (load > 0) {
+          --load;
+          ++acc.departures;
+          if constexpr (kChoose) {
+            releasers_[g].push_back(u);
+          }
+          // refill: the ball leaves; nothing to scatter for it.
+        }
+      }
+    }
+    if constexpr (kRefill) {
+      const ball_count_t lo = arrivals * g / stripes;
+      const ball_count_t hi = arrivals * (g + 1) / stripes;
+      bin_index_t chunk[kDrawChunk];
+      for (ball_count_t i = lo; i < hi;) {
+        const auto len = static_cast<std::uint32_t>(
+            std::min<ball_count_t>(kDrawChunk, hi - i));
+        obs::add(obs::Counter::kChunkFlushes);
+        variant_.stream_.fill_range(r, fresh_arrival_slot(i), len, n, chunk);
+        for (std::uint32_t k = 0; k < len; ++k) {
+          row[plan.shard_of(chunk[k])].push_back(chunk[k]);
+        }
+        i += len;
+      }
+    }
+    acc.cum_departures += acc.departures;
+  }
+
+  /// Phase 1.5 (choose) for one stripe, d-choices and threshold only:
+  /// the stripe resolves its releasers' candidates against the
+  /// now-stable post-departure configuration.  Cross-shard loads are
+  /// read, never written, so the phase is race-free; the choices are
+  /// the batch-snapshot convention the sequential counter-stream
+  /// sibling realizes (variants.hpp).
+  void choose_stripe(std::uint32_t g, std::uint64_t r,
+                     std::vector<bin_index_t>* bufs)
+    requires kShardedExec
+  {
+    const obs::ScopedPhase phase_span(obs::Phase::kChoose);
+    const std::uint32_t n = bin_count();
+    const ShardPlan& plan = exec_.plan();
+    std::vector<bin_index_t>* row =
+        bufs + static_cast<std::size_t>(g) * plan.shard_count();
+    const std::vector<bin_index_t>& rel = releasers_[g];
+    bin_index_t best[kDrawChunk];
+    bin_index_t cand[kDrawChunk];
+    for (std::size_t i = 0; i < rel.size();) {
+      const auto len = static_cast<std::uint32_t>(
+          std::min<std::size_t>(kDrawChunk, rel.size() - i));
+      variant_.choose_batch(r, rel.data() + i, len, n, loads_, best, cand);
+      for (std::uint32_t k = 0; k < len; ++k) {
+        row[plan.shard_of(best[k])].push_back(best[k]);
+      }
+      i += len;
+    }
+  }
+
+  /// Phase 2 (commit) for one stripe: drains every stripe's `bufs`
+  /// buffers addressed to its own shards (ascending source stripe --
+  /// the canonical arrival order) and rescans them for the round
+  /// statistics.  The shard's loads are cache-hot, so the random
+  /// within-shard scatter is cheap.
+  void commit_stripe(std::uint32_t g, std::uint64_t r,
+                     std::vector<bin_index_t>* bufs)
+    requires kShardedExec
+  {
+    const obs::ScopedPhase phase_span(obs::Phase::kCommit);
+    const ShardPlan& plan = exec_.plan();
+    const std::uint32_t shard_count = plan.shard_count();
+    const std::uint32_t stripes = plan.stripe_count();
+    StripeAcc& acc = acc_[g];
+    acc.max = 0;
+    acc.zeros = 0;
+    acc.newly_emptied = 0;
+    for (std::uint32_t s = plan.stripe_begin_shard(g);
+         s < plan.stripe_end_shard(g); ++s) {
+      for (std::uint32_t src = 0; src < stripes; ++src) {
+        std::vector<bin_index_t>& buf =
+            bufs[static_cast<std::size_t>(src) * shard_count + s];
+        for (const bin_index_t dest : buf) ++loads_[dest];
+        buf.clear();
+      }
+      const std::uint64_t rs0 = obs::enabled() ? obs::now_ns() : 0;
+      for (bin_index_t u = plan.shard_begin(s); u < plan.shard_end(s); ++u) {
+        const load_t load = loads_[u];
+        if (load == 0) {
+          ++acc.zeros;
+          if constexpr (kKind == BallVariantKind::kTetris) {
+            // End-load zero means the bin emptied this round (or was
+            // marked before): equivalent to the sequential pending
+            // logic, since arrivals only add and departures remove
+            // at most one ball.
+            if (variant_.first_empty_[u] == kNeverEmptied) {
+              variant_.first_empty_[u] = r + 1;
+              ++acc.newly_emptied;
+            }
+          }
+        } else if (load > acc.max) {
+          acc.max = load;
+        }
+      }
+      if (rs0 != 0) {
+        const std::uint64_t rs1 = obs::now_ns();
+        obs::add_phase_ns(obs::Phase::kRescan, rs1 - rs0);
+        obs::record_span("rescan", rs0, rs1);
+      }
+    }
+    acc.cum_newly_emptied += acc.newly_emptied;
+  }
 
   void step_sharded()
     requires kShardedExec
   {
-    const std::uint32_t n = bin_count();
     const std::uint64_t r = round_;
     const ShardPlan& plan = exec_.plan();
-    const std::uint32_t shard_count = plan.shard_count();
     const std::uint32_t stripes = plan.stripe_count();
     constexpr bool kRefill = kKind == BallVariantKind::kTetris ||
                              kKind == BallVariantKind::kLeaky;
 
     const ball_count_t arrivals = draw_arrival_count(r);
 
-    // Phase 1 (throw): departures + destination draws into stripe-owned
-    // buffers.  The counter stream keys every draw by (round, slot), so
-    // the round's randomness is independent of the schedule.  Refill
-    // variants also draw their contiguous share of the fresh arrivals
-    // here -- those draws read no loads.
     exec_.stripes().for_stripes(stripes, [&](std::uint32_t g) {
-      const obs::ScopedPhase phase_span(obs::Phase::kThrow);
-      StripeAcc& acc = acc_[g];
-      acc.departures = 0;
-      std::vector<bin_index_t>* row =
-          &buffers_[static_cast<std::size_t>(g) * shard_count];
-      const bin_index_t begin = plan.stripe_begin_bin(g);
-      const bin_index_t end = plan.stripe_end_bin(g);
-      if constexpr (kKind == BallVariantKind::kLoadOnly) {
-        // The walk banks releasing bins into a stack chunk; each flush
-        // materializes the chunk's destinations with one gathered draw
-        // plane and scatters them.  Ascending-u push order per buffer
-        // is preserved, so the commit order is unchanged.
-        bin_index_t slot_buf[kDrawChunk];
-        bin_index_t dest_buf[kDrawChunk];
-        std::uint32_t pending = 0;
-        const auto flush = [&] {
-          obs::add(obs::Counter::kChunkFlushes);
-          variant_.stream_.fill_gather(r, slot_buf, 0, pending, n,
-                                       dest_buf);
-          for (std::uint32_t i = 0; i < pending; ++i) {
-            const bin_index_t dest = dest_buf[i];
-            row[plan.shard_of(dest)].push_back(dest);
-          }
-          pending = 0;
-        };
-        for (bin_index_t u = begin; u < end; ++u) {
-          load_t& load = loads_[u];
-          if (load > 0) {
-            --load;
-            ++acc.departures;
-            slot_buf[pending++] = u;
-            if (pending == kDrawChunk) flush();
-          }
-        }
-        if (pending > 0) flush();
-      } else {
-        constexpr bool kChoose = kKind == BallVariantKind::kDChoices ||
-                                 kKind == BallVariantKind::kThreshold;
-        if constexpr (kChoose) {
-          releasers_[g].clear();
-        }
-        for (bin_index_t u = begin; u < end; ++u) {
-          load_t& load = loads_[u];
-          if (load > 0) {
-            --load;
-            ++acc.departures;
-            if constexpr (kChoose) {
-              releasers_[g].push_back(u);
-            }
-            // refill: the ball leaves; nothing to scatter for it.
-          }
-        }
-      }
-      if constexpr (kRefill) {
-        const ball_count_t lo = arrivals * g / stripes;
-        const ball_count_t hi = arrivals * (g + 1) / stripes;
-        bin_index_t chunk[kDrawChunk];
-        for (ball_count_t i = lo; i < hi;) {
-          const auto len = static_cast<std::uint32_t>(
-              std::min<ball_count_t>(kDrawChunk, hi - i));
-          obs::add(obs::Counter::kChunkFlushes);
-          variant_.stream_.fill_range(r, fresh_arrival_slot(i), len, n,
-                                      chunk);
-          for (std::uint32_t k = 0; k < len; ++k) {
-            row[plan.shard_of(chunk[k])].push_back(chunk[k]);
-          }
-          i += len;
-        }
-      }
+      throw_stripe(g, r, arrivals, buffers_.data());
     });
-
-    // Phase 1.5 (choose), d-choices and threshold only: every stripe
-    // resolves its releasers' candidates against the now-stable
-    // post-departure configuration.  Cross-shard loads are read, never
-    // written, so the phase is race-free; the choices are the
-    // batch-snapshot convention the sequential counter-stream sibling
-    // realizes (variants.hpp).
     if constexpr (kKind == BallVariantKind::kDChoices ||
                   kKind == BallVariantKind::kThreshold) {
       exec_.stripes().for_stripes(stripes, [&](std::uint32_t g) {
-        const obs::ScopedPhase phase_span(obs::Phase::kChoose);
-        std::vector<bin_index_t>* row =
-            &buffers_[static_cast<std::size_t>(g) * shard_count];
-        const std::vector<bin_index_t>& rel = releasers_[g];
-        bin_index_t best[kDrawChunk];
-        bin_index_t cand[kDrawChunk];
-        for (std::size_t i = 0; i < rel.size();) {
-          const auto len = static_cast<std::uint32_t>(
-              std::min<std::size_t>(kDrawChunk, rel.size() - i));
-          variant_.choose_batch(r, rel.data() + i, len, n, loads_, best,
-                                cand);
-          for (std::uint32_t k = 0; k < len; ++k) {
-            row[plan.shard_of(best[k])].push_back(best[k]);
-          }
-          i += len;
-        }
+        choose_stripe(g, r, buffers_.data());
       });
     }
-
-    // Phase 2 (commit): each stripe drains all buffers addressed to its
-    // shards and rescans them for the round statistics.  The shard's
-    // loads are cache-hot, so the random within-shard scatter is cheap.
     exec_.stripes().for_stripes(stripes, [&](std::uint32_t g) {
-      const obs::ScopedPhase phase_span(obs::Phase::kCommit);
-      StripeAcc& acc = acc_[g];
-      acc.max = 0;
-      acc.zeros = 0;
-      acc.newly_emptied = 0;
-      for (std::uint32_t s = plan.stripe_begin_shard(g);
-           s < plan.stripe_end_shard(g); ++s) {
-        for (std::uint32_t src = 0; src < stripes; ++src) {
-          std::vector<bin_index_t>& buf =
-              buffers_[static_cast<std::size_t>(src) * shard_count + s];
-          for (const bin_index_t dest : buf) ++loads_[dest];
-          buf.clear();
-        }
-        const std::uint64_t rs0 = obs::enabled() ? obs::now_ns() : 0;
-        for (bin_index_t u = plan.shard_begin(s); u < plan.shard_end(s);
-             ++u) {
-          const load_t load = loads_[u];
-          if (load == 0) {
-            ++acc.zeros;
-            if constexpr (kKind == BallVariantKind::kTetris) {
-              // End-load zero means the bin emptied this round (or was
-              // marked before): equivalent to the sequential pending
-              // logic, since arrivals only add and departures remove
-              // at most one ball.
-              if (variant_.first_empty_[u] == kNeverEmptied) {
-                variant_.first_empty_[u] = r + 1;
-                ++acc.newly_emptied;
-              }
-            }
-          } else if (load > acc.max) {
-            acc.max = load;
-          }
-        }
-        if (rs0 != 0) {
-          const std::uint64_t rs1 = obs::now_ns();
-          obs::add_phase_ns(obs::Phase::kRescan, rs1 - rs0);
-          obs::record_span("rescan", rs0, rs1);
-        }
-      }
+      commit_stripe(g, r, buffers_.data());
     });
 
     // Fixed-order reduction over stripes.
@@ -703,6 +759,85 @@ class BallProcessCore {
     last_departures_ = departures;
   }
 
+  /// The pipelined multi-round path (pipeline.hpp): one resident worker
+  /// team runs all `rounds` rounds, alternating between buffers_ and
+  /// buffers_alt_ by round parity so a worker's throw of round i+1 may
+  /// overlap peers' commits of round i.  Returns false -- having
+  /// executed nothing -- when the executor cannot host a team of at
+  /// least 2; trajectories are bit-identical to `rounds` barriered
+  /// step() calls (same draws, same canonical commit order).
+  bool run_sharded_pipelined(std::uint64_t rounds)
+    requires kShardedExec
+  {
+    const ShardPlan& plan = exec_.plan();
+    const std::uint32_t stripes = plan.stripe_count();
+    const std::uint32_t width = std::min(stripes, exec_.stripes().team_width());
+    if (width < 2) return false;
+    constexpr bool kRefill = kKind == BallVariantKind::kTetris ||
+                             kKind == BallVariantKind::kLeaky;
+    constexpr bool kChoose = kKind == BallVariantKind::kDChoices ||
+                             kKind == BallVariantKind::kThreshold;
+    if (buffers_alt_.empty()) buffers_alt_.resize(buffers_.size());
+
+    // Fresh-arrival counts are drawn sequentially up front: the leaky
+    // law is a shared distribution object (not thread-safe), and the
+    // draws are schedule-free by (round) key, so hoisting them changes
+    // nothing.
+    std::vector<ball_count_t> arrivals_by_round;
+    if constexpr (kRefill) {
+      arrivals_by_round.reserve(rounds);
+      for (std::uint64_t i = 0; i < rounds; ++i) {
+        arrivals_by_round.push_back(draw_arrival_count(round_ + i));
+      }
+    }
+    for (StripeAcc& acc : acc_) {
+      acc.cum_departures = 0;
+      acc.cum_newly_emptied = 0;
+    }
+    const std::uint64_t r0 = round_;
+    const auto bufs = [this](std::uint64_t i) {
+      return (i & 1) == 0 ? buffers_.data() : buffers_alt_.data();
+    };
+    const bool ran = run_pipeline(
+        exec_.stripes(), stripes, width, rounds, kChoose,
+        [&](std::uint32_t g, std::uint64_t i) {
+          throw_stripe(g, r0 + i,
+                       kRefill ? arrivals_by_round[i] : ball_count_t{0},
+                       bufs(i));
+        },
+        [&](std::uint32_t g, std::uint64_t i) {
+          if constexpr (kChoose) choose_stripe(g, r0 + i, bufs(i));
+        },
+        [&](std::uint32_t g, std::uint64_t i) {
+          commit_stripe(g, r0 + i, bufs(i));
+        });
+    if (!ran) return false;
+
+    // One reduction for the whole run: the per-round acc fields hold
+    // the last round's values, the cum_* fields the run totals.
+    std::uint64_t total_departures = 0;
+    std::uint32_t departures = 0;
+    max_load_ = 0;
+    empty_ = 0;
+    for (const StripeAcc& acc : acc_) {
+      total_departures += acc.cum_departures;
+      departures += acc.departures;
+      max_load_ = std::max(max_load_, acc.max);
+      empty_ += acc.zeros;
+      if constexpr (kKind == BallVariantKind::kTetris) {
+        variant_.not_yet_emptied_ -= acc.cum_newly_emptied;
+      }
+    }
+    if constexpr (kRefill) {
+      balls_ -= total_departures;
+      for (const ball_count_t a : arrivals_by_round) balls_ += a;
+      last_arrivals_ = arrivals_by_round.back();
+    }
+    last_departures_ = departures;
+    round_ += rounds;
+    return true;
+  }
+
   LoadConfig loads_;
   Variant variant_;
   Exec exec_;
@@ -723,7 +858,12 @@ class BallProcessCore {
   /// buffers_[stripe * shard_count + target_shard]: destinations thrown
   /// by `stripe` into `target_shard` this round.  Cleared (capacity
   /// kept) by the phase-2 task that drains them.  Sharded only.
+  /// buffers_alt_ is the odd-parity twin used by the pipelined path
+  /// (run_sharded_pipelined): round i throws into the parity-(i&1) set
+  /// so throw(i+1) never touches buffers a peer is still committing.
+  /// Sized lazily on the first pipelined run.
   std::vector<std::vector<bin_index_t>> buffers_;
+  std::vector<std::vector<bin_index_t>> buffers_alt_;
   std::vector<StripeAcc> acc_;
   std::vector<std::vector<bin_index_t>> releasers_;  // d-choices, per stripe
 };

@@ -15,12 +15,27 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <string_view>
 
 #include "core/kernel/shard.hpp"
 #include "support/thread_pool.hpp"
 
 namespace rbb::kernel {
+
+/// Runtime switch for the pipelined round loop (double-buffered
+/// throw/commit overlap, core/kernel/pipeline.hpp).  Defaults on;
+/// RBB_PIPELINE=0 pins the barriered per-round path (CI runs the parity
+/// suites both ways).  Read once -- flipping the variable mid-process
+/// has no effect, which keeps every run's execution mode well-defined.
+[[nodiscard]] inline bool pipeline_enabled() noexcept {
+  static const bool enabled = [] {
+    const char* env = std::getenv("RBB_PIPELINE");
+    return env == nullptr || std::string_view(env) != "0";
+  }();
+  return enabled;
+}
 
 /// Execution knobs shared by the sharded instantiations (ignored by
 /// SequentialExecution).
@@ -70,6 +85,25 @@ class StripeExecutor {
     }
     pool_->for_each(stripe_count, [&fn](std::uint64_t g) {
       fn(static_cast<std::uint32_t>(g));
+    });
+  }
+
+  /// Widest concurrent team the executor can host: workers + the
+  /// submitting thread, or 1 when execution is inline.
+  [[nodiscard]] unsigned team_width() const noexcept {
+    return pool_ == nullptr ? 1u : pool_->thread_count() + 1;
+  }
+
+  /// Runs fn(w) for w in [0, width) as a resident team (every task on
+  /// its own thread for the whole call -- ThreadPool::run_team).
+  /// Returns false without running anything when no pool is attached or
+  /// the pool cannot guarantee team concurrency; the caller falls back
+  /// to barriered for_stripes rounds.
+  template <typename Fn>
+  bool run_team(std::uint32_t width, Fn&& fn) {
+    if (pool_ == nullptr) return false;
+    return pool_->run_team(width, [&fn](std::uint64_t w) {
+      fn(static_cast<std::uint32_t>(w));
     });
   }
 

@@ -46,6 +46,7 @@
 
 #include "core/config.hpp"
 #include "core/kernel/exec.hpp"
+#include "core/kernel/pipeline.hpp"
 #include "core/kernel/stream.hpp"
 #include "core/mixed_config.hpp"
 #include "obs/metrics.hpp"
@@ -156,8 +157,16 @@ class MixedProcessCore {
   }
 
   /// Executes `rounds` rounds; returns the stats of the last one (the
-  /// current state when rounds == 0).
+  /// current state when rounds == 0).  Multi-round sharded runs take
+  /// the pipelined path (pipeline.hpp) when the executor can host a
+  /// resident team and RBB_PIPELINE is not 0; trajectories are
+  /// bit-identical either way.
   Stats run(std::uint64_t rounds) {
+    if constexpr (kShardedExec) {
+      if (rounds > 1 && pipeline_enabled() && run_sharded_pipelined(rounds)) {
+        return current_stats();
+      }
+    }
     for (std::uint64_t t = 0; t < rounds; ++t) step();
     return current_stats();
   }
@@ -237,6 +246,9 @@ class MixedProcessCore {
     for (const auto& buf : buffers_) {
       bytes += buf.capacity() * sizeof(std::uint64_t);
     }
+    for (const auto& buf : buffers_alt_) {
+      bytes += buf.capacity() * sizeof(std::uint64_t);
+    }
     bytes += acc_.capacity() * sizeof(StripeAcc) +
              class_acc_.capacity() * sizeof(ball_count_t);
     return bytes;
@@ -294,6 +306,12 @@ class MixedProcessCore {
         if (!buf.empty()) {
           throw std::logic_error(
               "MixedProcessCore: scatter buffer not drained");
+        }
+      }
+      for (const auto& buf : buffers_alt_) {
+        if (!buf.empty()) {
+          throw std::logic_error(
+              "MixedProcessCore: alternate scatter buffer not drained");
         }
       }
     }
@@ -417,6 +435,8 @@ class MixedProcessCore {
 
   /// Per-stripe accumulator, cache-line padded so stripe tasks never
   /// share a line (per-class departure counts live in class_acc_).
+  /// Per-round fields are reset by each round's phase bodies; cum_*
+  /// fields accumulate across a pipelined run.
   struct alignas(64) StripeAcc {
     ball_count_t departures = 0;
     ball_count_t drops = 0;
@@ -425,99 +445,121 @@ class MixedProcessCore {
     std::uint32_t zeros = 0;
     weighted_load_t max_w = 0;
     double max_util = 0.0;
+    ball_count_t cum_drops = 0;
+    weighted_load_t cum_dropped_weight = 0;
   };
+
+  /// Phase 1 (throw) for one stripe of round r: walks its own bins,
+  /// removes the departing balls (class picks touch only owned rows)
+  /// and scatters the packed (class, destination) words into its rows
+  /// of `bufs` (the parity-selected buffer base) in ascending (u, j)
+  /// order.  The class-draw bound `remaining` reads only own-bin loads,
+  /// whose value at throw start is the post-commit state of the
+  /// previous round -- schedule-independent.
+  void throw_stripe(std::uint32_t g, std::uint64_t r,
+                    std::vector<std::uint64_t>* bufs)
+    requires kShardedExec
+  {
+    const obs::ScopedPhase phase_span(obs::Phase::kThrow);
+    const std::uint32_t n = bin_count();
+    const std::uint32_t k = class_count();
+    const ShardPlan& plan = exec_.plan();
+    StripeAcc& acc = acc_[g];
+    acc.departures = 0;
+    ball_count_t* dep_by_class = &class_acc_[static_cast<std::size_t>(g) * k];
+    std::fill(dep_by_class, dep_by_class + k, 0);
+    std::vector<std::uint64_t>* row =
+        bufs + static_cast<std::size_t>(g) * plan.shard_count();
+    const bin_index_t begin = plan.stripe_begin_bin(g);
+    const bin_index_t end = plan.stripe_end_bin(g);
+    for (bin_index_t u = begin; u < end; ++u) {
+      const std::uint32_t releases =
+          static_cast<std::uint32_t>(std::min<load_t>(loads_[u], rates_[u]));
+      for (std::uint32_t j = 0; j < releases; ++j) {
+        const load_t remaining = loads_[u];
+        const std::uint32_t x =
+            stream_.index(r, mixed_class_slot(j, u), remaining);
+        const bin_index_t dest = stream_.index(r, mixed_dest_slot(j, u), n);
+        const std::uint32_t cls = take_class(u, x);
+        ++dep_by_class[cls];
+        ++acc.departures;
+        row[plan.shard_of(dest)].push_back(pack(cls, dest));
+      }
+    }
+  }
+
+  /// Phase 2 (commit) for one stripe: drains the `bufs` buffers
+  /// addressed to its shards -- ascending source stripe, each buffer in
+  /// push order, which per destination bin reproduces the sequential
+  /// (u, j) arrival order, so capacity/drop decisions are bit-identical
+  /// -- then rescans its bins for the round statistics.
+  void commit_stripe(std::uint32_t g, std::uint64_t /*r*/,
+                     std::vector<std::uint64_t>* bufs)
+    requires kShardedExec
+  {
+    const obs::ScopedPhase phase_span(obs::Phase::kCommit);
+    const ShardPlan& plan = exec_.plan();
+    const std::uint32_t shard_count = plan.shard_count();
+    const std::uint32_t stripes = plan.stripe_count();
+    StripeAcc& acc = acc_[g];
+    acc.drops = 0;
+    acc.dropped_weight = 0;
+    acc.max = 0;
+    acc.zeros = 0;
+    acc.max_w = 0;
+    acc.max_util = 0.0;
+    for (std::uint32_t s = plan.stripe_begin_shard(g);
+         s < plan.stripe_end_shard(g); ++s) {
+      for (std::uint32_t src = 0; src < stripes; ++src) {
+        std::vector<std::uint64_t>& buf =
+            bufs[static_cast<std::size_t>(src) * shard_count + s];
+        for (const std::uint64_t word : buf) {
+          const auto cls = static_cast<std::uint32_t>(word >> 32);
+          const auto dest = static_cast<bin_index_t>(word);
+          if (!apply_arrival(dest, cls)) {
+            ++acc.drops;
+            acc.dropped_weight += weights_.class_weights[cls];
+          }
+        }
+        buf.clear();
+      }
+      const std::uint64_t rs0 = obs::enabled() ? obs::now_ns() : 0;
+      for (bin_index_t u = plan.shard_begin(s); u < plan.shard_end(s); ++u) {
+        const load_t load = loads_[u];
+        if (load == 0) {
+          ++acc.zeros;
+        } else if (load > acc.max) {
+          acc.max = load;
+        }
+        acc.max_w = std::max(acc.max_w, wload_[u]);
+        if (caps_[u] != 0) {
+          acc.max_util =
+              std::max(acc.max_util, static_cast<double>(load) /
+                                         static_cast<double>(caps_[u]));
+        }
+      }
+      if (rs0 != 0) {
+        const std::uint64_t rs1 = obs::now_ns();
+        obs::add_phase_ns(obs::Phase::kRescan, rs1 - rs0);
+        obs::record_span("rescan", rs0, rs1);
+      }
+    }
+    acc.cum_drops += acc.drops;
+    acc.cum_dropped_weight += acc.dropped_weight;
+  }
 
   void step_sharded()
     requires kShardedExec
   {
-    const std::uint32_t n = bin_count();
     const std::uint32_t k = class_count();
     const std::uint64_t r = round_;
-    const ShardPlan& plan = exec_.plan();
-    const std::uint32_t shard_count = plan.shard_count();
-    const std::uint32_t stripes = plan.stripe_count();
+    const std::uint32_t stripes = exec_.plan().stripe_count();
 
-    // Phase 1 (throw): stripes walk their own bins, remove the
-    // departing balls (class picks touch only owned rows) and scatter
-    // the packed (class, destination) words into per-(stripe,
-    // target-shard) buffers in ascending (u, j) order.
     exec_.stripes().for_stripes(stripes, [&](std::uint32_t g) {
-      const obs::ScopedPhase phase_span(obs::Phase::kThrow);
-      StripeAcc& acc = acc_[g];
-      acc.departures = 0;
-      ball_count_t* dep_by_class = &class_acc_[static_cast<std::size_t>(g) * k];
-      std::fill(dep_by_class, dep_by_class + k, 0);
-      std::vector<std::uint64_t>* row =
-          &buffers_[static_cast<std::size_t>(g) * shard_count];
-      const bin_index_t begin = plan.stripe_begin_bin(g);
-      const bin_index_t end = plan.stripe_end_bin(g);
-      for (bin_index_t u = begin; u < end; ++u) {
-        const std::uint32_t releases =
-            static_cast<std::uint32_t>(std::min<load_t>(loads_[u], rates_[u]));
-        for (std::uint32_t j = 0; j < releases; ++j) {
-          const load_t remaining = loads_[u];
-          const std::uint32_t x =
-              stream_.index(r, mixed_class_slot(j, u), remaining);
-          const bin_index_t dest = stream_.index(r, mixed_dest_slot(j, u), n);
-          const std::uint32_t cls = take_class(u, x);
-          ++dep_by_class[cls];
-          ++acc.departures;
-          row[plan.shard_of(dest)].push_back(pack(cls, dest));
-        }
-      }
+      throw_stripe(g, r, buffers_.data());
     });
-
-    // Phase 2 (commit): each stripe drains the buffers addressed to
-    // its shards -- ascending source stripe, each buffer in push order,
-    // which per destination bin reproduces the sequential (u, j)
-    // arrival order, so capacity/drop decisions are bit-identical --
-    // then rescans its bins for the round statistics.
     exec_.stripes().for_stripes(stripes, [&](std::uint32_t g) {
-      const obs::ScopedPhase phase_span(obs::Phase::kCommit);
-      StripeAcc& acc = acc_[g];
-      acc.drops = 0;
-      acc.dropped_weight = 0;
-      acc.max = 0;
-      acc.zeros = 0;
-      acc.max_w = 0;
-      acc.max_util = 0.0;
-      for (std::uint32_t s = plan.stripe_begin_shard(g);
-           s < plan.stripe_end_shard(g); ++s) {
-        for (std::uint32_t src = 0; src < stripes; ++src) {
-          std::vector<std::uint64_t>& buf =
-              buffers_[static_cast<std::size_t>(src) * shard_count + s];
-          for (const std::uint64_t word : buf) {
-            const auto cls = static_cast<std::uint32_t>(word >> 32);
-            const auto dest = static_cast<bin_index_t>(word);
-            if (!apply_arrival(dest, cls)) {
-              ++acc.drops;
-              acc.dropped_weight += weights_.class_weights[cls];
-            }
-          }
-          buf.clear();
-        }
-        const std::uint64_t rs0 = obs::enabled() ? obs::now_ns() : 0;
-        for (bin_index_t u = plan.shard_begin(s); u < plan.shard_end(s);
-             ++u) {
-          const load_t load = loads_[u];
-          if (load == 0) {
-            ++acc.zeros;
-          } else if (load > acc.max) {
-            acc.max = load;
-          }
-          acc.max_w = std::max(acc.max_w, wload_[u]);
-          if (caps_[u] != 0) {
-            acc.max_util =
-                std::max(acc.max_util, static_cast<double>(load) /
-                                           static_cast<double>(caps_[u]));
-          }
-        }
-        if (rs0 != 0) {
-          const std::uint64_t rs1 = obs::now_ns();
-          obs::add_phase_ns(obs::Phase::kRescan, rs1 - rs0);
-          obs::record_span("rescan", rs0, rs1);
-        }
-      }
+      commit_stripe(g, r, buffers_.data());
     });
 
     // Fixed-order reduction over stripes.
@@ -551,6 +593,78 @@ class MixedProcessCore {
     dropped_weight_ += dropped_w;
     last_drops_ = drops;
     if (drops != 0) obs::add(obs::Counter::kMixedDrops, drops);
+  }
+
+  /// The pipelined multi-round path (pipeline.hpp): one resident team,
+  /// buffers alternating by round parity, bit-identical to `rounds`
+  /// barriered steps.  class_acc_ rows are per-stripe and reset by each
+  /// round's throw, so after the run they hold the LAST round's
+  /// per-class departures -- exactly what last_departures_by_class_
+  /// reports.  Returns false when no team can be hosted.
+  bool run_sharded_pipelined(std::uint64_t rounds)
+    requires kShardedExec
+  {
+    const ShardPlan& plan = exec_.plan();
+    const std::uint32_t k = class_count();
+    const std::uint32_t stripes = plan.stripe_count();
+    const std::uint32_t width = std::min(stripes, exec_.stripes().team_width());
+    if (width < 2) return false;
+    if (buffers_alt_.empty()) buffers_alt_.resize(buffers_.size());
+    for (StripeAcc& acc : acc_) {
+      acc.cum_drops = 0;
+      acc.cum_dropped_weight = 0;
+    }
+    const std::uint64_t r0 = round_;
+    const auto bufs = [this](std::uint64_t i) {
+      return (i & 1) == 0 ? buffers_.data() : buffers_alt_.data();
+    };
+    const bool ran = run_pipeline(
+        exec_.stripes(), stripes, width, rounds, /*has_choose=*/false,
+        [&](std::uint32_t g, std::uint64_t i) {
+          throw_stripe(g, r0 + i, bufs(i));
+        },
+        [](std::uint32_t, std::uint64_t) {},
+        [&](std::uint32_t g, std::uint64_t i) {
+          commit_stripe(g, r0 + i, bufs(i));
+        });
+    if (!ran) return false;
+
+    // One reduction for the run: last round's stats from the per-round
+    // fields, cumulative drop accounting from the cum_* fields.
+    ball_count_t departures = 0;
+    ball_count_t total_drops = 0;
+    weighted_load_t total_dropped_w = 0;
+    max_load_ = 0;
+    empty_ = 0;
+    max_wload_ = 0;
+    max_utilization_ = 0.0;
+    std::fill(last_departures_by_class_.begin(),
+              last_departures_by_class_.end(), 0);
+    ball_count_t last_drops = 0;
+    for (std::uint32_t g = 0; g < stripes; ++g) {
+      const StripeAcc& acc = acc_[g];
+      departures += acc.departures;
+      last_drops += acc.drops;
+      total_drops += acc.cum_drops;
+      total_dropped_w += acc.cum_dropped_weight;
+      max_load_ = std::max(max_load_, acc.max);
+      empty_ += acc.zeros;
+      max_wload_ = std::max(max_wload_, acc.max_w);
+      max_utilization_ = std::max(max_utilization_, acc.max_util);
+      for (std::uint32_t c = 0; c < k; ++c) {
+        last_departures_by_class_[c] +=
+            class_acc_[static_cast<std::size_t>(g) * k + c];
+      }
+    }
+    last_departures_ = departures;
+    balls_ -= total_drops;
+    total_weight_ -= total_dropped_w;
+    dropped_balls_ += total_drops;
+    dropped_weight_ += total_dropped_w;
+    last_drops_ = last_drops;
+    if (total_drops != 0) obs::add(obs::Counter::kMixedDrops, total_drops);
+    round_ += rounds;
+    return true;
   }
 
   /// Sequential-path epilogue: totals, drop accounting, stats rescan.
@@ -595,7 +709,10 @@ class MixedProcessCore {
 
   /// buffers_[stripe * shard_count + target_shard]: packed arrivals
   /// thrown by `stripe` into `target_shard` this round.  Sharded only.
+  /// buffers_alt_ is the odd-parity twin of the pipelined path, sized
+  /// lazily on first use.
   std::vector<std::vector<std::uint64_t>> buffers_;
+  std::vector<std::vector<std::uint64_t>> buffers_alt_;
   std::vector<StripeAcc> acc_;
   std::vector<ball_count_t> class_acc_;  // stripes x k departure counts
 };

@@ -49,6 +49,7 @@
 
 #include "core/config.hpp"
 #include "core/kernel/exec.hpp"
+#include "core/kernel/pipeline.hpp"
 #include "core/kernel/stream.hpp"
 #include "core/kernel/token_store.hpp"
 #include "core/token_process.hpp"  // QueuePolicy, identity_placement
@@ -133,8 +134,15 @@ class TokenProcessCore {
     ++round_;
   }
 
-  /// Runs `rounds` rounds.
+  /// Runs `rounds` rounds.  Multi-round sharded runs take the pipelined
+  /// path (pipeline.hpp) when the executor can host a resident team and
+  /// RBB_PIPELINE is not 0; trajectories are bit-identical either way.
   void run(std::uint64_t rounds) {
+    if constexpr (kShardedExec) {
+      if (rounds > 1 && pipeline_enabled() && run_sharded_pipelined(rounds)) {
+        return;
+      }
+    }
     for (std::uint64_t t = 0; t < rounds; ++t) step();
   }
 
@@ -260,6 +268,9 @@ class TokenProcessCore {
       for (const auto& buf : buffers_) {
         bytes += buf.capacity() * sizeof(Arrival);
       }
+      for (const auto& buf : buffers_alt_) {
+        bytes += buf.capacity() * sizeof(Arrival);
+      }
       bytes += acc_.capacity() * sizeof(StripeAcc);
     }
     return bytes;
@@ -319,6 +330,12 @@ class TokenProcessCore {
               "TokenProcessCore: scatter buffer not drained");
         }
       }
+      for (const auto& buf : buffers_alt_) {
+        if (!buf.empty()) {
+          throw std::logic_error(
+              "TokenProcessCore: alternate scatter buffer not drained");
+        }
+      }
     }
   }
 
@@ -332,6 +349,7 @@ class TokenProcessCore {
     load_t max = 0;
     std::uint32_t zeros = 0;
     std::uint32_t newly_covered = 0;
+    std::uint32_t cum_newly_covered = 0;  // across a pipelined run
   };
 
   /// Scatter loops prefetch this many arrivals ahead: at mega n the
@@ -437,102 +455,119 @@ class TokenProcessCore {
     stats_dirty_ = true;  // recomputed lazily on the next stats query
   }
 
+  /// Phase 1 (throw) for one stripe of round r: releases the stripe's
+  /// queue heads in ascending bin order into its rows of `bufs` (the
+  /// parity-selected buffer base), so every buffer is filled sorted by
+  /// releasing bin.  A token sits in exactly one queue and a stripe
+  /// pops only its own bins' lists, so the store and progress_ writes
+  /// are stripe-exclusive.
+  void throw_stripe(std::uint32_t g, std::uint64_t r,
+                    std::vector<Arrival>* bufs)
+    requires kShardedExec
+  {
+    const obs::ScopedPhase phase_span(obs::Phase::kThrow);
+    const std::uint32_t n = bins_;
+    const ShardPlan& plan = exec_.plan();
+    std::vector<Arrival>* row =
+        bufs + static_cast<std::size_t>(g) * plan.shard_count();
+    const bin_index_t begin = plan.stripe_begin_bin(g);
+    const bin_index_t end = plan.stripe_end_bin(g);
+    // Releasing bins and their tokens bank into stack chunks; each
+    // flush draws the chunk's destinations from one gathered plane.
+    // Ascending-u push order per buffer is preserved, so the
+    // canonical arrival order is unchanged.
+    bin_index_t slot_buf[kDrawChunk];
+    std::uint32_t token_buf[kDrawChunk];
+    bin_index_t dest_buf[kDrawChunk];
+    std::uint32_t pending = 0;
+    const auto flush = [&] {
+      obs::add(obs::Counter::kChunkFlushes);
+      stream_.fill_gather(r, slot_buf, 0, pending, n, dest_buf);
+      for (std::uint32_t i = 0; i < pending; ++i) {
+        const bin_index_t dest = dest_buf[i];
+        row[plan.shard_of(dest)].push_back(Arrival{dest, token_buf[i]});
+      }
+      pending = 0;
+    };
+    for (bin_index_t u = begin; u < end; ++u) {
+      if (u + kPrefetchAhead < end) prefetch_release(u + kPrefetchAhead);
+      if (store_.empty(u)) continue;
+      const std::uint32_t token = release_counter(u, r);
+      ++progress_[token];
+      slot_buf[pending] = u;
+      token_buf[pending] = token;
+      if (++pending == kDrawChunk) flush();
+    }
+    if (pending > 0) flush();
+  }
+
+  /// Phase 2 (commit) for one stripe: drains `bufs` buffers addressed
+  /// to its shards in ascending source-stripe order so every bin
+  /// enqueues its arrivals sorted by releasing bin -- the canonical
+  /// order the sequential sibling realizes by construction.  A token
+  /// arrives in exactly one buffer and a stripe pushes only into its
+  /// own shards' lists, so the store and visited_ writes are
+  /// stripe-exclusive.
+  void commit_stripe(std::uint32_t g, std::uint64_t r,
+                     std::vector<Arrival>* bufs)
+    requires kShardedExec
+  {
+    const obs::ScopedPhase phase_span(obs::Phase::kCommit);
+    const ShardPlan& plan = exec_.plan();
+    const std::uint32_t shard_count = plan.shard_count();
+    StripeAcc& acc = acc_[g];
+    acc.max = 0;
+    acc.zeros = 0;
+    acc.newly_covered = 0;
+    for (std::uint32_t s = plan.stripe_begin_shard(g);
+         s < plan.stripe_end_shard(g); ++s) {
+      for (std::uint32_t src = 0; src < plan.stripe_count(); ++src) {
+        std::vector<Arrival>& buf =
+            bufs[static_cast<std::size_t>(src) * shard_count + s];
+        const std::size_t arrivals = buf.size();
+        for (std::size_t i = 0; i < arrivals; ++i) {
+          if (i + kPrefetchAhead < arrivals) {
+            const Arrival& ahead = buf[i + kPrefetchAhead];
+            store_.prefetch_bin(ahead.dest);
+            store_.prefetch_slot(ahead.token);
+          }
+          const Arrival& arrival = buf[i];
+          store_.push(arrival.dest, arrival.token);
+          if (mark_visited(arrival.token, arrival.dest, r + 1)) {
+            ++acc.newly_covered;
+          }
+        }
+        buf.clear();
+      }
+      const std::uint64_t rs0 = obs::enabled() ? obs::now_ns() : 0;
+      for (bin_index_t u = plan.shard_begin(s); u < plan.shard_end(s); ++u) {
+        const auto load = static_cast<load_t>(store_.count(u));
+        if (load == 0) {
+          ++acc.zeros;
+        } else if (load > acc.max) {
+          acc.max = load;
+        }
+      }
+      if (rs0 != 0) {
+        const std::uint64_t rs1 = obs::now_ns();
+        obs::add_phase_ns(obs::Phase::kRescan, rs1 - rs0);
+        obs::record_span("rescan", rs0, rs1);
+      }
+    }
+    acc.cum_newly_covered += acc.newly_covered;
+  }
+
   void step_sharded()
     requires kShardedExec
   {
-    const std::uint32_t n = bins_;
     const std::uint64_t r = round_;
     const ShardPlan& plan = exec_.plan();
-    const std::uint32_t shard_count = plan.shard_count();
 
-    // Phase 1 (throw): each stripe releases its queue heads in
-    // ascending bin order, so every buffer is filled sorted by
-    // releasing bin.  A token sits in exactly one queue and a stripe
-    // pops only its own bins' lists, so the store and progress_ writes
-    // are stripe-exclusive.
     exec_.stripes().for_stripes(plan.stripe_count(), [&](std::uint32_t g) {
-      const obs::ScopedPhase phase_span(obs::Phase::kThrow);
-      std::vector<Arrival>* row =
-          &buffers_[static_cast<std::size_t>(g) * shard_count];
-      const bin_index_t begin = plan.stripe_begin_bin(g);
-      const bin_index_t end = plan.stripe_end_bin(g);
-      // Releasing bins and their tokens bank into stack chunks; each
-      // flush draws the chunk's destinations from one gathered plane.
-      // Ascending-u push order per buffer is preserved, so the
-      // canonical arrival order is unchanged.
-      bin_index_t slot_buf[kDrawChunk];
-      std::uint32_t token_buf[kDrawChunk];
-      bin_index_t dest_buf[kDrawChunk];
-      std::uint32_t pending = 0;
-      const auto flush = [&] {
-        obs::add(obs::Counter::kChunkFlushes);
-        stream_.fill_gather(r, slot_buf, 0, pending, n, dest_buf);
-        for (std::uint32_t i = 0; i < pending; ++i) {
-          const bin_index_t dest = dest_buf[i];
-          row[plan.shard_of(dest)].push_back(Arrival{dest, token_buf[i]});
-        }
-        pending = 0;
-      };
-      for (bin_index_t u = begin; u < end; ++u) {
-        if (u + kPrefetchAhead < end) prefetch_release(u + kPrefetchAhead);
-        if (store_.empty(u)) continue;
-        const std::uint32_t token = release_counter(u, r);
-        ++progress_[token];
-        slot_buf[pending] = u;
-        token_buf[pending] = token;
-        if (++pending == kDrawChunk) flush();
-      }
-      if (pending > 0) flush();
+      throw_stripe(g, r, buffers_.data());
     });
-
-    // Phase 2 (commit): drain buffers in ascending source-stripe order
-    // so every bin enqueues its arrivals sorted by releasing bin -- the
-    // canonical order the sequential sibling realizes by construction.
-    // A token arrives in exactly one buffer and a stripe pushes only
-    // into its own shards' lists, so the store and visited_ writes are
-    // stripe-exclusive.
     exec_.stripes().for_stripes(plan.stripe_count(), [&](std::uint32_t g) {
-      const obs::ScopedPhase phase_span(obs::Phase::kCommit);
-      StripeAcc& acc = acc_[g];
-      acc.max = 0;
-      acc.zeros = 0;
-      acc.newly_covered = 0;
-      for (std::uint32_t s = plan.stripe_begin_shard(g);
-           s < plan.stripe_end_shard(g); ++s) {
-        for (std::uint32_t src = 0; src < plan.stripe_count(); ++src) {
-          std::vector<Arrival>& buf =
-              buffers_[static_cast<std::size_t>(src) * shard_count + s];
-          const std::size_t arrivals = buf.size();
-          for (std::size_t i = 0; i < arrivals; ++i) {
-            if (i + kPrefetchAhead < arrivals) {
-              const Arrival& ahead = buf[i + kPrefetchAhead];
-              store_.prefetch_bin(ahead.dest);
-              store_.prefetch_slot(ahead.token);
-            }
-            const Arrival& arrival = buf[i];
-            store_.push(arrival.dest, arrival.token);
-            if (mark_visited(arrival.token, arrival.dest, r + 1)) {
-              ++acc.newly_covered;
-            }
-          }
-          buf.clear();
-        }
-        const std::uint64_t rs0 = obs::enabled() ? obs::now_ns() : 0;
-        for (bin_index_t u = plan.shard_begin(s); u < plan.shard_end(s);
-             ++u) {
-          const auto load = static_cast<load_t>(store_.count(u));
-          if (load == 0) {
-            ++acc.zeros;
-          } else if (load > acc.max) {
-            acc.max = load;
-          }
-        }
-        if (rs0 != 0) {
-          const std::uint64_t rs1 = obs::now_ns();
-          obs::add_phase_ns(obs::Phase::kRescan, rs1 - rs0);
-          obs::record_span("rescan", rs0, rs1);
-        }
-      }
+      commit_stripe(g, r, buffers_.data());
     });
 
     max_load_ = 0;
@@ -543,6 +578,48 @@ class TokenProcessCore {
       covered_tokens_ += acc.newly_covered;
     }
     stats_dirty_ = false;  // the commit rescan just paid for them
+  }
+
+  /// The pipelined multi-round path (pipeline.hpp): one resident team,
+  /// buffers alternating by round parity, bit-identical to `rounds`
+  /// barriered steps.  The token-store happens-before chain is the
+  /// epoch protocol: a pop (throw, own bins) is ordered before the
+  /// committer's push of the same token by the released/acquired
+  /// throw_done epoch.  Returns false when no team can be hosted.
+  bool run_sharded_pipelined(std::uint64_t rounds)
+    requires kShardedExec
+  {
+    const ShardPlan& plan = exec_.plan();
+    const std::uint32_t stripes = plan.stripe_count();
+    const std::uint32_t width = std::min(stripes, exec_.stripes().team_width());
+    if (width < 2) return false;
+    if (buffers_alt_.empty()) buffers_alt_.resize(buffers_.size());
+    for (StripeAcc& acc : acc_) acc.cum_newly_covered = 0;
+    const std::uint64_t r0 = round_;
+    const auto bufs = [this](std::uint64_t i) {
+      return (i & 1) == 0 ? buffers_.data() : buffers_alt_.data();
+    };
+    const bool ran = run_pipeline(
+        exec_.stripes(), stripes, width, rounds, /*has_choose=*/false,
+        [&](std::uint32_t g, std::uint64_t i) {
+          throw_stripe(g, r0 + i, bufs(i));
+        },
+        [](std::uint32_t, std::uint64_t) {},
+        [&](std::uint32_t g, std::uint64_t i) {
+          commit_stripe(g, r0 + i, bufs(i));
+        });
+    if (!ran) return false;
+
+    max_load_ = 0;
+    empty_ = 0;
+    for (const StripeAcc& acc : acc_) {
+      max_load_ = std::max(max_load_, acc.max);
+      empty_ += acc.zeros;
+      covered_tokens_ += acc.cum_newly_covered;
+    }
+    stats_dirty_ = false;
+    round_ += rounds;
+    return true;
   }
 
   void rebuild_queues(const std::vector<bin_index_t>& placement) {
@@ -609,8 +686,10 @@ class TokenProcessCore {
   std::vector<bin_index_t> seq_dests_;
 
   /// buffers_[stripe * shard_count + target_shard], ascending releasing
-  /// bin within each buffer.  Sharded only.
+  /// bin within each buffer.  Sharded only.  buffers_alt_ is the
+  /// odd-parity twin of the pipelined path, sized lazily on first use.
   std::vector<std::vector<Arrival>> buffers_;
+  std::vector<std::vector<Arrival>> buffers_alt_;
   std::vector<StripeAcc> acc_;
 };
 

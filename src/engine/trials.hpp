@@ -36,4 +36,56 @@ void for_each_trial(std::uint32_t trials, std::uint64_t seed, Fn&& fn,
   });
 }
 
+/// How a sweep splits its thread budget between trial fan-out and
+/// intra-instance sharded rounds (the --trial-parallelism knob;
+/// RunContext::trial_plan derives one from the CLI).
+///
+/// trial_workers = 0 keeps the legacy behavior: trials fan out on the
+/// shared global pool and anything sharded inside a trial degrades to
+/// sequential under the nesting rule.  trial_workers >= 1 runs exactly
+/// that many concurrent trials, each holding a NestedParallelismGrant
+/// so the round kernel inside may still shard across `process_threads`
+/// threads of its own private pool -- trial x round nested parallelism
+/// without oversubscribing (trial_workers * process_threads is kept at
+/// or below the budget by the planner).
+struct TrialPlan {
+  std::uint32_t trial_workers = 0;  // 0 = legacy global-pool fan-out
+  unsigned process_threads = 1;     // ExecOptions::threads per instance
+};
+
+/// Plan-aware overload: like above, but the trial fan-out width follows
+/// `plan` (see TrialPlan).  Trial i still gets Rng(seed, i), and each
+/// trial writes only its own slot, so results stay bit-identical to the
+/// legacy overload for every plan.
+template <typename Fn>
+void for_each_trial(std::uint32_t trials, std::uint64_t seed, TrialPlan plan,
+                    Fn&& fn, ThreadPool* pool = nullptr) {
+  if (plan.trial_workers == 0) {
+    for_each_trial(trials, seed, std::forward<Fn>(fn), pool);
+    return;
+  }
+  if (plan.trial_workers == 1 || trials <= 1) {
+    // Sequential fan-out: the whole budget belongs to the instance, so
+    // no pool (and no grant) is needed at the trial level.
+    for (std::uint32_t trial = 0; trial < trials; ++trial) {
+      const obs::ScopedPhase trial_span(obs::Phase::kTrial);
+      Rng rng(seed, trial);
+      fn(trial, rng);
+    }
+    return;
+  }
+  // A private pool of trial_workers - 1 workers: the submitting thread
+  // drains batches too, so exactly trial_workers trials run at once.
+  ThreadPool trial_pool(plan.trial_workers - 1);
+  trial_pool.for_each(trials, [seed, &fn](std::uint64_t trial) {
+    const obs::ScopedPhase trial_span(obs::Phase::kTrial);
+    // The deliberate split: this trial owns process_threads of the
+    // budget, so the sharded round inside may host a team on its own
+    // pool instead of degrading to sequential (thread_pool.hpp).
+    const NestedParallelismGrant grant;
+    Rng rng(seed, trial);
+    fn(static_cast<std::uint32_t>(trial), rng);
+  });
+}
+
 }  // namespace rbb

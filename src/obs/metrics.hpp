@@ -69,6 +69,8 @@ enum class Phase : unsigned {
   kPoolTask,     // ThreadPool task bodies (invoke only, excludes waits)
   kRound,        // one engine round (includes the kernel phases)
   kTrial,        // one Monte-Carlo trial (includes its rounds)
+  kEpochWait,    // pipelined round loop: spins on a peer epoch counter
+  kOverlap,      // pipelined throw work done while a prior commit runs
   kCount,
 };
 
@@ -103,6 +105,8 @@ inline constexpr std::size_t kPhaseCount =
     case Phase::kPoolTask: return "pool_task";
     case Phase::kRound: return "round";
     case Phase::kTrial: return "trial";
+    case Phase::kEpochWait: return "epoch_wait";
+    case Phase::kOverlap: return "overlap";
     case Phase::kCount: break;
   }
   return "?";
@@ -122,15 +126,33 @@ struct MetricsSnapshot {
     return phase_ns[static_cast<std::size_t>(p)];
   }
 
-  /// Share of pool-related time spent waiting at the batch barrier:
-  /// barrier_wait / (barrier_wait + pool_task), 0 when the pool was
-  /// never used.  Near 0 = the thread axis is real work; near 1 = the
-  /// submitter mostly waits (or the pool mostly idles).
+  /// Share of pool-related time spent waiting for other threads:
+  /// (barrier_wait + epoch_wait) / (barrier_wait + pool_task), 0 when
+  /// the pool was never used.  Near 0 = the thread axis is real work;
+  /// near 1 = the submitter mostly waits (or the pool mostly idles).
+  /// Epoch-wait spins run inside team task bodies, so pool_task already
+  /// contains them and the denominator needs no extra term; with no
+  /// pipelining (epoch_wait == 0) this reduces exactly to the old
+  /// barrier_wait / (barrier_wait + pool_task).
   [[nodiscard]] double barrier_wait_fraction() const noexcept {
-    const double wait = static_cast<double>(phase(Phase::kBarrierWait));
-    const double busy = static_cast<double>(phase(Phase::kPoolTask));
-    const double denom = wait + busy;
+    const double wait = static_cast<double>(phase(Phase::kBarrierWait)) +
+                        static_cast<double>(phase(Phase::kEpochWait));
+    const double denom = static_cast<double>(phase(Phase::kBarrierWait)) +
+                         static_cast<double>(phase(Phase::kPoolTask));
     return denom > 0.0 ? wait / denom : 0.0;
+  }
+
+  /// How full the pipeline ran: overlap / (overlap + epoch_wait), where
+  /// `overlap` is throw-phase time spent while some peer was still
+  /// committing the previous round and `epoch_wait` is time spent
+  /// spinning on peer epochs.  1 = every wait was hidden behind useful
+  /// work; 0 = no overlap happened (barriered execution, one worker, or
+  /// telemetry off).
+  [[nodiscard]] double pipeline_fill_fraction() const noexcept {
+    const double overlap = static_cast<double>(phase(Phase::kOverlap));
+    const double denom =
+        overlap + static_cast<double>(phase(Phase::kEpochWait));
+    return denom > 0.0 ? overlap / denom : 0.0;
   }
 };
 

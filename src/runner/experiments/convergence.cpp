@@ -23,10 +23,11 @@ void register_convergence(Registry& registry) {
       "sweep reports the measured growth exponent.  Backend-capable "
       "(load-only family): --backend=sharded runs the same measurement "
       "on the src/par/ kernel (counter-RNG draws; same statistics, "
-      "different trajectories).  Trial-level parallelism owns the "
-      "cores, so the inner rounds run sequentially and --threads is "
-      "ignored here; per-round thread scaling is the sharded_scaling "
-      "experiment.";
+      "different trajectories).  --threads sets the total budget and "
+      "--trial-parallelism splits it between concurrent trials and "
+      "sharded rounds inside each trial (default: all of it fans out "
+      "across trials); per-round thread scaling in isolation is the "
+      "sharded_scaling experiment.";
   e.family = ProcessFamily::kLoadOnly;
   e.params = {
       {"beta", ParamSpec::Type::kF64, "4.0", "legitimacy constant"},
@@ -58,6 +59,7 @@ void register_convergence(Registry& registry) {
               std::llround(ctx.params.f64("ball-ratio") * n));
         }
         if (ctx.sharded()) p.backend = Backend::kSharded;
+        p.plan = ctx.trial_plan(trials);
         const ConvergenceResult r = run_convergence(p);
         table.row()
             .cell(std::uint64_t{n})

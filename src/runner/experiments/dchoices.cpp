@@ -44,6 +44,7 @@ void register_dchoices(Registry& registry) {
                            : StabilityProcess::kRepeatedDChoice;
         p.choices = d;
         if (ctx.sharded()) p.backend = Backend::kSharded;
+        p.plan = ctx.trial_plan(trials);
         const StabilityResult r = run_stability(p);
         table.row()
             .cell(std::uint64_t{n})

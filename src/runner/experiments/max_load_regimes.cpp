@@ -62,6 +62,7 @@ void register_max_load_regimes(Registry& registry) {
         p.seed = ctx.seed();
         p.start = InitialConfig::kOnePerBin;
         if (ctx.sharded()) p.backend = Backend::kSharded;
+        p.plan = ctx.trial_plan(trials);
         const StabilityResult r = run_stability(p);
         const double mean_load =
             std::ceil(static_cast<double>(p.balls) / static_cast<double>(n));

@@ -39,12 +39,19 @@ namespace rbb::runner {
 namespace {
 
 /// Wall seconds for `rounds` rounds of `proc` after one untimed warm-up
-/// round (faults in the arrays and sizes the scatter buffers).
+/// round (faults in the arrays and sizes the scatter buffers).  When the
+/// process has a batched run(), the whole block goes through it so the
+/// sharded kernels take the pipelined multi-round path -- the thing this
+/// experiment is meant to measure; step()-only processes keep the loop.
 template <typename Process>
 double time_rounds(Process& proc, std::uint64_t rounds) {
   proc.step();
   const auto t0 = std::chrono::steady_clock::now();
-  for (std::uint64_t r = 0; r < rounds; ++r) proc.step();
+  if constexpr (requires { proc.run(rounds); }) {
+    proc.run(rounds);
+  } else {
+    for (std::uint64_t r = 0; r < rounds; ++r) proc.step();
+  }
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
 }
@@ -64,8 +71,11 @@ void register_sharded_scaling(Registry& registry) {
       "sequential xoshiro kernel, the sequential counter-RNG sibling "
       "(isolating the RNG swap), and the sharded two-phase kernel "
       "(src/par/) at several worker counts.  One round of one instance "
-      "runs across all cores; trajectories are bit-identical for every "
-      "thread count and shard size.  n sweeps by scale up to 10^8 at "
+      "runs across all cores; the timed block is a single batched run() "
+      "so multi-round pipelining (double-buffered throw/commit overlap; "
+      "RBB_PIPELINE=0 falls back to the barriered rounds) is what gets "
+      "measured, and trajectories are bit-identical for every thread "
+      "count and shard size.  n sweeps by scale up to 10^8 at "
       "--scale=mega for all four variants (token rows are uncapped: the "
       "flat implicit-FIFO store is 8m + 12n bytes); --n times a single "
       "size instead.  --threads fixes a single worker count, otherwise "

@@ -24,8 +24,9 @@ void register_stability(Registry& registry) {
       "floor: 1/4), and the fraction of trials whose whole window stayed "
       "legitimate at beta = 4.  Backend-capable (load-only family): "
       "--backend=sharded runs the window on the src/par/ counter-RNG "
-      "kernel; trial-level parallelism owns the cores (--threads is a "
-      "single-instance knob).";
+      "kernel; --threads sets the total budget and --trial-parallelism "
+      "splits it between concurrent trials and sharded rounds inside "
+      "each trial.";
   e.family = ProcessFamily::kLoadOnly;
   e.params = {
       {"window-factor", ParamSpec::Type::kU64, "0",
@@ -64,6 +65,7 @@ void register_stability(Registry& registry) {
             std::llround(ctx.params.f64("ball-ratio") * n));
       }
       if (ctx.sharded()) p.backend = Backend::kSharded;
+      p.plan = ctx.trial_plan(trials);
       const StabilityResult r = run_stability(p);
       table.row()
           .cell(std::uint64_t{n})

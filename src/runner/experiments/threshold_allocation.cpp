@@ -59,6 +59,7 @@ void register_threshold_allocation(Registry& registry) {
         p.choices = probes;
         p.threshold = static_cast<std::uint32_t>(ctx.params.u64("threshold"));
         if (ctx.sharded()) p.backend = Backend::kSharded;
+        p.plan = ctx.trial_plan(trials);
         const StabilityResult r = run_stability(p);
         table.row()
             .cell(std::uint64_t{n})

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/trials.hpp"
 #include "runner/params.hpp"
 #include "runner/result.hpp"
 #include "support/scale.hpp"
@@ -58,6 +59,21 @@ struct RunContext {
     if (cli_trials != 0) return cli_trials;
     return by_scale(scale, smoke, dflt, paper);
   }
+
+  /// Splits the thread budget between trial fan-out and intra-instance
+  /// sharded rounds (--trial-parallelism; engine/trials.hpp).
+  ///
+  ///   auto, --threads unset   the legacy plan: trials fan out on the
+  ///                           shared pool, instances run sequential
+  ///   auto, --threads=T       min(trials, T) concurrent trials, each
+  ///                           instance sharded over T / that many
+  ///   K                       exactly min(trials, K) concurrent
+  ///                           trials; the budget (--threads, else all
+  ///                           hardware threads) is split evenly
+  ///
+  /// Throws std::invalid_argument on a malformed value (anything other
+  /// than "auto" or a positive integer).
+  [[nodiscard]] TrialPlan trial_plan(std::uint32_t trials) const;
 };
 
 /// Which process-core family an experiment's run function instantiates

@@ -132,7 +132,8 @@ std::string to_json(const RunMeta& meta, const ResultSet& rs) {
   out << "    \"threads_requested\": " << meta.parallelism.threads_requested
       << ",\n";
   out << "    \"runnable_threads\": " << meta.parallelism.runnable_threads
-      << "\n";
+      << ",\n";
+  out << "    \"repeat\": " << meta.parallelism.repeat << "\n";
   out << "  },\n";
   out << "  \"params\": {";
   for (std::size_t i = 0; i < meta.params.size(); ++i) {
@@ -159,6 +160,8 @@ std::string to_json(const RunMeta& meta, const ResultSet& rs) {
     out << (meta.metrics.phase_ns.empty() ? "},\n" : "\n    },\n");
     out << "    \"barrier_wait_fraction\": "
         << format_double(meta.metrics.barrier_wait_fraction, 6) << ",\n";
+    out << "    \"pipeline_fill_fraction\": "
+        << format_double(meta.metrics.pipeline_fill_fraction, 6) << ",\n";
     out << "    \"effective_parallelism\": "
         << meta.metrics.effective_parallelism << "\n";
     out << "  },\n";
@@ -224,7 +227,8 @@ std::string to_csv(const RunMeta& meta, const ResultSet& rs) {
   out << "# parallelism hardware_concurrency="
       << meta.parallelism.hardware_concurrency
       << " threads_requested=" << meta.parallelism.threads_requested
-      << " runnable_threads=" << meta.parallelism.runnable_threads << "\n";
+      << " runnable_threads=" << meta.parallelism.runnable_threads
+      << " repeat=" << meta.parallelism.repeat << "\n";
   for (const RunMeta::Param& param : meta.params) {
     out << "# param " << param.name << "=" << param.value << "\n";
   }
@@ -237,6 +241,8 @@ std::string to_csv(const RunMeta& meta, const ResultSet& rs) {
     }
     out << "# metric barrier_wait_fraction="
         << format_double(meta.metrics.barrier_wait_fraction, 6) << "\n";
+    out << "# metric pipeline_fill_fraction="
+        << format_double(meta.metrics.pipeline_fill_fraction, 6) << "\n";
     out << "# metric effective_parallelism="
         << meta.metrics.effective_parallelism << "\n";
   }
@@ -271,6 +277,8 @@ std::string to_text(const RunMeta& meta, const ResultSet& rs) {
     }
     out << "barrier_wait_fraction: "
         << format_double(meta.metrics.barrier_wait_fraction, 6) << "\n";
+    out << "pipeline_fill_fraction: "
+        << format_double(meta.metrics.pipeline_fill_fraction, 6) << "\n";
     out << "effective_parallelism: " << meta.metrics.effective_parallelism
         << "\n";
   }

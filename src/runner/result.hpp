@@ -77,6 +77,10 @@ struct RunMeta {
     std::uint32_t hardware_concurrency = 0;  // std::thread value, 0 unknown
     std::uint32_t threads_requested = 0;     // the --threads parameter
     std::uint32_t runnable_threads = 0;      // threads that can run tasks
+    /// The --repeat request: the run function executed this many times
+    /// and the serialized results/wall time are the fastest execution
+    /// (best-of-K timing discipline for perf rows).
+    std::uint64_t repeat = 1;
   };
 
   /// One scraped telemetry value (name as serialized).
@@ -93,6 +97,10 @@ struct RunMeta {
     std::vector<Metric> counters;   // catalogue order
     std::vector<Metric> phase_ns;   // catalogue order
     double barrier_wait_fraction = 0;
+    /// Share of epoch-synchronized time the pipelined round loop spent
+    /// doing overlapped work instead of spinning (obs/metrics.hpp);
+    /// exactly 0 for barriered runs.
+    double pipeline_fill_fraction = 0;
     std::uint32_t effective_parallelism = 0;  // min(runnable, hardware)
   };
 

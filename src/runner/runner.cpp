@@ -43,6 +43,13 @@ options for run / sweep:
                                 fraction, effective parallelism)
   --trace=FILE                  write the run's phase spans as
                                 Chrome-trace JSON (open in Perfetto)
+  --repeat=K                    execute the run K times, keep the
+                                fastest execution (best-of-K timing
+                                for perf rows; default: 1)
+  --trial-parallelism=auto|K    concurrent trials for Monte-Carlo
+                                experiments; the thread budget splits
+                                across trials, each instance's sharded
+                                rounds use the rest (default: auto)
   --<param>=value               any parameter of the experiment
                                 (see `rbb describe <experiment>`);
                                 under `sweep`, comma-separated values

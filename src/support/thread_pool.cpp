@@ -52,23 +52,51 @@ namespace {
 /// rule for nested for_each (see thread_pool.hpp).
 thread_local unsigned g_task_depth = 0;
 
+/// The pool whose task this thread is currently draining (innermost),
+/// so a NestedParallelismGrant can distinguish same-pool submissions
+/// (always inline -- deadlock rule) from cross-pool ones (parallel
+/// while granted).
+thread_local const ThreadPool* g_current_pool = nullptr;
+
+/// Count of live NestedParallelismGrant guards on this thread.
+thread_local unsigned g_grant_depth = 0;
+
 struct TaskDepthGuard {
-  TaskDepthGuard() noexcept { ++g_task_depth; }
-  ~TaskDepthGuard() { --g_task_depth; }
+  explicit TaskDepthGuard(const ThreadPool* pool) noexcept
+      : saved_pool_(g_current_pool) {
+    ++g_task_depth;
+    g_current_pool = pool;
+  }
+  ~TaskDepthGuard() {
+    --g_task_depth;
+    g_current_pool = saved_pool_;
+  }
   TaskDepthGuard(const TaskDepthGuard&) = delete;
   TaskDepthGuard& operator=(const TaskDepthGuard&) = delete;
+
+ private:
+  const ThreadPool* saved_pool_;
 };
 
 }  // namespace
 
 bool ThreadPool::inside_task() noexcept { return g_task_depth > 0; }
 
+bool ThreadPool::nested_allowed(const ThreadPool* target) noexcept {
+  if (g_task_depth == 0) return true;
+  return g_grant_depth > 0 && g_current_pool != target;
+}
+
+NestedParallelismGrant::NestedParallelismGrant() noexcept { ++g_grant_depth; }
+NestedParallelismGrant::~NestedParallelismGrant() { --g_grant_depth; }
+
 namespace {
 
 /// Claims and runs tasks from a batch until the index space is exhausted.
-/// Returns the number of tasks this thread completed.
-void drain_batch(ThreadPool::Batch& batch, std::mutex& mutex,
-                 std::condition_variable& batch_done) {
+/// `pool` is the pool the batch runs on (recorded per task for the
+/// nesting rule).
+void drain_batch(const ThreadPool* pool, ThreadPool::Batch& batch,
+                 std::mutex& mutex, std::condition_variable& batch_done) {
   for (;;) {
     const std::uint64_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= batch.task_count) return;
@@ -77,7 +105,7 @@ void drain_batch(ThreadPool::Batch& batch, std::mutex& mutex,
     // them before a scrape.
     const std::uint64_t t0 = obs::enabled() ? obs::now_ns() : 0;
     try {
-      const TaskDepthGuard depth;
+      const TaskDepthGuard depth(pool);
       batch.invoke(batch.context, i);
     } catch (...) {
       const std::lock_guard<std::mutex> lock(mutex);
@@ -107,8 +135,8 @@ void ThreadPool::parallel_for(std::uint64_t task_count,
 }
 
 void ThreadPool::run_batch(std::shared_ptr<Batch> batch) {
-  if (inside_task()) {
-    // Submission from inside a pool task (this pool's or another's):
+  if (!nested_allowed(this)) {
+    // Submission from inside a pool task without an applicable grant:
     // run inline, sequentially.  Parallelizing here would oversubscribe
     // (outer tasks x inner workers runnable threads) or, on the same
     // pool, deadlock -- the nesting rule in the header.
@@ -135,7 +163,7 @@ void ThreadPool::run_batch(std::shared_ptr<Batch> batch) {
   obs::add(obs::Counter::kPoolBatches);
 
   // The submitting thread participates in the work.
-  drain_batch(*batch, mutex_, batch_done_);
+  drain_batch(this, *batch, mutex_, batch_done_);
 
   // Everything past our own drain is barrier wait: the time the
   // submitter stalls on stragglers before the batch retires.
@@ -157,6 +185,45 @@ void ThreadPool::run_batch(std::shared_ptr<Batch> batch) {
   if (err) std::rethrow_exception(err);
 }
 
+bool ThreadPool::run_batch_team(std::shared_ptr<Batch> batch) {
+  // Where for_each degrades to inline execution, a team must refuse:
+  // inline means one thread runs the tasks sequentially, and team tasks
+  // block on each other's progress.
+  if (!nested_allowed(this)) return false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (current_ != nullptr) return false;
+    current_ = batch.get();
+    current_owner_ = batch;
+  }
+  work_available_.notify_all();
+  obs::add(obs::Counter::kPoolBatches);
+
+  // With task_count <= workers + 1 and dynamic claiming, every team
+  // task lands on a distinct thread: a thread claims a second task only
+  // after finishing its first, and team tasks do not finish until the
+  // whole team has progressed, so all tasks run concurrently.
+  drain_batch(this, *batch, mutex_, batch_done_);
+
+  const std::uint64_t w0 = obs::enabled() ? obs::now_ns() : 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  batch_done_.wait(lock, [&batch] {
+    return batch->done.load(std::memory_order_acquire) >= batch->task_count;
+  });
+  current_ = nullptr;
+  current_owner_.reset();
+  const std::exception_ptr err = batch->first_error;
+  lock.unlock();
+  if (w0 != 0) {
+    const std::uint64_t w1 = obs::now_ns();
+    obs::add_phase_ns(obs::Phase::kBarrierWait, w1 - w0);
+    obs::record_span("barrier_wait", w0, w1);
+  }
+  work_available_.notify_all();  // release workers parked on batch retire
+  if (err) std::rethrow_exception(err);
+  return true;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::shared_ptr<Batch> batch;
@@ -167,7 +234,7 @@ void ThreadPool::worker_loop() {
       if (shutting_down_) return;
       batch = current_owner_;  // keep the batch alive while we work on it
     }
-    if (batch) drain_batch(*batch, mutex_, batch_done_);
+    if (batch) drain_batch(this, *batch, mutex_, batch_done_);
     // Wait until this batch is retired so we do not busy-spin re-claiming
     // an exhausted index space.  The wait is captured as a per-worker
     // trace span only (its tail runs concurrently with the submitter's

@@ -11,18 +11,24 @@
 // ownership) and keeps every scientific result reproducible.
 //
 // Nesting rule (how trial-level fan-out composes with a sharded round):
-// a for_each issued from *inside* any pool task runs inline on the
-// calling thread, sequentially -- whether it targets the same pool or a
-// different one.  One level of the hierarchy gets the hardware; inner
-// levels degrade to sequential instead of oversubscribing (T trial
-// workers x N shard workers threads).  Consequently a sharded process
-// driven under for_each_trial simply becomes a sequential kernel per
-// trial, with the trial sweep owning all cores -- and the results are
-// identical either way, because both layers are deterministic by
-// construction.  The same rule is why ThreadPool::global() reserves one
-// slot for the submitting thread: run_batch participates in draining its
-// own batch, so a pool of hardware_concurrency workers plus the
-// submitter would leave hardware_concurrency + 1 runnable threads.
+// by default a for_each issued from *inside* any pool task runs inline
+// on the calling thread, sequentially -- whether it targets the same
+// pool or a different one.  One level of the hierarchy gets the
+// hardware; inner levels degrade to sequential instead of
+// oversubscribing (T trial workers x N shard workers threads).
+// Submissions to the *same* pool always inline (parallelizing them
+// would deadlock on the pool's own workers).  A caller that has split
+// the hardware budget deliberately -- trial fan-out on a small private
+// pool, each trial driving a sharded process on its own pool
+// (--trial-parallelism) -- opts inner levels back in by holding a
+// NestedParallelismGrant: while a grant is active on the thread,
+// submissions to a *different* pool run parallel instead of inline.
+// Results are identical either way, because both layers are
+// deterministic by construction.  The same accounting is why
+// ThreadPool::global() reserves one slot for the submitting thread:
+// run_batch participates in draining its own batch, so a pool of
+// hardware_concurrency workers plus the submitter would leave
+// hardware_concurrency + 1 runnable threads.
 #pragma once
 
 #include <atomic>
@@ -73,6 +79,29 @@ class ThreadPool {
   void parallel_for(std::uint64_t task_count,
                     const std::function<void(std::uint64_t)>& fn);
 
+  /// Runs fn(i) for every i in [0, count) with every task *resident on
+  /// its own thread for the batch's whole lifetime* -- the contract the
+  /// pipelined round loop's epoch protocol needs (long-lived team tasks
+  /// that synchronize with each other must all be runnable at once).
+  /// Requires count <= thread_count() + 1 (the submitter participates);
+  /// returns false WITHOUT RUNNING ANYTHING when the team cannot be
+  /// guaranteed concurrent: too many tasks, the pool is mid-batch, or
+  /// the call comes from inside a pool task without an applicable
+  /// NestedParallelismGrant.  Callers fall back to their barriered path
+  /// on false.  Exceptions from team tasks are rethrown like for_each.
+  template <typename Fn>
+  bool run_team(std::uint64_t count, Fn&& fn) {
+    if (count == 0) return true;
+    if (count > static_cast<std::uint64_t>(thread_count()) + 1) return false;
+    auto batch = std::make_shared<Batch>();
+    batch->task_count = count;
+    batch->context = std::addressof(fn);
+    batch->invoke = [](void* context, std::uint64_t i) {
+      (*static_cast<std::remove_reference_t<Fn>*>(context))(i);
+    };
+    return run_batch_team(std::move(batch));
+  }
+
   [[nodiscard]] unsigned thread_count() const noexcept {
     return static_cast<unsigned>(workers_.size());
   }
@@ -91,6 +120,13 @@ class ThreadPool {
   /// nesting rule in the header comment.
   [[nodiscard]] static bool inside_task() noexcept;
 
+  /// True when a submission to `target` from the calling thread may run
+  /// parallel: not inside any pool task, or inside one while a
+  /// NestedParallelismGrant is active and `target` is not the pool
+  /// whose task this thread is running (same-pool nesting always
+  /// inlines -- it would deadlock otherwise).
+  [[nodiscard]] static bool nested_allowed(const ThreadPool* target) noexcept;
+
   /// One submitted for_each call: an index space plus a context/function-
   /// pointer pair erased once per batch (public only for internal
   /// linkage; not part of the API).
@@ -108,6 +144,12 @@ class ThreadPool {
   /// completion, and rethrows the first captured task exception.
   void run_batch(std::shared_ptr<Batch> batch);
 
+  /// run_team's backend: like run_batch, but where for_each would
+  /// degrade to inline execution (nested without a grant, pool busy)
+  /// this refuses instead -- inline execution cannot satisfy the
+  /// all-tasks-concurrent contract.  Returns true iff the team ran.
+  bool run_batch_team(std::shared_ptr<Batch> batch);
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
@@ -122,5 +164,20 @@ class ThreadPool {
 /// Convenience: run fn(i) for i in [0, task_count) on the global pool.
 void parallel_for(std::uint64_t task_count,
                   const std::function<void(std::uint64_t)>& fn);
+
+/// RAII opt-in to one extra level of pool nesting on this thread: while
+/// alive, for_each/run_team submissions to a pool *other than the one
+/// whose task the thread is running* execute parallel instead of inline.
+/// Held by the trial fan-out wrapper when --trial-parallelism splits the
+/// hardware budget between trials and intra-instance shards; same-pool
+/// submissions still inline unconditionally (deadlock rule).  Grants
+/// stack (nesting the guard is harmless) and are strictly per-thread.
+class NestedParallelismGrant {
+ public:
+  NestedParallelismGrant() noexcept;
+  ~NestedParallelismGrant();
+  NestedParallelismGrant(const NestedParallelismGrant&) = delete;
+  NestedParallelismGrant& operator=(const NestedParallelismGrant&) = delete;
+};
 
 }  // namespace rbb

@@ -144,6 +144,38 @@ TEST_F(MetricsTest, BarrierWaitFractionDividesWaitByWaitPlusBusy) {
   EXPECT_DOUBLE_EQ(snap.barrier_wait_fraction(), 0.25);
 }
 
+TEST_F(MetricsTest, BarrierWaitFractionFoldsInEpochWait) {
+  // Pipelined runs spin inside team task bodies (kEpochWait is a slice
+  // of kPoolTask), so the fraction adds the spin to the numerator only.
+  // With zero epoch_wait -- every barriered run -- the value reduces to
+  // the pre-pipeline formula, pinned by the test above.
+  MetricsSnapshot snap;
+  snap.phase_ns[static_cast<std::size_t>(Phase::kBarrierWait)] = 25;
+  snap.phase_ns[static_cast<std::size_t>(Phase::kPoolTask)] = 75;
+  snap.phase_ns[static_cast<std::size_t>(Phase::kEpochWait)] = 15;
+  EXPECT_DOUBLE_EQ(snap.barrier_wait_fraction(), 0.40);
+}
+
+TEST_F(MetricsTest, PipelineFillFractionIsZeroWithoutPipelinedRounds) {
+  // The no-overlap pin: barriered execution records neither kOverlap
+  // nor kEpochWait, so the fraction stays exactly 0 and the metrics
+  // block of old runs is unchanged.
+  const MetricsSnapshot empty;
+  EXPECT_EQ(empty.pipeline_fill_fraction(), 0.0);
+  MetricsSnapshot barriered;
+  barriered.phase_ns[static_cast<std::size_t>(Phase::kBarrierWait)] = 25;
+  barriered.phase_ns[static_cast<std::size_t>(Phase::kPoolTask)] = 75;
+  EXPECT_EQ(barriered.pipeline_fill_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(barriered.barrier_wait_fraction(), 0.25);
+}
+
+TEST_F(MetricsTest, PipelineFillFractionDividesOverlapByOverlapPlusWait) {
+  MetricsSnapshot snap;
+  snap.phase_ns[static_cast<std::size_t>(Phase::kOverlap)] = 30;
+  snap.phase_ns[static_cast<std::size_t>(Phase::kEpochWait)] = 10;
+  EXPECT_DOUBLE_EQ(snap.pipeline_fill_fraction(), 0.75);
+}
+
 TEST_F(MetricsTest, CatalogueNamesAreStableJsonKeys) {
   // The serialized schema is append-only: renaming a counter or phase
   // breaks every consumer of `metrics.counters` / `metrics.phase_ns`.
@@ -152,6 +184,8 @@ TEST_F(MetricsTest, CatalogueNamesAreStableJsonKeys) {
                "trace_events_dropped");
   EXPECT_STREQ(to_string(Phase::kBarrierWait), "barrier_wait");
   EXPECT_STREQ(to_string(Phase::kTrial), "trial");
+  EXPECT_STREQ(to_string(Phase::kEpochWait), "epoch_wait");
+  EXPECT_STREQ(to_string(Phase::kOverlap), "overlap");
   for (std::size_t c = 0; c < kCounterCount; ++c) {
     EXPECT_STRNE(to_string(static_cast<Counter>(c)), "?");
   }

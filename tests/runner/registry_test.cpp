@@ -67,7 +67,7 @@ TEST(Registry, NamesAreUniqueAndDeclarationsComplete) {
     EXPECT_TRUE(static_cast<bool>(e.run)) << e.name << " has no run fn";
     // The registry prepends the common Monte-Carlo, backend, and
     // telemetry knobs.
-    ASSERT_GE(e.params.size(), 6u) << e.name;
+    ASSERT_GE(e.params.size(), 8u) << e.name;
     EXPECT_EQ(e.params[0].name, "seed") << e.name;
     EXPECT_EQ(e.params[1].name, "trials") << e.name;
     EXPECT_EQ(e.params[2].name, "backend") << e.name;
@@ -76,6 +76,10 @@ TEST(Registry, NamesAreUniqueAndDeclarationsComplete) {
     EXPECT_EQ(e.params[4].name, "metrics") << e.name;
     EXPECT_EQ(e.params[4].type, ParamSpec::Type::kFlag) << e.name;
     EXPECT_EQ(e.params[5].name, "trace") << e.name;
+    EXPECT_EQ(e.params[6].name, "repeat") << e.name;
+    EXPECT_EQ(e.params[6].default_value, "1") << e.name;
+    EXPECT_EQ(e.params[7].name, "trial-parallelism") << e.name;
+    EXPECT_EQ(e.params[7].default_value, "auto") << e.name;
     for (const ParamSpec& spec : e.params) {
       EXPECT_FALSE(spec.help.empty())
           << e.name << " --" << spec.name << " has no help text";
@@ -137,7 +141,8 @@ TEST(Registry, AddRejectsBadDeclarations) {
   // parameter assignment (or shadow a prepended common spec) and be
   // silently unsettable.
   for (const char* reserved :
-       {"backend", "threads", "metrics", "trace", "scale", "format", "out",
+       {"backend", "threads", "metrics", "trace", "repeat",
+        "trial-parallelism", "scale", "format", "out",
         "check", "help"}) {
     Experiment clash;
     clash.name = std::string("clash_") + reserved;
@@ -160,6 +165,59 @@ TEST(Registry, RunProducesTablesAtTinyScale) {
   ASSERT_EQ(rs.tables().size(), 1u);
   EXPECT_EQ(rs.tables().front().id, "E1_stability");
   EXPECT_EQ(rs.tables().front().data.row_count(), 1u);
+}
+
+TEST(Registry, RepeatKeepsOneExecutionAndRecordsTheCount) {
+  const Experiment* e = default_registry().find("stability");
+  ASSERT_NE(e, nullptr);
+  ParamValues values(e->params);
+  ASSERT_TRUE(values.set("trials", "1"));
+  ASSERT_TRUE(values.set("n", "32"));
+  ASSERT_TRUE(values.set("window-factor", "2"));
+  ASSERT_TRUE(values.set("repeat", "3"));
+  const CompletedRun run = run_experiment(*e, values, BenchScale::kSmoke);
+  // Best-of-3 serializes exactly one execution's tables (trials are
+  // seed-deterministic, so all three computed the same rows).
+  ASSERT_EQ(run.results.tables().size(), 1u);
+  EXPECT_EQ(run.results.tables().front().data.row_count(), 1u);
+  EXPECT_EQ(run.meta.parallelism.repeat, 3u);
+  EXPECT_GE(run.meta.wall_seconds, 0.0);
+
+  ASSERT_TRUE(values.set("repeat", "0"));
+  EXPECT_THROW(run_experiment(*e, values, BenchScale::kSmoke),
+               std::invalid_argument);
+}
+
+TEST(Registry, TrialPlanSplitsTheThreadBudget) {
+  const Experiment* e = default_registry().find("stability");
+  ASSERT_NE(e, nullptr);
+  ParamValues values(e->params);
+  const RunContext ctx{values, BenchScale::kSmoke};
+
+  // auto + --threads unset: the legacy shared-pool fan-out.
+  EXPECT_EQ(ctx.trial_plan(8).trial_workers, 0u);
+
+  // auto + an explicit budget: min(trials, budget) concurrent trials,
+  // the budget split evenly across them.
+  ASSERT_TRUE(values.set("threads", "8"));
+  EXPECT_EQ(ctx.trial_plan(4).trial_workers, 4u);
+  EXPECT_EQ(ctx.trial_plan(4).process_threads, 2u);
+  EXPECT_EQ(ctx.trial_plan(100).trial_workers, 8u);
+  EXPECT_EQ(ctx.trial_plan(100).process_threads, 1u);
+
+  // Explicit width: the fan-out is pinned, the rest goes per-instance.
+  ASSERT_TRUE(values.set("trial-parallelism", "2"));
+  EXPECT_EQ(ctx.trial_plan(100).trial_workers, 2u);
+  EXPECT_EQ(ctx.trial_plan(100).process_threads, 4u);
+  ASSERT_TRUE(values.set("trial-parallelism", "1"));
+  EXPECT_EQ(ctx.trial_plan(100).trial_workers, 1u);
+  EXPECT_EQ(ctx.trial_plan(100).process_threads, 8u);
+
+  // Malformed values fail loudly.
+  ASSERT_TRUE(values.set("trial-parallelism", "fast"));
+  EXPECT_THROW(ctx.trial_plan(4), std::invalid_argument);
+  ASSERT_TRUE(values.set("trial-parallelism", "0"));
+  EXPECT_THROW(ctx.trial_plan(4), std::invalid_argument);
 }
 
 TEST(Registry, SeedChangesResults) {

@@ -30,7 +30,8 @@ RunMeta golden_meta() {
   meta.wall_seconds = 0.125;
   meta.parallelism = {.hardware_concurrency = 8,
                       .threads_requested = 2,
-                      .runnable_threads = 2};
+                      .runnable_threads = 2,
+                      .repeat = 3};
   return meta;
 }
 
@@ -59,7 +60,8 @@ TEST(SerializationGolden, Json) {
   "parallelism": {
     "hardware_concurrency": 8,
     "threads_requested": 2,
-    "runnable_threads": 2
+    "runnable_threads": 2,
+    "repeat": 3
   },
   "params": {
     "seed": 7,
@@ -98,7 +100,7 @@ TEST(SerializationGolden, Csv) {
       "# git_rev=deadbeef\n"
       "# wall_time_s=0.125\n"
       "# parallelism hardware_concurrency=8 threads_requested=2 "
-      "runnable_threads=2\n"
+      "runnable_threads=2 repeat=3\n"
       "# param seed=7\n"
       "# param trials=2\n"
       "# param beta=4.0\n"
@@ -143,6 +145,7 @@ TEST(SerializationGolden, MetricsBlockIsAdditive) {
   meta.metrics.counters = {{"lemire_retries", 0}, {"pool_tasks", 42}};
   meta.metrics.phase_ns = {{"throw", 1200}, {"barrier_wait", 30}};
   meta.metrics.barrier_wait_fraction = 0.25;
+  meta.metrics.pipeline_fill_fraction = 0.75;
   meta.metrics.effective_parallelism = 2;
   const std::string with = to_json(meta, rs);
   const char* expected_block =
@@ -156,6 +159,7 @@ TEST(SerializationGolden, MetricsBlockIsAdditive) {
       "      \"barrier_wait\": 30\n"
       "    },\n"
       "    \"barrier_wait_fraction\": 0.250000,\n"
+      "    \"pipeline_fill_fraction\": 0.750000,\n"
       "    \"effective_parallelism\": 2\n"
       "  },\n";
   EXPECT_NE(with.find(expected_block), std::string::npos);
