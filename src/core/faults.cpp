@@ -70,6 +70,90 @@ LoadConfig apply_partial_fault(const LoadConfig& current, std::uint64_t k) {
   return q;
 }
 
+std::vector<load_t> apply_fault_mixed(FaultStrategy strategy,
+                                      std::uint32_t bins,
+                                      std::uint32_t classes,
+                                      const std::vector<load_t>& current,
+                                      const std::vector<load_t>& capacities,
+                                      Rng& rng) {
+  if (bins == 0 || classes == 0) {
+    throw std::invalid_argument("apply_fault_mixed: empty shape");
+  }
+  if (current.size() != static_cast<std::size_t>(bins) * classes ||
+      capacities.size() != bins) {
+    throw std::invalid_argument("apply_fault_mixed: mismatched tables");
+  }
+
+  std::vector<load_t> result(current.size(), 0);
+  std::vector<load_t> load(bins, 0);  // per-bin totals of `result`
+  const auto has_room = [&](std::uint32_t u) {
+    return capacities[u] == 0 || load[u] < capacities[u];
+  };
+  // Places one ball of class c at `preferred`, spilling ascending
+  // (wrapping) to the next bin with room.  The process invariant
+  // guarantees total balls <= total capacity, so the probe terminates.
+  const auto place = [&](std::uint32_t c, std::uint32_t preferred) {
+    std::uint32_t u = preferred;
+    while (!has_room(u)) u = (u + 1) % bins;
+    ++result[static_cast<std::size_t>(u) * classes + c];
+    ++load[u];
+  };
+
+  // The i-th ball (class-ascending order) goes to the strategy's i-th
+  // preferred bin; pairing is deterministic given the strategy draws.
+  std::uint64_t i = 0;
+  const auto for_each_ball = [&](auto&& preferred_of) {
+    for (std::uint32_t c = 0; c < classes; ++c) {
+      std::uint64_t total = 0;
+      for (std::uint32_t u = 0; u < bins; ++u) {
+        total += current[static_cast<std::size_t>(u) * classes + c];
+      }
+      for (std::uint64_t b = 0; b < total; ++b, ++i) {
+        place(c, preferred_of(i));
+      }
+    }
+  };
+
+  switch (strategy) {
+    case FaultStrategy::kAllToOne:
+      // Bin 0 to its cap, then spill ascending: the capacity-aware
+      // analogue of the all-in-one worst case.
+      for_each_ball([](std::uint64_t) { return 0u; });
+      break;
+    case FaultStrategy::kRandom:
+      for_each_ball([&](std::uint64_t) { return rng.index(bins); });
+      break;
+    case FaultStrategy::kHalfBins: {
+      const std::uint32_t half = std::max<std::uint32_t>(1, bins / 2);
+      for_each_ball([half](std::uint64_t ball) {
+        return static_cast<std::uint32_t>(ball % half);
+      });
+      break;
+    }
+    case FaultStrategy::kReverseSort: {
+      // Re-apply the heaviest existing per-bin totals to the lowest
+      // indices: sort the current profile descending and use it as a
+      // run-length preference sequence.
+      std::vector<load_t> profile(bins, 0);
+      for (std::uint32_t u = 0; u < bins; ++u) {
+        for (std::uint32_t c = 0; c < classes; ++c) {
+          profile[u] += current[static_cast<std::size_t>(u) * classes + c];
+        }
+      }
+      std::sort(profile.begin(), profile.end(), std::greater<>());
+      std::vector<std::uint32_t> prefix;  // ball index -> preferred bin
+      for (std::uint32_t u = 0; u < bins; ++u) {
+        for (load_t j = 0; j < profile[u]; ++j) prefix.push_back(u);
+      }
+      for_each_ball([&prefix](std::uint64_t ball) {
+        return ball < prefix.size() ? prefix[ball] : 0u;
+      });
+      break;
+    }
+  }
+  return result;
+}
+
 std::vector<std::uint32_t> apply_fault_tokens(FaultStrategy strategy,
                                               std::uint32_t bins,
                                               std::uint32_t tokens, Rng& rng) {

@@ -14,6 +14,7 @@
 
 #include "core/config.hpp"
 #include "support/rng.hpp"
+#include "support/types.hpp"
 
 namespace rbb {
 
@@ -39,6 +40,21 @@ enum class FaultStrategy {
 /// Produces post-fault *token positions* (token i -> bin) for m tokens.
 [[nodiscard]] std::vector<std::uint32_t> apply_fault_tokens(
     FaultStrategy strategy, std::uint32_t bins, std::uint32_t tokens,
+    Rng& rng);
+
+/// Produces a post-fault bin-major per-class count table (n * classes)
+/// for the mixed-regime process.  Per-class totals are preserved (the
+/// adversary relocates, never mints) and every finite capacity in
+/// `capacities` is honored: a strategy placement that would overflow a
+/// full bin deterministically spills to the next bin with room in
+/// ascending order (wrapping), so the result is always accepted by
+/// MixedProcessCore::reassign.  `current` must be the live census; its
+/// totals fit under the capacities by the process invariant, so a slot
+/// always exists.  O(balls) -- fault injection runs outside any hot
+/// loop.
+[[nodiscard]] std::vector<load_t> apply_fault_mixed(
+    FaultStrategy strategy, std::uint32_t bins, std::uint32_t classes,
+    const std::vector<load_t>& current, const std::vector<load_t>& capacities,
     Rng& rng);
 
 /// Partial fault: the adversary moves only `k` balls (taken from the

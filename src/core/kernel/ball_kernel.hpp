@@ -63,6 +63,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/bounds.hpp"
+#include "support/serial.hpp"
 #include "support/types.hpp"
 
 namespace rbb::kernel {
@@ -280,6 +281,66 @@ class BallProcessCore {
       throw std::invalid_argument("reassign: bin count mismatch");
     }
     loads_ = q;
+    recompute_stats();
+  }
+
+  /// Serializes the complete trajectory state (DESIGN.md Sect. 7).
+  /// Counter streams draw by (seed, round, slot), so loads + round +
+  /// the variant's cumulative bookkeeping close the state: restore()
+  /// into an identically-constructed process continues bit-identically.
+  /// Round-boundary only -- check_invariants() proves the scatter
+  /// buffers are always drained there, so they are never serialized.
+  void snapshot(serial::ByteWriter& w) const
+    requires Stream::kScheduleFree
+  {
+    w.u64(round_);
+    w.u64(balls_);
+    w.u32(last_departures_);
+    w.u64(last_arrivals_);
+    w.vec(loads_);
+    if constexpr (kKind == BallVariantKind::kTetris) {
+      w.vec(variant_.first_empty_);
+    }
+  }
+
+  /// Inverse of snapshot().  The target must be constructed with the
+  /// same configuration shape (the checkpoint layer verifies family,
+  /// n, m, seed, and options digest before calling); shape or
+  /// conservation mismatches throw std::invalid_argument and leave no
+  /// partial state observable to step().
+  void restore(serial::ByteReader& r)
+    requires Stream::kScheduleFree
+  {
+    const std::uint64_t round = r.u64();
+    const std::uint64_t balls = r.u64();
+    const std::uint32_t last_departures = r.u32();
+    const std::uint64_t last_arrivals = r.u64();
+    LoadConfig loads;
+    r.vec(loads);
+    if (loads.size() != loads_.size()) {
+      throw std::invalid_argument("restore: bin count mismatch");
+    }
+    if (rbb::total_balls(loads) != balls) {
+      throw std::invalid_argument("restore: ball count inconsistent");
+    }
+    if constexpr (kKind == BallVariantKind::kTetris) {
+      std::vector<std::uint64_t> first_empty;
+      r.vec(first_empty);
+      if (first_empty.size() != loads.size()) {
+        throw std::invalid_argument("restore: first-empty size mismatch");
+      }
+      variant_.first_empty_ = std::move(first_empty);
+      std::uint32_t unseen = 0;
+      for (const std::uint64_t fe : variant_.first_empty_) {
+        if (fe == kNeverEmptied) ++unseen;
+      }
+      variant_.not_yet_emptied_ = unseen;
+    }
+    loads_ = std::move(loads);
+    balls_ = balls;
+    round_ = round;
+    last_departures_ = last_departures;
+    last_arrivals_ = last_arrivals;
     recompute_stats();
   }
 

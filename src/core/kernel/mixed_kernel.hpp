@@ -51,6 +51,7 @@
 #include "core/mixed_config.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "support/serial.hpp"
 #include "support/types.hpp"
 
 namespace rbb {
@@ -254,6 +255,102 @@ class MixedProcessCore {
     return bytes;
   }
 
+  /// Adversarial reassignment (Sect. 4.1 semantics, extended to the
+  /// mixed regime): replaces the bin-major per-class count table
+  /// wholesale.  The adversary relocates balls but cannot mint or
+  /// destroy them, so per-class totals must match the current in-system
+  /// population and every capacity bound must hold (the initial totals
+  /// and drop ledgers are untouched, so conservation survives).  Counts
+  /// as a faulty round, not a process round.
+  void reassign(const std::vector<load_t>& new_counts) {
+    const std::uint32_t n = bin_count();
+    const std::uint32_t k = class_count();
+    if (new_counts.size() != static_cast<std::size_t>(n) * k) {
+      throw std::invalid_argument("reassign: count table shape mismatch");
+    }
+    for (std::uint32_t c = 0; c < k; ++c) {
+      ball_count_t was = 0;
+      ball_count_t now = 0;
+      for (std::uint32_t u = 0; u < n; ++u) {
+        was += counts_[static_cast<std::size_t>(u) * k + c];
+        now += new_counts[static_cast<std::size_t>(u) * k + c];
+      }
+      if (was != now) {
+        throw std::invalid_argument("reassign: per-class total changed");
+      }
+    }
+    for (std::uint32_t u = 0; u < n; ++u) {
+      load_t load = 0;
+      for (std::uint32_t c = 0; c < k; ++c) {
+        load += new_counts[static_cast<std::size_t>(u) * k + c];
+      }
+      if (caps_[u] != 0 && load > caps_[u]) {
+        throw std::invalid_argument("reassign: bin capacity exceeded");
+      }
+    }
+    counts_ = new_counts;
+    recompute_from_counts();
+    rescan_stats();
+  }
+
+  /// Serializes the complete trajectory state (DESIGN.md Sect. 7): the
+  /// per-class census table, round, drop ledgers, and last-round
+  /// reporting fields.  Counter streams draw by (seed, round, slot), so
+  /// this closes the state; round-boundary only (the scatter buffers
+  /// are provably drained there).
+  void snapshot(serial::ByteWriter& w) const
+    requires Stream::kScheduleFree
+  {
+    w.u64(round_);
+    w.u64(dropped_balls_);
+    w.u64(dropped_weight_);
+    w.u64(last_departures_);
+    w.u64(last_drops_);
+    w.vec(last_departures_by_class_);
+    w.vec(counts_);
+  }
+
+  /// Inverse of snapshot().  The target must be constructed from the
+  /// same spec; the conservation law (initial == restored + dropped) is
+  /// re-validated against the constructor's initial totals, so a
+  /// payload from a different spec cannot slip through.
+  void restore(serial::ByteReader& r)
+    requires Stream::kScheduleFree
+  {
+    const std::uint64_t round = r.u64();
+    const ball_count_t dropped_balls = r.u64();
+    const weighted_load_t dropped_weight = r.u64();
+    const ball_count_t last_departures = r.u64();
+    const ball_count_t last_drops = r.u64();
+    std::vector<ball_count_t> last_by_class;
+    r.vec(last_by_class);
+    std::vector<load_t> counts;
+    r.vec(counts);
+    if (counts.size() != counts_.size() ||
+        last_by_class.size() != last_departures_by_class_.size()) {
+      throw std::invalid_argument("restore: census shape mismatch");
+    }
+    counts_ = std::move(counts);
+    dropped_balls_ = dropped_balls;
+    dropped_weight_ = dropped_weight;
+    last_departures_ = last_departures;
+    last_drops_ = last_drops;
+    last_departures_by_class_ = std::move(last_by_class);
+    round_ = round;
+    recompute_from_counts();
+    if (initial_balls_ != balls_ + dropped_balls_ ||
+        initial_weight_ != total_weight_ + dropped_weight_) {
+      throw std::invalid_argument(
+          "restore: conservation violated (payload from a different spec?)");
+    }
+    for (std::uint32_t u = 0; u < bin_count(); ++u) {
+      if (caps_[u] != 0 && loads_[u] > caps_[u]) {
+        throw std::invalid_argument("restore: bin capacity exceeded");
+      }
+    }
+    rescan_stats();
+  }
+
   /// Testing hook: recomputes every piece of incremental bookkeeping
   /// from the per-class counts and throws std::logic_error on drift --
   /// including the conservation law (initial totals == current totals
@@ -357,6 +454,29 @@ class MixedProcessCore {
     ++loads_[v];
     wload_[v] += weights_.class_weights[cls];
     return true;
+  }
+
+  /// Rebuilds the derived per-bin loads/weighted loads and the system
+  /// totals from the per-class census (reassign / restore epilogue;
+  /// same derivation as the constructor).
+  void recompute_from_counts() {
+    const std::uint32_t n = bin_count();
+    const std::uint32_t k = class_count();
+    balls_ = 0;
+    total_weight_ = 0;
+    for (std::uint32_t u = 0; u < n; ++u) {
+      load_t load = 0;
+      weighted_load_t w = 0;
+      for (std::uint32_t c = 0; c < k; ++c) {
+        const load_t cnt = counts_[static_cast<std::size_t>(u) * k + c];
+        load += cnt;
+        w += static_cast<weighted_load_t>(cnt) * weights_.class_weights[c];
+      }
+      loads_[u] = load;
+      wload_[u] = w;
+      balls_ += load;
+      total_weight_ += w;
+    }
   }
 
   void rescan_stats() {

@@ -292,6 +292,65 @@ class TokenProcessCore {
     rebuild_queues(new_bin);
   }
 
+  /// Serializes the complete trajectory state (DESIGN.md Sect. 7): the
+  /// raw flat-store arrays, per-token progress, round, and (when
+  /// enabled) the visit-tracking bookkeeping.  Counter streams draw by
+  /// (seed, round, slot), so this closes the state; round-boundary only
+  /// (the scatter buffers are provably drained there).
+  void snapshot(serial::ByteWriter& w) const
+    requires Stream::kScheduleFree
+  {
+    w.u64(round_);
+    store_.save_state(w);
+    w.vec(progress_);
+    w.u32(options_.track_visits ? 1u : 0u);
+    if (options_.track_visits) {
+      w.vec(visited_);
+      w.vec(visited_count_);
+      w.vec(cover_round_);
+      w.u32(covered_tokens_);
+    }
+  }
+
+  /// Inverse of snapshot(); the target must be constructed with the
+  /// same bins/tokens/policy/options (std::invalid_argument otherwise).
+  void restore(serial::ByteReader& r)
+    requires Stream::kScheduleFree
+  {
+    const std::uint64_t round = r.u64();
+    store_.load_state(r);
+    std::vector<std::uint64_t> progress;
+    r.vec(progress);
+    if (progress.size() != progress_.size()) {
+      throw std::invalid_argument("restore: token count mismatch");
+    }
+    const bool track_visits = r.u32() != 0;
+    if (track_visits != options_.track_visits) {
+      throw std::invalid_argument("restore: visit-tracking mismatch");
+    }
+    if (track_visits) {
+      std::vector<std::uint64_t> visited;
+      std::vector<std::uint32_t> visited_count;
+      std::vector<std::uint64_t> cover_round;
+      r.vec(visited);
+      r.vec(visited_count);
+      r.vec(cover_round);
+      if (visited.size() != visited_.size() ||
+          visited_count.size() != visited_count_.size() ||
+          cover_round.size() != cover_round_.size()) {
+        throw std::invalid_argument("restore: visit-tracking shape mismatch");
+      }
+      visited_ = std::move(visited);
+      visited_count_ = std::move(visited_count);
+      cover_round_ = std::move(cover_round);
+      covered_tokens_ = r.u32();
+    }
+    progress_ = std::move(progress);
+    round_ = round;
+    rescan_stats();
+    check_invariants();
+  }
+
   /// Testing hook: queue/token-position consistency; throws
   /// std::logic_error on violation.  Walks the flat lists in place --
   /// no per-bin heap copy.

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/token_process.hpp"  // QueuePolicy
+#include "support/serial.hpp"
 #include "support/types.hpp"
 
 namespace rbb::kernel {
@@ -145,6 +146,34 @@ class FlatTokenStore {
   }
 
   [[nodiscard]] QueuePolicy policy() const noexcept { return policy_; }
+
+  /// Serializes the raw slot/bin arrays (DESIGN.md Sect. 7).  The raw
+  /// intrusive-list state is what restore() must reproduce byte-exactly:
+  /// re-pushing a logical snapshot would rebuild LIFO lists in a
+  /// different physical order, and the random policy's pop_at walks the
+  /// physical list.
+  void save_state(serial::ByteWriter& w) const {
+    w.u32(static_cast<std::uint32_t>(policy_));
+    w.vec(slots_);
+    w.vec(bins_);
+  }
+
+  /// Inverse of save_state(); the store must be constructed with the
+  /// same bin/token counts and policy (std::invalid_argument otherwise).
+  void load_state(serial::ByteReader& r) {
+    if (r.u32() != static_cast<std::uint32_t>(policy_)) {
+      throw std::invalid_argument("FlatTokenStore: queue policy mismatch");
+    }
+    std::vector<TokenSlot> slots;
+    std::vector<BinList> bins;
+    r.vec(slots);
+    r.vec(bins);
+    if (slots.size() != slots_.size() || bins.size() != bins_.size()) {
+      throw std::invalid_argument("FlatTokenStore: shape mismatch");
+    }
+    slots_ = std::move(slots);
+    bins_ = std::move(bins);
+  }
 
   /// Bytes of resident storage (the memory column of sharded_scaling).
   [[nodiscard]] std::size_t resident_bytes() const noexcept {

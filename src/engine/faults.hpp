@@ -83,4 +83,29 @@ class PeriodicFaults {
       });
 }
 
+/// Periodic adversarial reassignment of a *mixed-regime* process
+/// (anything with class_count()/class_load()/capacity() and
+/// reassign(vector<load_t>): MixedProcessCore and its adapters).  The
+/// injected census preserves per-class totals and honors capacities
+/// (apply_fault_mixed), so conservation survives the fault.  period ==
+/// 0 disables.
+[[nodiscard]] inline auto make_mixed_fault_plan(std::uint64_t period,
+                                                FaultStrategy strategy,
+                                                Rng rng) {
+  return PeriodicFaults(
+      FaultSchedule(period), [strategy, rng](auto& p) mutable {
+        const std::uint32_t n = engine_bin_count(p);
+        const std::uint32_t k = p.class_count();
+        std::vector<load_t> current(static_cast<std::size_t>(n) * k);
+        std::vector<load_t> caps(n);
+        for (std::uint32_t u = 0; u < n; ++u) {
+          caps[u] = p.capacity(u);
+          for (std::uint32_t c = 0; c < k; ++c) {
+            current[static_cast<std::size_t>(u) * k + c] = p.class_load(u, c);
+          }
+        }
+        p.reassign(apply_fault_mixed(strategy, n, k, current, caps, rng));
+      });
+}
+
 }  // namespace rbb

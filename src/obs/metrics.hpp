@@ -48,6 +48,10 @@ enum class Counter : unsigned {
   kPoolBatches,           // ThreadPool for_each batches submitted
   kPoolTasks,             // ThreadPool tasks executed
   kTraceEventsDropped,    // spans lost to a full per-thread trace buffer
+  kCheckpointWrites,      // rbb.ckpt.v1 files durably written
+  kCheckpointBytes,       // bytes of checkpoint payloads durably written
+  kCheckpointFailures,    // checkpoint writes abandoned after all retries
+  kCheckpointRetries,     // checkpoint write attempts retried after an error
   kCount,
 };
 
@@ -71,6 +75,7 @@ enum class Phase : unsigned {
   kTrial,        // one Monte-Carlo trial (includes its rounds)
   kEpochWait,    // pipelined round loop: spins on a peer epoch counter
   kOverlap,      // pipelined throw work done while a prior commit runs
+  kCkptWrite,    // encode + atomic persist of one checkpoint file
   kCount,
 };
 
@@ -89,6 +94,10 @@ inline constexpr std::size_t kPhaseCount =
     case Counter::kPoolBatches: return "pool_batches";
     case Counter::kPoolTasks: return "pool_tasks";
     case Counter::kTraceEventsDropped: return "trace_events_dropped";
+    case Counter::kCheckpointWrites: return "checkpoint_writes";
+    case Counter::kCheckpointBytes: return "checkpoint_bytes";
+    case Counter::kCheckpointFailures: return "checkpoint_failures";
+    case Counter::kCheckpointRetries: return "checkpoint_retries";
     case Counter::kCount: break;
   }
   return "?";
@@ -107,6 +116,7 @@ inline constexpr std::size_t kPhaseCount =
     case Phase::kTrial: return "trial";
     case Phase::kEpochWait: return "epoch_wait";
     case Phase::kOverlap: return "overlap";
+    case Phase::kCkptWrite: return "ckpt_write";
     case Phase::kCount: break;
   }
   return "?";

@@ -1,0 +1,27 @@
+#include "runner/interrupt.hpp"
+
+#include <csignal>
+
+namespace rbb::runner::interrupt {
+
+namespace {
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void on_sigint(int) { g_interrupted = 1; }
+
+}  // namespace
+
+void install() {
+  struct sigaction sa = {};
+  sa.sa_handler = on_sigint;
+  sigemptyset(&sa.sa_mask);
+  // One-shot: the flag covers the graceful path; a second ^C reverts
+  // to the default disposition and terminates immediately.
+  sa.sa_flags = SA_RESETHAND;
+  sigaction(SIGINT, &sa, nullptr);
+}
+
+bool interrupted() noexcept { return g_interrupted != 0; }
+
+}  // namespace rbb::runner::interrupt

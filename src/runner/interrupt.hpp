@@ -1,0 +1,24 @@
+// SIGINT handling for `rbb run` / `rbb resume` (DESIGN.md Sect. 7).
+//
+// The first ^C sets a flag; checkpoint-capable experiments poll it at
+// round-chunk boundaries, write a final checkpoint, and return, after
+// which the runner exits with kExitCode (130, the shell's convention
+// for death-by-SIGINT) so scripts can tell an interrupted run from a
+// completed or failed one.  The handler installs with SA_RESETHAND:
+// a second ^C gets the default disposition and kills the process
+// immediately -- graceful shutdown must never make the tool
+// unkillable.
+#pragma once
+
+namespace rbb::runner::interrupt {
+
+/// Documented exit status of an interrupted-but-checkpointed run.
+inline constexpr int kExitCode = 130;
+
+/// Installs the one-shot SIGINT handler (idempotent).
+void install();
+
+/// True once SIGINT has been received.
+[[nodiscard]] bool interrupted() noexcept;
+
+}  // namespace rbb::runner::interrupt

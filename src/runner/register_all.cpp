@@ -38,6 +38,7 @@ void register_overload(Registry&);             // extra (Sect. 5 open qn)
 void register_israeli_jalfon(Registry&);       // extra (ancestor protocol)
 void register_sharded_scaling(Registry&);      // extra (src/par/ baseline)
 void register_threshold_allocation(Registry&); // extra (1-2-3 Toolkit)
+void register_trajectory(Registry&);           // extra (checkpoint/resume)
 
 void register_all_experiments(Registry& registry) {
   register_stability(registry);
@@ -68,6 +69,7 @@ void register_all_experiments(Registry& registry) {
   register_israeli_jalfon(registry);
   register_sharded_scaling(registry);
   register_threshold_allocation(registry);
+  register_trajectory(registry);
 }
 
 }  // namespace rbb::runner

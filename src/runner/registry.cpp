@@ -80,7 +80,8 @@ void Registry::add(Experiment experiment) {
     // frontend drift the registry exists to prevent.
     for (const char* reserved :
          {"seed", "trials", "backend", "threads", "metrics", "trace",
-          "repeat", "trial-parallelism", "scale", "format", "out", "check",
+          "repeat", "trial-parallelism", "checkpoint-dir", "checkpoint-every",
+          "checkpoint-keep", "resume-from", "scale", "format", "out", "check",
           "help"}) {
       if (spec.name == reserved) {
         throw std::invalid_argument(
@@ -121,6 +122,20 @@ void Registry::add(Experiment experiment) {
        "when --threads is set) or an explicit K; the thread budget is "
        "split evenly across concurrent trials so each instance's sharded "
        "rounds still parallelize (trial x round nesting)"},
+      {"checkpoint-dir", ParamSpec::Type::kString, "",
+       "write rbb.ckpt.v1 snapshots into this directory "
+       "(checkpoint-capable single-instance experiments only, e.g. "
+       "trajectory; SIGINT also writes a final checkpoint when set)"},
+      {"checkpoint-every", ParamSpec::Type::kU64, "0",
+       "checkpoint period in rounds (0 = only the SIGINT/exit checkpoint; "
+       "requires --checkpoint-dir)"},
+      {"checkpoint-keep", ParamSpec::Type::kU64, "3",
+       "retain only the newest K periodic checkpoints (older ones are "
+       "pruned after each successful write)"},
+      {"resume-from", ParamSpec::Type::kString, "",
+       "restore state from this rbb.ckpt.v1 file before running and "
+       "continue to the round target (the `rbb resume` verb fills this "
+       "in from the checkpoint's own metadata)"},
   };
   params.insert(params.end(),
                 std::make_move_iterator(experiment.params.begin()),
@@ -209,6 +224,26 @@ CompletedRun run_experiment(const Experiment& experiment,
   const std::uint64_t repeat = values.u64("repeat");
   if (repeat == 0) {
     throw std::invalid_argument("--repeat expects a positive count");
+  }
+  const bool wants_checkpoints = !values.str("checkpoint-dir").empty() ||
+                                 values.u64("checkpoint-every") != 0 ||
+                                 !values.str("resume-from").empty();
+  if (wants_checkpoints && !experiment.checkpointable) {
+    throw std::invalid_argument(
+        experiment.name +
+        " does not support checkpointing: --checkpoint-dir/"
+        "--checkpoint-every/resume only apply to checkpoint-capable "
+        "single-instance experiments (e.g. trajectory)");
+  }
+  if (values.u64("checkpoint-every") != 0 &&
+      values.str("checkpoint-dir").empty()) {
+    throw std::invalid_argument(
+        "--checkpoint-every requires --checkpoint-dir");
+  }
+  if (wants_checkpoints && repeat != 1) {
+    throw std::invalid_argument(
+        "--repeat is incompatible with checkpointing (a best-of-K rerun "
+        "would overwrite the checkpoint stream)");
   }
   // Validate the --trial-parallelism grammar up front, even for run
   // functions that never consult the plan: a typo must fail the run,

@@ -60,6 +60,23 @@ struct RunContext {
     return by_scale(scale, smoke, dflt, paper);
   }
 
+  /// Checkpointing surface (--checkpoint-dir/--checkpoint-every/
+  /// --checkpoint-keep, plus the resume-from path the `rbb resume` verb
+  /// fills in).  Only checkpoint-capable experiments see non-default
+  /// values; run_experiment rejects the flags elsewhere.
+  [[nodiscard]] std::string checkpoint_dir() const {
+    return params.str("checkpoint-dir");
+  }
+  [[nodiscard]] std::uint64_t checkpoint_every() const {
+    return params.u64("checkpoint-every");
+  }
+  [[nodiscard]] std::uint64_t checkpoint_keep() const {
+    return params.u64("checkpoint-keep");
+  }
+  [[nodiscard]] std::string resume_from() const {
+    return params.str("resume-from");
+  }
+
   /// Splits the thread budget between trial fan-out and intra-instance
   /// sharded rounds (--trial-parallelism; engine/trials.hpp).
   ///
@@ -113,6 +130,11 @@ struct Experiment {
   /// accepted iff backend_capable(family); run_experiment rejects it
   /// elsewhere.  kNone (the default) never accepts the flag.
   ProcessFamily family = ProcessFamily::kNone;
+  /// True for single-instance experiments that honor the checkpoint
+  /// surface (--checkpoint-dir/--checkpoint-every, `rbb resume`).
+  /// run_experiment rejects the checkpoint flags on every other
+  /// experiment so they can never be silently ignored.
+  bool checkpointable = false;
   std::vector<ParamSpec> params;  // registry prepends seed/trials/backend/...
   std::function<ResultSet(const RunContext&)> run;
 };

@@ -6,7 +6,10 @@
 #include <ostream>
 #include <sstream>
 
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/io.hpp"
 #include "runner/docgen.hpp"
+#include "runner/interrupt.hpp"
 #include "runner/optparse.hpp"
 #include "runner/registry.hpp"
 #include "runner/result.hpp"
@@ -23,6 +26,11 @@ usage:
   rbb list                          list registered experiments
   rbb describe <experiment>         show description and parameters
   rbb run <experiment> [options]    run one experiment
+  rbb resume <ckpt> [options]       continue a checkpointed run to
+                                    completion (experiment and
+                                    parameters come from the
+                                    checkpoint's own metadata; explicit
+                                    options override)
   rbb sweep <experiment> [options]  run a cartesian parameter grid
   rbb docs [--out=PATH] [--check]   generate docs/experiments.md
   rbb help                          this text
@@ -50,6 +58,14 @@ options for run / sweep:
                                 experiments; the thread budget splits
                                 across trials, each instance's sharded
                                 rounds use the rest (default: auto)
+  --checkpoint-dir=DIR          write rbb.ckpt.v1 snapshots here
+                                (checkpoint-capable experiments only,
+                                e.g. trajectory)
+  --checkpoint-every=K          checkpoint period in rounds (0 = only
+                                the SIGINT/exit checkpoint; requires
+                                --checkpoint-dir)
+  --checkpoint-keep=K           retain the newest K periodic
+                                checkpoints (default: 3)
   --<param>=value               any parameter of the experiment
                                 (see `rbb describe <experiment>`);
                                 under `sweep`, comma-separated values
@@ -57,6 +73,12 @@ options for run / sweep:
 
 `rbb docs --check` exits 1 if the committed file differs from the
 registry (the CI docs-drift gate).
+
+exit codes: 0 success; 1 run/write failure (including a corrupt or
+mismatched checkpoint, always with a named "checkpoint <kind>:" error);
+2 usage error; 130 interrupted by SIGINT -- the run finishes its
+current round chunk, writes a final checkpoint when --checkpoint-dir is
+set, and delivers the partial results before exiting.
 )";
 
 enum class Format { kTable, kJson, kCsv };
@@ -90,9 +112,11 @@ int deliver(const std::string& payload, const CommonOptions& options,
     out << payload;
     return 0;
   }
-  std::ofstream file(options.out_path, std::ios::binary);
-  if (!file || !(file << payload)) {
-    err << "rbb: cannot write " << options.out_path << "\n";
+  // tmp+fsync+rename: a crash or full disk mid-write never leaves a
+  // torn result file behind (same discipline as checkpoints).
+  std::string error;
+  if (!ckpt::atomic_write_file(options.out_path, payload, &error)) {
+    err << "rbb: cannot write " << options.out_path << ": " << error << "\n";
     return 1;
   }
   return 0;
@@ -221,6 +245,10 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
       return 2;
     }
   }
+  // First ^C: checkpoint-capable experiments finish the current chunk,
+  // write a final checkpoint, and we exit 130 below.  Second ^C kills
+  // outright (SA_RESETHAND).
+  interrupt::install();
   std::string payload;
   try {
     payload = execute_and_render(*inv.experiment, values, inv.common.scale,
@@ -230,7 +258,65 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
         << "\n";
     return 1;
   }
-  return deliver(payload, inv.common, out, err);
+  const int rc = deliver(payload, inv.common, out, err);
+  if (interrupt::interrupted()) {
+    err << "rbb: interrupted by SIGINT; partial results delivered (wall "
+           "time in the run metadata covers the completed rounds)\n";
+    return rc != 0 ? rc : interrupt::kExitCode;
+  }
+  return rc;
+}
+
+/// `rbb resume <ckpt>`: reconstructs the run invocation from the
+/// checkpoint's own meta block (experiment name + `name=value`
+/// parameter lines), lets explicit CLI options override, appends
+/// --resume-from, and re-enters cmd_run.  A trajectory-changing
+/// override is caught downstream by the header digest check.
+int cmd_resume(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err) {
+  if (args.empty() || args[0].rfind("--", 0) == 0) {
+    err << "usage: rbb resume <checkpoint.ckpt> [options]\n";
+    return 2;
+  }
+  const std::string& path = args[0];
+  ckpt::Checkpoint checkpoint;
+  try {
+    checkpoint = ckpt::read_checkpoint(path);
+  } catch (const std::exception& e) {
+    err << "rbb: " << e.what() << "\n";
+    return 1;
+  }
+  std::string experiment_name;
+  std::vector<std::string> synthesized;
+  synthesized.emplace_back();  // experiment name slot, filled below
+  std::istringstream meta(checkpoint.meta);
+  std::string line;
+  while (std::getline(meta, line)) {
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      err << "rbb: malformed meta line \"" << line << "\" in " << path
+          << "\n";
+      return 1;
+    }
+    if (line.compare(0, eq, "experiment") == 0) {
+      experiment_name = line.substr(eq + 1);
+    } else {
+      synthesized.push_back("--" + line);
+    }
+  }
+  if (experiment_name.empty()) {
+    err << "rbb: checkpoint " << path << " names no experiment in its "
+        << "meta block\n";
+    return 1;
+  }
+  synthesized[0] = experiment_name;
+  // CLI options after the meta lines: under `run` the last assignment
+  // wins, so explicit flags (--rounds, --checkpoint-dir, ...) override
+  // the checkpointed values.
+  synthesized.insert(synthesized.end(), args.begin() + 1, args.end());
+  synthesized.push_back("--resume-from=" + path);
+  return cmd_run(synthesized, out, err);
 }
 
 /// Splits a sweep assignment on commas; a single value is a fixed
@@ -451,6 +537,7 @@ int runner_main(const std::vector<std::string>& args, std::ostream& out,
   }
   if (verb == "describe") return cmd_describe(rest, out, err);
   if (verb == "run") return cmd_run(rest, out, err);
+  if (verb == "resume") return cmd_resume(rest, out, err);
   if (verb == "sweep") return cmd_sweep(rest, out, err);
   if (verb == "docs") return cmd_docs(rest, out, err);
   err << "rbb: unknown command \"" << verb << "\"\n\n" << kUsage;

@@ -1,0 +1,228 @@
+// The kill-point chaos harness (DESIGN.md Sect. 7): forked children
+// run a checkpointing round loop with RBB_CRASH_AT armed at randomized
+// rounds cycling through all four kill points (mid-payload, after-tmp,
+// before-rename, post-rename); each child must die with the injected
+// exit code 137, the next child resumes from whatever
+// latest_checkpoint() finds, and the stitched trajectory must end
+// byte-identical to an uninterrupted oracle.  Also pins the graceful-
+// degradation contract: an unwritable checkpoint directory logs, bumps
+// the failure/retry counters, and never stops the simulation.
+#include <gtest/gtest.h>
+
+#include <stdlib.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/io.hpp"
+#include "core/config.hpp"
+#include "core/mixed_config.hpp"
+#include "obs/metrics.hpp"
+#include "par/sharded_mixed.hpp"
+#include "par/sharded_process.hpp"
+#include "support/rng.hpp"
+#include "support/serial.hpp"
+
+namespace rbb {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint32_t kBins = 128;
+constexpr std::uint64_t kSeed = 77;
+constexpr std::uint64_t kEvery = 5;   // checkpoint period (rounds)
+constexpr std::uint64_t kTarget = 60; // multiple of kEvery
+
+LoadConfig start_config() {
+  Rng rng(kSeed);
+  return make_config(InitialConfig::kAllInOne, kBins, kBins, rng);
+}
+
+template <typename Proc>
+std::string snapshot_of(const Proc& proc) {
+  serial::ByteWriter w;
+  proc.snapshot(w);
+  return w.take();
+}
+
+template <typename Proc>
+ckpt::Checkpoint make_checkpoint(const Proc& proc, ckpt::Family family) {
+  ckpt::Checkpoint c;
+  c.header.family = family;
+  c.header.bins = kBins;
+  c.header.entities = kBins;
+  c.header.seed = kSeed;
+  c.header.round = proc.round();
+  c.meta = "experiment=chaos-harness\n";
+  c.payload = snapshot_of(proc);
+  return c;
+}
+
+/// Child body: arm the kill point, resume from the newest checkpoint
+/// (if any), run to the target writing checkpoints every kEvery
+/// rounds, exit 0.  An armed RBB_CRASH_AT _exit(137)s mid-write.
+/// Never returns; child-side failures use distinct exit codes so the
+/// parent's assertion names the failure.
+template <typename MakeProc>
+[[noreturn]] void child_run(const std::string& dir, const char* crash_spec,
+                            ckpt::Family family, MakeProc make) {
+  if (crash_spec != nullptr) {
+    ::setenv("RBB_CRASH_AT", crash_spec, 1);
+  } else {
+    ::unsetenv("RBB_CRASH_AT");
+  }
+  auto proc = make();
+  if (const auto latest = ckpt::latest_checkpoint(dir)) {
+    try {
+      const ckpt::Checkpoint c = ckpt::read_checkpoint(*latest);
+      serial::ByteReader r(c.payload);
+      proc.restore(r);
+      if (!r.done()) ::_exit(3);
+    } catch (...) {
+      ::_exit(4);  // a crash must never leave an unreadable checkpoint
+    }
+  }
+  ckpt::CheckpointPlan plan(dir, kEvery, 1000);
+  while (proc.round() < kTarget) {
+    proc.run(1);
+    if (plan.due(proc.round())) {
+      (void)plan.write(make_checkpoint(proc, family));
+    }
+  }
+  ::_exit(0);
+}
+
+/// The kill/resume loop: strictly increasing randomized kill rounds
+/// (so each armed kill point actually fires before the child passes
+/// it), phases cycling through all four instants, then one clean child
+/// to finish, then the stitched-vs-oracle comparison.
+template <typename MakeProc>
+void RunKillResumeLoop(const char* tag, ckpt::Family family, MakeProc make) {
+  const fs::path dir = fs::temp_directory_path() /
+                       ("rbb-chaos-" + std::to_string(::getpid()) + "-" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  auto oracle = make();
+  oracle.run(kTarget);
+  const std::string want = snapshot_of(oracle);
+
+  const char* const phases[] = {
+      ckpt::kCrashMidPayload, ckpt::kCrashAfterTmp, ckpt::kCrashBeforeRename,
+      ckpt::kCrashPostRename};
+  Rng rng(kSeed * 31 + static_cast<std::uint64_t>(tag[0]));
+  std::uint64_t round = 0;
+  int kills = 0;
+  for (int i = 0;; ++i) {
+    round += kEvery * (1 + rng.below(2));  // randomized, multiple of kEvery
+    if (round > kTarget - 2 * kEvery) break;
+    const std::string spec =
+        std::string(phases[i % 4]) + ":" + std::to_string(round);
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) child_run(dir.string(), spec.c_str(), family, make);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status)) << "kill " << spec;
+    ASSERT_EQ(WEXITSTATUS(status), ckpt::kCrashExitCode) << "kill " << spec;
+    ++kills;
+  }
+  ASSERT_GE(kills, 4) << "harness bug: too few kill points exercised";
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) child_run(dir.string(), nullptr, family, make);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0) << "clean finishing child failed";
+
+  const auto latest = ckpt::latest_checkpoint(dir.string());
+  ASSERT_TRUE(latest.has_value());
+  const ckpt::Checkpoint fin = ckpt::read_checkpoint(*latest);
+  EXPECT_EQ(fin.header.round, kTarget);
+  EXPECT_EQ(fin.payload, want)
+      << "stitched kill/resume trajectory diverged from the oracle";
+  fs::remove_all(dir);
+}
+
+TEST(CkptChaos, LoadKillResumeMatchesOracle) {
+  RunKillResumeLoop("load", ckpt::Family::kLoad, [] {
+    return par::SequentialCounterProcess(start_config(), kSeed);
+  });
+}
+
+// threads=1 is the strictly-inline sharded execution: the full sharded
+// kernel code path with no pool, which keeps fork() safe in this test.
+// Multi-worker restore parity is pinned by tests/ckpt/roundtrip_test.
+TEST(CkptChaos, ShardedMixedKillResumeMatchesOracle) {
+  RunKillResumeLoop("mixed", ckpt::Family::kMixed, [] {
+    return par::ShardedMixedProcess(
+        make_mixed_spec(kBins, 2.0, "bimodal", "capped"), kSeed,
+        par::ShardedOptions{.threads = 1, .shard_size = 64});
+  });
+}
+
+// A crash leaves at most a .tmp orphan, which discovery must ignore.
+TEST(CkptChaos, TmpOrphanIsIgnoredByDiscovery) {
+  const fs::path dir = fs::temp_directory_path() /
+                       ("rbb-chaos-" + std::to_string(::getpid()) + "-orphan");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::ofstream(dir / "rbb-00000000000000000005.ckpt.tmp") << "torn";
+  std::ofstream(dir / "unrelated.txt") << "noise";
+  EXPECT_FALSE(ckpt::latest_checkpoint(dir.string()).has_value());
+  std::ofstream(dir / "rbb-00000000000000000010.ckpt") << "present";
+  const auto latest = ckpt::latest_checkpoint(dir.string());
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_NE(latest->find("rbb-00000000000000000010.ckpt"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+// Checkpoint I/O must degrade gracefully: an unwritable directory
+// (here: the parent path is a regular file) logs, retries with
+// backoff, bumps the telemetry counters, and lets the simulation run
+// to completion.
+TEST(CkptChaos, WriteFailureNeverStopsTheRun) {
+  const fs::path blocker =
+      fs::temp_directory_path() /
+      ("rbb-chaos-" + std::to_string(::getpid()) + "-blocker");
+  fs::remove_all(blocker);
+  std::ofstream(blocker) << "i am a file, not a directory";
+  const std::string dir = blocker.string() + "/sub";
+
+#if RBB_TELEMETRY
+  obs::reset();
+  obs::set_enabled(true);
+#endif
+  ckpt::CheckpointPlan plan(dir, kEvery, 3);
+  par::SequentialCounterProcess proc(start_config(), kSeed);
+  int failed_writes = 0;
+  while (proc.round() < 2 * kEvery) {
+    proc.run(1);
+    if (plan.due(proc.round())) {
+      if (!plan.write(make_checkpoint(proc, ckpt::Family::kLoad))) {
+        ++failed_writes;
+      }
+    }
+  }
+#if RBB_TELEMETRY
+  obs::set_enabled(false);
+  const obs::MetricsSnapshot m = obs::scrape();
+  EXPECT_EQ(m.counter(obs::Counter::kCheckpointFailures), 2u);
+  EXPECT_EQ(m.counter(obs::Counter::kCheckpointRetries), 4u);  // 2 per write
+  EXPECT_EQ(m.counter(obs::Counter::kCheckpointWrites), 0u);
+#endif
+  EXPECT_EQ(failed_writes, 2);
+  EXPECT_EQ(proc.round(), 2 * kEvery);  // the simulation kept going
+  ASSERT_NO_THROW(proc.check_invariants());
+  fs::remove_all(blocker);
+}
+
+}  // namespace
+}  // namespace rbb

@@ -18,6 +18,7 @@
 #include "graph/graph.hpp"
 #include "par/sharded_mixed.hpp"
 #include "selfstab/israeli_jalfon.hpp"
+#include "support/serial.hpp"
 #include "tetris/leaky.hpp"
 #include "tetris/tetris.hpp"
 
@@ -230,9 +231,11 @@ TEST_P(FuzzSweep, MixedRegimeConservesWeightedMass) {
 }
 
 // Engine-driven mixed fuzz: the same revalidation through the Engine's
-// observer path (InvariantCheck after *every* round), riding the fault
-// -injection family below -- the mixed process has no reassign surface,
-// so the plan is NoFaults and the drops themselves are the adversary.
+// observer path (InvariantCheck after *every* round), now with the
+// mixed fault family injecting adversarial per-class censuses -- the
+// plan preserves per-class totals and honors capacities
+// (apply_fault_mixed), so conservation must survive every fault on top
+// of the drops the capped/stalled profiles already force.
 TEST_P(FuzzSweep, EngineMixedRegimeSurvivesRandomRuns) {
   const auto [n, seed] = GetParam();
   Rng op_rng(static_cast<std::uint64_t>(seed) * 75353 + n);
@@ -241,15 +244,61 @@ TEST_P(FuzzSweep, EngineMixedRegimeSurvivesRandomRuns) {
   Engine engine(par::ShardedMixedProcess(
       spec, static_cast<std::uint64_t>(seed) * 7 + n,
       par::ShardedOptions{.threads = 2, .shard_size = 64}));
+  auto plan =
+      make_mixed_fault_plan(1 + op_rng.below(4),
+                            static_cast<FaultStrategy>(op_rng.below(4)),
+                            op_rng.split());
   InvariantCheck check;
+  std::uint64_t faults = 0;
   for (int op = 0; op < 20; ++op) {
-    engine.run(op_rng.below(12), RunForRounds{}, NoFaults{}, check);
+    faults += engine.run(op_rng.below(12), RunForRounds{}, plan, check)
+                  .faults_injected;
     ASSERT_NO_THROW(engine.check_invariants()) << "op " << op;
     ASSERT_EQ(engine.process().total_balls() +
                   engine.process().dropped_balls(),
               spec.balls)
         << "op " << op;
   }
+  EXPECT_GT(faults, 0u);
+}
+
+// Fault -> checkpoint -> resume interleaving: snapshot a mixed process
+// mid-run AFTER adversarial faults have fired, restore the snapshot
+// into a fresh process, continue both without further faults, and
+// demand conservation plus byte-identical final states.  Pins that a
+// faulted census round-trips through the durability layer exactly.
+TEST_P(FuzzSweep, MixedFaultCheckpointResumeConserves) {
+  const auto [n, seed] = GetParam();
+  Rng op_rng(static_cast<std::uint64_t>(seed) * 92821 + n);
+  const MixedSpec spec = make_mixed_spec(n, 2.0, "bimodal", "capped");
+  const std::uint64_t proc_seed = static_cast<std::uint64_t>(seed) * 13 + n;
+
+  Engine engine(par::SequentialCounterMixedProcess(spec, proc_seed));
+  auto plan = make_mixed_fault_plan(
+      3, static_cast<FaultStrategy>(op_rng.below(4)), op_rng.split());
+  InvariantCheck check;
+  const auto summary = engine.run(17, RunForRounds{}, plan, check);
+  EXPECT_GT(summary.faults_injected, 0u);
+
+  serial::ByteWriter w;
+  engine.process().snapshot(w);
+
+  par::SequentialCounterMixedProcess restored(spec, proc_seed);
+  serial::ByteReader r(w.str());
+  restored.restore(r);
+  ASSERT_TRUE(r.done());
+  ASSERT_NO_THROW(restored.check_invariants());
+  ASSERT_EQ(restored.total_balls() + restored.dropped_balls(), spec.balls);
+  ASSERT_EQ(restored.total_weight(), engine.process().total_weight());
+
+  // Same continuation on both sides -> identical final snapshots.
+  engine.run(23, RunForRounds{}, NoFaults{}, check);
+  restored.run(23);
+  serial::ByteWriter wa;
+  engine.process().snapshot(wa);
+  serial::ByteWriter wb;
+  restored.snapshot(wb);
+  EXPECT_EQ(wa.str(), wb.str());
 }
 
 // Engine-driven fuzz: random run-lengths with a periodic adversarial

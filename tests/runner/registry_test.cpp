@@ -23,8 +23,8 @@ TEST(Registry, EveryDesignClaimHasARegisteredExperiment) {
   }
 }
 
-TEST(Registry, HoldsAllTwentyEightExperiments) {
-  EXPECT_EQ(default_registry().experiments().size(), 28u);
+TEST(Registry, HoldsAllTwentyNineExperiments) {
+  EXPECT_EQ(default_registry().experiments().size(), 29u);
 }
 
 TEST(Registry, BackendCapabilityIsDerivedFromTheDeclaredFamily) {
@@ -40,7 +40,8 @@ TEST(Registry, BackendCapabilityIsDerivedFromTheDeclaredFamily) {
                                    "tetris_stability", "dchoices",
                                    "leaky_bins", "cover_time", "progress",
                                    "sharded_scaling", "max_load_regimes",
-                                   "mixed_regime", "threshold_allocation"}));
+                                   "mixed_regime", "threshold_allocation",
+                                   "trajectory"}));
 }
 
 TEST(Registry, EveryKernelFamilyIsBackendCapable) {
@@ -93,10 +94,11 @@ TEST(Registry, NamesAreUniqueAndDeclarationsComplete) {
 
 TEST(Registry, CatalogSortsByClaimWithExtrasLast) {
   const auto catalog = default_registry().catalog();
-  ASSERT_EQ(catalog.size(), 28u);
+  ASSERT_EQ(catalog.size(), 29u);
   EXPECT_EQ(catalog.front()->claim, "E1");
   EXPECT_TRUE(catalog[catalog.size() - 1]->claim.empty());
   EXPECT_TRUE(catalog[catalog.size() - 2]->claim.empty());
+  EXPECT_TRUE(catalog[catalog.size() - 3]->claim.empty());
   // Numbered claims are non-decreasing across the catalog prefix.
   unsigned long last = 0;
   for (const Experiment* e : catalog) {
